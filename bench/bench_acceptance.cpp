@@ -1,0 +1,90 @@
+// Experiment E5 (Table analogue): acceptance ratio under a fixed resource
+// share, per abstraction.
+//
+// A task "is accepted" by an analysis if the analysis certifies its
+// worst-case delay within the deadline (3x the task's longest separation
+// here).  For each utilization level, the table reports the fraction of
+// random tasks each abstraction accepts on the same TDMA slice.
+//
+// Expected shape: acceptance falls with load for every analysis, and at
+// every level  structural >= hull >= bucket >= min-gap, with the largest
+// spread in the mid-load range (at light load everything is accepted, in
+// overload nothing is).
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/abstractions.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+#include "model/generator.hpp"
+
+using namespace strt;
+using namespace strt::bench;
+
+int main() {
+  const Supply supply = Supply::tdma(Time(5), Time(10));
+  const int kTasksPerLevel = 60;
+  const double levels[] = {0.15, 0.25, 0.33, 0.40, 0.44, 0.47};
+
+  std::cout << "E5: acceptance ratio on " << supply.describe()
+            << ", deadline = max separation, " << kTasksPerLevel
+            << " random tasks per level\n\n";
+
+  Table table({"target U", "structural", "hull", "bucket", "min-gap"});
+  std::vector<std::vector<std::string>> csv_rows;
+  Rng rng(909090);
+
+  for (const double level : levels) {
+    int accept[4] = {0, 0, 0, 0};
+    int n = 0;
+    while (n < kTasksPerLevel) {
+      DrtGenParams params;
+      params.min_vertices = 3;
+      params.max_vertices = 8;
+      params.min_separation = Time(4);
+      params.max_separation = Time(30);
+      params.target_utilization = level;
+      const GeneratedTask gen = random_drt(rng, params);
+      if (!(gen.exact_utilization < supply.long_run_rate())) continue;
+      Time max_sep(0);
+      for (const DrtEdge& e : gen.task.edges()) {
+        max_sep = max(max_sep, e.separation);
+      }
+      const Time deadline = max_sep;
+
+      const WorkloadAbstraction kinds[] = {
+          WorkloadAbstraction::kStructural,
+          WorkloadAbstraction::kConcaveHull,
+          WorkloadAbstraction::kTokenBucket,
+          WorkloadAbstraction::kSporadicMinGap,
+      };
+      StructuralOptions opts;
+      opts.want_witness = false;
+      for (int k = 0; k < 4; ++k) {
+        const AbstractionResult r =
+            delay_with_abstraction(gen.task, supply, kinds[k], opts);
+        if (!r.delay.is_unbounded() && r.delay <= deadline) ++accept[k];
+      }
+      ++n;
+    }
+    auto pct = [&](int a) {
+      return fmt_ratio(100.0 * a / kTasksPerLevel, 0) + "%";
+    };
+    table.add_row({fmt_ratio(level), pct(accept[0]), pct(accept[1]),
+                   pct(accept[2]), pct(accept[3])});
+    csv_rows.push_back({fmt_ratio(level, 2),
+                        fmt_ratio(1.0 * accept[0] / kTasksPerLevel, 4),
+                        fmt_ratio(1.0 * accept[1] / kTasksPerLevel, 4),
+                        fmt_ratio(1.0 * accept[2] / kTasksPerLevel, 4),
+                        fmt_ratio(1.0 * accept[3] / kTasksPerLevel, 4)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  CsvWriter csv(std::cout, {"target_u", "structural", "hull", "bucket",
+                            "mingap"});
+  for (const auto& row : csv_rows) csv.row(row);
+  return 0;
+}

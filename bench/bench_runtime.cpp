@@ -1,0 +1,106 @@
+// Experiment E4 (Figure analogue): analysis runtime and explored states
+// vs graph size and vs supply tightness (busy-window length).
+//
+// google-benchmark harness; counters report busy-window length and
+// explored/pruned state counts alongside wall time.
+//
+// Expected shape: runtime grows mildly with the vertex count (the
+// dominance-pruned frontier is small) and roughly linearly with the
+// busy-window length; everything stays in the interactive range for
+// DATE-scale graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/abstractions.hpp"
+#include "core/structural.hpp"
+#include "model/generator.hpp"
+
+namespace strt {
+namespace {
+
+GeneratedTask task_with_vertices(std::size_t n, double target_u,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  DrtGenParams params;
+  params.min_vertices = n;
+  params.max_vertices = n;
+  params.min_separation = Time(5);
+  params.max_separation = Time(40);
+  params.chord_probability = 0.10;
+  params.target_utilization = target_u;
+  return random_drt(rng, params);
+}
+
+void BM_StructuralVsVertices(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const GeneratedTask gen = task_with_vertices(n, 0.35, 1000 + n);
+  const Supply supply = Supply::tdma(Time(5), Time(10));
+  StructuralOptions opts;
+  opts.want_witness = false;
+  StructuralResult last;
+  for (auto _ : state) {
+    last = structural_delay(gen.task, supply, opts);
+    benchmark::DoNotOptimize(last.delay);
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["busy_window"] =
+      static_cast<double>(last.busy_window.count());
+  state.counters["states"] = static_cast<double>(last.stats.generated);
+  state.counters["delay"] = static_cast<double>(last.delay.count());
+}
+BENCHMARK(BM_StructuralVsVertices)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(30)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StructuralVsSupplyTightness(benchmark::State& state) {
+  // Fixed task (U ~ 0.45); the slot shrinks toward the utilization, the
+  // busy window (and hence the explored prefix) stretches.
+  const GeneratedTask gen = task_with_vertices(10, 0.45, 77);
+  const auto slot = state.range(0);
+  const Supply supply = Supply::tdma(Time(slot), Time(20));
+  if (!(gen.exact_utilization < supply.long_run_rate())) {
+    state.SkipWithError("supply below utilization");
+    return;
+  }
+  StructuralOptions opts;
+  opts.want_witness = false;
+  StructuralResult last;
+  for (auto _ : state) {
+    last = structural_delay(gen.task, supply, opts);
+    benchmark::DoNotOptimize(last.delay);
+  }
+  state.counters["slot"] = static_cast<double>(slot);
+  state.counters["busy_window"] =
+      static_cast<double>(last.busy_window.count());
+  state.counters["states"] = static_cast<double>(last.stats.generated);
+}
+BENCHMARK(BM_StructuralVsSupplyTightness)
+    ->DenseRange(10, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AbstractionAnalyses(benchmark::State& state) {
+  // Cost of each analysis in the spectrum on the same instance.
+  const GeneratedTask gen = task_with_vertices(15, 0.40, 4242);
+  const Supply supply = Supply::tdma(Time(9), Time(20));
+  const auto a = static_cast<WorkloadAbstraction>(state.range(0));
+  StructuralOptions opts;
+  opts.want_witness = false;
+  for (auto _ : state) {
+    const AbstractionResult r =
+        delay_with_abstraction(gen.task, supply, a, opts);
+    benchmark::DoNotOptimize(r.delay);
+  }
+  state.SetLabel(std::string(abstraction_name(a)));
+}
+BENCHMARK(BM_AbstractionAnalyses)
+    ->DenseRange(0, 4, 1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace strt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared helpers for the experiment harnesses (bench_*).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "base/types.hpp"
+
+namespace strt::bench {
+
+inline std::string show(Time t) {
+  return t.is_unbounded() ? "inf" : std::to_string(t.count());
+}
+
+inline std::string show(Work w) {
+  return w.is_unbounded() ? "inf" : std::to_string(w.count());
+}
+
+/// Ratio of two delay bounds as a printable factor ("1.27x", "inf").
+inline std::string factor(Time num, Time den) {
+  if (num.is_unbounded()) return "inf";
+  if (den == Time(0)) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx",
+                static_cast<double>(num.count()) /
+                    static_cast<double>(den.count()));
+  return buf;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace strt::bench

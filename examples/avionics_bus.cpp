@@ -1,0 +1,128 @@
+// Avionics-style shared bus: several message streams with structure
+// (periodic status, GMF-shaped sensor bursts, a mode-switching command
+// stream) share one TDMA-partitioned bus under fixed priorities.
+//
+//   $ ./examples/avionics_bus
+//
+// Demonstrates the multi-task fixed-priority analysis: per-stream delay
+// bounds (structural vs exact-curve leftover analysis), and a random
+// co-simulation that validates the bounds end to end.
+
+#include <iostream>
+#include <vector>
+
+#include "core/fixed_priority.hpp"
+#include "io/table.hpp"
+#include "model/gmf.hpp"
+#include "model/sporadic.hpp"
+#include "sim/fifo.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+using namespace strt;
+
+int main() {
+  // Priority-ordered streams (index 0 = highest).
+  std::vector<DrtTask> streams;
+
+  // 1. Flight-critical periodic status words: small, frequent.
+  streams.push_back(SporadicTask{"status", Work(2), Time(16), Time(16)}
+                        .to_drt());
+
+  // 2. Sensor frames: a GMF ring alternating a big calibrated frame and
+  //    two small delta frames.
+  streams.push_back(GmfTask("sensor", {GmfFrame{Work(8), Time(60), Time(30)},
+                                       GmfFrame{Work(2), Time(20), Time(15)},
+                                       GmfFrame{Work(2), Time(20), Time(15)}})
+                        .to_drt());
+
+  // 3. Command stream: a burst of reconfiguration messages followed by a
+  //    long quiet period -- classic structural workload.
+  DrtBuilder cmd("command");
+  const VertexId burst = cmd.add_vertex("reconfig", Work(6), Time(80));
+  const VertexId ack = cmd.add_vertex("ack", Work(1), Time(20));
+  cmd.add_edge(burst, ack, Time(8));
+  cmd.add_edge(ack, ack, Time(8));
+  cmd.add_edge(ack, burst, Time(90));
+  streams.push_back(std::move(cmd).build());
+
+  // The bus: this partition owns 9 of every 16 ticks.
+  const Supply bus = Supply::tdma(Time(9), Time(16));
+  std::cout << "Bus partition: " << bus.describe() << "\n\n";
+
+  const FpResult res = fixed_priority_analysis(streams, bus);
+  if (res.overloaded) {
+    std::cout << "Partition overloaded -- no finite bounds.\n";
+    return 1;
+  }
+
+  Table table({"stream", "prio", "busy win", "structural delay",
+               "curve delay", "backlog"});
+  for (const FpTaskResult& t : res.tasks) {
+    table.add_row({streams[t.task_index].name(),
+                   std::to_string(t.task_index),
+                   std::to_string(t.busy_window.count()),
+                   std::to_string(t.structural_delay.count()),
+                   std::to_string(t.curve_delay.count()),
+                   std::to_string(t.structural_backlog.count())});
+  }
+  table.print(std::cout);
+  std::cout << "\nSystem-level busy window: "
+            << res.system_busy_window.count() << " ticks\n\n";
+
+  // Co-simulation: random legal runs of all three streams, preemptive
+  // fixed priority on the bus slot pattern, check observed delays.
+  Rng rng(20260706);
+  Time worst_observed(0);
+  const Time horizon(4000);
+  const ServicePattern slots =
+      pattern_tdma(Time(9), Time(16), Time(0), horizon);
+  for (int run = 0; run < 50; ++run) {
+    std::vector<Trace> traces;
+    traces.reserve(streams.size());
+    for (const DrtTask& t : streams) {
+      traces.push_back(
+          trace_random_walk(t, rng, Time(3500), 0.3, Time(12)));
+    }
+    std::vector<std::size_t> next(streams.size(), 0);
+    struct Pending {
+      Time release;
+      Work remaining;
+    };
+    std::vector<std::vector<Pending>> queues(streams.size());
+    bool bound_ok = true;
+    for (std::int64_t t = 0; t < horizon.count(); ++t) {
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        while (next[i] < traces[i].size() &&
+               traces[i][next[i]].release == Time(t)) {
+          queues[i].push_back(Pending{Time(t), traces[i][next[i]].wcet});
+          ++next[i];
+        }
+      }
+      std::int64_t cap = slots[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; cap > 0 && i < streams.size(); ++i) {
+        while (cap > 0 && !queues[i].empty()) {
+          Pending& head = queues[i].front();
+          const std::int64_t served =
+              std::min(cap, head.remaining.count());
+          head.remaining -= Work(served);
+          cap -= served;
+          if (head.remaining == Work(0)) {
+            const Time delay = Time(t + 1) - head.release;
+            worst_observed = max(worst_observed, delay);
+            if (delay > res.tasks[i].structural_delay) bound_ok = false;
+            queues[i].erase(queues[i].begin());
+          }
+        }
+      }
+    }
+    if (!bound_ok) {
+      std::cout << "BOUND VIOLATION in run " << run << " -- bug!\n";
+      return 1;
+    }
+  }
+  std::cout << "50 random co-simulations: all observed delays within "
+               "bounds (worst observed "
+            << worst_observed.count() << " ticks).\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Quickstart: model a structural workload, give it a TDMA slice, and
+// compare the structural delay bound against the classical curve-based
+// abstractions.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full public API surface: task construction, supply
+// models, the structural analysis with its witness path, the abstraction
+// spectrum, and DOT export.
+
+#include <iostream>
+
+#include "core/abstractions.hpp"
+#include "core/structural.hpp"
+#include "io/dot.hpp"
+#include "io/table.hpp"
+
+using namespace strt;
+
+namespace {
+
+std::string show(Time t) {
+  return t.is_unbounded() ? "unbounded" : std::to_string(t.count());
+}
+
+}  // namespace
+
+int main() {
+  // A small engine-management-style task: a heavy mode-change job (M)
+  // followed by either a fast control loop (F) or a slow diagnostic (S),
+  // cycling back to the mode change.
+  DrtBuilder builder("engine");
+  const VertexId m = builder.add_vertex("M", Work(9), Time(40));
+  const VertexId f = builder.add_vertex("F", Work(2), Time(10));
+  const VertexId s = builder.add_vertex("S", Work(4), Time(25));
+  builder.add_edge(m, f, Time(10));
+  builder.add_edge(f, f, Time(10));
+  builder.add_edge(f, s, Time(12));
+  builder.add_edge(s, m, Time(25));
+  builder.add_edge(m, s, Time(14));
+  const DrtTask task = std::move(builder).build();
+
+  std::cout << "Task: " << task << "\n\n";
+  std::cout << "Graphviz (pipe into `dot -Tpng`):\n" << to_dot(task) << '\n';
+
+  // The resource: 4 ticks of a shared bus out of every 9.
+  const Supply supply = Supply::tdma(Time(4), Time(9));
+  std::cout << "Supply: " << supply.describe()
+            << "  (long-run rate " << supply.long_run_rate().to_string()
+            << ")\n\n";
+
+  // The structural analysis: busy-window path exploration.
+  const StructuralResult st = structural_delay(task, supply);
+  std::cout << "Structural worst-case delay : " << show(st.delay) << '\n';
+  std::cout << "Structural backlog bound    : " << st.backlog.count() << '\n';
+  std::cout << "Busy window                 : " << show(st.busy_window)
+            << '\n';
+  std::cout << "States generated/pruned     : " << st.stats.generated << " / "
+            << st.stats.pruned << "\n\n";
+
+  std::cout << "Witness release path (job, release, cumulative work, latest "
+               "finish, delay):\n";
+  for (const WitnessJob& j : st.witness) {
+    std::cout << "  " << j.vertex << "  r=" << j.release.count()
+              << "  W=" << j.cumulative.count()
+              << "  f<=" << j.latest_finish.count()
+              << "  d=" << j.delay.count() << '\n';
+  }
+  std::cout << '\n';
+
+  // The abstraction spectrum: what coarser analyses would report.
+  Table table({"analysis", "delay", "backlog", "busy window"});
+  for (const WorkloadAbstraction a : kAllAbstractions) {
+    const AbstractionResult r = delay_with_abstraction(task, supply, a);
+    table.add_row({std::string(abstraction_name(a)), show(r.delay),
+                   r.backlog.is_unbounded() ? "unbounded"
+                                            : std::to_string(r.backlog.count()),
+                   show(r.busy_window)});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: structural == exact-curve is a theorem for a single "
+               "stream;\nthe hull/bucket/min-gap rows show what classical "
+               "curve tools give up.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Lightweight contract checking for the strt library.
+//
+// STRT_REQUIRE  -- precondition on public API arguments; throws
+//                  std::invalid_argument so callers can recover/test.
+// STRT_ASSERT   -- internal invariant; throws strt::InternalError.  These
+//                  stay enabled in release builds: every algorithm in this
+//                  library is a soundness-critical analysis, and a silently
+//                  wrong delay bound is worse than an aborted run.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace strt {
+
+/// Raised when an internal invariant of the library is violated (a bug in
+/// the library itself, never a user error).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void require_failed(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void assert_failed(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << cond << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace strt
+
+#define STRT_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::strt::detail::require_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define STRT_ASSERT(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::strt::detail::assert_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

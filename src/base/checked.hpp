@@ -1,0 +1,80 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Analysis horizons, separations and execution demands are all 64-bit
+// integers; products of horizon x rate-numerator can overflow silently and
+// turn a sound bound into garbage.  All curve/graph arithmetic therefore
+// goes through these helpers, which throw strt::OverflowError instead of
+// wrapping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace strt {
+
+class OverflowError : public std::overflow_error {
+ public:
+  using std::overflow_error::overflow_error;
+};
+
+namespace checked {
+
+using i64 = std::int64_t;
+
+inline i64 add(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_add_overflow(a, b, &r))
+    throw OverflowError("integer overflow in add");
+  return r;
+}
+
+inline i64 sub(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_sub_overflow(a, b, &r))
+    throw OverflowError("integer overflow in sub");
+  return r;
+}
+
+inline i64 mul(i64 a, i64 b) {
+  i64 r;
+  if (__builtin_mul_overflow(a, b, &r))
+    throw OverflowError("integer overflow in mul");
+  return r;
+}
+
+/// Floor division with sign handling (C++ '/' truncates toward zero).
+inline i64 floor_div(i64 a, i64 b) {
+  if (b == 0) throw OverflowError("division by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Ceiling division with sign handling.
+inline i64 ceil_div(i64 a, i64 b) {
+  if (b == 0) throw OverflowError("division by zero");
+  i64 q = a / b;
+  i64 r = a % b;
+  if (r != 0 && ((r < 0) == (b < 0))) ++q;
+  return q;
+}
+
+/// Euclidean remainder: result is always in [0, |b|).
+inline i64 mod_floor(i64 a, i64 b) {
+  return sub(a, mul(floor_div(a, b), b));
+}
+
+/// Saturating add: clamps to the int64 range instead of throwing.  Used
+/// only where a saturated value is itself a correct answer (e.g. adding a
+/// finite quantity to an "unbounded" sentinel).
+inline i64 sat_add(i64 a, i64 b) {
+  i64 r;
+  if (!__builtin_add_overflow(a, b, &r)) return r;
+  return b > 0 ? std::numeric_limits<i64>::max()
+               : std::numeric_limits<i64>::min();
+}
+
+}  // namespace checked
+}  // namespace strt

@@ -1,0 +1,86 @@
+#include "base/rational.hpp"
+
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+#include "base/assert.hpp"
+#include "base/types.hpp"
+
+namespace strt {
+
+namespace {
+
+std::int64_t gcd_nonneg(std::int64_t a, std::int64_t b) {
+  // std::gcd on the absolute values; safe because |INT64_MIN| is never
+  // produced (construction rejects it via checked negation).
+  return std::gcd(a, b);
+}
+
+}  // namespace
+
+Rational::Rational(rep num, rep den) {
+  STRT_REQUIRE(den != 0, "rational denominator must be non-zero");
+  if (den < 0) {
+    num = checked::sub(0, num);
+    den = checked::sub(0, den);
+  }
+  const rep g = num == 0 ? den : gcd_nonneg(num < 0 ? -num : num, den);
+  num_ = num / g;
+  den_ = den / g;
+}
+
+Rational Rational::operator-() const {
+  return Rational(checked::sub(0, num_), den_);
+}
+
+Rational operator+(const Rational& a, const Rational& b) {
+  return Rational(
+      checked::add(checked::mul(a.num_, b.den_), checked::mul(b.num_, a.den_)),
+      checked::mul(a.den_, b.den_));
+}
+
+Rational operator-(const Rational& a, const Rational& b) {
+  return a + (-b);
+}
+
+Rational operator*(const Rational& a, const Rational& b) {
+  // Cross-reduce before multiplying to keep intermediates small.
+  const Rational x(a.num_, b.den_);
+  const Rational y(b.num_, a.den_);
+  return Rational(checked::mul(x.num(), y.num()),
+                  checked::mul(x.den(), y.den()));
+}
+
+Rational operator/(const Rational& a, const Rational& b) {
+  STRT_REQUIRE(!b.is_zero(), "rational division by zero");
+  return a * Rational(b.den_, b.num_);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  return checked::mul(a.num_, b.den_) < checked::mul(b.num_, a.den_);
+}
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.is_integer()) os << '/' << r.den();
+  return os;
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  if (t.is_unbounded()) return os << "unbounded";
+  return os << t.count();
+}
+
+std::ostream& operator<<(std::ostream& os, Work w) {
+  if (w.is_unbounded()) return os << "unbounded";
+  return os << w.count();
+}
+
+}  // namespace strt

@@ -1,0 +1,84 @@
+// Exact rational arithmetic on 64-bit integers.
+//
+// Long-run rates (utilizations, supply slopes) must be compared exactly:
+// the busy-window bound exists iff workload-rate < supply-rate, and a
+// floating-point tie-break there would make the whole analysis unsound.
+// All rate comparisons in the library therefore use this class; doubles
+// appear only in statistics and generator knobs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "base/checked.hpp"
+
+namespace strt {
+
+class Rational {
+ public:
+  using rep = std::int64_t;
+
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// The integer `n`.
+  explicit Rational(rep n) : num_(n), den_(1) {}
+
+  /// `num/den`; `den` may be negative, the sign is normalized onto the
+  /// numerator and the fraction is reduced.  Throws on `den == 0`.
+  Rational(rep num, rep den);
+
+  [[nodiscard]] rep num() const { return num_; }
+  [[nodiscard]] rep den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_negative() const { return num_ < 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  [[nodiscard]] double to_double() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Largest integer <= value.
+  [[nodiscard]] rep floor() const { return checked::floor_div(num_, den_); }
+  /// Smallest integer >= value.
+  [[nodiscard]] rep ceil() const { return checked::ceil_div(num_, den_); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  /// Exact comparison via cross-multiplication (checked).
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+
+ private:
+  rep num_ = 0;
+  rep den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace strt

@@ -1,0 +1,94 @@
+#include "base/rng.hpp"
+
+#include <cmath>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // A state of all zeros would be a fixed point; splitmix64 cannot produce
+  // four zero outputs in a row, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  STRT_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform_real() {
+  // 53 high-quality bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  STRT_REQUIRE(lo <= hi, "uniform_real requires lo <= hi");
+  return lo + (hi - lo) * uniform_real();
+}
+
+bool Rng::chance(double p) { return uniform_real() < p; }
+
+std::size_t Rng::pick_index(std::size_t n) {
+  STRT_REQUIRE(n > 0, "pick_index requires a non-empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(n - 1)));
+}
+
+Rng Rng::split() { return Rng(next()); }
+
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
+  STRT_REQUIRE(n > 0, "uunifast requires n > 0");
+  STRT_REQUIRE(total > 0.0, "uunifast requires positive total");
+  std::vector<double> u(n);
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next_sum =
+        sum * std::pow(rng.uniform_real(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next_sum;
+    sum = next_sum;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+}  // namespace strt

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// Benchmarks and property tests must be reproducible across platforms, so
+// the library ships its own xoshiro256** generator (seeded via splitmix64)
+// instead of relying on implementation-defined std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace strt {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded from a single 64-bit value
+/// through splitmix64.  Not cryptographic; plenty for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Pick an index in [0, n) uniformly.  Requires n > 0.
+  std::size_t pick_index(std::size_t n);
+
+  /// Fork an independent stream (for per-task generators inside a fleet).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// UUniFast (Bini & Buttazzo): draw `n` utilizations summing exactly (in
+/// the reals) to `total`, each in (0, total).  Returns doubles; callers
+/// quantize to rationals as needed.
+std::vector<double> uunifast(Rng& rng, std::size_t n, double total);
+
+}  // namespace strt

@@ -1,0 +1,111 @@
+// Strong types for the two physical dimensions of the library.
+//
+//   Time  -- instants and durations, in integer ticks.
+//   Work  -- accumulated execution demand / delivered service, in integer
+//            work units (one unit == one tick of a unit-rate processor).
+//
+// Keeping the two dimensions apart at the type level has caught real bugs
+// in curve code where both are plain integers (e.g. passing a backlog
+// where a horizon is expected).  Cross-dimension conversion is explicit:
+// Work(t.count()) etc., or through resource rates (see resource/supply).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+#include "base/checked.hpp"
+
+namespace strt {
+
+namespace detail {
+
+/// CRTP base implementing the shared arithmetic of an integral quantity.
+/// The "unbounded" sentinel (max int64) is sticky across addition and
+/// subtraction of finite amounts, so `Time::unbounded() + Time(5)` stays
+/// unbounded instead of overflowing.
+template <class Derived>
+class Quantity {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(rep v) : v_(v) {}
+
+  [[nodiscard]] constexpr rep count() const { return v_; }
+
+  [[nodiscard]] static constexpr Derived zero() { return Derived(0); }
+  [[nodiscard]] static constexpr Derived unbounded() {
+    return Derived(std::numeric_limits<rep>::max());
+  }
+  [[nodiscard]] constexpr bool is_unbounded() const {
+    return v_ == std::numeric_limits<rep>::max();
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+  friend Derived operator+(Derived a, Derived b) {
+    if (a.is_unbounded() || b.is_unbounded()) return Derived::unbounded();
+    return Derived(checked::add(a.count(), b.count()));
+  }
+  friend Derived operator-(Derived a, Derived b) {
+    if (a.is_unbounded()) return Derived::unbounded();
+    return Derived(checked::sub(a.count(), b.count()));
+  }
+  friend Derived operator*(Derived a, rep k) {
+    if (a.is_unbounded()) return Derived::unbounded();
+    return Derived(checked::mul(a.count(), k));
+  }
+  friend Derived operator*(rep k, Derived a) { return a * k; }
+
+  Derived& operator+=(Derived o) {
+    *self() = *self() + o;
+    return *self();
+  }
+  Derived& operator-=(Derived o) {
+    *self() = *self() - o;
+    return *self();
+  }
+  Derived& operator++() {
+    *self() = *self() + Derived(1);
+    return *self();
+  }
+
+ private:
+  Derived* self() { return static_cast<Derived*>(this); }
+  rep v_ = 0;
+};
+
+}  // namespace detail
+
+/// An instant or duration in integer ticks.
+class Time : public detail::Quantity<Time> {
+ public:
+  using Quantity::Quantity;
+};
+
+/// An amount of execution demand or delivered service.
+class Work : public detail::Quantity<Work> {
+ public:
+  using Quantity::Quantity;
+};
+
+[[nodiscard]] inline Time max(Time a, Time b) { return a < b ? b : a; }
+[[nodiscard]] inline Time min(Time a, Time b) { return a < b ? a : b; }
+[[nodiscard]] inline Work max(Work a, Work b) { return a < b ? b : a; }
+[[nodiscard]] inline Work min(Work a, Work b) { return a < b ? a : b; }
+
+std::ostream& operator<<(std::ostream& os, Time t);
+std::ostream& operator<<(std::ostream& os, Work w);
+
+namespace literals {
+constexpr Time operator""_t(unsigned long long v) {
+  return Time(static_cast<std::int64_t>(v));
+}
+constexpr Work operator""_w(unsigned long long v) {
+  return Work(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace strt

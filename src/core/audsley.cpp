@@ -1,0 +1,84 @@
+#include "core/audsley.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "base/assert.hpp"
+#include "curves/minplus.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+
+namespace strt {
+
+namespace {
+constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
+}
+
+AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
+                                 const Supply& supply,
+                                 const StructuralOptions& opts) {
+  STRT_REQUIRE(!tasks.empty(), "task set must not be empty");
+  AudsleyResult res;
+
+  Rational total(0);
+  for (const DrtTask& t : tasks) {
+    if (const std::optional<Rational> u = utilization(t)) total += *u;
+  }
+  if (total >= supply.long_run_rate()) return res;  // infeasible
+
+  // Materialize everything out to the system busy window once.
+  Time horizon = max(supply.min_horizon(), Time(64));
+  std::vector<Staircase> rbfs;
+  Staircase sv(Time(0));
+  for (;;) {
+    rbfs.clear();
+    Staircase sum(horizon);
+    for (const DrtTask& t : tasks) {
+      rbfs.push_back(rbf(t, horizon));
+      sum = pointwise_add(sum, rbfs.back());
+    }
+    sv = supply.sbf(horizon);
+    if (first_catch_up(sum, sv)) break;
+    if (horizon.count() > kMaxHorizon) {
+      throw std::runtime_error("audsley_assignment: horizon guard exceeded");
+    }
+    horizon = horizon * 2;
+  }
+
+  std::vector<std::size_t> unassigned(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) unassigned[i] = i;
+  std::vector<std::size_t> reversed;  // lowest priority first
+
+  StructuralOptions inner = opts;
+  inner.want_witness = false;
+
+  while (!unassigned.empty()) {
+    bool placed = false;
+    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
+      const std::size_t cand = unassigned[pos];
+      Staircase hp_sum(horizon);
+      for (const std::size_t other : unassigned) {
+        if (other == cand) continue;
+        hp_sum = pointwise_add(hp_sum, rbfs[other]);
+      }
+      const Staircase leftover = leftover_service(sv, hp_sum);
+      ++res.tests_run;
+      const StructuralResult st =
+          structural_delay_vs(tasks[cand], leftover, inner);
+      if (st.meets_vertex_deadlines) {
+        reversed.push_back(cand);
+        unassigned.erase(unassigned.begin() +
+                         static_cast<std::ptrdiff_t>(pos));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return res;  // no task fits at this level: infeasible
+  }
+
+  res.feasible = true;
+  res.order.assign(reversed.rbegin(), reversed.rend());
+  return res;
+}
+
+}  // namespace strt

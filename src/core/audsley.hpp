@@ -1,0 +1,37 @@
+// Audsley's optimal priority assignment over the structural FP analysis.
+//
+// Because the per-task delay bound depends only on *which* tasks have
+// higher priority (the leftover curve subtracts their summed request
+// bounds), Audsley's bottom-up argument applies: assign the lowest
+// priority to any task that meets its deadlines with all remaining tasks
+// above it, and recurse.  If no task fits at some level, no priority
+// order is feasible under this analysis.
+//
+// The schedulability criterion per task is the per-vertex deadline
+// verdict of the structural analysis (each job type within its own
+// relative deadline).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/structural.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct AudsleyResult {
+  bool feasible{false};
+  /// Task indices in priority order (order[0] = highest priority); only
+  /// meaningful when feasible.
+  std::vector<std::size_t> order;
+  /// Number of candidate schedulability tests performed.
+  std::size_t tests_run{0};
+};
+
+[[nodiscard]] AudsleyResult audsley_assignment(
+    std::span<const DrtTask> tasks, const Supply& supply,
+    const StructuralOptions& opts = {});
+
+}  // namespace strt

@@ -1,0 +1,50 @@
+#include "core/busy_window.hpp"
+
+#include <stdexcept>
+
+#include "base/assert.hpp"
+#include "curves/minplus.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+
+namespace strt {
+
+namespace {
+// The doubling search is guaranteed to terminate once the horizon passes
+// the true busy window, but guard against pathological inputs (utilization
+// within a hair of the supply rate can make L astronomically large).
+constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
+}  // namespace
+
+std::optional<BusyWindow> busy_window(const DrtTask& task,
+                                      const Supply& supply) {
+  const std::optional<Rational> util = utilization(task);
+  if (util && *util >= supply.long_run_rate()) return std::nullopt;
+
+  Time horizon = max(supply.min_horizon(), Time(64));
+  for (;;) {
+    const Staircase wl = rbf(task, horizon);
+    const Staircase sv = supply.sbf(horizon);
+    if (const std::optional<Time> L = first_catch_up(wl, sv)) {
+      // Keep the full materialized curves: the supply tail stays valid
+      // and inverse lookups up to rbf(L) <= sbf(L) resolve in range.
+      return BusyWindow{*L, wl, sv};
+    }
+    if (horizon.count() > kMaxHorizon) {
+      throw std::runtime_error(
+          "busy_window: horizon guard exceeded; utilization is too close "
+          "to the supply rate for a tractable finitary analysis");
+    }
+    horizon = horizon * 2;
+  }
+}
+
+Time busy_window_of_curves(const Staircase& wl, const Staircase& sv) {
+  const std::optional<Time> L = first_catch_up(wl, sv);
+  STRT_REQUIRE(L.has_value(),
+               "no catch-up point within the materialized horizon; extend "
+               "the curves");
+  return *L;
+}
+
+}  // namespace strt

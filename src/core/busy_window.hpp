@@ -1,0 +1,37 @@
+// Finitary busy-window computation.
+//
+// For a workload with request bound rbf and a resource with supply bound
+// sbf, every busy period is at most L = min{ t >= 1 : rbf(t) <= sbf(t) }
+// ticks long.  L exists iff the workload's exact long-run rate is below
+// the supply's; this module checks that condition exactly (rationals) and
+// then materializes both curves out to L with a doubling search.
+#pragma once
+
+#include <optional>
+
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct BusyWindow {
+  Time length{0};   // L
+  Staircase rbf;    // materialized on [0, L]
+  Staircase sbf;    // materialized on [0, L], tail preserved
+};
+
+/// Busy window of a single DRT task on a supply.  Returns nullopt when the
+/// task's utilization is not strictly below the supply rate (overload: no
+/// finite busy window, delays unbounded).
+[[nodiscard]] std::optional<BusyWindow> busy_window(const DrtTask& task,
+                                                    const Supply& supply);
+
+/// Busy window of a pre-materialized workload curve against a service
+/// curve: min{ t >= 1 : wl(t) <= sv(t) } within the curves' common
+/// horizon.  Throws std::invalid_argument if not found there (the caller
+/// materialized too little).
+[[nodiscard]] Time busy_window_of_curves(const Staircase& wl,
+                                         const Staircase& sv);
+
+}  // namespace strt

@@ -1,0 +1,81 @@
+// End-to-end delay of a structural workload crossing a chain of
+// resources (e.g. gateway CPU -> backbone TDMA slot -> device bus).
+//
+// Three analyses of the same chain, in decreasing tightness:
+//
+//   structural   busy-window path exploration against the min-plus
+//                convolution of the hop service curves (exact staircase,
+//                pay-burst-only-once).
+//   pboo         hdev(rbf, sbf_1 (*) ... (*) sbf_n): curve-based
+//                pay-burst-only-once (equal to structural by the bridge
+//                theorem; kept as an independent implementation).
+//   per-hop sum  classical compositional analysis: delay at each hop with
+//                the event-based output arrival curve propagated to the
+//                next hop, summed.  Pays the burst at every hop.
+//
+// FORWARDING SEMANTICS MATTER.  The convolved-service bounds (structural
+// and pboo) are the classical concatenation result and hold for
+// *cut-through* pipelines: a work unit may flow through several hops
+// within one tick (streaming producer/consumer stages).  For
+// *store-and-forward* pipelines -- a hop forwards a job only when it has
+// completed it entirely, the natural model for message relays -- the
+// convolution bound is NOT sound (the downstream hop cannot start early
+// on partially-forwarded jobs); use `per_hop_sum`, whose event-based
+// propagation matches exactly that semantics.  Both simulators live in
+// sim/pipeline and the test suite validates each bound against its own
+// semantics.
+//
+// Expected relation (cut-through):  structural = pboo <= per-hop sum,
+// with the gap growing in the number of hops and the burstiness of the
+// workload.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/structural.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct ChainResult {
+  /// Structural bound against the convolved service.
+  Time structural{0};
+  /// Curve PBOO bound (hdev vs convolved service).
+  Time pboo{0};
+  /// Sum of per-hop curve bounds with propagated output arrivals.
+  Time per_hop_sum{0};
+  /// The individual per-hop delays backing per_hop_sum.
+  std::vector<Time> hop_delays;
+  /// Busy window of the whole chain (workload vs convolved service).
+  Time busy_window{0};
+  bool overloaded{false};
+};
+
+/// Analyzes `task` flowing through `hops` in order.  Requires at least
+/// one hop.  Overload (utilization >= any hop's long-run rate) yields
+/// overloaded = true with unbounded delays.
+[[nodiscard]] ChainResult chain_delay(const DrtTask& task,
+                                      std::span<const Supply> hops,
+                                      const StructuralOptions& opts = {});
+
+/// Event-based output arrival curve of a greedy FIFO component:
+///
+///     alpha'(t) = alpha(t + D),  D = hdev(alpha, beta).
+///
+/// Sound for job-level departures (each job departing in a window of
+/// length t was released within the preceding D ticks, so all of them
+/// fit in a window of length t + D).  The fluid deconvolution
+/// alpha (/) beta does NOT soundly bound job-level departures -- a job's
+/// whole wcet is counted at its completion tick while the fluid bound
+/// spreads it over the service interval -- which is why the event-based
+/// bound is used for hop-to-hop propagation.
+///
+/// `alpha` must be materialized to at least twice `beta`'s horizon and
+/// catch up with `beta` inside the first half; the result lives on
+/// alpha.horizon() - beta.horizon().
+[[nodiscard]] Staircase output_arrival(const Staircase& alpha,
+                                       const Staircase& beta);
+
+}  // namespace strt

@@ -1,0 +1,28 @@
+#include "core/curve_based.hpp"
+
+#include "curves/minplus.hpp"
+
+namespace strt {
+
+CurveResult curve_delay(const DrtTask& task, const Supply& supply) {
+  const std::optional<BusyWindow> bw = busy_window(task, supply);
+  if (!bw) {
+    return CurveResult{Time::unbounded(), Work::unbounded(),
+                       Time::unbounded()};
+  }
+  CurveResult res = curve_delay_vs(bw->rbf.truncated(bw->length), bw->sbf);
+  res.busy_window = bw->length;
+  return res;
+}
+
+CurveResult curve_delay_vs(const Staircase& workload,
+                           const Staircase& service) {
+  const Time L = busy_window_of_curves(workload, service);
+  CurveResult res;
+  res.busy_window = L;
+  res.delay = hdev(workload.truncated(L), service);
+  res.backlog = vdev(workload, service, L);
+  return res;
+}
+
+}  // namespace strt

@@ -1,0 +1,35 @@
+// Curve-based (classical real-time calculus) delay analysis: the baseline
+// the structural analysis is compared against.
+//
+// The workload is abstracted into its request bound function rbf (an
+// upper arrival curve) and the delay bound is the horizontal deviation
+// hdev(rbf, sbf); the backlog bound is the vertical deviation.  By the
+// finitary-RTC argument both deviations are attained inside the busy
+// window, so the curves are evaluated on [0, L].
+#pragma once
+
+#include "core/busy_window.hpp"
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct CurveResult {
+  /// hdev(rbf, sbf); Time::unbounded() on overload.
+  Time delay{0};
+  /// vdev(rbf, sbf) over the busy window.
+  Work backlog{0};
+  Time busy_window{0};
+};
+
+/// Curve-based delay/backlog bounds for `task` on `supply`.
+[[nodiscard]] CurveResult curve_delay(const DrtTask& task,
+                                      const Supply& supply);
+
+/// Curve-based bounds for an arbitrary workload curve against an
+/// arbitrary service curve (both materialized past the busy window).
+[[nodiscard]] CurveResult curve_delay_vs(const Staircase& workload,
+                                         const Staircase& service);
+
+}  // namespace strt

@@ -1,0 +1,72 @@
+#include "core/dimensioning.hpp"
+
+#include <functional>
+
+#include "base/assert.hpp"
+#include "core/edf.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+namespace {
+
+Time bound_for(const DrtTask& task, const Supply& supply,
+               WorkloadAbstraction a) {
+  StructuralOptions opts;
+  opts.want_witness = false;
+  return delay_with_abstraction(task, supply, a, opts).delay;
+}
+
+/// Binary search for the smallest share in [1, cap] whose delay bound
+/// meets the deadline; the bound is antitone in the share.
+std::optional<Time> min_share(
+    Time cap, Time deadline,
+    const std::function<Time(Time share)>& delay_of) {
+  if (delay_of(cap) > deadline) return std::nullopt;
+  Time lo(1);
+  Time hi = cap;  // invariant: delay_of(hi) <= deadline
+  while (lo < hi) {
+    const Time mid((lo.count() + hi.count()) / 2);
+    if (delay_of(mid) <= deadline) {
+      hi = mid;
+    } else {
+      lo = mid + Time(1);
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+std::optional<Time> min_tdma_slot(const DrtTask& task, Time cycle,
+                                  Time deadline, WorkloadAbstraction a) {
+  STRT_REQUIRE(cycle >= Time(1), "cycle must be positive");
+  STRT_REQUIRE(deadline >= Time(1), "deadline must be positive");
+  return min_share(cycle, deadline, [&](Time slot) {
+    return bound_for(task, Supply::tdma(slot, cycle), a);
+  });
+}
+
+std::optional<Time> min_periodic_budget(const DrtTask& task, Time period,
+                                        Time deadline,
+                                        WorkloadAbstraction a) {
+  STRT_REQUIRE(period >= Time(1), "period must be positive");
+  STRT_REQUIRE(deadline >= Time(1), "deadline must be positive");
+  return min_share(period, deadline, [&](Time budget) {
+    return bound_for(task, Supply::periodic(budget, period), a);
+  });
+}
+
+std::optional<Time> min_tdma_slot_edf(std::span<const DrtTask> tasks,
+                                      Time cycle) {
+  STRT_REQUIRE(cycle >= Time(1), "cycle must be positive");
+  return min_share(cycle, Time(0), [&](Time slot) {
+    const EdfResult res =
+        edf_schedulable(tasks, Supply::tdma(slot, cycle));
+    // Encode the boolean verdict as a delay vs deadline 0: schedulable
+    // maps to 0 (accept), unschedulable to 1 (reject).
+    return res.schedulable ? Time(0) : Time(1);
+  });
+}
+
+}  // namespace strt

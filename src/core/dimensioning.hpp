@@ -1,0 +1,40 @@
+// Resource dimensioning: how much of a shared resource does a structural
+// workload need to meet a delay requirement?
+//
+// Every analysis in the abstraction spectrum gives a delay bound that is
+// antitone in the resource share, so a binary search yields the minimal
+// TDMA slot / periodic budget each analysis can certify.  The gap between
+// the minima across abstractions is the resource saved by keeping the
+// workload's structure (experiment E5).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/abstractions.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+/// Smallest TDMA slot length (out of `cycle`) for which analysis `a`
+/// certifies a worst-case delay <= `deadline` for `task`; nullopt if even
+/// the full cycle does not suffice.
+[[nodiscard]] std::optional<Time> min_tdma_slot(const DrtTask& task,
+                                                Time cycle, Time deadline,
+                                                WorkloadAbstraction a);
+
+/// Smallest periodic-resource budget (out of `period`) for which `a`
+/// certifies a worst-case delay <= `deadline`; nullopt if infeasible.
+[[nodiscard]] std::optional<Time> min_periodic_budget(const DrtTask& task,
+                                                      Time period,
+                                                      Time deadline,
+                                                      WorkloadAbstraction a);
+
+/// Smallest TDMA slot on which the whole set is EDF-schedulable (exact
+/// demand-bound criterion, per-vertex deadlines).  Requires
+/// frame-separated tasks; nullopt if even the full cycle fails.
+[[nodiscard]] std::optional<Time> min_tdma_slot_edf(
+    std::span<const DrtTask> tasks, Time cycle);
+
+}  // namespace strt

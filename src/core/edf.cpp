@@ -1,0 +1,82 @@
+#include "core/edf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "curves/minplus.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+
+namespace strt {
+
+namespace {
+constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
+}
+
+EdfResult edf_schedulable(std::span<const DrtTask> tasks,
+                          const Supply& supply) {
+  STRT_REQUIRE(!tasks.empty(), "task set must not be empty");
+  for (const DrtTask& t : tasks) {
+    STRT_REQUIRE(t.has_frame_separation(),
+                 "EDF test requires frame-separated tasks (exact dbf)");
+  }
+  EdfResult res;
+
+  Rational total(0);
+  for (const DrtTask& t : tasks) {
+    if (const std::optional<Rational> u = utilization(t)) total += *u;
+  }
+  if (total >= supply.long_run_rate()) {
+    res.overloaded = true;
+    return res;
+  }
+
+  // The demand criterion only needs checking up to the system busy window
+  // (dbf <= rbf pointwise, so demand has caught up once requests have).
+  Time horizon = max(supply.min_horizon(), Time(64));
+  for (;;) {
+    Staircase sum_rbf(horizon);
+    Staircase sum_dbf(horizon);
+    for (const DrtTask& t : tasks) {
+      sum_rbf = pointwise_add(sum_rbf, rbf(t, horizon));
+      sum_dbf = pointwise_add(sum_dbf, dbf(t, horizon));
+    }
+    const Staircase sv = supply.sbf(horizon);
+    const std::optional<Time> L = first_catch_up(sum_rbf, sv);
+    if (!L) {
+      if (horizon.count() > kMaxHorizon) {
+        throw std::runtime_error("edf_schedulable: horizon guard exceeded");
+      }
+      horizon = horizon * 2;
+      continue;
+    }
+    res.horizon_checked = *L;
+
+    // Sweep the merged breakpoints of demand and supply up to L.
+    std::vector<Time> ts;
+    for (const Step& s : sum_dbf.steps())
+      if (s.time <= *L) ts.push_back(s.time);
+    for (const Step& s : sv.steps())
+      if (s.time <= *L) ts.push_back(s.time);
+    ts.push_back(*L);
+    std::sort(ts.begin(), ts.end());
+    ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+    std::int64_t margin = std::numeric_limits<std::int64_t>::max();
+    std::optional<Time> violation;
+    for (Time t : ts) {
+      const std::int64_t m =
+          sv.value(t).count() - sum_dbf.value(t).count();
+      margin = std::min(margin, m);
+      if (m < 0 && !violation) violation = t;
+    }
+    res.margin = margin;
+    res.schedulable = !violation.has_value();
+    res.first_violation = violation;
+    return res;
+  }
+}
+
+}  // namespace strt

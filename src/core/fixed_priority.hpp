@@ -1,0 +1,59 @@
+// Fixed-priority analysis of a set of structural tasks on one supply.
+//
+// Tasks are given in priority order (index 0 = highest).  Task i is
+// served by the leftover service curve
+//
+//     beta_i(t) = max_{0 <= s <= t} ( sbf(s) - sum_{j < i} rbf_j(s) )+
+//
+// (the standard abstract-stream leftover of a preemptive greedy
+// resource), and then analyzed twice: with the curve-based baseline
+// (hdev) and with the structural busy-window analysis.  The comparison
+// per task is exactly experiment E1/E2's multi-task variant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/abstractions.hpp"
+#include "core/curve_based.hpp"
+#include "core/structural.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct FpTaskResult {
+  std::size_t task_index{0};
+  Time busy_window{0};
+  Time structural_delay{0};
+  Time curve_delay{0};
+  Work structural_backlog{0};
+  Work curve_backlog{0};
+  ExploreStats stats;
+  /// Per job type worst delay under the leftover service (see
+  /// StructuralResult::vertex_delays).
+  std::vector<Time> vertex_delays;
+  /// True iff every job type meets its own relative deadline.
+  bool meets_vertex_deadlines{false};
+};
+
+struct FpResult {
+  /// Per-task results in priority order; empty when the system is
+  /// overloaded (total utilization >= supply rate).
+  std::vector<FpTaskResult> tasks;
+  bool overloaded{false};
+  /// System-level busy window (all tasks together).
+  Time system_busy_window{0};
+};
+
+/// `interference` selects how the higher-priority workload is abstracted
+/// when building the leftover curve: the exact request-bound staircases
+/// (default, what this paper enables) or the coarser curve classes of
+/// classical tools.  kStructural is treated as kExactCurve here (the
+/// interference enters the analysis as a curve either way).
+[[nodiscard]] FpResult fixed_priority_analysis(
+    std::span<const DrtTask> tasks, const Supply& supply,
+    const StructuralOptions& opts = {},
+    WorkloadAbstraction interference = WorkloadAbstraction::kExactCurve);
+
+}  // namespace strt

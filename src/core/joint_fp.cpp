@@ -1,0 +1,174 @@
+#include "core/joint_fp.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "curves/minplus.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+
+namespace strt {
+
+namespace {
+
+constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 28;
+
+/// True if a(t) <= b(t) for all t (checked at both breakpoint sets).
+bool pointwise_leq(const Staircase& a, const Staircase& b) {
+  for (const Step& s : a.steps()) {
+    if (s.value > b.value(s.time)) return false;
+  }
+  for (const Step& s : b.steps()) {
+    if (a.value(s.time) > s.value) return false;
+  }
+  return true;
+}
+
+/// Drops every staircase pointwise-dominated by another (keeping one copy
+/// of ties).  As interference, a dominated curve is redundant: its
+/// leftover majorizes the dominator's.
+void prune_dominated(std::vector<Staircase>& cs) {
+  std::vector<bool> dead(cs.size(), false);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (dead[i]) continue;
+    for (std::size_t j = 0; j < cs.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (pointwise_leq(cs[j], cs[i])) {
+        if (!pointwise_leq(cs[i], cs[j]) || i < j) dead[j] = true;
+      }
+    }
+  }
+  std::vector<Staircase> kept;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!dead[i]) kept.push_back(std::move(cs[i]));
+  }
+  cs = std::move(kept);
+}
+
+/// Workload staircases of all maximal release paths of `task` with span
+/// <= limit, materialized on `horizon`.
+std::vector<Staircase> interference_paths(const DrtTask& task, Time limit,
+                                          Time horizon,
+                                          std::size_t max_paths,
+                                          std::uint64_t& enumerated) {
+  std::vector<Staircase> paths;
+  std::vector<Step> points;
+  std::function<void(VertexId, Time, Work)> dfs = [&](VertexId v, Time el,
+                                                      Work w) {
+    points.push_back(Step{el + Time(1), w});
+    bool extended = false;
+    for (std::int32_t ei : task.out_edges(v)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time next = el + e.separation;
+      if (next > limit) continue;
+      extended = true;
+      dfs(e.to, next, w + task.vertex(e.to).wcet);
+    }
+    if (!extended) {
+      ++enumerated;
+      if (enumerated > max_paths) {
+        throw std::runtime_error(
+            "joint FP analysis: interference-path cap exceeded; shrink the "
+            "task or raise max_paths");
+      }
+      paths.push_back(Staircase::from_points(points, horizon));
+    }
+    points.pop_back();
+  };
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    dfs(v, Time(0), task.vertex(v).wcet);
+  }
+  STRT_ASSERT(!paths.empty(), "at least one interference path exists");
+  return paths;
+}
+
+}  // namespace
+
+JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
+                                  const DrtTask& lp, const Supply& supply,
+                                  const JointFpOptions& opts) {
+  JointFpResult res;
+
+  Rational total(0);
+  for (const DrtTask& hp : hps) {
+    if (const auto u = utilization(hp)) total += *u;
+  }
+  if (const auto u = utilization(lp)) total += *u;
+  if (total >= supply.long_run_rate()) {
+    res.overloaded = true;
+    res.joint_delay = Time::unbounded();
+    res.rbf_delay = Time::unbounded();
+    return res;
+  }
+
+  // Materialize out to the system busy window.
+  Time horizon = max(supply.min_horizon(), Time(64));
+  Staircase rbf_hp(Time(0));
+  Staircase sv(Time(0));
+  for (;;) {
+    rbf_hp = Staircase(horizon);
+    for (const DrtTask& hp : hps) {
+      rbf_hp = pointwise_add(rbf_hp, rbf(hp, horizon));
+    }
+    const Staircase sum = pointwise_add(rbf_hp, rbf(lp, horizon));
+    sv = supply.sbf(horizon);
+    if (const std::optional<Time> L = first_catch_up(sum, sv)) {
+      res.busy_window = *L;
+      break;
+    }
+    if (horizon.count() > kMaxHorizon) {
+      throw std::runtime_error("joint FP analysis: horizon guard exceeded");
+    }
+    horizon = horizon * 2;
+  }
+
+  StructuralOptions sopts = opts.structural;
+  sopts.want_witness = false;
+
+  // Baseline: rbf-based leftover.
+  const Staircase leftover_rbf = leftover_service(sv, rbf_hp);
+  res.rbf_delay = structural_delay_vs(lp, leftover_rbf, sopts).delay;
+
+  // Joint interference candidates: one consistent path per hp task,
+  // summed; pruned after every fold to keep the cross product in check.
+  const Time limit = max(Time(0), res.busy_window - Time(1));
+  std::vector<Staircase> combined{Staircase(horizon)};
+  for (const DrtTask& hp : hps) {
+    std::vector<Staircase> paths = interference_paths(
+        hp, limit, horizon, opts.max_paths, res.paths_enumerated);
+    prune_dominated(paths);
+    std::vector<Staircase> next;
+    if (combined.size() > opts.max_paths / std::max<std::size_t>(
+                                               paths.size(), 1)) {
+      throw std::runtime_error(
+          "joint FP analysis: interference cross-product cap exceeded");
+    }
+    next.reserve(combined.size() * paths.size());
+    for (const Staircase& c : combined) {
+      for (const Staircase& p : paths) {
+        next.push_back(pointwise_add(c, p));
+      }
+    }
+    prune_dominated(next);
+    combined = std::move(next);
+  }
+
+  for (const Staircase& interference : combined) {
+    ++res.paths_analyzed;
+    const Staircase leftover = leftover_service(sv, interference);
+    const Time d = structural_delay_vs(lp, leftover, sopts).delay;
+    res.joint_delay = max(res.joint_delay, d);
+  }
+  return res;
+}
+
+JointFpResult joint_two_task_fp(const DrtTask& hp, const DrtTask& lp,
+                                const Supply& supply,
+                                const JointFpOptions& opts) {
+  return joint_multi_task_fp({&hp, 1}, lp, supply, opts);
+}
+
+}  // namespace strt

@@ -1,0 +1,59 @@
+// Sensitivity (slack) analysis: design-exploration companion to the
+// delay analysis.  For each job type and each release constraint, how far
+// can the parameter degrade before the verdict flips?
+//
+//   * wcet slack of vertex v: the largest extra execution demand jobs of
+//     type v can take while the criterion still holds;
+//   * separation slack of edge e: the largest reduction of the minimum
+//     separation while the criterion still holds.
+//
+// The criterion is either a global delay cap or, by default, the
+// per-vertex deadline verdict of the structural analysis.  Both delay
+// bounds are monotone in the parameters (more work / denser releases can
+// only increase every candidate), so each slack is found by binary
+// search over rebuilt tasks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/structural.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+struct SensitivityOptions {
+  /// Criterion: delay <= cap.  Unset => per-vertex deadline verdict.
+  std::optional<Time> delay_cap;
+  /// Upper bound for the wcet-slack search (doubling stops here; a slack
+  /// at the cap is reported as Work::unbounded()).
+  Work max_wcet_growth{1'000'000};
+};
+
+struct SensitivityReport {
+  /// True iff the criterion holds for the unmodified task; when false,
+  /// all slacks are zero.
+  bool feasible{false};
+  /// Per vertex (indexed by VertexId): largest extra wcet.
+  std::vector<Work> wcet_slack;
+  /// Per edge (indexed like DrtTask::edges()): largest separation
+  /// reduction (at most separation - 1).
+  std::vector<Time> separation_slack;
+};
+
+[[nodiscard]] SensitivityReport sensitivity_analysis(
+    const DrtTask& task, const Supply& supply,
+    const SensitivityOptions& opts = {});
+
+/// Rebuild `task` with one vertex's wcet increased by `extra`.
+[[nodiscard]] DrtTask with_wcet_increase(const DrtTask& task, VertexId v,
+                                         Work extra);
+
+/// Rebuild `task` with one edge's separation reduced by `less`
+/// (separation stays >= 1).
+[[nodiscard]] DrtTask with_separation_decrease(const DrtTask& task,
+                                               std::size_t edge_index,
+                                               Time less);
+
+}  // namespace strt

@@ -1,0 +1,90 @@
+#include "core/structural.hpp"
+
+#include "base/assert.hpp"
+#include "curves/minplus.hpp"
+#include "graph/workload.hpp"
+
+namespace strt {
+
+namespace {
+
+StructuralResult analyze(const DrtTask& task, const Staircase& service,
+                         Time window, const StructuralOptions& opts) {
+  StructuralResult res;
+  res.busy_window = window;
+
+  ExploreResult ex = explore_paths(
+      task, ExploreOptions{.elapsed_limit = max(Time(0), window - Time(1)),
+                           .prune = opts.prune,
+                           .max_states = opts.max_states});
+  res.stats = ex.stats;
+
+  std::int32_t best = -1;
+  res.vertex_delays.assign(task.vertex_count(), Time(0));
+  for (std::int32_t idx : ex.frontier) {
+    const PathState& s = ex.arena[static_cast<std::size_t>(idx)];
+    const Time finish = service.inverse(s.work);
+    STRT_ASSERT(!finish.is_unbounded(),
+                "service never delivers busy-window work");
+    const Time d = finish > s.elapsed ? finish - s.elapsed : Time(0);
+    if (d > res.delay || best < 0) {
+      res.delay = d;
+      best = idx;
+    }
+    auto& vd = res.vertex_delays[static_cast<std::size_t>(s.vertex)];
+    vd = max(vd, d);
+    const Work served = service.value(s.elapsed);
+    if (s.work > served) res.backlog = max(res.backlog, s.work - served);
+  }
+
+  res.meets_vertex_deadlines = true;
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    if (res.vertex_delays[static_cast<std::size_t>(v)] >
+        task.vertex(v).deadline) {
+      res.meets_vertex_deadlines = false;
+    }
+  }
+
+  if (opts.want_witness && best >= 0) {
+    // The frontier state with the worst delay bounds the delay of its
+    // *last* job; replay the path to report per-job numbers.
+    for (const PathState& s : ex.path_to(best)) {
+      const Time finish = service.inverse(s.work);
+      WitnessJob job;
+      job.vertex = task.vertex(s.vertex).name;
+      job.release = s.elapsed;
+      job.wcet = task.vertex(s.vertex).wcet;
+      job.cumulative = s.work;
+      job.latest_finish = finish;
+      job.delay = finish > s.elapsed ? finish - s.elapsed : Time(0);
+      res.witness.push_back(std::move(job));
+    }
+  }
+  return res;
+}
+
+}  // namespace
+
+StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
+                                  const StructuralOptions& opts) {
+  const std::optional<BusyWindow> bw = busy_window(task, supply);
+  if (!bw) {
+    StructuralResult overload;
+    overload.delay = Time::unbounded();
+    overload.backlog = Work::unbounded();
+    overload.busy_window = Time::unbounded();
+    return overload;
+  }
+  return analyze(task, bw->sbf, bw->length, opts);
+}
+
+StructuralResult structural_delay_vs(const DrtTask& task,
+                                     const Staircase& service,
+                                     const StructuralOptions& opts) {
+  const Staircase wl = rbf(task, service.horizon());
+  const Time window = busy_window_of_curves(wl, service);
+  return analyze(task, service, window, opts);
+}
+
+}  // namespace strt

@@ -1,0 +1,68 @@
+#include "curves/hull.hpp"
+
+#include <vector>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+
+namespace strt {
+
+namespace {
+
+/// Cross product sign of (b - a) x (c - a); > 0 means c is left of a->b
+/// (counter-clockwise), i.e. the middle point b is below the a->c chord.
+std::int64_t cross(const HullVertex& a, const HullVertex& b,
+                   const HullVertex& c) {
+  const std::int64_t abx = checked::sub(b.time.count(), a.time.count());
+  const std::int64_t aby = checked::sub(b.value.count(), a.value.count());
+  const std::int64_t acx = checked::sub(c.time.count(), a.time.count());
+  const std::int64_t acy = checked::sub(c.value.count(), a.value.count());
+  return checked::sub(checked::mul(abx, acy), checked::mul(aby, acx));
+}
+
+}  // namespace
+
+std::vector<HullVertex> concave_hull(const Staircase& f) {
+  std::vector<HullVertex> pts;
+  for (const Step& s : f.steps()) pts.push_back(HullVertex{s.time, s.value});
+  if (pts.back().time < f.horizon()) {
+    pts.push_back(HullVertex{f.horizon(), pts.back().value});
+  }
+  // Monotone chain, upper hull: drop the middle point whenever it lies on
+  // or below the chord of its neighbours.
+  std::vector<HullVertex> hull;
+  for (const HullVertex& p : pts) {
+    while (hull.size() >= 2 &&
+           cross(hull[hull.size() - 2], hull.back(), p) >= 0) {
+      hull.pop_back();
+    }
+    hull.push_back(p);
+  }
+  return hull;
+}
+
+Staircase concave_hull_staircase(const Staircase& f) {
+  const std::vector<HullVertex> hull = concave_hull(f);
+  std::vector<Step> pts;
+  for (std::size_t i = 0; i + 1 < hull.size(); ++i) {
+    const HullVertex& a = hull[i];
+    const HullVertex& b = hull[i + 1];
+    const std::int64_t dt = (b.time - a.time).count();
+    const std::int64_t dv = (b.value - a.value).count();
+    STRT_ASSERT(dt > 0 && dv >= 0, "hull vertices must advance");
+    // floor(a.v + dv*(t - a.t)/dt) first reaches value w at
+    // t = a.t + ceil((w - a.v) * dt / dv).
+    for (std::int64_t w = a.value.count() + 1; w <= b.value.count(); ++w) {
+      const std::int64_t t = checked::add(
+          a.time.count(),
+          checked::ceil_div(checked::mul(w - a.value.count(), dt), dv));
+      pts.push_back(Step{Time(t), Work(w)});
+    }
+  }
+  if (!hull.empty() && hull.front().value > Work(0)) {
+    pts.push_back(Step{hull.front().time, hull.front().value});
+  }
+  return Staircase::from_points(std::move(pts), f.horizon());
+}
+
+}  // namespace strt

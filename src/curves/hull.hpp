@@ -1,0 +1,37 @@
+// Concave upper hulls of staircase curves.
+//
+// Classical real-time calculus implementations approximate arrival curves
+// by concave piecewise-linear functions (token buckets, PJD curves, hull
+// segments) because their algebra is closed and cheap.  The hull is the
+// tightest such approximation of an exact request-bound staircase; the
+// delay bounds computed from it are what a practical curve-based tool
+// reports, and the gap to the structural analysis is exactly the price of
+// forgetting the workload's structure (experiments E2/E3).
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+
+namespace strt {
+
+/// One vertex of the concave majorant (hull is linear between vertices).
+struct HullVertex {
+  Time time{0};
+  Work value{0};
+};
+
+/// Upper concave hull of the points {(t, f(t)) : t in [0, H]} (it
+/// suffices to hull the breakpoints plus the horizon endpoint).  The
+/// result is the vertex list of a concave, non-decreasing PWL majorant.
+[[nodiscard]] std::vector<HullVertex> concave_hull(const Staircase& f);
+
+/// The hull evaluated back onto the integer grid, rounded down (the
+/// integer-valued staircase majorant of f induced by the hull; rounding
+/// down is sound for an upper arrival curve because f is integer-valued).
+/// The result carries no tail.
+[[nodiscard]] Staircase concave_hull_staircase(const Staircase& f);
+
+}  // namespace strt

@@ -1,0 +1,262 @@
+#include "curves/minplus.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+
+namespace strt {
+
+namespace {
+
+// (De)convolution enumerates one constant piece per breakpoint pair; fail
+// loudly instead of exhausting memory on absurdly fine-grained operands.
+constexpr std::size_t kMaxPieces = 30'000'000;
+
+void check_piece_budget(std::size_t nf, std::size_t ng) {
+  if (nf > kMaxPieces / std::max<std::size_t>(ng, 1)) {
+    throw std::runtime_error(
+        "minplus (de)convolution: operands have too many breakpoints; "
+        "coarsen the curves or shrink the horizon");
+  }
+}
+
+/// Merged, deduplicated breakpoint times of two curves, restricted to
+/// [0, upto].
+std::vector<Time> merged_times(const Staircase& f, const Staircase& g,
+                               Time upto) {
+  std::vector<Time> ts;
+  ts.reserve(f.steps().size() + g.steps().size());
+  for (const Step& s : f.steps())
+    if (s.time <= upto) ts.push_back(s.time);
+  for (const Step& s : g.steps())
+    if (s.time <= upto) ts.push_back(s.time);
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+/// Build a canonical staircase from (time, value) samples that are sorted
+/// by time and non-decreasing in value.
+Staircase from_monotone_samples(const std::vector<Step>& samples,
+                                Time horizon) {
+  return Staircase::from_points(samples, horizon);
+}
+
+template <class Combine>
+Staircase pointwise_op(const Staircase& f, const Staircase& g, Combine&& op) {
+  const Time h = min(f.horizon(), g.horizon());
+  std::vector<Step> samples;
+  for (Time t : merged_times(f, g, h)) {
+    samples.push_back(Step{t, op(f.value(t), g.value(t))});
+  }
+  return from_monotone_samples(samples, h);
+}
+
+/// A constant-valued piece of a two-operand envelope, covering the
+/// inclusive time range [begin, end].
+struct Piece {
+  Time begin;
+  Time end;
+  Work value;
+};
+
+/// Lower (kMin) or upper (!kMin) envelope of constant pieces, evaluated
+/// as a staircase on [0, horizon].  Piece ranges are inclusive and may
+/// start before 0 (clamped).  The envelope value can change both when a
+/// piece starts and just after one expires, so both event kinds are
+/// sampled.
+template <bool kMin>
+Staircase envelope(std::vector<Piece> pieces, Time horizon) {
+  // Clamp starts, drop pieces entirely outside [0, horizon].
+  std::erase_if(pieces, [&](const Piece& p) {
+    return p.end < Time(0) || p.begin > horizon;
+  });
+  for (Piece& p : pieces) p.begin = max(p.begin, Time(0));
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.begin < b.begin; });
+
+  std::vector<Time> events;
+  events.reserve(2 * pieces.size());
+  for (const Piece& p : pieces) {
+    events.push_back(p.begin);
+    if (p.end + Time(1) <= horizon) events.push_back(p.end + Time(1));
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  struct HeapItem {
+    Work value;
+    Time end;
+  };
+  auto cmp = [](const HeapItem& a, const HeapItem& b) {
+    if constexpr (kMin) {
+      return a.value > b.value;  // min-heap by value
+    } else {
+      return a.value < b.value;  // max-heap by value
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
+      cmp);
+
+  std::vector<Step> samples;
+  std::size_t i = 0;
+  for (Time t : events) {
+    while (i < pieces.size() && pieces[i].begin <= t) {
+      if (pieces[i].end >= t) {
+        heap.push(HeapItem{pieces[i].value, pieces[i].end});
+      }
+      ++i;
+    }
+    while (!heap.empty() && heap.top().end < t) heap.pop();
+    STRT_ASSERT(!heap.empty(), "envelope has a gap");
+    samples.push_back(Step{t, max(heap.top().value, Work(0))});
+  }
+  return from_monotone_samples(samples, horizon);
+}
+
+}  // namespace
+
+Staircase pointwise_add(const Staircase& f, const Staircase& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return a + b; });
+}
+
+Staircase pointwise_min(const Staircase& f, const Staircase& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return min(a, b); });
+}
+
+Staircase pointwise_max(const Staircase& f, const Staircase& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return max(a, b); });
+}
+
+Staircase minplus_conv(const Staircase& f, const Staircase& g) {
+  // A decomposition t = s + (t - s) with s inside step i of f and t - s
+  // inside step j of g exists iff  a_i + b_j <= t <= a_{i+1}-1 + b_{j+1}-1,
+  // and then contributes value f_i + g_j.  The convolution is the lower
+  // envelope of these constant pieces.
+  const Time horizon = f.horizon() + g.horizon();
+  const auto fs = f.steps();
+  const auto gs = g.steps();
+  check_piece_budget(fs.size(), gs.size());
+  std::vector<Piece> pieces;
+  pieces.reserve(fs.size() * gs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Time ai = fs[i].time;
+    const Time ai1 =
+        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon() + Time(1);
+    for (std::size_t j = 0; j < gs.size(); ++j) {
+      const Time bj = gs[j].time;
+      const Time bj1 =
+          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon() + Time(1);
+      pieces.push_back(Piece{ai + bj, ai1 + bj1 - Time(2),
+                             fs[i].value + gs[j].value});
+    }
+  }
+  return envelope</*kMin=*/true>(std::move(pieces), horizon);
+}
+
+Staircase minplus_deconv(const Staircase& f, const Staircase& g) {
+  STRT_REQUIRE(g.horizon() <= f.horizon(),
+               "deconvolution requires Hg <= Hf (extend f first)");
+  const Time horizon = f.horizon() - g.horizon();
+  // For f-step i and g-step j the witness u exists iff
+  //   u in [b_j, b_{j+1}-1]  and  t + u in [a_i, a_{i+1}-1]
+  // which is non-empty iff  a_i - (b_{j+1}-1) <= t <= (a_{i+1}-1) - b_j.
+  const auto fs = f.steps();
+  const auto gs = g.steps();
+  check_piece_budget(fs.size(), gs.size());
+  std::vector<Piece> pieces;
+  pieces.reserve(fs.size() * gs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Time ai = fs[i].time;
+    const Time ai1 =
+        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon() + Time(1);
+    for (std::size_t j = 0; j < gs.size(); ++j) {
+      const Time bj = gs[j].time;
+      const Time bj1 =
+          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon() + Time(1);
+      const Work raw = Work(checked::sub(fs[i].value.count(),
+                                         gs[j].value.count()));
+      pieces.push_back(Piece{ai - (bj1 - Time(1)), (ai1 - Time(1)) - bj,
+                             raw});
+    }
+  }
+  return envelope</*kMin=*/false>(std::move(pieces), horizon);
+}
+
+Time hdev(const Staircase& a, const Staircase& b) {
+  // Discrete-time semantics: a step of `a` at window length t covers a
+  // release at offset t-1, so the delay candidate of the step (t, v) is
+  // b^{-1}(v) - (t - 1).  Within a step larger t only shrinks the
+  // candidate, so the step starts are the only candidates.
+  Time worst = Time(0);
+  for (const Step& s : a.steps()) {
+    if (s.value == Work(0)) continue;
+    const Time crossing = b.inverse(s.value);
+    if (crossing.is_unbounded()) return Time::unbounded();
+    const Time release = max(Time(0), s.time - Time(1));
+    if (crossing > release) worst = max(worst, crossing - release);
+  }
+  return worst;
+}
+
+Work vdev(const Staircase& a, const Staircase& b, Time upto) {
+  STRT_REQUIRE(upto >= Time(0), "vdev horizon must be non-negative");
+  // Backlog just after the releases at time t: arrivals a(t+1) (window
+  // [0, t+1) includes them) minus service b(t) delivered so far.  With a
+  // constant between its steps and b non-decreasing, candidates are the
+  // steps of a evaluated at t = step.time - 1.
+  Work worst = Work(0);
+  for (const Step& s : a.steps()) {
+    if (s.value == Work(0)) continue;
+    const Time t = max(Time(0), s.time - Time(1));
+    if (t > upto) break;
+    const Work bv = b.value(t);
+    if (s.value > bv) worst = max(worst, s.value - bv);
+  }
+  return worst;
+}
+
+std::optional<Time> first_catch_up(const Staircase& a, const Staircase& b) {
+  const Time h = min(a.horizon(), b.horizon());
+  // a(t) - b(t) changes only at breakpoints; between breakpoints both are
+  // constant, so it suffices to test the merged breakpoints plus t = 1.
+  std::vector<Time> ts = merged_times(a, b, h);
+  if (h >= Time(1)) ts.push_back(Time(1));
+  std::sort(ts.begin(), ts.end());
+  for (Time t : ts) {
+    if (t < Time(1)) continue;
+    if (a.value(t) <= b.value(t)) return t;
+  }
+  return std::nullopt;
+}
+
+Staircase leftover_service(const Staircase& b, const Staircase& a) {
+  const Time h = min(a.horizon(), b.horizon());
+  std::vector<Step> samples;
+  Work best = Work(0);
+  for (Time t : merged_times(a, b, h)) {
+    const Work bv = b.value(t);
+    const Work av = a.value(t);
+    if (bv > av) best = max(best, bv - av);
+    samples.push_back(Step{t, best});
+  }
+  return Staircase::from_points(samples, h);
+}
+
+Staircase subadditive_closure(const Staircase& f) {
+  STRT_REQUIRE(f.starts_at_zero(),
+               "subadditive closure requires f(0) == 0");
+  Staircase cur = f.without_tail();
+  for (;;) {
+    Staircase conv = minplus_conv(cur, cur).truncated(cur.horizon());
+    Staircase next = pointwise_min(cur, conv);
+    if (next == cur) return cur;
+    cur = std::move(next);
+  }
+}
+
+}  // namespace strt

@@ -1,0 +1,75 @@
+// (min,+) / (max,+) operations on staircase curves.
+//
+// All operations here are *finitary*: they work on the materialized
+// breakpoints of their operands and produce tail-less results.  Callers
+// (see core/busy_window) are responsible for extending pseudo-periodic
+// curves to a sufficient horizon first -- the horizon disciplines are
+// spelled out per function.
+#pragma once
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+
+namespace strt {
+
+/// Pointwise f(t) + g(t) on the common horizon min(Hf, Hg).
+[[nodiscard]] Staircase pointwise_add(const Staircase& f, const Staircase& g);
+
+/// Pointwise min(f(t), g(t)) on the common horizon.
+[[nodiscard]] Staircase pointwise_min(const Staircase& f, const Staircase& g);
+
+/// Pointwise max(f(t), g(t)) on the common horizon.
+[[nodiscard]] Staircase pointwise_max(const Staircase& f, const Staircase& g);
+
+/// Min-plus convolution (f (*) g)(t) = min_{0<=s<=t} f(s) + g(t-s),
+/// defined exactly on [0, Hf + Hg].  O(nf * ng * log) in breakpoints.
+[[nodiscard]] Staircase minplus_conv(const Staircase& f, const Staircase& g);
+
+/// Min-plus deconvolution (f (/) g)(t) = max_{u>=0} f(t+u) - g(u), with the
+/// supremum truncated to the operands' domains (u <= Hg, t+u <= Hf); the
+/// result lives on [0, Hf - Hg] and requires Hg <= Hf.  This equals the
+/// true deconvolution when Hg covers the relevant busy window.  Negative
+/// intermediate values are clamped to 0 (curves are non-negative).
+[[nodiscard]] Staircase minplus_deconv(const Staircase& f,
+                                       const Staircase& g);
+
+/// Horizontal deviation in discrete-time semantics: the curve-based delay
+/// bound for a workload with upper arrival curve `a` (window convention:
+/// a(t) covers releases at offsets 0..t-1) served by lower service curve
+/// `b`,
+///
+///     hdev(a, b) = max over t >= 1 of  ( b^{-1}(a(t)) - (t - 1) )+ ,
+///
+/// i.e. the work a(t) headed by a release at offset t-1 completes by
+/// b^{-1}(a(t)).  `a` is inspected on its materialized horizon -- the
+/// caller must have extended it past the busy window.  `b` may answer
+/// through its tail; the result is Time::unbounded() if `b` provably
+/// never reaches a required value.
+[[nodiscard]] Time hdev(const Staircase& a, const Staircase& b);
+
+/// Vertical deviation in discrete-time semantics: the curve-based backlog
+/// bound  max over t <= upto of ( a(t+1) - b(t) )+  (arrivals up to and
+/// including time t minus service delivered in [0, t)).
+[[nodiscard]] Work vdev(const Staircase& a, const Staircase& b, Time upto);
+
+/// First positive time where the supply has caught up with the workload:
+/// min{ t >= 1 : a(t) <= b(t) }, searched within the common materialized
+/// horizon.  Returns nullopt if no such t exists there (caller extends
+/// and retries).  This is the busy-window bound when `a` is a request
+/// bound function and `b` a supply bound function.
+[[nodiscard]] std::optional<Time> first_catch_up(const Staircase& a,
+                                                 const Staircase& b);
+
+/// Leftover (remaining) service after serving higher-priority workload:
+/// b'(t) = max_{0<=s<=t} max(0, b(s) - a(s)), on the common horizon.
+/// Standard leftover service curve of a greedy processing component.
+[[nodiscard]] Staircase leftover_service(const Staircase& b,
+                                         const Staircase& a);
+
+/// Finitary subadditive closure on the curve's horizon: the largest
+/// subadditive staircase c with c <= f on [0, H] and c(0) = 0.  Iterated
+/// self-convolution to fixpoint; intended for tests / tightening studies,
+/// O(n^2 log) per round.
+[[nodiscard]] Staircase subadditive_closure(const Staircase& f);
+
+}  // namespace strt

@@ -1,0 +1,230 @@
+#include "curves/staircase.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+
+namespace strt {
+
+Staircase::Staircase(Time horizon)
+    : steps_{Step{Time(0), Work(0)}}, horizon_(horizon) {
+  STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+}
+
+Staircase::Staircase(std::vector<Step> steps, Time horizon,
+                     std::optional<Tail> tail)
+    : steps_(std::move(steps)), horizon_(horizon), tail_(std::move(tail)) {
+  check_invariants();
+}
+
+void Staircase::check_invariants() const {
+  STRT_ASSERT(!steps_.empty(), "staircase has no steps");
+  STRT_ASSERT(steps_.front().time == Time(0), "first step must be at t=0");
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    STRT_ASSERT(steps_[i - 1].time < steps_[i].time,
+                "step times must be strictly increasing");
+    STRT_ASSERT(steps_[i - 1].value < steps_[i].value,
+                "step values must be strictly increasing (canonical form)");
+  }
+  STRT_ASSERT(steps_.back().time <= horizon_, "step beyond horizon");
+  if (tail_) {
+    STRT_ASSERT(tail_->period >= Time(1), "tail period must be >= 1");
+    STRT_ASSERT(tail_->period <= horizon_,
+                "tail period must fit inside the horizon");
+    STRT_ASSERT(tail_->increment >= Work(0),
+                "tail increment must be non-negative");
+    // Monotonicity across the horizon boundary: the first extended value
+    // f(H+1) = f(H+1-p) + w must not fall below f(H).
+    const Work boundary =
+        value_in_range(horizon_ - tail_->period + Time(1)) + tail_->increment;
+    STRT_ASSERT(boundary >= value_in_range(horizon_),
+                "periodic tail would make the curve decrease");
+  }
+}
+
+Staircase Staircase::from_points(std::vector<Step> points, Time horizon) {
+  STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+  for (const Step& p : points) {
+    STRT_REQUIRE(p.time >= Time(0) && p.time <= horizon,
+                 "point outside [0, horizon]");
+    STRT_REQUIRE(p.value >= Work(0), "point value must be non-negative");
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Step& a, const Step& b) { return a.time < b.time; });
+  std::vector<Step> canon;
+  canon.push_back(Step{Time(0), Work(0)});
+  for (const Step& p : points) {
+    const Work v = max(p.value, canon.back().value);
+    if (p.time == canon.back().time) {
+      canon.back().value = v;
+    } else if (v > canon.back().value) {
+      canon.push_back(Step{p.time, v});
+    }
+  }
+  return Staircase(std::move(canon), horizon, std::nullopt);
+}
+
+Staircase Staircase::with_tail(Tail tail) const {
+  return Staircase(steps_, horizon_, tail);
+}
+
+Staircase Staircase::without_tail() const {
+  return Staircase(steps_, horizon_, std::nullopt);
+}
+
+Work Staircase::value_in_range(Time t) const {
+  STRT_ASSERT(t >= Time(0) && t <= horizon_, "value_in_range out of range");
+  // Last step with step.time <= t.
+  auto it = std::upper_bound(
+      steps_.begin(), steps_.end(), t,
+      [](Time x, const Step& s) { return x < s.time; });
+  STRT_ASSERT(it != steps_.begin(), "no step at or before t");
+  return std::prev(it)->value;
+}
+
+Work Staircase::value(Time t) const {
+  STRT_REQUIRE(t >= Time(0), "curve domain starts at 0");
+  if (t <= horizon_) return value_in_range(t);
+  STRT_REQUIRE(tail_.has_value(),
+               "value beyond horizon requires a periodic tail");
+  // Fold t into the last period window (horizon - p, horizon].
+  const std::int64_t p = tail_->period.count();
+  const std::int64_t over = (t - horizon_).count();
+  const std::int64_t m = checked::ceil_div(over, p);
+  const Time base = t - Time(checked::mul(m, p));
+  return value_in_range(base) + Work(checked::mul(m, tail_->increment.count()));
+}
+
+Time Staircase::inverse(Work w) const {
+  if (w <= steps_.front().value) return Time(0);
+  if (w <= value_at_horizon()) {
+    // First step with value >= w; the step's start time is the answer.
+    auto it = std::lower_bound(
+        steps_.begin(), steps_.end(), w,
+        [](const Step& s, Work x) { return s.value < x; });
+    STRT_ASSERT(it != steps_.end(), "inverse lookup failed");
+    return it->time;
+  }
+  if (!tail_) {
+    throw std::invalid_argument(
+        "Staircase::inverse: target value beyond horizon and the curve has "
+        "no tail; extend the curve first");
+  }
+  if (tail_->increment == Work(0)) return Time::unbounded();
+  // Binary search on the folded evaluation; monotone by construction.
+  const std::int64_t need = checked::sub(w.count(), value_at_horizon().count());
+  const std::int64_t periods =
+      checked::ceil_div(need, tail_->increment.count());
+  Time lo = horizon_;  // value(horizon) < w here
+  Time hi = horizon_ + Time(checked::mul(periods + 1, tail_->period.count()));
+  STRT_ASSERT(value(hi) >= w, "inverse upper bracket too small");
+  while (lo + Time(1) < hi) {
+    const Time mid = Time((lo.count() + hi.count()) / 2);
+    if (value(mid) >= w) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::optional<Rational> Staircase::long_run_rate() const {
+  if (!tail_) return std::nullopt;
+  return Rational(tail_->increment.count(), tail_->period.count());
+}
+
+Staircase Staircase::extended(Time h) const {
+  if (h <= horizon_) return *this;
+  STRT_REQUIRE(tail_.has_value(), "extending beyond horizon requires a tail");
+  std::vector<Step> steps = steps_;
+  Work last = steps.back().value;
+  for (Time t = horizon_ + Time(1); t <= h; ++t) {
+    const Work v = value(t);
+    if (v > last) {
+      steps.push_back(Step{t, v});
+      last = v;
+    }
+  }
+  return Staircase(std::move(steps), h, tail_);
+}
+
+Staircase Staircase::truncated(Time h) const {
+  STRT_REQUIRE(h >= Time(0) && h <= horizon_,
+               "truncation horizon outside current domain");
+  std::vector<Step> steps;
+  for (const Step& s : steps_) {
+    if (s.time > h) break;
+    steps.push_back(s);
+  }
+  return Staircase(std::move(steps), h, std::nullopt);
+}
+
+Staircase Staircase::shifted_right(Time d) const {
+  STRT_REQUIRE(d >= Time(0), "shift must be non-negative");
+  if (d == Time(0)) return *this;
+  std::vector<Step> steps;
+  steps.push_back(Step{Time(0), Work(0)});
+  for (const Step& s : steps_) {
+    if (s.value == Work(0)) continue;  // already covered by the leading zero
+    steps.push_back(Step{s.time + d, s.value});
+  }
+  return Staircase(std::move(steps), horizon_ + d, tail_);
+}
+
+Staircase Staircase::plus_constant(Work c) const {
+  STRT_REQUIRE(c >= Work(0), "constant must be non-negative");
+  std::vector<Step> steps = steps_;
+  for (Step& s : steps) s.value += c;
+  return Staircase(std::move(steps), horizon_, tail_);
+}
+
+Staircase Staircase::scaled(std::int64_t k) const {
+  STRT_REQUIRE(k >= 0, "scale factor must be non-negative");
+  if (k == 0) {
+    Staircase z(horizon_);
+    if (tail_) return z.with_tail(Tail{tail_->period, Work(0)});
+    return z;
+  }
+  std::vector<Step> steps = steps_;
+  for (Step& s : steps) s.value = Work(checked::mul(s.value.count(), k));
+  std::optional<Tail> tail = tail_;
+  if (tail) tail->increment = Work(checked::mul(tail->increment.count(), k));
+  return Staircase(std::move(steps), horizon_, tail);
+}
+
+bool Staircase::is_subadditive() const {
+  // f is subadditive iff f(c) <= min_{s <= c} f(s) + f(c - s) for every c.
+  // It suffices to check c at breakpoints (elsewhere f(c) equals the value
+  // at the preceding breakpoint while the right side can only be larger),
+  // and for each such c the inner minimum is attained with s at a
+  // breakpoint (within a step, shrinking s keeps f(s) and cannot decrease
+  // f(c - s)).
+  for (const Step& c : steps_) {
+    for (const Step& a : steps_) {
+      if (a.time > c.time) break;
+      if (c.value > a.value + value_in_range(c.time - a.time)) return false;
+    }
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const Staircase& f) {
+  os << "Staircase[H=" << f.horizon() << "]{";
+  bool first = true;
+  for (const Step& s : f.steps()) {
+    if (!first) os << ", ";
+    os << '(' << s.time << ',' << s.value << ')';
+    first = false;
+  }
+  os << '}';
+  if (f.tail()) {
+    os << "+tail(p=" << f.tail()->period << ",w=" << f.tail()->increment
+       << ')';
+  }
+  return os;
+}
+
+}  // namespace strt

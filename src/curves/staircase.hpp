@@ -1,0 +1,138 @@
+// Discrete-time staircase curves.
+//
+// A Staircase is a non-decreasing function  f : {0, 1, ...} -> Work,
+// described exactly on a finite horizon [0, H] by its breakpoints and
+// optionally extended beyond H by a periodic tail
+//
+//     f(t + p) = f(t) + w        for all t in (H - p, H],
+//
+// which is exactly the pseudo-periodic long-run shape of request-bound
+// and supply-bound functions.  All analyses in this library are
+// *finitary*: they evaluate curves inside a busy-window horizon computed
+// from exact long-run rates, so the finite representation is lossless.
+//
+// Curves of this shape model:
+//   * upper arrival / request-bound functions  rbf(t)  (work released in
+//     any window of length t, window semantics are half-open [x, x+t)),
+//   * lower supply-bound functions  sbf(t)  (service guaranteed in any
+//     window of length t),
+//   * demand-bound functions dbf(t).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "base/types.hpp"
+
+namespace strt {
+
+/// One breakpoint of a staircase: the function takes value `value` on
+/// [time, next-breakpoint.time).  Breakpoint times are strictly
+/// increasing and values strictly increasing (canonical form).
+struct Step {
+  Time time{0};
+  Work value{0};
+
+  friend bool operator==(const Step&, const Step&) = default;
+};
+
+/// Periodic long-run extension of a staircase beyond its horizon.
+struct Tail {
+  Time period{1};
+  Work increment{0};
+
+  friend bool operator==(const Tail&, const Tail&) = default;
+};
+
+class Staircase {
+ public:
+  /// The zero curve on [0, horizon].
+  explicit Staircase(Time horizon);
+
+  /// Exact curve from sample points `(t, v)`: the result is the smallest
+  /// non-decreasing staircase with f(t) >= v for every point (i.e. points
+  /// are combined with running max).  Points may be unsorted.  A point at
+  /// t = 0 is optional; f(0) defaults to 0.
+  static Staircase from_points(std::vector<Step> points, Time horizon);
+
+  /// Attach / replace the periodic tail.  Requires `period >= 1`,
+  /// `period <= horizon`, `increment >= 0`, and that the extension stays
+  /// non-decreasing across the horizon boundary.
+  [[nodiscard]] Staircase with_tail(Tail tail) const;
+  [[nodiscard]] Staircase without_tail() const;
+
+  [[nodiscard]] Time horizon() const { return horizon_; }
+  [[nodiscard]] const std::optional<Tail>& tail() const { return tail_; }
+  [[nodiscard]] std::span<const Step> steps() const { return steps_; }
+
+  /// f(t).  Valid for t in [0, horizon], or any t >= 0 if a tail is
+  /// attached.  Throws std::invalid_argument outside the known domain.
+  [[nodiscard]] Work value(Time t) const;
+
+  /// Largest value on the representable domain prefix [0, horizon].
+  [[nodiscard]] Work value_at_horizon() const { return steps_.back().value; }
+
+  /// Pseudo-inverse: the smallest t >= 0 with f(t) >= w.
+  /// Returns Time::unbounded() if no such t exists *provably* (tail with
+  /// zero increment, or value never reached on a tail-less curve whose
+  /// horizon value is below w -- the latter throws instead, because the
+  /// curve may simply be too short; extend it first).
+  [[nodiscard]] Time inverse(Work w) const;
+
+  /// Long-run growth rate of the tail (increment / period); nullopt when
+  /// the curve has no tail.
+  [[nodiscard]] std::optional<Rational> long_run_rate() const;
+
+  /// Materialize the curve on the larger horizon `h` (requires a tail if
+  /// h > horizon()).  The tail is preserved.
+  [[nodiscard]] Staircase extended(Time h) const;
+
+  /// Restrict to a smaller horizon (drops the tail).
+  [[nodiscard]] Staircase truncated(Time h) const;
+
+  /// f(t - d) for t >= d, 0 before (right time-shift, e.g. adding
+  /// latency to a supply).  Horizon grows by d; the tail is preserved.
+  [[nodiscard]] Staircase shifted_right(Time d) const;
+
+  /// f(t) + c everywhere (including t = 0).  Tail preserved.
+  [[nodiscard]] Staircase plus_constant(Work c) const;
+
+  /// k * f(t).  Requires k >= 0.  Tail increment is scaled too.
+  [[nodiscard]] Staircase scaled(std::int64_t k) const;
+
+  /// Number of stored breakpoints (diagnostics / complexity reporting).
+  [[nodiscard]] std::size_t breakpoint_count() const { return steps_.size(); }
+
+  /// True if f(0) == 0 (required of arrival and supply curves).
+  [[nodiscard]] bool starts_at_zero() const {
+    return steps_.front().value == Work::zero();
+  }
+
+  /// Exhaustive subadditivity check on the horizon:
+  /// f(s + t) <= f(s) + f(t) for all breakpoint combinations.
+  /// O(n^2) -- intended for tests and small curves.
+  [[nodiscard]] bool is_subadditive() const;
+
+  friend bool operator==(const Staircase&, const Staircase&) = default;
+
+ private:
+  Staircase(std::vector<Step> steps, Time horizon, std::optional<Tail> tail);
+
+  /// Value lookup restricted to [0, horizon].
+  [[nodiscard]] Work value_in_range(Time t) const;
+
+  void check_invariants() const;
+
+  std::vector<Step> steps_;  // canonical; steps_[0].time == 0
+  Time horizon_{0};
+  std::optional<Tail> tail_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Staircase& f);
+
+}  // namespace strt

@@ -1,0 +1,102 @@
+// The digraph real-time task model (DRT), the "structural workload" of
+// the paper: a directed graph whose vertices are job types and whose
+// edges constrain consecutive releases.
+//
+// A run of the task is a walk v1 -> v2 -> ... through the graph; job i
+// has WCET wcet(vi) and relative deadline deadline(vi), and consecutive
+// releases are separated by at least separation(vi, vi+1) ticks.  The
+// classical models (periodic, sporadic, generalized multiframe,
+// recurring branching) are all special cases -- see src/model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace strt {
+
+using VertexId = std::int32_t;
+
+/// One job type of a DRT task.
+struct DrtVertex {
+  std::string name;
+  Work wcet{1};
+  Time deadline{1};
+};
+
+/// Minimum-separation edge between consecutive job releases.
+struct DrtEdge {
+  VertexId from{0};
+  VertexId to{0};
+  Time separation{1};
+};
+
+/// A validated DRT task.  Build with DrtBuilder; instances are immutable.
+class DrtTask {
+ public:
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  [[nodiscard]] const DrtVertex& vertex(VertexId v) const;
+  [[nodiscard]] std::span<const DrtVertex> vertices() const {
+    return vertices_;
+  }
+  [[nodiscard]] std::span<const DrtEdge> edges() const { return edges_; }
+
+  /// Out-edges of `v` (indices into edges()).
+  [[nodiscard]] std::span<const std::int32_t> out_edges(VertexId v) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Largest single-job execution demand.
+  [[nodiscard]] Work max_wcet() const;
+
+  /// True if every vertex deadline is at most every outgoing separation
+  /// ("frame separation" property).  Under it, absolute deadlines along
+  /// any path are non-decreasing, which the exact dbf staircase relies on.
+  [[nodiscard]] bool has_frame_separation() const;
+
+  /// True if the graph has at least one cycle (i.e. the task can release
+  /// unboundedly many jobs).
+  [[nodiscard]] bool is_cyclic() const;
+
+ private:
+  friend class DrtBuilder;
+  DrtTask() = default;
+
+  std::string name_;
+  std::vector<DrtVertex> vertices_;
+  std::vector<DrtEdge> edges_;
+  std::vector<std::int32_t> out_index_;   // CSR offsets, size V+1
+  std::vector<std::int32_t> out_edges_;   // CSR edge indices
+};
+
+/// Incremental construction of a DrtTask with validation at build().
+class DrtBuilder {
+ public:
+  explicit DrtBuilder(std::string name);
+
+  /// Adds a job type; wcet >= 1, deadline >= 1.  Returns its id.
+  VertexId add_vertex(std::string name, Work wcet, Time deadline);
+
+  /// Adds a release constraint; separation >= 1.  Parallel edges and
+  /// self-loops are allowed (a self-loop models a sporadic recurrence).
+  DrtBuilder& add_edge(VertexId from, VertexId to, Time separation);
+
+  /// Validates and produces the task.  Throws std::invalid_argument on
+  /// inconsistent input (bad ids, empty graph, non-positive parameters).
+  [[nodiscard]] DrtTask build() &&;
+
+ private:
+  std::string name_;
+  std::vector<DrtVertex> vertices_;
+  std::vector<DrtEdge> edges_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DrtTask& task);
+
+}  // namespace strt

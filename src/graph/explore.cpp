@@ -1,0 +1,141 @@
+#include "graph/explore.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+/// Per-vertex Pareto skyline: elapsed -> (work, arena index), with work
+/// strictly increasing in elapsed.
+class Skyline {
+ public:
+  /// Returns false if (t, w) is dominated by an existing entry; otherwise
+  /// inserts it (evicting entries it dominates) and returns true.
+  bool insert(Time t, Work w, std::int32_t idx) {
+    auto it = entries_.upper_bound(t);
+    if (it != entries_.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.second.first >= w) return false;  // dominated
+    }
+    // Evict entries at time >= t with work <= w.
+    while (it != entries_.end() && it->second.first <= w) {
+      it = entries_.erase(it);
+    }
+    entries_.insert_or_assign(t, std::make_pair(w, idx));
+    return true;
+  }
+
+  /// True if arena index `idx` is still the live entry at time t.
+  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
+    auto it = entries_.find(t);
+    return it != entries_.end() && it->second.second == idx;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [t, wi] : entries_) fn(t, wi.first, wi.second);
+  }
+
+ private:
+  std::map<Time, std::pair<Work, std::int32_t>> entries_;
+};
+
+}  // namespace
+
+std::vector<PathState> ExploreResult::path_to(std::int32_t state) const {
+  STRT_REQUIRE(state >= 0 &&
+                   static_cast<std::size_t>(state) < arena.size(),
+               "state index out of range");
+  std::vector<PathState> path;
+  for (std::int32_t i = state; i >= 0;
+       i = arena[static_cast<std::size_t>(i)].parent) {
+    path.push_back(arena[static_cast<std::size_t>(i)]);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
+  STRT_REQUIRE(opts.elapsed_limit >= Time(0),
+               "elapsed_limit must be non-negative");
+  ExploreResult res;
+  std::vector<Skyline> skylines(opts.prune ? task.vertex_count() : 0);
+
+  // Queue ordered by (elapsed ascending, work descending): children always
+  // have strictly larger elapsed than their parent, so when a state is
+  // popped the skyline below its elapsed is final and the liveness check
+  // is exact.
+  struct QItem {
+    Time elapsed;
+    Work work;
+    std::int32_t idx;
+  };
+  auto cmp = [](const QItem& a, const QItem& b) {
+    if (a.elapsed != b.elapsed) return a.elapsed > b.elapsed;
+    return a.work < b.work;
+  };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
+
+  auto accept = [&](VertexId v, Time elapsed, Work work,
+                    std::int32_t parent) {
+    ++res.stats.generated;
+    if (res.arena.size() >= opts.max_states) {
+      throw std::runtime_error(
+          "explore_paths: state cap exceeded (disable-pruning run?)");
+    }
+    const auto idx = static_cast<std::int32_t>(res.arena.size());
+    if (opts.prune) {
+      if (!skylines[static_cast<std::size_t>(v)].insert(elapsed, work, idx)) {
+        ++res.stats.pruned;
+        return;
+      }
+    }
+    res.arena.push_back(PathState{v, elapsed, work, parent});
+    queue.push(QItem{elapsed, work, idx});
+  };
+
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    accept(v, Time(0), task.vertex(v).wcet, -1);
+  }
+
+  while (!queue.empty()) {
+    const QItem item = queue.top();
+    queue.pop();
+    const PathState st = res.arena[static_cast<std::size_t>(item.idx)];
+    if (opts.prune &&
+        !skylines[static_cast<std::size_t>(st.vertex)].is_live(st.elapsed,
+                                                               item.idx)) {
+      continue;  // dominated after insertion
+    }
+    ++res.stats.expanded;
+    for (std::int32_t ei : task.out_edges(st.vertex)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time elapsed = st.elapsed + e.separation;
+      if (elapsed > opts.elapsed_limit) continue;
+      accept(e.to, elapsed, st.work + task.vertex(e.to).wcet, item.idx);
+    }
+  }
+
+  if (opts.prune) {
+    for (const Skyline& s : skylines) {
+      s.for_each([&](Time, Work, std::int32_t idx) {
+        res.frontier.push_back(idx);
+      });
+    }
+  } else {
+    res.frontier.resize(res.arena.size());
+    for (std::size_t i = 0; i < res.arena.size(); ++i) {
+      res.frontier[i] = static_cast<std::int32_t>(i);
+    }
+  }
+  return res;
+}
+
+}  // namespace strt

@@ -1,0 +1,75 @@
+// Dominance-pruned exploration of DRT release paths.
+//
+// The states of the exploration are triples (vertex, elapsed, work): some
+// legal path releases its last job of type `vertex` exactly `elapsed`
+// ticks after the path's first release, having released `work` total
+// execution demand (including the last job).  Separations are taken at
+// their minimum -- for every analysis in this library (request bounds,
+// busy-window delay) denser is worse, so minimum-separation paths
+// dominate their stretched variants.
+//
+// Dominance: at the same vertex, a state (elapsed', work') subsumes
+// (elapsed, work) if elapsed' <= elapsed and work' >= work.  Both states
+// have identical continuations (the DRT walk is memoryless), so every
+// delay / request-bound candidate produced by the dominated state is
+// matched or beaten by the dominator.  The surviving states per vertex
+// form a Pareto skyline, kept sorted by elapsed time.
+//
+// This engine backs the structural delay analysis (core/structural) and
+// the request-bound function computation (graph/workload); the ablation
+// benchmark E6 runs it with pruning disabled to measure the effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+/// One surviving exploration state.  `parent` indexes the arena
+/// (ExploreResult::arena); -1 for path-initial states.
+struct PathState {
+  VertexId vertex{0};
+  Time elapsed{0};
+  Work work{0};
+  std::int32_t parent{-1};
+};
+
+struct ExploreStats {
+  std::uint64_t generated{0};  // states created (before dominance check)
+  std::uint64_t expanded{0};   // states whose successors were generated
+  std::uint64_t pruned{0};     // states discarded by dominance
+};
+
+struct ExploreOptions {
+  /// Inclusive bound on `elapsed`; paths are not extended past it.
+  Time elapsed_limit{0};
+  /// Disable dominance pruning (every distinct (vertex, elapsed, work)
+  /// reachable state is kept).  Exponential; ablation/testing only.
+  bool prune{true};
+  /// Hard cap on arena size to keep unpruned runs from exhausting memory;
+  /// exceeded => throws std::runtime_error.
+  std::size_t max_states{50'000'000};
+};
+
+struct ExploreResult {
+  /// All states ever accepted, in expansion order; parents index into
+  /// this arena, enabling witness-path reconstruction.
+  std::vector<PathState> arena;
+  /// Indices into `arena` of the final (undominated) states.
+  std::vector<std::int32_t> frontier;
+  ExploreStats stats;
+
+  /// Reconstructs the release path ending in `arena[state]`, in release
+  /// order (first job first).
+  [[nodiscard]] std::vector<PathState> path_to(std::int32_t state) const;
+};
+
+/// Explores all legal minimum-separation release paths of `task` whose
+/// span fits within `opts.elapsed_limit`.
+[[nodiscard]] ExploreResult explore_paths(const DrtTask& task,
+                                          const ExploreOptions& opts);
+
+}  // namespace strt

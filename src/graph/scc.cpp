@@ -1,0 +1,127 @@
+#include "graph/scc.hpp"
+
+#include <algorithm>
+
+#include "base/assert.hpp"
+#include "graph/cycle_ratio.hpp"
+
+namespace strt {
+
+SccResult strongly_connected_components(const DrtTask& task) {
+  const auto n = static_cast<std::int32_t>(task.vertex_count());
+  SccResult res;
+  res.component.assign(static_cast<std::size_t>(n), -1);
+
+  // Iterative Tarjan.
+  std::vector<std::int32_t> index(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<VertexId> stack;
+  std::int32_t next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    std::size_t next_edge;
+  };
+  std::vector<Frame> call;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    call.push_back(Frame{root, 0});
+    index[static_cast<std::size_t>(root)] = next_index;
+    lowlink[static_cast<std::size_t>(root)] = next_index;
+    ++next_index;
+    stack.push_back(root);
+    on_stack[static_cast<std::size_t>(root)] = true;
+
+    while (!call.empty()) {
+      Frame& f = call.back();
+      const auto out = task.out_edges(f.v);
+      bool descended = false;
+      while (f.next_edge < out.size()) {
+        const DrtEdge& e =
+            task.edges()[static_cast<std::size_t>(out[f.next_edge])];
+        ++f.next_edge;
+        const auto w = static_cast<std::size_t>(e.to);
+        if (index[w] == -1) {
+          index[w] = next_index;
+          lowlink[w] = next_index;
+          ++next_index;
+          stack.push_back(e.to);
+          on_stack[w] = true;
+          call.push_back(Frame{e.to, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          auto& low = lowlink[static_cast<std::size_t>(f.v)];
+          low = std::min(low, index[w]);
+        }
+      }
+      if (descended) continue;
+      const VertexId v = f.v;
+      call.pop_back();
+      if (!call.empty()) {
+        auto& parent_low =
+            lowlink[static_cast<std::size_t>(call.back().v)];
+        parent_low = std::min(parent_low,
+                              lowlink[static_cast<std::size_t>(v)]);
+      }
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        // v is the root of an SCC: pop the stack down to v.
+        std::vector<VertexId> members;
+        for (;;) {
+          const VertexId w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          res.component[static_cast<std::size_t>(w)] = res.component_count;
+          members.push_back(w);
+          if (w == v) break;
+        }
+        std::sort(members.begin(), members.end());
+        res.members.push_back(std::move(members));
+        ++res.component_count;
+      }
+    }
+  }
+  return res;
+}
+
+bool is_strongly_connected(const DrtTask& task) {
+  return strongly_connected_components(task).component_count == 1;
+}
+
+std::vector<std::optional<Rational>> scc_utilizations(const DrtTask& task) {
+  const SccResult scc = strongly_connected_components(task);
+  std::vector<std::optional<Rational>> result(
+      static_cast<std::size_t>(scc.component_count));
+  for (std::int32_t c = 0; c < scc.component_count; ++c) {
+    const auto& members = scc.members[static_cast<std::size_t>(c)];
+    // Build the induced sub-task.
+    DrtBuilder b(task.name() + "#scc" + std::to_string(c));
+    std::vector<VertexId> remap(task.vertex_count(), -1);
+    for (const VertexId v : members) {
+      remap[static_cast<std::size_t>(v)] = b.add_vertex(
+          task.vertex(v).name, task.vertex(v).wcet, task.vertex(v).deadline);
+    }
+    bool has_edge = false;
+    for (const DrtEdge& e : task.edges()) {
+      const VertexId from = remap[static_cast<std::size_t>(e.from)];
+      const VertexId to = remap[static_cast<std::size_t>(e.to)];
+      if (from >= 0 && to >= 0) {
+        b.add_edge(from, to, e.separation);
+        has_edge = true;
+      }
+    }
+    if (!has_edge) {
+      result[static_cast<std::size_t>(c)] = std::nullopt;  // trivial SCC
+      continue;
+    }
+    result[static_cast<std::size_t>(c)] =
+        utilization(std::move(b).build());
+  }
+  return result;
+}
+
+}  // namespace strt

@@ -1,0 +1,40 @@
+// Strongly connected components of a DRT task graph (Tarjan, iterative).
+//
+// Used to reason about a task's long-run structure: only vertices on or
+// reachable into cycles matter asymptotically; per-SCC utilizations show
+// which mode cluster is the bottleneck; the generator uses it to verify
+// connectivity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+struct SccResult {
+  /// component[v] = id of v's SCC; ids are in reverse topological order
+  /// (id 0 has no incoming edges from other components... precisely:
+  /// Tarjan emission order, every edge goes from a higher id to a lower
+  /// or equal id).
+  std::vector<std::int32_t> component;
+  std::int32_t component_count{0};
+
+  /// Vertices of each component, indexed by component id.
+  std::vector<std::vector<VertexId>> members;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(const DrtTask& task);
+
+/// True if the whole graph is one strongly connected component.
+[[nodiscard]] bool is_strongly_connected(const DrtTask& task);
+
+/// Exact utilization (max cycle ratio) of each SCC, nullopt for trivial
+/// components (single vertex without a self-loop).  The task utilization
+/// is the max over components.
+[[nodiscard]] std::vector<std::optional<Rational>> scc_utilizations(
+    const DrtTask& task);
+
+}  // namespace strt

@@ -1,0 +1,40 @@
+#include "io/csv.hpp"
+
+#include <ostream>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> columns)
+    : os_(os), columns_(columns.size()) {
+  STRT_REQUIRE(!columns.empty(), "CSV needs at least one column");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(columns[i]);
+  }
+  os_ << '\n';
+}
+
+CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
+  STRT_REQUIRE(cells.size() == columns_, "row width must match the header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+  return *this;
+}
+
+}  // namespace strt

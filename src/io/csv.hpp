@@ -1,0 +1,26 @@
+// CSV emission for benchmark series (one block per figure, consumed by
+// any plotting tool).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace strt {
+
+class CsvWriter {
+ public:
+  /// Writes to `os`; emits the header immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> columns);
+
+  CsvWriter& row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+};
+
+/// RFC-4180-style escaping (quotes fields containing separators/quotes).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace strt

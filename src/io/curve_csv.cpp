@@ -1,0 +1,44 @@
+#include "io/curve_csv.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "base/assert.hpp"
+#include "io/csv.hpp"
+
+namespace strt {
+
+void write_curves_csv(std::ostream& os,
+                      const std::vector<CurveSeries>& series, Time upto) {
+  STRT_REQUIRE(!series.empty(), "need at least one curve");
+  STRT_REQUIRE(upto >= Time(0), "upto must be non-negative");
+  for (const CurveSeries& s : series) {
+    STRT_REQUIRE(s.curve != nullptr, "null curve in series");
+  }
+
+  std::vector<Time> ts{Time(0), upto};
+  for (const CurveSeries& s : series) {
+    for (const Step& st : s.curve->steps()) {
+      if (st.time <= upto) ts.push_back(st.time);
+      // Sample just before each jump too, so staircase plots are sharp.
+      if (st.time > Time(0) && st.time - Time(1) <= upto) {
+        ts.push_back(st.time - Time(1));
+      }
+    }
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+
+  std::vector<std::string> header{"time"};
+  for (const CurveSeries& s : series) header.push_back(s.name);
+  CsvWriter csv(os, header);
+  for (const Time t : ts) {
+    std::vector<std::string> row{std::to_string(t.count())};
+    for (const CurveSeries& s : series) {
+      row.push_back(std::to_string(s.curve->value(t).count()));
+    }
+    csv.row(row);
+  }
+}
+
+}  // namespace strt

@@ -1,0 +1,24 @@
+// CSV emission of curves (for plotting rbf/sbf/abstraction figures).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "curves/staircase.hpp"
+
+namespace strt {
+
+/// One named series over a shared time axis.
+struct CurveSeries {
+  std::string name;
+  const Staircase* curve{nullptr};
+};
+
+/// Writes `time,name1,name2,...` rows with each curve sampled at every
+/// breakpoint of any series (plus t = 0 and t = upto).  All curves must
+/// be evaluable on [0, upto].
+void write_curves_csv(std::ostream& os, const std::vector<CurveSeries>& series,
+                      Time upto);
+
+}  // namespace strt

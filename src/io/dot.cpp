@@ -1,0 +1,41 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace strt {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const DrtTask& task) {
+  std::ostringstream os;
+  os << "digraph " << quote(task.name()) << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    const DrtVertex& vert = task.vertex(v);
+    os << "  n" << v << " [label="
+       << quote(vert.name + "\\ne=" + std::to_string(vert.wcet.count()) +
+                " d=" + std::to_string(vert.deadline.count()))
+       << "];\n";
+  }
+  for (const DrtEdge& e : task.edges()) {
+    os << "  n" << e.from << " -> n" << e.to << " [label=\""
+       << e.separation.count() << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace strt

@@ -1,0 +1,14 @@
+// Graphviz export of DRT tasks (documentation / debugging aid).
+#pragma once
+
+#include <string>
+
+#include "graph/drt.hpp"
+
+namespace strt {
+
+/// DOT digraph with one node per job type, labelled "name e/d", and one
+/// edge per separation constraint labelled with the separation.
+[[nodiscard]] std::string to_dot(const DrtTask& task);
+
+}  // namespace strt

@@ -1,0 +1,206 @@
+#include "io/parse.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> toks;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] == '#') break;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+           line[j] != '#') {
+      ++j;
+    }
+    toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "parse error at line " << line_no << ": " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+std::int64_t parse_int(std::string_view tok, std::size_t line_no) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  if (ec != std::errc{} || p != tok.end()) {
+    fail(line_no, "expected an integer, got '" + std::string(tok) + "'");
+  }
+  return v;
+}
+
+Rational parse_rational(std::string_view tok, std::size_t line_no) {
+  const std::size_t slash = tok.find('/');
+  if (slash == std::string_view::npos) {
+    return Rational(parse_int(tok, line_no));
+  }
+  return Rational(parse_int(tok.substr(0, slash), line_no),
+                  parse_int(tok.substr(slash + 1), line_no));
+}
+
+/// Expects tokens of the form  key1 v1 key2 v2 ...  starting at `from`.
+std::map<std::string_view, std::string_view> parse_kv(
+    const std::vector<std::string_view>& toks, std::size_t from,
+    std::size_t line_no) {
+  if ((toks.size() - from) % 2 != 0) {
+    fail(line_no, "expected key/value pairs");
+  }
+  std::map<std::string_view, std::string_view> kv;
+  for (std::size_t i = from; i < toks.size(); i += 2) {
+    kv[toks[i]] = toks[i + 1];
+  }
+  return kv;
+}
+
+std::string_view require_key(
+    const std::map<std::string_view, std::string_view>& kv,
+    std::string_view key, std::size_t line_no) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) fail(line_no, "missing '" + std::string(key) + "'");
+  return it->second;
+}
+
+}  // namespace
+
+DrtTask parse_task(std::string_view text) {
+  std::optional<DrtBuilder> builder;
+  std::map<std::string, VertexId, std::less<>> ids;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "task") {
+      if (builder) fail(line_no, "duplicate 'task' directive");
+      if (toks.size() != 2) fail(line_no, "usage: task <name>");
+      builder.emplace(std::string(toks[1]));
+    } else if (toks[0] == "vertex") {
+      if (!builder) fail(line_no, "'vertex' before 'task'");
+      if (toks.size() != 6) {
+        fail(line_no, "usage: vertex <name> wcet <n> deadline <n>");
+      }
+      const auto kv = parse_kv(toks, 2, line_no);
+      const std::string name(toks[1]);
+      if (ids.contains(name)) fail(line_no, "duplicate vertex " + name);
+      ids[name] = builder->add_vertex(
+          name, Work(parse_int(require_key(kv, "wcet", line_no), line_no)),
+          Time(parse_int(require_key(kv, "deadline", line_no), line_no)));
+    } else if (toks[0] == "edge") {
+      if (!builder) fail(line_no, "'edge' before 'task'");
+      if (toks.size() != 5) fail(line_no, "usage: edge <from> <to> sep <n>");
+      const auto kv = parse_kv(toks, 3, line_no);
+      const auto from = ids.find(toks[1]);
+      const auto to = ids.find(toks[2]);
+      if (from == ids.end()) {
+        fail(line_no, "unknown vertex '" + std::string(toks[1]) + "'");
+      }
+      if (to == ids.end()) {
+        fail(line_no, "unknown vertex '" + std::string(toks[2]) + "'");
+      }
+      builder->add_edge(
+          from->second, to->second,
+          Time(parse_int(require_key(kv, "sep", line_no), line_no)));
+    } else {
+      fail(line_no, "unknown directive '" + std::string(toks[0]) + "'");
+    }
+  }
+  if (!builder) throw std::invalid_argument("no 'task' directive found");
+  return std::move(*builder).build();
+}
+
+std::string serialize_task(const DrtTask& task) {
+  std::ostringstream os;
+  os << "task " << task.name() << '\n';
+  for (const DrtVertex& v : task.vertices()) {
+    os << "vertex " << v.name << " wcet " << v.wcet.count() << " deadline "
+       << v.deadline.count() << '\n';
+  }
+  for (const DrtEdge& e : task.edges()) {
+    os << "edge " << task.vertex(e.from).name << ' '
+       << task.vertex(e.to).name << " sep " << e.separation.count() << '\n';
+  }
+  return os.str();
+}
+
+Supply parse_supply(std::string_view text) {
+  const auto toks = tokenize(text);
+  if (toks.empty()) throw std::invalid_argument("empty supply description");
+  const auto kv = parse_kv(toks, 1, 1);
+  if (toks[0] == "dedicated") {
+    return Supply::dedicated(parse_int(require_key(kv, "rate", 1), 1));
+  }
+  if (toks[0] == "bounded_delay") {
+    return Supply::bounded_delay(
+        parse_rational(require_key(kv, "rate", 1), 1),
+        Time(parse_int(require_key(kv, "delay", 1), 1)));
+  }
+  if (toks[0] == "periodic") {
+    return Supply::periodic(
+        Time(parse_int(require_key(kv, "budget", 1), 1)),
+        Time(parse_int(require_key(kv, "period", 1), 1)));
+  }
+  if (toks[0] == "tdma") {
+    return Supply::tdma(Time(parse_int(require_key(kv, "slot", 1), 1)),
+                        Time(parse_int(require_key(kv, "cycle", 1), 1)));
+  }
+  if (toks[0] == "schedule") {
+    const std::string_view mask = require_key(kv, "mask", 1);
+    std::vector<bool> active;
+    for (const char c : mask) {
+      if (c != '0' && c != '1') {
+        throw std::invalid_argument("schedule mask must be 0/1 digits");
+      }
+      active.push_back(c == '1');
+    }
+    return Supply::schedule(std::move(active));
+  }
+  throw std::invalid_argument("unknown supply kind '" + std::string(toks[0]) +
+                              "'");
+}
+
+std::string serialize_supply(const Supply& supply) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DedicatedSupply>) {
+          os << "dedicated rate " << m.rate;
+        } else if constexpr (std::is_same_v<T, BoundedDelaySupply>) {
+          os << "bounded_delay rate " << m.rate << " delay "
+             << m.delay.count();
+        } else if constexpr (std::is_same_v<T, PeriodicSupply>) {
+          os << "periodic budget " << m.budget.count() << " period "
+             << m.period.count();
+        } else if constexpr (std::is_same_v<T, TdmaSupply>) {
+          os << "tdma slot " << m.slot.count() << " cycle "
+             << m.cycle.count();
+        } else {
+          os << "schedule mask ";
+          for (const bool a : m.active) os << (a ? '1' : '0');
+        }
+      },
+      supply.model());
+  return os.str();
+}
+
+}  // namespace strt

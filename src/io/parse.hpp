@@ -1,0 +1,40 @@
+// Plain-text task & supply descriptions.
+//
+// Task format (one directive per line, '#' comments, blank lines ignored):
+//
+//     task engine_control
+//     vertex A wcet 2 deadline 10
+//     vertex B wcet 5 deadline 20
+//     edge A B sep 15
+//     edge B A sep 30
+//
+// Supply format (single line):
+//
+//     dedicated rate 1
+//     bounded_delay rate 3/4 delay 10
+//     periodic budget 5 period 20
+//     tdma slot 5 cycle 20
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+/// Parses a task description; throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] DrtTask parse_task(std::string_view text);
+
+/// Inverse of parse_task (round-trips exactly).
+[[nodiscard]] std::string serialize_task(const DrtTask& task);
+
+/// Parses a one-line supply description.
+[[nodiscard]] Supply parse_supply(std::string_view text);
+
+/// Inverse of parse_supply.
+[[nodiscard]] std::string serialize_supply(const Supply& supply);
+
+}  // namespace strt

@@ -1,0 +1,56 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  STRT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  STRT_REQUIRE(cells.size() == headers_.size(),
+               "row width must match the header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << " |\n";
+  };
+  line(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+}
+
+std::string fmt_ratio(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace strt

@@ -1,0 +1,29 @@
+// Minimal aligned-ASCII table printer for the benchmark harnesses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace strt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Prints with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers shared by benches/examples.
+[[nodiscard]] std::string fmt_ratio(double value, int decimals = 2);
+
+}  // namespace strt

@@ -1,0 +1,84 @@
+#include "io/trace_io.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line_no << ": " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+std::int64_t parse_int(std::string_view tok, std::size_t line_no) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
+  if (ec != std::errc{} || p != tok.end()) {
+    fail(line_no, "expected an integer, got '" + std::string(tok) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_trace(const Trace& trace) {
+  std::ostringstream os;
+  for (const SimJob& j : trace) {
+    os << "job release " << j.release.count() << " wcet " << j.wcet.count()
+       << " vertex " << j.vertex << '\n';
+  }
+  return os.str();
+}
+
+Trace parse_trace(std::string_view text) {
+  Trace trace;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    // Tokenize (same rules as the task format).
+    std::vector<std::string_view> toks;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i >= line.size() || line[i] == '#') break;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+             line[j] != '#') {
+        ++j;
+      }
+      toks.push_back(line.substr(i, j - i));
+      i = j;
+    }
+    if (toks.empty()) continue;
+    if (toks[0] != "job" || toks.size() != 7 || toks[1] != "release" ||
+        toks[3] != "wcet" || toks[5] != "vertex") {
+      fail(line_no, "usage: job release <n> wcet <n> vertex <n>");
+    }
+    SimJob job;
+    job.release = Time(parse_int(toks[2], line_no));
+    job.wcet = Work(parse_int(toks[4], line_no));
+    job.vertex = static_cast<VertexId>(parse_int(toks[6], line_no));
+    if (job.release < Time(0)) fail(line_no, "negative release");
+    if (job.wcet < Work(0)) fail(line_no, "negative wcet");
+    if (job.vertex < 0) fail(line_no, "negative vertex id");
+    if (!trace.empty() && job.release < trace.back().release) {
+      fail(line_no, "releases must be non-decreasing");
+    }
+    trace.push_back(job);
+  }
+  return trace;
+}
+
+}  // namespace strt

@@ -1,0 +1,23 @@
+// Text serialization of release traces (record a run, replay it later,
+// attach it to a bug report).
+//
+// Format: one job per line, '#' comments and blank lines ignored:
+//
+//     job release 0 wcet 4 vertex 0
+//     job release 3 wcet 1 vertex 1
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+namespace strt {
+
+[[nodiscard]] std::string serialize_trace(const Trace& trace);
+
+/// Throws std::invalid_argument with a line-numbered message on
+/// malformed input; validates monotone releases and non-negative fields.
+[[nodiscard]] Trace parse_trace(std::string_view text);
+
+}  // namespace strt

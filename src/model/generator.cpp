@@ -1,0 +1,134 @@
+#include "model/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/assert.hpp"
+#include "graph/cycle_ratio.hpp"
+
+namespace strt {
+
+namespace {
+
+struct Skeleton {
+  std::size_t n{0};
+  std::vector<DrtEdge> edges;  // wcets filled in later
+};
+
+Skeleton random_skeleton(Rng& rng, const DrtGenParams& p) {
+  Skeleton sk;
+  sk.n = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(p.min_vertices),
+                      static_cast<std::int64_t>(p.max_vertices)));
+  auto rand_sep = [&] {
+    return Time(rng.uniform_int(p.min_separation.count(),
+                                p.max_separation.count()));
+  };
+  // Random Hamiltonian cycle: cyclic + strongly connected base.
+  std::vector<VertexId> order(sk.n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = sk.n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.pick_index(i)]);
+  }
+  for (std::size_t i = 0; i < sk.n; ++i) {
+    sk.edges.push_back(
+        DrtEdge{order[i], order[(i + 1) % sk.n], rand_sep()});
+  }
+  // Chord edges add branching choices.
+  for (std::size_t u = 0; u < sk.n; ++u) {
+    for (std::size_t v = 0; v < sk.n; ++v) {
+      if (u == v) continue;
+      if (rng.chance(p.chord_probability)) {
+        sk.edges.push_back(DrtEdge{static_cast<VertexId>(u),
+                                   static_cast<VertexId>(v), rand_sep()});
+      }
+    }
+  }
+  return sk;
+}
+
+DrtTask assemble(const Skeleton& sk, const std::vector<Work>& wcets,
+                 double deadline_factor) {
+  DrtBuilder b("gen");
+  std::vector<Time> min_out(sk.n, Time::unbounded());
+  for (const DrtEdge& e : sk.edges) {
+    auto& m = min_out[static_cast<std::size_t>(e.from)];
+    m = min(m, e.separation);
+  }
+  for (std::size_t v = 0; v < sk.n; ++v) {
+    STRT_ASSERT(!min_out[v].is_unbounded(), "generator vertex has no edge");
+    const auto d = static_cast<std::int64_t>(
+        std::ceil(deadline_factor * static_cast<double>(min_out[v].count())));
+    b.add_vertex("v" + std::to_string(v), wcets[v],
+                 Time(std::max<std::int64_t>(1, d)));
+  }
+  for (const DrtEdge& e : sk.edges) {
+    b.add_edge(e.from, e.to, e.separation);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace
+
+GeneratedTask random_drt(Rng& rng, const DrtGenParams& p) {
+  STRT_REQUIRE(p.min_vertices >= 1 && p.min_vertices <= p.max_vertices,
+               "bad vertex-count range");
+  STRT_REQUIRE(p.min_separation >= Time(1) &&
+                   p.min_separation <= p.max_separation,
+               "bad separation range");
+  STRT_REQUIRE(p.target_utilization > 0.0, "target utilization must be > 0");
+
+  const Skeleton sk = random_skeleton(rng, p);
+
+  // Average outgoing separation per vertex drives the initial wcet guess.
+  std::vector<double> avg_sep(sk.n, 0.0);
+  std::vector<int> deg(sk.n, 0);
+  for (const DrtEdge& e : sk.edges) {
+    avg_sep[static_cast<std::size_t>(e.from)] +=
+        static_cast<double>(e.separation.count());
+    ++deg[static_cast<std::size_t>(e.from)];
+  }
+  std::vector<Work> wcets(sk.n, Work(1));
+  auto set_wcets = [&](double scale) {
+    for (std::size_t v = 0; v < sk.n; ++v) {
+      const double want = scale * avg_sep[v] / std::max(1, deg[v]);
+      wcets[v] = Work(std::max<std::int64_t>(1, std::llround(want)));
+    }
+  };
+
+  set_wcets(p.target_utilization);
+  DrtTask task = assemble(sk, wcets, p.deadline_factor);
+  std::optional<Rational> u = utilization(task);
+  STRT_ASSERT(u.has_value(), "generated task must be cyclic");
+
+  // One corrective rescale toward the target (integer rounding keeps the
+  // achieved value approximate; the exact value is reported).
+  const double achieved = u->to_double();
+  if (achieved > 0.0 &&
+      std::abs(achieved - p.target_utilization) / p.target_utilization >
+          0.05) {
+    set_wcets(p.target_utilization * p.target_utilization / achieved);
+    task = assemble(sk, wcets, p.deadline_factor);
+    u = utilization(task);
+    STRT_ASSERT(u.has_value(), "rescaled task must stay cyclic");
+  }
+  return GeneratedTask{std::move(task), *u};
+}
+
+std::vector<GeneratedTask> random_drt_set(Rng& rng, std::size_t count,
+                                          double total_target,
+                                          DrtGenParams params) {
+  STRT_REQUIRE(count >= 1, "task-set size must be >= 1");
+  STRT_REQUIRE(total_target > 0.0, "total utilization must be > 0");
+  const std::vector<double> shares = uunifast(rng, count, total_target);
+  std::vector<GeneratedTask> set;
+  set.reserve(count);
+  for (double share : shares) {
+    params.target_utilization = std::max(share, 1e-3);
+    set.push_back(random_drt(rng, params));
+  }
+  return set;
+}
+
+}  // namespace strt

@@ -1,0 +1,44 @@
+// Random DRT task synthesis for experiments (Stigge-style generation):
+// a random Hamiltonian cycle guarantees the task is cyclic and strongly
+// connected, extra chord edges add branching, and wcets are scaled toward
+// a target utilization (reported exactly afterwards).
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "base/rng.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+struct DrtGenParams {
+  std::size_t min_vertices = 5;
+  std::size_t max_vertices = 10;
+  Time min_separation{10};
+  Time max_separation{100};
+  /// Probability of each possible chord edge beyond the base cycle.
+  double chord_probability = 0.15;
+  /// Desired long-run utilization (max cycle ratio); the generator scales
+  /// integer wcets toward it, the achieved value is exact but approximate
+  /// to the target.
+  double target_utilization = 0.3;
+  /// Deadline = ceil(deadline_factor * min outgoing separation); with
+  /// factor <= 1 the task is frame-separated.
+  double deadline_factor = 1.0;
+};
+
+struct GeneratedTask {
+  DrtTask task;
+  Rational exact_utilization{0};
+};
+
+[[nodiscard]] GeneratedTask random_drt(Rng& rng, const DrtGenParams& params);
+
+/// A set of tasks whose exact utilizations sum close to `total_target`
+/// (UUniFast split of the target across `count` tasks).
+[[nodiscard]] std::vector<GeneratedTask> random_drt_set(
+    Rng& rng, std::size_t count, double total_target,
+    DrtGenParams params = {});
+
+}  // namespace strt

@@ -1,0 +1,44 @@
+#include "model/gmf.hpp"
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+GmfTask::GmfTask(std::string name, std::vector<GmfFrame> frames)
+    : name_(std::move(name)), frames_(std::move(frames)) {
+  STRT_REQUIRE(!frames_.empty(), "a GMF task needs at least one frame");
+  for (const GmfFrame& f : frames_) {
+    STRT_REQUIRE(f.wcet >= Work(1), "frame wcet must be >= 1");
+    STRT_REQUIRE(f.deadline >= Time(1), "frame deadline must be >= 1");
+    STRT_REQUIRE(f.separation >= Time(1), "frame separation must be >= 1");
+  }
+}
+
+DrtTask GmfTask::to_drt() const {
+  DrtBuilder b(name_);
+  std::vector<VertexId> ids;
+  ids.reserve(frames_.size());
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    ids.push_back(b.add_vertex(name_ + "#" + std::to_string(i),
+                               frames_[i].wcet, frames_[i].deadline));
+  }
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    b.add_edge(ids[i], ids[(i + 1) % frames_.size()],
+               frames_[i].separation);
+  }
+  return std::move(b).build();
+}
+
+Work GmfTask::total_wcet() const {
+  Work sum(0);
+  for (const GmfFrame& f : frames_) sum += f.wcet;
+  return sum;
+}
+
+Time GmfTask::total_separation() const {
+  Time sum(0);
+  for (const GmfFrame& f : frames_) sum += f.separation;
+  return sum;
+}
+
+}  // namespace strt

@@ -1,0 +1,45 @@
+// Generalized multiframe (GMF) tasks: a fixed ring of frames.
+//
+// Frame i releases a job of wcet(i) / deadline(i); the next release is
+// frame (i+1) mod N after at least separation(i) ticks.  GMF is the
+// cycle-graph special case of the DRT model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+struct GmfFrame {
+  Work wcet{1};
+  Time deadline{1};
+  /// Minimum separation to the next frame in the ring.
+  Time separation{1};
+};
+
+class GmfTask {
+ public:
+  GmfTask(std::string name, std::vector<GmfFrame> frames);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<GmfFrame>& frames() const {
+    return frames_;
+  }
+
+  /// Ring-shaped DRT task (vertex i -> vertex (i+1) mod N).
+  [[nodiscard]] DrtTask to_drt() const;
+
+  /// Sum of wcets over one ring revolution.
+  [[nodiscard]] Work total_wcet() const;
+  /// Sum of separations over one revolution (the GMF "period").
+  [[nodiscard]] Time total_separation() const;
+
+ private:
+  std::string name_;
+  std::vector<GmfFrame> frames_;
+};
+
+}  // namespace strt

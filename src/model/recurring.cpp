@@ -1,0 +1,70 @@
+#include "model/recurring.hpp"
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+RecurringTaskBuilder::RecurringTaskBuilder(std::string name)
+    : name_(std::move(name)) {}
+
+VertexId RecurringTaskBuilder::set_root(std::string name, Work wcet,
+                                        Time deadline) {
+  STRT_REQUIRE(nodes_.empty(), "root must be the first vertex");
+  nodes_.push_back(Node{std::move(name), wcet, deadline, Time(0), false,
+                        false});
+  return 0;
+}
+
+VertexId RecurringTaskBuilder::add_child(VertexId parent, std::string name,
+                                         Work wcet, Time deadline,
+                                         Time separation) {
+  STRT_REQUIRE(!nodes_.empty(), "set_root() must be called first");
+  STRT_REQUIRE(parent >= 0 &&
+                   static_cast<std::size_t>(parent) < nodes_.size(),
+               "parent out of range");
+  STRT_REQUIRE(separation >= Time(1), "separation must be >= 1");
+  auto& p = nodes_[static_cast<std::size_t>(parent)];
+  p.has_children = true;
+  const auto id = static_cast<VertexId>(nodes_.size());
+  nodes_.push_back(Node{std::move(name), wcet, deadline,
+                        p.span_from_root + separation, false, false});
+  edges_.push_back(DrtEdge{parent, id, separation});
+  return id;
+}
+
+RecurringTaskBuilder& RecurringTaskBuilder::add_restart(
+    VertexId leaf, Time restart_separation) {
+  STRT_REQUIRE(leaf >= 0 && static_cast<std::size_t>(leaf) < nodes_.size(),
+               "leaf out of range");
+  STRT_REQUIRE(restart_separation >= Time(1),
+               "restart separation must be >= 1");
+  nodes_[static_cast<std::size_t>(leaf)].has_restart = true;
+  edges_.push_back(DrtEdge{leaf, 0, restart_separation});
+  return *this;
+}
+
+RecurringTaskBuilder& RecurringTaskBuilder::with_global_period(Time period) {
+  STRT_REQUIRE(!nodes_.empty(), "set_root() must be called first");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.has_children || n.has_restart) continue;
+    STRT_REQUIRE(period > n.span_from_root,
+                 "global period must exceed the branch span");
+    add_restart(static_cast<VertexId>(i), period - n.span_from_root);
+  }
+  return *this;
+}
+
+DrtTask RecurringTaskBuilder::build() && {
+  STRT_REQUIRE(!nodes_.empty(), "recurring task needs a root");
+  DrtBuilder b(name_);
+  for (Node& n : nodes_) {
+    b.add_vertex(std::move(n.name), n.wcet, n.deadline);
+  }
+  for (const DrtEdge& e : edges_) {
+    b.add_edge(e.from, e.to, e.separation);
+  }
+  return std::move(b).build();
+}
+
+}  // namespace strt

@@ -1,0 +1,56 @@
+// Recurring branching tasks: a rooted tree of job types with branching
+// choices, restarting at the root after each leaf.
+//
+// This is the tree-shaped special case of the DRT model (Baruah's
+// recurring task model with explicit per-leaf restart separations; the
+// original model's global period P maps to restart separations
+// P - span(root..leaf), which the caller computes -- see
+// with_global_period()).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+class RecurringTaskBuilder {
+ public:
+  explicit RecurringTaskBuilder(std::string name);
+
+  /// Adds the root job type; must be called exactly once, first.
+  VertexId set_root(std::string name, Work wcet, Time deadline);
+
+  /// Adds a child job type released at least `separation` after `parent`.
+  VertexId add_child(VertexId parent, std::string name, Work wcet,
+                     Time deadline, Time separation);
+
+  /// Declares `leaf` terminal: the task restarts at the root at least
+  /// `restart_separation` after the leaf's release.
+  RecurringTaskBuilder& add_restart(VertexId leaf, Time restart_separation);
+
+  /// Convenience: restart every current leaf (vertex without children)
+  /// such that consecutive root releases are at least `period` apart on
+  /// every branch, i.e. restart_separation = period - span(root..leaf).
+  /// Requires period > span for every leaf.
+  RecurringTaskBuilder& with_global_period(Time period);
+
+  [[nodiscard]] DrtTask build() &&;
+
+ private:
+  struct Node {
+    std::string name;
+    Work wcet{1};
+    Time deadline{1};
+    Time span_from_root{0};
+    bool has_children = false;
+    bool has_restart = false;
+  };
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<DrtEdge> edges_;
+};
+
+}  // namespace strt

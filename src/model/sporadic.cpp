@@ -1,0 +1,36 @@
+#include "model/sporadic.hpp"
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+#include "curves/builders.hpp"
+
+namespace strt {
+
+DrtTask SporadicTask::to_drt() const {
+  STRT_REQUIRE(wcet >= Work(1), "wcet must be >= 1");
+  STRT_REQUIRE(period >= Time(1), "period must be >= 1");
+  STRT_REQUIRE(deadline >= Time(1), "deadline must be >= 1");
+  DrtBuilder b(name);
+  const VertexId v = b.add_vertex(name, wcet, deadline);
+  b.add_edge(v, v, period);
+  return std::move(b).build();
+}
+
+Staircase SporadicTask::rbf_closed_form(Time horizon) const {
+  return curve::periodic_arrival(wcet, period, Time(0), horizon)
+      .without_tail();
+}
+
+Staircase SporadicTask::dbf_closed_form(Time horizon) const {
+  STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+  std::vector<Step> pts;
+  for (std::int64_t k = 0;; ++k) {
+    const std::int64_t t =
+        checked::add(deadline.count(), checked::mul(k, period.count()));
+    if (t > horizon.count()) break;
+    pts.push_back(Step{Time(t), Work(checked::mul(k + 1, wcet.count()))});
+  }
+  return Staircase::from_points(std::move(pts), horizon);
+}
+
+}  // namespace strt

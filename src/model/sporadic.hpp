@@ -1,0 +1,31 @@
+// Sporadic (and strictly periodic) tasks: the degenerate one-vertex case
+// of the structural model, with closed-form workload functions used to
+// cross-validate the graph algorithms.
+#pragma once
+
+#include <string>
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+struct SporadicTask {
+  std::string name = "sporadic";
+  Work wcet{1};
+  Time period{1};    // minimum inter-release separation
+  Time deadline{1};  // relative deadline
+
+  /// Single vertex with a self-loop of the period.
+  [[nodiscard]] DrtTask to_drt() const;
+
+  /// rbf(t) = wcet * ceil(t / period).
+  [[nodiscard]] Staircase rbf_closed_form(Time horizon) const;
+
+  /// dbf(t) = wcet * (floor((t - deadline) / period) + 1) for
+  /// t >= deadline, else 0.
+  [[nodiscard]] Staircase dbf_closed_form(Time horizon) const;
+};
+
+}  // namespace strt

@@ -1,0 +1,127 @@
+#include "resource/supply.hpp"
+
+#include <sstream>
+
+#include "base/assert.hpp"
+#include "curves/builders.hpp"
+
+namespace strt {
+
+Supply Supply::dedicated(std::int64_t rate) {
+  STRT_REQUIRE(rate >= 1, "dedicated rate must be >= 1");
+  return Supply(DedicatedSupply{rate});
+}
+
+Supply Supply::bounded_delay(Rational rate, Time delay) {
+  STRT_REQUIRE(rate > Rational(0), "bounded-delay rate must be positive");
+  STRT_REQUIRE(delay >= Time(0), "bounded-delay latency must be >= 0");
+  return Supply(BoundedDelaySupply{rate, delay});
+}
+
+Supply Supply::periodic(Time budget, Time period) {
+  STRT_REQUIRE(budget >= Time(1), "budget must be >= 1");
+  STRT_REQUIRE(budget <= period, "budget must fit in the period");
+  return Supply(PeriodicSupply{budget, period});
+}
+
+Supply Supply::tdma(Time slot, Time cycle) {
+  STRT_REQUIRE(slot >= Time(1), "slot must be >= 1");
+  STRT_REQUIRE(slot <= cycle, "slot must fit in the cycle");
+  return Supply(TdmaSupply{slot, cycle});
+}
+
+Supply Supply::schedule(std::vector<bool> active) {
+  STRT_REQUIRE(!active.empty(), "schedule must have at least one tick");
+  bool any = false;
+  for (const bool a : active) any = any || a;
+  STRT_REQUIRE(any, "schedule must have an active tick");
+  return Supply(ScheduleSupply{std::move(active)});
+}
+
+Staircase Supply::sbf(Time horizon) const {
+  STRT_REQUIRE(horizon >= min_horizon(),
+               "horizon below the model's minimum (see min_horizon())");
+  return std::visit(
+      [&](const auto& m) -> Staircase {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DedicatedSupply>) {
+          return curve::dedicated(m.rate, horizon);
+        } else if constexpr (std::is_same_v<T, BoundedDelaySupply>) {
+          return curve::rate_latency(m.rate, m.delay, horizon);
+        } else if constexpr (std::is_same_v<T, PeriodicSupply>) {
+          return curve::periodic_resource(m.budget, m.period, horizon);
+        } else if constexpr (std::is_same_v<T, TdmaSupply>) {
+          return curve::tdma_supply(m.slot, m.cycle, horizon);
+        } else {
+          return curve::schedule_supply(m.active, horizon);
+        }
+      },
+      model_);
+}
+
+Rational Supply::long_run_rate() const {
+  return std::visit(
+      [](const auto& m) -> Rational {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DedicatedSupply>) {
+          return Rational(m.rate);
+        } else if constexpr (std::is_same_v<T, BoundedDelaySupply>) {
+          return m.rate;
+        } else if constexpr (std::is_same_v<T, PeriodicSupply>) {
+          return Rational(m.budget.count(), m.period.count());
+        } else if constexpr (std::is_same_v<T, TdmaSupply>) {
+          return Rational(m.slot.count(), m.cycle.count());
+        } else {
+          std::int64_t on = 0;
+          for (const bool a : m.active) on += a ? 1 : 0;
+          return Rational(on, static_cast<std::int64_t>(m.active.size()));
+        }
+      },
+      model_);
+}
+
+Time Supply::min_horizon() const {
+  return std::visit(
+      [](const auto& m) -> Time {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DedicatedSupply>) {
+          return Time(1);
+        } else if constexpr (std::is_same_v<T, BoundedDelaySupply>) {
+          return m.delay + Time(m.rate.den());
+        } else if constexpr (std::is_same_v<T, PeriodicSupply>) {
+          return m.period + m.period;
+        } else if constexpr (std::is_same_v<T, TdmaSupply>) {
+          return m.cycle;
+        } else {
+          return Time(static_cast<std::int64_t>(m.active.size()));
+        }
+      },
+      model_);
+}
+
+std::string Supply::describe() const {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, DedicatedSupply>) {
+          os << "dedicated(rate=" << m.rate << ")";
+        } else if constexpr (std::is_same_v<T, BoundedDelaySupply>) {
+          os << "bounded_delay(rate=" << m.rate << ", delay=" << m.delay
+             << ")";
+        } else if constexpr (std::is_same_v<T, PeriodicSupply>) {
+          os << "periodic(budget=" << m.budget << ", period=" << m.period
+             << ")";
+        } else if constexpr (std::is_same_v<T, TdmaSupply>) {
+          os << "tdma(slot=" << m.slot << ", cycle=" << m.cycle << ")";
+        } else {
+          os << "schedule(mask=";
+          for (const bool a : m.active) os << (a ? '1' : '0');
+          os << ")";
+        }
+      },
+      model_);
+  return os.str();
+}
+
+}  // namespace strt

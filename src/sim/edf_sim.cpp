@@ -1,0 +1,89 @@
+#include "sim/edf_sim.hpp"
+
+#include <algorithm>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+std::vector<EdfJob> edf_jobs_of_trace(const DrtTask& task,
+                                      const Trace& trace,
+                                      std::size_t stream) {
+  std::vector<EdfJob> jobs;
+  jobs.reserve(trace.size());
+  for (const SimJob& j : trace) {
+    jobs.push_back(EdfJob{j.release, j.wcet,
+                          j.release + task.vertex(j.vertex).deadline,
+                          stream});
+  }
+  return jobs;
+}
+
+EdfOutcome simulate_edf(const std::vector<EdfJob>& jobs,
+                        const ServicePattern& pattern) {
+  std::vector<EdfJob> sorted = jobs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const EdfJob& a, const EdfJob& b) {
+              return a.release < b.release;
+            });
+
+  struct Pending {
+    EdfJob job;
+    Work remaining;
+  };
+  std::vector<Pending> ready;  // kept unsorted; EDF pick is a linear scan
+  EdfOutcome out;
+  Work backlog(0);
+  std::size_t next = 0;
+  const auto H = static_cast<std::int64_t>(pattern.size());
+
+  for (std::int64_t t = 0; t < H; ++t) {
+    while (next < sorted.size() && sorted[next].release == Time(t)) {
+      ready.push_back(Pending{sorted[next], sorted[next].wcet});
+      backlog += sorted[next].wcet;
+      ++next;
+    }
+    out.max_backlog = max(out.max_backlog, backlog);
+
+    // Misses are detected at the deadline instant: a job whose absolute
+    // deadline is <= t and which still has remaining work has missed.
+    for (const Pending& p : ready) {
+      if (p.job.absolute_deadline <= Time(t) && !out.first_miss) {
+        out.first_miss = p.job;
+      }
+    }
+
+    std::int64_t cap = pattern[static_cast<std::size_t>(t)];
+    while (cap > 0 && !ready.empty()) {
+      // Earliest absolute deadline first.
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < ready.size(); ++i) {
+        const EdfJob& a = ready[i].job;
+        const EdfJob& b = ready[best].job;
+        if (a.absolute_deadline != b.absolute_deadline) {
+          if (a.absolute_deadline < b.absolute_deadline) best = i;
+        } else if (a.release != b.release) {
+          if (a.release < b.release) best = i;
+        } else if (a.stream < b.stream) {
+          best = i;
+        }
+      }
+      Pending& head = ready[best];
+      const std::int64_t served = std::min(cap, head.remaining.count());
+      head.remaining -= Work(served);
+      backlog -= Work(served);
+      cap -= served;
+      if (head.remaining == Work(0)) {
+        if (Time(t + 1) > head.job.absolute_deadline && !out.first_miss) {
+          out.first_miss = head.job;
+        }
+        ++out.completed;
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+      }
+    }
+  }
+  out.all_completed = ready.empty() && next == sorted.size();
+  return out;
+}
+
+}  // namespace strt

@@ -1,0 +1,47 @@
+// Cycle-accurate preemptive EDF execution of multiple release traces on a
+// concrete service pattern.  Ground truth for the demand-bound
+// schedulability test (core/edf): a set the test accepts must never miss
+// a deadline in any legal run on any conforming pattern.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+namespace strt {
+
+/// One job with an absolute deadline.
+struct EdfJob {
+  Time release{0};
+  Work wcet{0};
+  Time absolute_deadline{0};
+  std::size_t stream{0};
+};
+
+struct EdfOutcome {
+  /// First deadline miss observed (job still unfinished at its absolute
+  /// deadline), if any.
+  std::optional<EdfJob> first_miss;
+  /// Jobs completed within the pattern.
+  std::size_t completed{0};
+  /// True if every admitted job finished before the pattern ran out.
+  bool all_completed{true};
+  Work max_backlog{0};
+};
+
+/// Preemptive EDF over the merged job list (ties broken by earlier
+/// release, then stream id).  Jobs must be sorted by release per stream;
+/// the merged list is built internally.
+[[nodiscard]] EdfOutcome simulate_edf(const std::vector<EdfJob>& jobs,
+                                      const ServicePattern& pattern);
+
+/// Convenience: turn a per-task trace into EDF jobs using the releasing
+/// vertex's relative deadline.
+[[nodiscard]] std::vector<EdfJob> edf_jobs_of_trace(const DrtTask& task,
+                                                    const Trace& trace,
+                                                    std::size_t stream);
+
+}  // namespace strt

@@ -1,0 +1,55 @@
+#include "sim/fifo.hpp"
+
+#include <deque>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+SimOutcome simulate_fifo(const Trace& trace, const ServicePattern& pattern) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    STRT_REQUIRE(trace[i - 1].release <= trace[i].release,
+                 "trace must be sorted by release time");
+  }
+  SimOutcome out;
+  struct Pending {
+    SimJob job;
+    Work remaining;
+  };
+  std::deque<Pending> queue;
+  Work backlog(0);
+  std::size_t next = 0;
+  const auto H = static_cast<std::int64_t>(pattern.size());
+
+  for (std::int64_t t = 0; t < H; ++t) {
+    // Admit releases at time t (before this tick's service).
+    while (next < trace.size() && trace[next].release == Time(t)) {
+      queue.push_back(Pending{trace[next], trace[next].wcet});
+      backlog += trace[next].wcet;
+      ++next;
+    }
+    out.max_backlog = max(out.max_backlog, backlog);
+
+    std::int64_t cap = pattern[static_cast<std::size_t>(t)];
+    while (cap > 0 && !queue.empty()) {
+      Pending& head = queue.front();
+      const std::int64_t served = std::min(cap, head.remaining.count());
+      head.remaining -= Work(served);
+      backlog -= Work(served);
+      cap -= served;
+      if (head.remaining == Work(0)) {
+        CompletedJob done;
+        done.job = head.job;
+        done.finish = Time(t + 1);
+        done.delay = done.finish - head.job.release;
+        out.max_delay = max(out.max_delay, done.delay);
+        out.jobs.push_back(done);
+        queue.pop_front();
+      }
+    }
+  }
+  out.all_completed = queue.empty() && next == trace.size();
+  return out;
+}
+
+}  // namespace strt

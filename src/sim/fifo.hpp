@@ -1,0 +1,37 @@
+// Cycle-accurate FIFO processing of a release trace over a concrete
+// service pattern.  This is the ground-truth executor: every delay it
+// observes must be covered by both the structural and the curve-based
+// bound, which the test suite enforces.
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+namespace strt {
+
+struct CompletedJob {
+  SimJob job;
+  Time finish{0};  // end of the tick in which the job completed
+  Time delay{0};   // finish - release
+};
+
+struct SimOutcome {
+  std::vector<CompletedJob> jobs;  // completed jobs, in completion order
+  Time max_delay{0};
+  Work max_backlog{0};
+  /// False if some jobs were still queued when the pattern ran out; their
+  /// delays are not included in max_delay.
+  bool all_completed{true};
+};
+
+/// Simulates FIFO processing: jobs queue in release order; each tick
+/// serves up to pattern[t] work units from the queue head.  Releases
+/// beyond the pattern's end are not admitted (all_completed = false).
+/// The trace must be sorted by release time.
+[[nodiscard]] SimOutcome simulate_fifo(const Trace& trace,
+                                       const ServicePattern& pattern);
+
+}  // namespace strt

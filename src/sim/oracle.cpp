@@ -1,0 +1,64 @@
+#include "sim/oracle.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+#include "sim/fifo.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+namespace strt {
+
+OracleResult oracle_worst_delay(const DrtTask& task, const Staircase& sbf,
+                                Time elapsed_limit) {
+  STRT_REQUIRE(elapsed_limit >= Time(0),
+               "elapsed_limit must be non-negative");
+  // Longest possible path: one job per tick plus the initial one.
+  const std::int64_t max_jobs = elapsed_limit.count() + 1;
+  const Work max_work =
+      Work(checked::mul(max_jobs, task.max_wcet().count()));
+  const Time finish_bound = sbf.inverse(max_work);
+  STRT_REQUIRE(!finish_bound.is_unbounded(),
+               "sbf never delivers the maximal path work");
+  // Jobs may be released as late as elapsed_limit and the pattern wastes
+  // idle capacity, but any window of length sbf^{-1}(max_work) after the
+  // last release drains everything (the minimal pattern conforms to sbf,
+  // which is superadditive).
+  const Time horizon = elapsed_limit + finish_bound + Time(2);
+  const ServicePattern adversary = pattern_from_sbf(sbf, horizon);
+
+  OracleResult res;
+  Trace trace;
+
+  auto simulate_leaf = [&]() {
+    ++res.paths_explored;
+    const SimOutcome out = simulate_fifo(trace, adversary);
+    STRT_ASSERT(out.all_completed, "oracle horizon too short");
+    res.delay = max(res.delay, out.max_delay);
+    res.backlog = max(res.backlog, out.max_backlog);
+  };
+
+  std::function<void(VertexId, Time)> dfs = [&](VertexId v, Time elapsed) {
+    trace.push_back(SimJob{elapsed, task.vertex(v).wcet, v});
+    bool extended = false;
+    for (std::int32_t ei : task.out_edges(v)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time next = elapsed + e.separation;
+      if (next > elapsed_limit) continue;
+      extended = true;
+      dfs(e.to, next);
+    }
+    if (!extended) simulate_leaf();  // maximal path: covers all prefixes
+    trace.pop_back();
+  };
+
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    dfs(v, Time(0));
+  }
+  return res;
+}
+
+}  // namespace strt

@@ -1,0 +1,37 @@
+// Exhaustive exact worst-case delay for small instances.
+//
+// Enumerates every legal minimum-separation release path within the busy
+// window (no dominance pruning, no abstraction) and simulates each one
+// under the pointwise-minimal service pattern of the sbf -- the universal
+// worst-case adversary for FIFO (any conforming run delivers at least as
+// much service in every prefix).  Minimum separations are worst-case
+// because delaying a release can only reduce that job's (and its
+// successors') delay under FIFO with a fixed conforming pattern.
+//
+// Exponential in the path length; this is the test oracle the polynomial
+// structural analysis is validated against, not a production analysis.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+
+namespace strt {
+
+struct OracleResult {
+  Time delay{0};
+  Work backlog{0};
+  std::uint64_t paths_explored{0};
+};
+
+/// Exact worst-case delay/backlog over all release paths with span
+/// <= elapsed_limit, served FIFO by the minimal pattern of `sbf`.
+/// `sbf` must cover (elapsed_limit + enough slack for the last job);
+/// pass a curve materialized via Supply::sbf on a generous horizon.
+[[nodiscard]] OracleResult oracle_worst_delay(const DrtTask& task,
+                                              const Staircase& sbf,
+                                              Time elapsed_limit);
+
+}  // namespace strt

@@ -1,0 +1,155 @@
+#include "sim/pipeline.hpp"
+
+#include <deque>
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+struct Chunk {
+  std::size_t job;
+  std::int64_t units;
+};
+
+void validate(const Trace& trace, const std::vector<ServicePattern>& hops) {
+  STRT_REQUIRE(!hops.empty(), "pipeline needs at least one hop");
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    STRT_REQUIRE(hops[i].size() == hops[0].size(),
+                 "hop patterns must share a horizon");
+  }
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    STRT_REQUIRE(trace[i - 1].release <= trace[i].release,
+                 "trace must be sorted by release time");
+  }
+}
+
+void push_units(std::deque<Chunk>& queue, std::size_t job,
+                std::int64_t units) {
+  if (units <= 0) return;
+  if (!queue.empty() && queue.back().job == job) {
+    queue.back().units += units;
+  } else {
+    queue.push_back(Chunk{job, units});
+  }
+}
+
+}  // namespace
+
+PipelineOutcome simulate_cut_through(const Trace& trace,
+                                     const std::vector<ServicePattern>& hops) {
+  validate(trace, hops);
+  const std::size_t n = hops.size();
+  const auto H = static_cast<std::int64_t>(hops[0].size());
+  std::vector<std::deque<Chunk>> queues(n);
+  std::vector<std::int64_t> exited(trace.size(), 0);
+
+  PipelineOutcome out;
+  out.delays.assign(trace.size(), Time(0));
+  std::vector<bool> done(trace.size(), false);
+  std::size_t next = 0;
+  std::size_t completed = 0;
+
+  for (std::int64_t t = 0; t < H; ++t) {
+    while (next < trace.size() && trace[next].release == Time(t)) {
+      push_units(queues[0], next, trace[next].wcet.count());
+      ++next;
+    }
+    // Hops in order: units served at hop i are available to hop i+1
+    // within the same tick (cut-through).
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t cap = hops[i][static_cast<std::size_t>(t)];
+      while (cap > 0 && !queues[i].empty()) {
+        Chunk& head = queues[i].front();
+        const std::int64_t served = std::min(cap, head.units);
+        head.units -= served;
+        cap -= served;
+        if (i + 1 < n) {
+          push_units(queues[i + 1], head.job, served);
+        } else {
+          exited[head.job] += served;
+          if (exited[head.job] == trace[head.job].wcet.count() &&
+              !done[head.job]) {
+            done[head.job] = true;
+            out.delays[head.job] = Time(t + 1) - trace[head.job].release;
+            out.max_delay = max(out.max_delay, out.delays[head.job]);
+            ++completed;
+          }
+        }
+        if (head.units == 0) queues[i].pop_front();
+      }
+    }
+  }
+  out.all_completed = completed == trace.size();
+  if (!out.all_completed) {
+    // Keep only completed-job delays.
+    std::vector<Time> delays;
+    for (std::size_t j = 0; j < trace.size(); ++j) {
+      if (done[j]) delays.push_back(out.delays[j]);
+    }
+    out.delays = std::move(delays);
+  }
+  return out;
+}
+
+PipelineOutcome simulate_store_and_forward(
+    const Trace& trace, const std::vector<ServicePattern>& hops) {
+  validate(trace, hops);
+  const std::size_t n = hops.size();
+  const auto H = static_cast<std::int64_t>(hops[0].size());
+
+  struct Pending {
+    std::size_t job;
+    Work remaining;
+  };
+  std::vector<std::deque<Pending>> queues(n);
+
+  PipelineOutcome out;
+  std::vector<Time> finish(trace.size(), Time(0));
+  std::vector<bool> done(trace.size(), false);
+  std::size_t next = 0;
+  std::size_t completed = 0;
+
+  for (std::int64_t t = 0; t < H; ++t) {
+    while (next < trace.size() && trace[next].release == Time(t)) {
+      queues[0].push_back(Pending{next, trace[next].wcet});
+      ++next;
+    }
+    // Jobs completed at hop i during tick t become visible to hop i+1
+    // only at t+1 (a relay cannot retransmit what it is still
+    // receiving), so forwards are staged and appended after the sweep.
+    std::vector<std::vector<std::size_t>> staged(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int64_t cap = hops[i][static_cast<std::size_t>(t)];
+      while (cap > 0 && !queues[i].empty()) {
+        Pending& head = queues[i].front();
+        const std::int64_t served = std::min(cap, head.remaining.count());
+        head.remaining -= Work(served);
+        cap -= served;
+        if (head.remaining == Work(0)) {
+          const std::size_t job = head.job;
+          queues[i].pop_front();
+          if (i + 1 < n) {
+            staged[i + 1].push_back(job);
+          } else {
+            done[job] = true;
+            finish[job] = Time(t + 1);
+            out.delays.push_back(finish[job] - trace[job].release);
+            out.max_delay = max(out.max_delay, out.delays.back());
+            ++completed;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      for (const std::size_t job : staged[i]) {
+        queues[i].push_back(Pending{job, trace[job].wcet});
+      }
+    }
+  }
+  out.all_completed = completed == trace.size();
+  return out;
+}
+
+}  // namespace strt

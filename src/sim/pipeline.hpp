@@ -1,0 +1,40 @@
+// Multi-hop pipeline simulators, one per forwarding semantics:
+//
+//   cut-through       a work unit served by hop i during tick t is
+//                     available to hop i+1 within the same tick
+//                     (streaming stages; matches the convolved-service
+//                     bounds of core/chain).
+//   store-and-forward a job becomes visible to hop i+1 only when hop i
+//                     has completed all of its work (message relays;
+//                     matches the per-hop compositional bound).
+//
+// Both execute FIFO per hop over concrete per-tick service patterns and
+// report the worst end-to-end delay (release at hop 0 to the job's last
+// unit leaving the final hop).
+#pragma once
+
+#include <vector>
+
+#include "base/types.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+namespace strt {
+
+struct PipelineOutcome {
+  Time max_delay{0};
+  /// Per-job end-to-end delays in release order (only completed jobs).
+  std::vector<Time> delays;
+  bool all_completed{true};
+};
+
+/// Cut-through pipeline.  All patterns must have the same length; the
+/// trace must be sorted by release.
+[[nodiscard]] PipelineOutcome simulate_cut_through(
+    const Trace& trace, const std::vector<ServicePattern>& hops);
+
+/// Store-and-forward pipeline (same contract).
+[[nodiscard]] PipelineOutcome simulate_store_and_forward(
+    const Trace& trace, const std::vector<ServicePattern>& hops);
+
+}  // namespace strt

@@ -1,0 +1,112 @@
+#include "sim/service.hpp"
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+ServicePattern pattern_constant(std::int64_t rate, Time horizon) {
+  STRT_REQUIRE(rate >= 0, "rate must be non-negative");
+  return ServicePattern(static_cast<std::size_t>(horizon.count()), rate);
+}
+
+ServicePattern pattern_tdma(Time slot, Time cycle, Time phase,
+                            Time horizon) {
+  STRT_REQUIRE(slot >= Time(1) && slot <= cycle, "bad TDMA parameters");
+  STRT_REQUIRE(phase >= Time(0) && phase < cycle, "phase must be in [0,cycle)");
+  ServicePattern p(static_cast<std::size_t>(horizon.count()), 0);
+  for (std::size_t t = 0; t < p.size(); ++t) {
+    const std::int64_t pos =
+        (static_cast<std::int64_t>(t) - phase.count() % cycle.count() +
+         cycle.count()) %
+        cycle.count();
+    if (pos < slot.count()) p[t] = 1;
+  }
+  return p;
+}
+
+ServicePattern pattern_periodic_server(Time budget, Time period,
+                                       BudgetPlacement placement,
+                                       Time horizon, Rng* rng) {
+  STRT_REQUIRE(budget >= Time(1) && budget <= period,
+               "bad periodic-server parameters");
+  STRT_REQUIRE(placement != BudgetPlacement::kRandom || rng != nullptr,
+               "random placement needs an Rng");
+  ServicePattern p(static_cast<std::size_t>(horizon.count()), 0);
+  const std::int64_t q = budget.count();
+  const std::int64_t pp = period.count();
+  for (std::int64_t k = 0; k * pp < horizon.count(); ++k) {
+    std::int64_t offset = 0;  // position of the budget within period k
+    switch (placement) {
+      case BudgetPlacement::kEarly:
+        offset = 0;
+        break;
+      case BudgetPlacement::kLate:
+        offset = pp - q;
+        break;
+      case BudgetPlacement::kWorstCase:
+        // Early in the first period, as late as possible afterwards:
+        // realizes the Shin & Lee worst-case supply.
+        offset = (k == 0) ? 0 : pp - q;
+        break;
+      case BudgetPlacement::kRandom:
+        offset = rng->uniform_int(0, pp - q);
+        break;
+    }
+    for (std::int64_t u = 0; u < q; ++u) {
+      const std::int64_t t = k * pp + offset + u;
+      if (t >= 0 && t < horizon.count()) {
+        p[static_cast<std::size_t>(t)] = 1;
+      }
+    }
+  }
+  return p;
+}
+
+ServicePattern pattern_schedule(const std::vector<bool>& active,
+                                Time phase, Time horizon) {
+  const auto cycle = static_cast<std::int64_t>(active.size());
+  STRT_REQUIRE(cycle >= 1, "schedule must have at least one tick");
+  STRT_REQUIRE(phase >= Time(0) && phase < Time(cycle),
+               "phase must be in [0, cycle)");
+  ServicePattern p(static_cast<std::size_t>(horizon.count()), 0);
+  for (std::size_t t = 0; t < p.size(); ++t) {
+    const std::int64_t pos =
+        (static_cast<std::int64_t>(t) + phase.count()) % cycle;
+    p[t] = active[static_cast<std::size_t>(pos)] ? 1 : 0;
+  }
+  return p;
+}
+
+ServicePattern pattern_from_sbf(const Staircase& sbf, Time horizon) {
+  STRT_REQUIRE(horizon <= sbf.horizon() || sbf.tail().has_value(),
+               "sbf too short for the requested pattern");
+  ServicePattern p(static_cast<std::size_t>(horizon.count()), 0);
+  Work prev = sbf.value(Time(0));
+  for (std::int64_t t = 1; t <= horizon.count(); ++t) {
+    const Work cur = sbf.value(Time(t));
+    p[static_cast<std::size_t>(t - 1)] = (cur - prev).count();
+    prev = cur;
+  }
+  return p;
+}
+
+bool pattern_conforms(const ServicePattern& pattern, const Staircase& sbf) {
+  const std::int64_t H = static_cast<std::int64_t>(pattern.size());
+  std::vector<std::int64_t> cum(static_cast<std::size_t>(H) + 1, 0);
+  for (std::int64_t t = 0; t < H; ++t) {
+    cum[static_cast<std::size_t>(t + 1)] =
+        cum[static_cast<std::size_t>(t)] + pattern[static_cast<std::size_t>(t)];
+  }
+  for (std::int64_t s = 0; s <= H; ++s) {
+    for (std::int64_t e = s; e <= H; ++e) {
+      const Work need = sbf.value(Time(e - s));
+      if (cum[static_cast<std::size_t>(e)] - cum[static_cast<std::size_t>(s)] <
+          need.count()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace strt

@@ -1,0 +1,57 @@
+// Concrete service patterns: per-tick capacities a resource actually
+// delivers in one run.  Patterns are what the simulator consumes; each
+// supply model has concrete generators, plus the pointwise-minimal
+// pattern of an arbitrary sbf (the universal worst-case adversary used by
+// the exact oracle).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+
+namespace strt {
+
+/// capacity[t] = work units the resource can serve during tick [t, t+1).
+using ServicePattern = std::vector<std::int64_t>;
+
+/// Always-on processor of integer speed `rate`.
+[[nodiscard]] ServicePattern pattern_constant(std::int64_t rate,
+                                              Time horizon);
+
+/// TDMA: active during [phase + k*cycle, phase + k*cycle + slot).
+[[nodiscard]] ServicePattern pattern_tdma(Time slot, Time cycle, Time phase,
+                                          Time horizon);
+
+enum class BudgetPlacement {
+  kWorstCase,  // budget early in the first period, late afterwards
+  kEarly,      // budget at every period start
+  kLate,       // budget at every period end
+  kRandom,     // uniformly random placement per period
+};
+
+/// Periodic server delivering `budget` contiguous ticks per period.
+[[nodiscard]] ServicePattern pattern_periodic_server(Time budget, Time period,
+                                                     BudgetPlacement placement,
+                                                     Time horizon,
+                                                     Rng* rng = nullptr);
+
+/// Static cyclic schedule pattern: active ticks of the mask, shifted by
+/// `phase`, repeated.
+[[nodiscard]] ServicePattern pattern_schedule(const std::vector<bool>& active,
+                                              Time phase, Time horizon);
+
+/// The pointwise-minimal pattern conforming to `sbf`: capacity[t] =
+/// sbf(t+1) - sbf(t).  Dominated by every conforming run, hence the
+/// universal worst-case adversary for FIFO delay.
+[[nodiscard]] ServicePattern pattern_from_sbf(const Staircase& sbf,
+                                              Time horizon);
+
+/// Exhaustive conformance check: every window [s, s+d) of the pattern
+/// delivers at least sbf(d).  O(H^2); testing tool.
+[[nodiscard]] bool pattern_conforms(const ServicePattern& pattern,
+                                    const Staircase& sbf);
+
+}  // namespace strt

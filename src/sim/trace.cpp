@@ -1,0 +1,64 @@
+#include "sim/trace.hpp"
+
+#include "base/assert.hpp"
+
+namespace strt {
+
+namespace {
+
+Trace walk(const DrtTask& task, VertexId start, Rng& rng, Time horizon,
+           double slack_prob, Time max_slack) {
+  Trace trace;
+  VertexId v = start;
+  Time t(0);
+  for (;;) {
+    trace.push_back(SimJob{t, task.vertex(v).wcet, v});
+    const auto out = task.out_edges(v);
+    if (out.empty()) break;
+    const DrtEdge& e =
+        task.edges()[static_cast<std::size_t>(out[rng.pick_index(out.size())])];
+    Time sep = e.separation;
+    if (max_slack > Time(0) && rng.chance(slack_prob)) {
+      sep += Time(rng.uniform_int(0, max_slack.count()));
+    }
+    if (t + sep > horizon) break;
+    t += sep;
+    v = e.to;
+  }
+  return trace;
+}
+
+}  // namespace
+
+Trace trace_dense_walk(const DrtTask& task, Rng& rng, Time horizon) {
+  const auto start =
+      static_cast<VertexId>(rng.pick_index(task.vertex_count()));
+  return walk(task, start, rng, horizon, 0.0, Time(0));
+}
+
+Trace trace_dense_walk_from(const DrtTask& task, VertexId start, Rng& rng,
+                            Time horizon) {
+  return walk(task, start, rng, horizon, 0.0, Time(0));
+}
+
+Trace trace_random_walk(const DrtTask& task, Rng& rng, Time horizon,
+                        double slack_prob, Time max_slack) {
+  STRT_REQUIRE(slack_prob >= 0.0 && slack_prob <= 1.0,
+               "slack_prob must be a probability");
+  STRT_REQUIRE(max_slack >= Time(0), "max_slack must be non-negative");
+  const auto start =
+      static_cast<VertexId>(rng.pick_index(task.vertex_count()));
+  return walk(task, start, rng, horizon, slack_prob, max_slack);
+}
+
+Trace trace_from_states(const DrtTask& task,
+                        const std::vector<PathState>& path) {
+  Trace trace;
+  trace.reserve(path.size());
+  for (const PathState& s : path) {
+    trace.push_back(SimJob{s.elapsed, task.vertex(s.vertex).wcet, s.vertex});
+  }
+  return trace;
+}
+
+}  // namespace strt

@@ -1,0 +1,42 @@
+// Concrete release traces of a DRT task, for simulation.
+#pragma once
+
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+#include "graph/explore.hpp"
+
+namespace strt {
+
+struct SimJob {
+  Time release{0};
+  Work wcet{0};
+  VertexId vertex{0};
+};
+
+using Trace = std::vector<SimJob>;
+
+/// Random walk taking every separation at its minimum (densest releases);
+/// branch choice uniform.  Stops when the next release would fall beyond
+/// `horizon` or the walk reaches a vertex without successors.
+[[nodiscard]] Trace trace_dense_walk(const DrtTask& task, Rng& rng,
+                                     Time horizon);
+
+/// Random walk starting at `start` with min separations.
+[[nodiscard]] Trace trace_dense_walk_from(const DrtTask& task, VertexId start,
+                                          Rng& rng, Time horizon);
+
+/// Random walk with slack: each separation is stretched by a uniform
+/// amount in [0, max_slack] with probability `slack_prob` (a legal but
+/// less adversarial run).
+[[nodiscard]] Trace trace_random_walk(const DrtTask& task, Rng& rng,
+                                      Time horizon, double slack_prob,
+                                      Time max_slack);
+
+/// Replay of an explorer path (e.g. the structural analysis witness).
+[[nodiscard]] Trace trace_from_states(const DrtTask& task,
+                                      const std::vector<PathState>& path);
+
+}  // namespace strt

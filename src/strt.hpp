@@ -1,0 +1,54 @@
+// Umbrella header: the whole public API of the strt library.
+//
+// Fine-grained includes are preferred inside the library itself; this
+// header is a convenience for applications and quick experiments.
+#pragma once
+
+#include "base/checked.hpp"
+#include "base/rational.hpp"
+#include "base/rng.hpp"
+#include "base/types.hpp"
+
+#include "curves/builders.hpp"
+#include "curves/hull.hpp"
+#include "curves/minplus.hpp"
+#include "curves/staircase.hpp"
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/drt.hpp"
+#include "graph/explore.hpp"
+#include "graph/scc.hpp"
+#include "graph/workload.hpp"
+
+#include "model/generator.hpp"
+#include "model/gmf.hpp"
+#include "model/recurring.hpp"
+#include "model/sporadic.hpp"
+
+#include "resource/supply.hpp"
+
+#include "core/abstractions.hpp"
+#include "core/audsley.hpp"
+#include "core/busy_window.hpp"
+#include "core/chain.hpp"
+#include "core/curve_based.hpp"
+#include "core/dimensioning.hpp"
+#include "core/edf.hpp"
+#include "core/fixed_priority.hpp"
+#include "core/joint_fp.hpp"
+#include "core/sensitivity.hpp"
+#include "core/structural.hpp"
+
+#include "sim/edf_sim.hpp"
+#include "sim/fifo.hpp"
+#include "sim/oracle.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+
+#include "io/csv.hpp"
+#include "io/curve_csv.hpp"
+#include "io/dot.hpp"
+#include "io/parse.hpp"
+#include "io/table.hpp"
+#include "io/trace_io.hpp"

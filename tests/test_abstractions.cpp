@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/abstractions.hpp"
+#include "curves/hull.hpp"
+#include "graph/workload.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(ConcaveHull, MajorizesAndIsConcave) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Staircase f = test::random_staircase(rng, Time(40), 6, 0.3);
+    const Staircase h = concave_hull_staircase(f);
+    for (std::int64_t t = 0; t <= 40; ++t) {
+      EXPECT_GE(h.value(Time(t)), f.value(Time(t))) << "t=" << t;
+    }
+    // Concavity of the underlying hull => increments are non-increasing
+    // up to integer rounding; check the exact hull vertices instead.
+    const auto hull = concave_hull(f);
+    for (std::size_t i = 2; i < hull.size(); ++i) {
+      // slope(i-1) >= slope(i) via cross-multiplication.
+      const auto& a = hull[i - 2];
+      const auto& b = hull[i - 1];
+      const auto& c = hull[i];
+      const std::int64_t lhs = (b.value - a.value).count() *
+                               (c.time - b.time).count();
+      const std::int64_t rhs = (c.value - b.value).count() *
+                               (b.time - a.time).count();
+      EXPECT_GE(lhs, rhs) << "trial " << trial << " vertex " << i;
+    }
+  }
+}
+
+TEST(ConcaveHull, ExactOnConcaveInput) {
+  // 2*ceil(t/5) staircase is already concave-ish at its step points; the
+  // hull evaluated back on the grid may only add the interpolation between
+  // steps, never change the step values.
+  const Staircase f = Staircase::from_points(
+      {Step{Time(1), Work(2)}, Step{Time(6), Work(4)},
+       Step{Time(11), Work(6)}},
+      Time(15));
+  const Staircase h = concave_hull_staircase(f);
+  EXPECT_EQ(h.value(Time(1)), Work(2));
+  EXPECT_EQ(h.value(Time(6)), Work(4));
+  EXPECT_EQ(h.value(Time(11)), Work(6));
+  // Between steps the hull interpolates: h(3) = floor(2 + 2*(3-1)/5) = 2.
+  EXPECT_EQ(h.value(Time(3)), Work(2));
+  EXPECT_EQ(h.value(Time(4)), Work(3));  // 2 + 2*3/5 = 3.2
+}
+
+TEST(Abstractions, ArrivalCurvesAreOrderedPointwise) {
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 3;
+    params.max_vertices = 6;
+    params.min_separation = Time(3);
+    params.max_separation = Time(15);
+    params.target_utilization = 0.4;
+    const DrtTask task = random_drt(rng, params).task;
+    const Time h(120);
+    const Staircase exact =
+        abstracted_arrival(task, WorkloadAbstraction::kExactCurve, h);
+    const Staircase hull =
+        abstracted_arrival(task, WorkloadAbstraction::kConcaveHull, h);
+    const Staircase bucket =
+        abstracted_arrival(task, WorkloadAbstraction::kTokenBucket, h);
+    const Staircase sporadic =
+        abstracted_arrival(task, WorkloadAbstraction::kSporadicMinGap, h);
+    for (std::int64_t t = 0; t <= h.count(); ++t) {
+      const Work e = exact.value(Time(t));
+      EXPECT_LE(e, hull.value(Time(t))) << "t=" << t;
+      EXPECT_LE(hull.value(Time(t)), bucket.value(Time(t)))
+          << "trial " << trial << " t=" << t;
+      EXPECT_LE(e, sporadic.value(Time(t))) << "t=" << t;
+    }
+  }
+}
+
+TEST(Abstractions, DelayBoundsFollowTheHierarchy) {
+  Rng rng(1234);
+  int hull_gaps = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 3;
+    params.max_vertices = 7;
+    params.min_separation = Time(4);
+    params.max_separation = Time(25);
+    params.target_utilization = 0.45;
+    const GeneratedTask gen = random_drt(rng, params);
+    const DrtTask& task = gen.task;
+    // Supply rate just above the utilization: the binding delay candidate
+    // then sits deep in the busy window, where the hull is strictly above
+    // the exact staircase.
+    const std::int64_t slot = std::min<std::int64_t>(
+        20, static_cast<std::int64_t>(
+                gen.exact_utilization.to_double() * 20.0) +
+                2);
+    const Supply supply = Supply::tdma(Time(slot), Time(20));
+    if (!(gen.exact_utilization < supply.long_run_rate())) continue;
+
+    const auto st = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kStructural);
+    const auto ex = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kExactCurve);
+    const auto hu = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kConcaveHull);
+    const auto tb = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kTokenBucket);
+    const auto sp = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kSporadicMinGap);
+
+    ASSERT_FALSE(st.delay.is_unbounded()) << "trial " << trial;
+    EXPECT_EQ(st.delay, ex.delay) << "trial " << trial;
+    EXPECT_LE(ex.delay, hu.delay) << "trial " << trial;
+    EXPECT_LE(hu.delay, tb.delay) << "trial " << trial;
+    // kSporadicMinGap is not pointwise above the token bucket in general,
+    // but it always dominates the exact curve.
+    EXPECT_LE(ex.delay, sp.delay) << "trial " << trial;
+    if (hu.delay > ex.delay) ++hull_gaps;
+  }
+  // The headline effect must actually show up: the hull abstraction is
+  // strictly more pessimistic on a solid fraction of random tasks.
+  EXPECT_GE(hull_gaps, 5);
+}
+
+TEST(Abstractions, SporadicMinGapOftenOverloads) {
+  // A task whose dense prefix is fast but whose cycle is slow: the
+  // min-gap abstraction claims rate wcet_max/sep_min and overloads.
+  DrtBuilder b("bursty");
+  const VertexId h = b.add_vertex("H", Work(4), Time(30));
+  const VertexId l = b.add_vertex("L", Work(1), Time(10));
+  b.add_edge(h, l, Time(4)).add_edge(l, h, Time(40));
+  const DrtTask task = std::move(b).build();
+  const Supply supply = Supply::tdma(Time(1), Time(2));  // rate 1/2
+  const auto st =
+      delay_with_abstraction(task, supply, WorkloadAbstraction::kStructural);
+  const auto sp = delay_with_abstraction(task, supply,
+                                         WorkloadAbstraction::kSporadicMinGap);
+  EXPECT_FALSE(st.delay.is_unbounded());
+  EXPECT_TRUE(sp.delay.is_unbounded());  // claimed rate 4/4 = 1 > 1/2
+}
+
+TEST(Abstractions, TokenBucketCoversExactCurveOnFittedHorizon) {
+  const SporadicTask spor{"s", Work(3), Time(7), Time(7)};
+  const DrtTask task = spor.to_drt();
+  const Time h(140);
+  const Staircase exact =
+      abstracted_arrival(task, WorkloadAbstraction::kExactCurve, h);
+  const Staircase bucket =
+      abstracted_arrival(task, WorkloadAbstraction::kTokenBucket, h);
+  for (std::int64_t t = 1; t <= h.count(); ++t) {
+    EXPECT_GE(bucket.value(Time(t)), exact.value(Time(t))) << t;
+  }
+}
+
+TEST(Abstractions, NamesAreStable) {
+  EXPECT_EQ(abstraction_name(WorkloadAbstraction::kStructural),
+            "structural");
+  EXPECT_EQ(abstraction_name(WorkloadAbstraction::kExactCurve),
+            "exact-curve");
+  EXPECT_EQ(abstraction_name(WorkloadAbstraction::kConcaveHull),
+            "concave-hull");
+  EXPECT_EQ(abstraction_name(WorkloadAbstraction::kTokenBucket),
+            "token-bucket");
+  EXPECT_EQ(abstraction_name(WorkloadAbstraction::kSporadicMinGap),
+            "sporadic-min-gap");
+}
+
+TEST(Abstractions, StructuralIsNotACurve) {
+  EXPECT_THROW((void)abstracted_arrival(test::small_task(),
+                                        WorkloadAbstraction::kStructural,
+                                        Time(50)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/checked.hpp"
+#include "base/rational.hpp"
+#include "base/rng.hpp"
+#include "base/types.hpp"
+
+namespace strt {
+namespace {
+
+using namespace strt::literals;
+
+TEST(Quantity, BasicArithmetic) {
+  EXPECT_EQ((Time(3) + Time(4)).count(), 7);
+  EXPECT_EQ((Time(10) - Time(4)).count(), 6);
+  EXPECT_EQ((Time(3) * 5).count(), 15);
+  EXPECT_EQ((5 * Time(3)).count(), 15);
+  EXPECT_LT(Time(3), Time(4));
+  EXPECT_EQ(Work(2) + Work(2), Work(4));
+}
+
+TEST(Quantity, CompoundAssignment) {
+  Time t(5);
+  t += Time(3);
+  EXPECT_EQ(t, Time(8));
+  t -= Time(2);
+  EXPECT_EQ(t, Time(6));
+  ++t;
+  EXPECT_EQ(t, Time(7));
+}
+
+TEST(Quantity, UnboundedIsSticky) {
+  const Time inf = Time::unbounded();
+  EXPECT_TRUE(inf.is_unbounded());
+  EXPECT_TRUE((inf + Time(5)).is_unbounded());
+  EXPECT_TRUE((inf - Time(5)).is_unbounded());
+  EXPECT_TRUE((inf * 3).is_unbounded());
+  EXPECT_TRUE((Time(5) + inf).is_unbounded());
+  EXPECT_GT(inf, Time(1'000'000'000));
+}
+
+TEST(Quantity, OverflowThrows) {
+  const Time big(std::numeric_limits<std::int64_t>::max() - 1);
+  EXPECT_THROW((void)(big + Time(5)), OverflowError);
+  EXPECT_THROW((void)(big * 2), OverflowError);
+}
+
+TEST(Quantity, Literals) {
+  EXPECT_EQ(5_t, Time(5));
+  EXPECT_EQ(7_w, Work(7));
+}
+
+TEST(Quantity, MinMax) {
+  EXPECT_EQ(max(Time(3), Time(9)), Time(9));
+  EXPECT_EQ(min(Work(3), Work(9)), Work(3));
+}
+
+TEST(Checked, FloorCeilDiv) {
+  EXPECT_EQ(checked::floor_div(7, 2), 3);
+  EXPECT_EQ(checked::floor_div(-7, 2), -4);
+  EXPECT_EQ(checked::ceil_div(7, 2), 4);
+  EXPECT_EQ(checked::ceil_div(-7, 2), -3);
+  EXPECT_EQ(checked::floor_div(6, 3), 2);
+  EXPECT_EQ(checked::ceil_div(6, 3), 2);
+  EXPECT_THROW((void)checked::floor_div(1, 0), OverflowError);
+}
+
+TEST(Checked, ModFloor) {
+  EXPECT_EQ(checked::mod_floor(7, 3), 1);
+  EXPECT_EQ(checked::mod_floor(-7, 3), 2);
+  EXPECT_EQ(checked::mod_floor(6, 3), 0);
+}
+
+TEST(Checked, SatAdd) {
+  EXPECT_EQ(checked::sat_add(1, 2), 3);
+  EXPECT_EQ(checked::sat_add(std::numeric_limits<std::int64_t>::max(), 1),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(checked::sat_add(std::numeric_limits<std::int64_t>::min(), -1),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+  const Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, ExactComparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(333'333'333, 1'000'000'000), Rational(1, 3));
+  EXPECT_GE(Rational(2, 6), Rational(1, 3));
+  EXPECT_EQ(Rational(2, 6), Rational(1, 3));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(4).floor(), 4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng a(11);
+  Rng b = a.split();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(UUniFast, SumsToTotal) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto u = uunifast(rng, 5, 0.8);
+    ASSERT_EQ(u.size(), 5u);
+    double sum = 0;
+    for (double x : u) {
+      EXPECT_GT(x, 0.0);
+      EXPECT_LT(x, 0.8);
+      sum += x;
+    }
+    EXPECT_NEAR(sum, 0.8, 1e-9);
+  }
+}
+
+TEST(UUniFast, SingleTask) {
+  Rng rng(5);
+  const auto u = uunifast(rng, 1, 0.5);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.5);
+}
+
+}  // namespace
+}  // namespace strt

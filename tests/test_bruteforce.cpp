@@ -1,0 +1,165 @@
+// Independent brute-force cross-checks of the intricate algorithms, on
+// randomly generated small instances.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "curves/builders.hpp"
+#include "curves/hull.hpp"
+#include "graph/workload.hpp"
+#include "io/parse.hpp"
+#include "model/generator.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+/// Brute-force dbf: enumerate every minimum-separation path with span
+/// <= t and sum the wcets of jobs whose absolute deadline fits.
+/// (Minimum separations are worst-case for dbf: delaying a release can
+/// only push deadlines past t or leave the qualifying set unchanged.)
+Work brute_dbf(const DrtTask& task, Time t) {
+  Work best(0);
+  std::function<void(VertexId, Time, Work)> dfs = [&](VertexId v, Time el,
+                                                      Work demand) {
+    if (el + task.vertex(v).deadline <= t) {
+      demand += task.vertex(v).wcet;
+      best = max(best, demand);
+    }
+    for (std::int32_t ei : task.out_edges(v)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time next = el + e.separation;
+      if (next >= t) continue;  // no later job can meet a deadline <= t
+      dfs(e.to, next, demand);
+    }
+  };
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    dfs(v, Time(0), Work(0));
+  }
+  return best;
+}
+
+TEST(BruteForce, DbfPointOnRandomGeneralDeadlineTasks) {
+  Rng rng(111);
+  for (int trial = 0; trial < 12; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 4;
+    params.min_separation = Time(2);
+    params.max_separation = Time(7);
+    params.chord_probability = 0.3;
+    params.target_utilization = 0.5;
+    // General deadlines (not frame separated): stretch beyond separations.
+    params.deadline_factor = 2.5;
+    const DrtTask task = random_drt(rng, params).task;
+    for (std::int64_t t = 0; t <= 25; ++t) {
+      EXPECT_EQ(dbf_point(task, Time(t)), brute_dbf(task, Time(t)))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(BruteForce, DbfPointOnHandGeneralCase) {
+  // Middle job with a huge deadline (the pair-formulation counterexample).
+  DrtBuilder b("gen");
+  const VertexId v1 = b.add_vertex("v1", Work(5), Time(2));
+  const VertexId v2 = b.add_vertex("v2", Work(4), Time(1000));
+  const VertexId v3 = b.add_vertex("v3", Work(6), Time(2));
+  b.add_edge(v1, v2, Time(3)).add_edge(v2, v3, Time(3));
+  b.add_edge(v3, v1, Time(3));
+  const DrtTask task = std::move(b).build();
+  for (std::int64_t t = 0; t <= 40; ++t) {
+    EXPECT_EQ(dbf_point(task, Time(t)), brute_dbf(task, Time(t))) << t;
+  }
+}
+
+/// Brute-force concave majorant at integer t: the hull of a point set is
+/// the max over all chords between breakpoints spanning t.
+std::int64_t brute_hull_at(const Staircase& f, std::int64_t t) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> pts;
+  for (const Step& s : f.steps()) pts.emplace_back(s.time.count(), s.value.count());
+  pts.emplace_back(f.horizon().count(), f.value_at_horizon().count());
+  std::int64_t best = 0;
+  for (const auto& [ta, va] : pts) {
+    for (const auto& [tb, vb] : pts) {
+      if (ta > t || tb < t || ta == tb) continue;
+      // floor of the chord interpolation at t.
+      const std::int64_t num = va * (tb - ta) + (vb - va) * (t - ta);
+      best = std::max(best, num / (tb - ta) -
+                                ((num % (tb - ta) != 0 && num < 0) ? 1 : 0));
+    }
+    if (ta == t) best = std::max(best, va);
+  }
+  return best;
+}
+
+TEST(BruteForce, ConcaveHullMatchesChordEnvelope) {
+  Rng rng(222);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Staircase f = test::random_staircase(rng, Time(30), 5, 0.3);
+    const Staircase h = concave_hull_staircase(f);
+    for (std::int64_t t = 0; t <= 30; ++t) {
+      EXPECT_EQ(h.value(Time(t)).count(), brute_hull_at(f, t))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(BruteForce, ParserRoundTripsRandomTasks) {
+  Rng rng(333);
+  for (int trial = 0; trial < 25; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 9;
+    params.chord_probability = 0.25;
+    params.target_utilization = 0.4;
+    const DrtTask task = random_drt(rng, params).task;
+    const DrtTask parsed = parse_task(serialize_task(task));
+    ASSERT_EQ(parsed.vertex_count(), task.vertex_count()) << trial;
+    ASSERT_EQ(parsed.edge_count(), task.edge_count()) << trial;
+    for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+         ++v) {
+      EXPECT_EQ(parsed.vertex(v).wcet, task.vertex(v).wcet);
+      EXPECT_EQ(parsed.vertex(v).deadline, task.vertex(v).deadline);
+    }
+    for (std::size_t i = 0; i < task.edge_count(); ++i) {
+      EXPECT_EQ(parsed.edges()[i].from, task.edges()[i].from);
+      EXPECT_EQ(parsed.edges()[i].to, task.edges()[i].to);
+      EXPECT_EQ(parsed.edges()[i].separation, task.edges()[i].separation);
+    }
+    // And the analyses agree on the round-tripped task.
+    EXPECT_EQ(rbf(task, Time(60)), rbf(parsed, Time(60))) << trial;
+  }
+}
+
+TEST(BruteForce, RbfDominatesEveryConcreteTraceWindow) {
+  // The request bound must majorize the empirical arrival curve of any
+  // legal trace (including stretched ones).
+  Rng rng(444);
+  for (int trial = 0; trial < 10; ++trial) {
+    DrtGenParams params;
+    params.target_utilization = 0.4;
+    const DrtTask task = random_drt(rng, params).task;
+    const Time horizon(120);
+    const Staircase bound = rbf(task, horizon);
+    for (int run = 0; run < 5; ++run) {
+      const Trace trace =
+          trace_random_walk(task, rng, Time(100), 0.5, Time(15));
+      std::vector<curve::TraceJob> jobs;
+      for (const SimJob& j : trace) {
+        jobs.push_back(curve::TraceJob{j.release, j.wcet});
+      }
+      const Staircase empirical = curve::arrival_of_trace(jobs, horizon);
+      for (std::int64_t t = 0; t <= horizon.count(); ++t) {
+        EXPECT_LE(empirical.value(Time(t)), bound.value(Time(t)))
+            << "trial " << trial << " run " << run << " t=" << t;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace strt

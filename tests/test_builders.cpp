@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "base/checked.hpp"
+#include "curves/builders.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(PeriodicArrival, MatchesCeilFormula) {
+  for (const auto& [wcet, period, jitter] :
+       {std::tuple{2, 5, 0}, {3, 7, 2}, {1, 1, 0}, {4, 10, 9}}) {
+    const Staircase a =
+        curve::periodic_arrival(Work(wcet), Time(period), Time(jitter),
+                                Time(80));
+    EXPECT_EQ(a.value(Time(0)), Work(0));
+    for (std::int64_t t = 1; t <= 200; ++t) {  // exercises the tail too
+      const std::int64_t expect =
+          wcet * checked::ceil_div(t + jitter, period);
+      EXPECT_EQ(a.value(Time(t)).count(), expect)
+          << "C=" << wcet << " T=" << period << " J=" << jitter
+          << " t=" << t;
+    }
+  }
+}
+
+TEST(PeriodicArrival, RejectsShortHorizon) {
+  EXPECT_THROW(
+      (void)curve::periodic_arrival(Work(1), Time(10), Time(5), Time(10)),
+      std::invalid_argument);
+}
+
+TEST(TokenBucket, MatchesFloorFormula) {
+  const Rational rate(3, 4);
+  const Staircase a = curve::token_bucket(Work(5), rate, Time(40));
+  EXPECT_EQ(a.value(Time(0)), Work(0));
+  for (std::int64_t t = 1; t <= 100; ++t) {
+    const std::int64_t expect = 5 + checked::floor_div(3 * t, 4);
+    EXPECT_EQ(a.value(Time(t)).count(), expect) << "t=" << t;
+  }
+}
+
+TEST(RateLatency, MatchesFormula) {
+  const Rational rate(2, 3);
+  const Staircase b = curve::rate_latency(rate, Time(7), Time(60));
+  for (std::int64_t t = 0; t <= 150; ++t) {
+    const std::int64_t expect =
+        std::max<std::int64_t>(0, checked::floor_div(2 * (t - 7), 3));
+    EXPECT_EQ(b.value(Time(t)).count(), expect) << "t=" << t;
+  }
+}
+
+TEST(Dedicated, IsLinear) {
+  const Staircase b = curve::dedicated(3, Time(20));
+  for (std::int64_t t = 0; t <= 50; ++t) {
+    EXPECT_EQ(b.value(Time(t)).count(), 3 * t);
+  }
+}
+
+TEST(TdmaSupply, MatchesClosedForm) {
+  for (const auto& [slot, cycle] :
+       {std::pair{2, 5}, {1, 4}, {5, 5}, {3, 10}}) {
+    const Staircase s = curve::tdma_supply(Time(slot), Time(cycle), Time(50));
+    for (std::int64_t t = 0; t <= 120; ++t) {
+      const std::int64_t q = t / cycle;
+      const std::int64_t r = t % cycle;
+      const std::int64_t expect =
+          slot * q + std::max<std::int64_t>(0, r - (cycle - slot));
+      EXPECT_EQ(s.value(Time(t)).count(), expect)
+          << "slot=" << slot << " cycle=" << cycle << " t=" << t;
+    }
+  }
+}
+
+TEST(TdmaSupply, FullSlotIsDedicated) {
+  const Staircase s = curve::tdma_supply(Time(6), Time(6), Time(30));
+  for (std::int64_t t = 0; t <= 60; ++t) {
+    EXPECT_EQ(s.value(Time(t)).count(), t);
+  }
+}
+
+// Brute-force worst case of a periodic resource: minimize over all
+// per-period budget placements and window starts the service inside a
+// window of length t.  Placements are independent per period, so for a
+// fixed window start the minimum is the sum of per-period minima.
+std::int64_t brute_periodic_sbf(std::int64_t budget, std::int64_t period,
+                                std::int64_t t) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // Window start within one period is enough by periodicity.
+  for (std::int64_t start = 0; start < period; ++start) {
+    std::int64_t total = 0;
+    // Periods overlapping [start, start+t).
+    const std::int64_t first = 0;
+    const std::int64_t last = (start + t - 1) / period;
+    for (std::int64_t k = first; k <= last; ++k) {
+      // Budget occupies [k*period + o, k*period + o + budget) for the
+      // adversarial offset o in [0, period - budget].
+      std::int64_t min_overlap = std::numeric_limits<std::int64_t>::max();
+      for (std::int64_t o = 0; o + budget <= period; ++o) {
+        const std::int64_t lo = std::max(start, k * period + o);
+        const std::int64_t hi =
+            std::min(start + t, k * period + o + budget);
+        min_overlap = std::min(min_overlap, std::max<std::int64_t>(0, hi - lo));
+      }
+      total += min_overlap;
+    }
+    best = std::min(best, total);
+  }
+  return t == 0 ? 0 : best;
+}
+
+TEST(PeriodicResource, MatchesBruteForceAdversary) {
+  for (const auto& [budget, period] :
+       {std::pair{1, 3}, {2, 5}, {3, 4}, {2, 2}}) {
+    const Staircase s =
+        curve::periodic_resource(Time(budget), Time(period), Time(40));
+    for (std::int64_t t = 0; t <= 30; ++t) {
+      EXPECT_EQ(s.value(Time(t)).count(),
+                brute_periodic_sbf(budget, period, t))
+          << "budget=" << budget << " period=" << period << " t=" << t;
+    }
+  }
+}
+
+TEST(PeriodicResource, TailIsExactlyPeriodic) {
+  const Staircase s = curve::periodic_resource(Time(3), Time(8), Time(32));
+  for (std::int64_t t = 8; t <= 80; ++t) {
+    EXPECT_EQ(s.value(Time(t + 8)), s.value(Time(t)) + Work(3)) << t;
+  }
+}
+
+TEST(ArrivalOfTrace, MatchesNaiveWindowMax) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<curve::TraceJob> jobs;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i) {
+      jobs.push_back(curve::TraceJob{Time(rng.uniform_int(0, 30)),
+                                     Work(rng.uniform_int(1, 4))});
+    }
+    const Time horizon(35);
+    const Staircase a = curve::arrival_of_trace(jobs, horizon);
+    for (std::int64_t t = 0; t <= horizon.count(); ++t) {
+      std::int64_t expect = 0;
+      for (std::int64_t x = 0; x <= 31; ++x) {
+        std::int64_t sum = 0;
+        for (const auto& j : jobs) {
+          if (j.release.count() >= x && j.release.count() < x + t) {
+            sum += j.wcet.count();
+          }
+        }
+        expect = std::max(expect, sum);
+      }
+      EXPECT_EQ(a.value(Time(t)).count(), expect)
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(ArrivalOfTrace, IsSubadditiveStaircase) {
+  std::vector<curve::TraceJob> jobs{{Time(0), Work(3)},
+                                    {Time(4), Work(1)},
+                                    {Time(5), Work(2)},
+                                    {Time(11), Work(3)}};
+  const Staircase a = curve::arrival_of_trace(jobs, Time(20));
+  EXPECT_EQ(a.value(Time(1)), Work(3));   // single heaviest job
+  EXPECT_EQ(a.value(Time(2)), Work(3));
+  EXPECT_EQ(a.value(Time(12)), Work(9));  // whole trace fits
+}
+
+}  // namespace
+}  // namespace strt

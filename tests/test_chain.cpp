@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/chain.hpp"
+#include "curves/builders.hpp"
+#include "curves/minplus.hpp"
+#include "graph/workload.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "sim/fifo.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(OutputArrival, RequiresHorizonHeadroom) {
+  const Staircase a = curve::dedicated(1, Time(10));
+  const Staircase b = curve::dedicated(1, Time(9));
+  EXPECT_THROW((void)output_arrival(a, b), std::invalid_argument);
+}
+
+TEST(OutputArrival, SporadicThroughUnitServerIsJitterShift) {
+  // Sporadic C=2, T=5 through a dedicated unit server: D = hdev = 2, so
+  // the event-based output curve is alpha(t + 2).
+  const SporadicTask sp{"s", Work(2), Time(5), Time(5)};
+  const Staircase alpha = rbf(sp.to_drt(), Time(120));
+  const Staircase beta = curve::dedicated(1, Time(40));
+  const Staircase out = output_arrival(alpha, beta);
+  for (std::int64_t t = 0; t <= out.horizon().count(); ++t) {
+    EXPECT_EQ(out.value(Time(t)), alpha.value(Time(t + 2))) << t;
+  }
+}
+
+TEST(OutputArrival, BoundsSimulatedDepartures) {
+  // Empirical check of the output-arrival theorem: departures of a FIFO
+  // component with a conforming service pattern respect alpha (/) beta.
+  Rng rng(4141);
+  for (int trial = 0; trial < 10; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 5;
+    params.min_separation = Time(3);
+    params.max_separation = Time(12);
+    params.target_utilization = 0.3;
+    const GeneratedTask gen = random_drt(rng, params);
+    if (gen.exact_utilization >= Rational(2, 5)) continue;  // keep margin
+    const DrtTask& task = gen.task;
+    const Supply hop = Supply::tdma(Time(3), Time(6));
+
+    const Time span(300);
+    const Staircase alpha = rbf(task, span * 2);
+    const Staircase beta = hop.sbf(span);
+    const Staircase out = output_arrival(alpha, beta);
+
+    const Trace trace = trace_dense_walk(task, rng, Time(250));
+    Work total(0);
+    for (const SimJob& j : trace) total += j.wcet;
+    const Time horizon = Time(250) + beta.inverse(total) + Time(2);
+    const SimOutcome sim = simulate_fifo(
+        trace, pattern_from_sbf(beta.extended(horizon), horizon));
+    ASSERT_TRUE(sim.all_completed);
+
+    // Empirical departure curve: completed work per window.
+    std::vector<curve::TraceJob> departures;
+    for (const CompletedJob& j : sim.jobs) {
+      departures.push_back(curve::TraceJob{j.finish, j.job.wcet});
+    }
+    const Staircase empirical =
+        curve::arrival_of_trace(departures, out.horizon());
+    for (std::int64_t t = 0; t <= out.horizon().count(); ++t) {
+      EXPECT_LE(empirical.value(Time(t)), out.value(Time(t)))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(Chain, SingleHopMatchesStructural) {
+  const SporadicTask sp{"s", Work(3), Time(9), Time(9)};
+  const DrtTask task = sp.to_drt();
+  const std::vector<Supply> hops{Supply::dedicated(1)};
+  const ChainResult res = chain_delay(task, hops);
+  EXPECT_EQ(res.structural, Time(3));
+  EXPECT_EQ(res.pboo, Time(3));
+  EXPECT_EQ(res.per_hop_sum, Time(3));
+  ASSERT_EQ(res.hop_delays.size(), 1u);
+}
+
+TEST(Chain, PayBurstOnlyOnceBeatsPerHopSum) {
+  const SporadicTask sp{"s", Work(2), Time(5), Time(5)};
+  const DrtTask task = sp.to_drt();
+  const std::vector<Supply> hops{Supply::dedicated(1), Supply::dedicated(1)};
+  const ChainResult res = chain_delay(task, hops);
+  // Convolution of two unit-rate servers is still unit rate, so the
+  // end-to-end bound stays 2; the compositional sum pays it twice.
+  EXPECT_EQ(res.structural, Time(2));
+  EXPECT_EQ(res.pboo, Time(2));
+  EXPECT_EQ(res.per_hop_sum, Time(4));
+}
+
+TEST(Chain, StructuralEqualsPbooAndBeatsSum) {
+  Rng rng(909);
+  for (int trial = 0; trial < 8; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 5;
+    params.min_separation = Time(4);
+    params.max_separation = Time(16);
+    params.target_utilization = 0.3;
+    const DrtTask task = random_drt(rng, params).task;
+    const std::vector<Supply> hops{
+        Supply::bounded_delay(Rational(3, 4), Time(4)),
+        Supply::tdma(Time(4), Time(7)),
+    };
+    const ChainResult res = chain_delay(task, hops);
+    ASSERT_FALSE(res.overloaded) << "trial " << trial;
+    EXPECT_EQ(res.structural, res.pboo) << "trial " << trial;
+    EXPECT_LE(res.pboo, res.per_hop_sum) << "trial " << trial;
+    ASSERT_EQ(res.hop_delays.size(), 2u);
+    Time sum(0);
+    for (Time d : res.hop_delays) sum += d;
+    EXPECT_EQ(sum, res.per_hop_sum);
+  }
+}
+
+TEST(Chain, SimulatedSemanticsRespectTheirBounds) {
+  // Cut-through replays must respect the convolution (structural/PBOO)
+  // bound; store-and-forward replays must respect the per-hop sum.  The
+  // convolution bound is NOT claimed (and does not hold) for
+  // store-and-forward -- see core/chain.hpp.
+  Rng rng(77777);
+  int checked = 0;
+  while (checked < 6) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 4;
+    params.min_separation = Time(5);
+    params.max_separation = Time(15);
+    params.target_utilization = 0.3;
+    const GeneratedTask gen = random_drt(rng, params);
+    if (gen.exact_utilization >= Rational(1, 2)) continue;
+    const DrtTask& task = gen.task;
+    const std::vector<Supply> hops{Supply::tdma(Time(4), Time(7)),
+                                   Supply::periodic(Time(5), Time(8))};
+    const ChainResult res = chain_delay(task, hops);
+    if (res.overloaded) continue;
+    ++checked;
+
+    const Time horizon(1500);
+    std::vector<ServicePattern> worst_patterns;
+    for (const Supply& hop : hops) {
+      worst_patterns.push_back(pattern_from_sbf(
+          hop.sbf(hop.min_horizon() * 2).extended(horizon), horizon));
+    }
+    for (int run = 0; run < 6; ++run) {
+      const Trace trace =
+          run % 2 == 0 ? trace_dense_walk(task, rng, Time(300))
+                       : trace_random_walk(task, rng, Time(300), 0.3,
+                                           Time(8));
+      const PipelineOutcome ct =
+          simulate_cut_through(trace, worst_patterns);
+      ASSERT_TRUE(ct.all_completed);
+      EXPECT_LE(ct.max_delay, res.structural)
+          << "instance " << checked << " run " << run;
+
+      const PipelineOutcome sf =
+          simulate_store_and_forward(trace, worst_patterns);
+      ASSERT_TRUE(sf.all_completed);
+      EXPECT_LE(sf.max_delay, res.per_hop_sum)
+          << "instance " << checked << " run " << run;
+      // S&F can only be slower than cut-through, job by job.
+      ASSERT_EQ(sf.delays.size(), ct.delays.size());
+      for (std::size_t j = 0; j < sf.delays.size(); ++j) {
+        EXPECT_GE(sf.delays[j], ct.delays[j]) << "job " << j;
+      }
+    }
+  }
+}
+
+TEST(PipelineSim, SingleHopMatchesFifo) {
+  const Trace trace{SimJob{Time(0), Work(3), 0}, SimJob{Time(2), Work(2), 1}};
+  const std::vector<ServicePattern> hops{pattern_constant(1, Time(12))};
+  const PipelineOutcome ct = simulate_cut_through(trace, hops);
+  const PipelineOutcome sf = simulate_store_and_forward(trace, hops);
+  const SimOutcome fifo = simulate_fifo(trace, hops[0]);
+  EXPECT_EQ(ct.max_delay, fifo.max_delay);
+  EXPECT_EQ(sf.max_delay, fifo.max_delay);
+}
+
+TEST(PipelineSim, CutThroughStreamsWithinATick) {
+  // Two unit-rate hops: a 3-unit job flows through both in 3+... with
+  // cut-through the second hop works one unit behind the first, so the
+  // job exits at tick 4 (delay 4), not 6.
+  const Trace trace{SimJob{Time(0), Work(3), 0}};
+  const std::vector<ServicePattern> hops{pattern_constant(1, Time(12)),
+                                         pattern_constant(1, Time(12))};
+  const PipelineOutcome ct = simulate_cut_through(trace, hops);
+  ASSERT_TRUE(ct.all_completed);
+  EXPECT_EQ(ct.max_delay, Time(3));  // same-tick forwarding: conv is t
+  const PipelineOutcome sf = simulate_store_and_forward(trace, hops);
+  ASSERT_TRUE(sf.all_completed);
+  EXPECT_EQ(sf.max_delay, Time(6));  // full job re-served downstream
+}
+
+TEST(PipelineSim, EmptyTraceAndStarvedHops) {
+  const std::vector<ServicePattern> hops{pattern_constant(1, Time(6)),
+                                         pattern_constant(1, Time(6))};
+  const PipelineOutcome empty = simulate_cut_through({}, hops);
+  EXPECT_TRUE(empty.all_completed);
+  EXPECT_EQ(empty.max_delay, Time(0));
+
+  // Second hop has zero capacity: nothing completes end to end.
+  const Trace trace{SimJob{Time(0), Work(2), 0}};
+  const std::vector<ServicePattern> starved{pattern_constant(1, Time(6)),
+                                            pattern_constant(0, Time(6))};
+  const PipelineOutcome out = simulate_cut_through(trace, starved);
+  EXPECT_FALSE(out.all_completed);
+  EXPECT_TRUE(out.delays.empty());
+  const PipelineOutcome sf = simulate_store_and_forward(trace, starved);
+  EXPECT_FALSE(sf.all_completed);
+}
+
+TEST(PipelineSim, RejectsMismatchedPatterns) {
+  const Trace trace{SimJob{Time(0), Work(1), 0}};
+  EXPECT_THROW((void)simulate_cut_through(
+                   trace, {pattern_constant(1, Time(5)),
+                           pattern_constant(1, Time(6))}),
+               std::invalid_argument);
+  EXPECT_THROW((void)simulate_store_and_forward(trace, {}),
+               std::invalid_argument);
+}
+
+TEST(Chain, OverloadDetected) {
+  const SporadicTask sp{"s", Work(4), Time(5), Time(5)};
+  const std::vector<Supply> hops{Supply::dedicated(1),
+                                 Supply::tdma(Time(3), Time(6))};
+  const ChainResult res = chain_delay(sp.to_drt(), hops);
+  EXPECT_TRUE(res.overloaded);
+  EXPECT_TRUE(res.structural.is_unbounded());
+}
+
+TEST(Chain, EmptyChainRejected) {
+  const SporadicTask sp{"s", Work(1), Time(5), Time(5)};
+  EXPECT_THROW((void)chain_delay(sp.to_drt(), {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strt

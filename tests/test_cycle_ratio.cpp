@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "graph/cycle_ratio.hpp"
+#include "model/generator.hpp"
+#include "model/gmf.hpp"
+#include "model/sporadic.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(SimplestBetween, FindsSimplestRational) {
+  using detail::simplest_between;
+  EXPECT_EQ(simplest_between(Rational(0), Rational(2)), Rational(1));
+  EXPECT_EQ(simplest_between(Rational(0), Rational(1)), Rational(1, 2));
+  EXPECT_EQ(simplest_between(Rational(1, 3), Rational(1, 2)),
+            Rational(2, 5));
+  EXPECT_EQ(simplest_between(Rational(3, 7), Rational(4, 7)),
+            Rational(1, 2));
+  // (13/9, 31/21) ~ (1.444, 1.476): no denominator <= 10 fits; 16/11 does.
+  EXPECT_EQ(simplest_between(Rational(13, 9), Rational(31, 21)),
+            Rational(16, 11));
+  // (1/1000, 1/999) contains no fraction with numerator 1; the simplest
+  // inhabitant is 2/1999.
+  EXPECT_EQ(simplest_between(Rational(1, 1000), Rational(1, 999)),
+            Rational(2, 1999));
+  EXPECT_THROW((void)simplest_between(Rational(1), Rational(1)),
+               std::invalid_argument);
+}
+
+TEST(SimplestBetween, ExhaustiveSmallIntervals) {
+  // For every pair lo < hi with denominators <= 12, the result must lie
+  // strictly inside and no rational with a smaller denominator may.
+  std::vector<Rational> values;
+  for (int den = 1; den <= 12; ++den) {
+    for (int num = 0; num <= 2 * den; ++num) {
+      values.emplace_back(num, den);
+    }
+  }
+  for (const Rational& lo : values) {
+    for (const Rational& hi : values) {
+      if (!(lo < hi)) continue;
+      const Rational s = detail::simplest_between(lo, hi);
+      EXPECT_LT(lo, s);
+      EXPECT_LT(s, hi);
+      for (int den = 1; den < s.den(); ++den) {
+        for (std::int64_t num = lo.num() * den / lo.den();
+             num <= hi.num() * den / hi.den() + 1; ++num) {
+          const Rational cand(num, den);
+          EXPECT_FALSE(lo < cand && cand < hi)
+              << "simpler " << cand.to_string() << " inside ("
+              << lo.to_string() << ", " << hi.to_string() << "), got "
+              << s.to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(Utilization, SporadicIsWcetOverPeriod) {
+  const SporadicTask sp{"s", Work(3), Time(7), Time(7)};
+  const auto u = utilization(sp.to_drt());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, Rational(3, 7));
+}
+
+TEST(Utilization, GmfIsTotalRatioWhenUniform) {
+  const GmfTask gmf("g", {GmfFrame{Work(2), Time(5), Time(5)},
+                          GmfFrame{Work(3), Time(10), Time(10)},
+                          GmfFrame{Work(1), Time(5), Time(5)}});
+  const auto u = utilization(gmf.to_drt());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, Rational(6, 20));
+}
+
+TEST(Utilization, PicksTheWorstCycle) {
+  // Two loops on A: a tight one via B (ratio (1+3)/(2+2)=1) and a loose
+  // one via C (ratio (1+1)/(10+10)=0.1).
+  DrtBuilder b("two");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  const VertexId v = b.add_vertex("B", Work(3), Time(1));
+  const VertexId c = b.add_vertex("C", Work(1), Time(1));
+  b.add_edge(a, v, Time(2)).add_edge(v, a, Time(2));
+  b.add_edge(a, c, Time(10)).add_edge(c, a, Time(10));
+  const auto u = utilization(std::move(b).build());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, Rational(1));
+}
+
+TEST(Utilization, AcyclicHasNone) {
+  DrtBuilder b("dag");
+  const VertexId a = b.add_vertex("A", Work(5), Time(1));
+  const VertexId v = b.add_vertex("B", Work(5), Time(1));
+  b.add_edge(a, v, Time(1));
+  EXPECT_FALSE(utilization(std::move(b).build()).has_value());
+}
+
+TEST(Utilization, SelfLoopOfOne) {
+  DrtBuilder b("unit");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  b.add_edge(a, a, Time(1));
+  const auto u = utilization(std::move(b).build());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, Rational(1));
+}
+
+/// Brute-force max cycle ratio by enumerating simple cycles (DFS).
+Rational brute_max_cycle_ratio(const DrtTask& task) {
+  Rational best(0);
+  std::vector<bool> on_path(task.vertex_count(), false);
+  std::vector<VertexId> path;
+  std::vector<Time> seps;
+  bool found = false;
+  std::function<void(VertexId)> dfs = [&](VertexId v) {
+    for (std::int32_t ei : task.out_edges(v)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      if (on_path[static_cast<std::size_t>(e.to)]) {
+        // Close the cycle at e.to if it is on the current path.
+        auto it = std::find(path.begin(), path.end(), e.to);
+        std::int64_t work = 0;
+        std::int64_t sep = e.separation.count();
+        for (auto p = it; p != path.end(); ++p) {
+          work += task.vertex(*p).wcet.count();
+          if (p + 1 != path.end()) {
+            sep += seps[static_cast<std::size_t>(p - path.begin())].count();
+          }
+        }
+        const Rational ratio(work, sep);
+        if (!found || best < ratio) best = ratio;
+        found = true;
+        continue;
+      }
+      on_path[static_cast<std::size_t>(e.to)] = true;
+      path.push_back(e.to);
+      seps.push_back(e.separation);
+      dfs(e.to);
+      seps.pop_back();
+      path.pop_back();
+      on_path[static_cast<std::size_t>(e.to)] = false;
+    }
+  };
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    on_path[static_cast<std::size_t>(v)] = true;
+    path.push_back(v);
+    dfs(v);
+    path.pop_back();
+    on_path[static_cast<std::size_t>(v)] = false;
+  }
+  return best;
+}
+
+TEST(Utilization, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(606);
+  for (int trial = 0; trial < 30; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 3;
+    params.max_vertices = 6;
+    params.min_separation = Time(1);
+    params.max_separation = Time(12);
+    params.chord_probability = 0.25;
+    params.target_utilization = 0.5;
+    const DrtTask task = random_drt(rng, params).task;
+    const auto u = utilization(task);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(*u, brute_max_cycle_ratio(task)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/drt.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(DrtBuilder, BuildsValidTask) {
+  DrtBuilder b("t");
+  const VertexId a = b.add_vertex("A", Work(2), Time(5));
+  const VertexId c = b.add_vertex("B", Work(3), Time(7));
+  b.add_edge(a, c, Time(4)).add_edge(c, a, Time(6));
+  const DrtTask task = std::move(b).build();
+  EXPECT_EQ(task.vertex_count(), 2u);
+  EXPECT_EQ(task.edge_count(), 2u);
+  EXPECT_EQ(task.name(), "t");
+  EXPECT_EQ(task.vertex(a).wcet, Work(2));
+  EXPECT_EQ(task.vertex(c).deadline, Time(7));
+  EXPECT_EQ(task.max_wcet(), Work(3));
+}
+
+TEST(DrtBuilder, RejectsBadParameters) {
+  DrtBuilder b("t");
+  EXPECT_THROW((void)b.add_vertex("A", Work(0), Time(5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)b.add_vertex("A", Work(1), Time(0)),
+               std::invalid_argument);
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  EXPECT_THROW(b.add_edge(a, a, Time(0)), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(a, 5, Time(1)), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(-1, a, Time(1)), std::invalid_argument);
+}
+
+TEST(DrtBuilder, RejectsEmptyTask) {
+  DrtBuilder b("t");
+  EXPECT_THROW((void)std::move(b).build(), std::invalid_argument);
+}
+
+TEST(DrtTask, CsrAdjacency) {
+  const DrtTask task = test::small_task();
+  // Vertex A (id 0) has two out-edges (to B and D).
+  EXPECT_EQ(task.out_edges(0).size(), 2u);
+  EXPECT_EQ(task.out_edges(1).size(), 1u);
+  std::set<VertexId> targets;
+  for (std::int32_t ei : task.out_edges(0)) {
+    targets.insert(task.edges()[static_cast<std::size_t>(ei)].to);
+  }
+  EXPECT_EQ(targets, (std::set<VertexId>{1, 3}));
+  EXPECT_THROW((void)task.out_edges(9), std::invalid_argument);
+  EXPECT_THROW((void)task.vertex(-1), std::invalid_argument);
+}
+
+TEST(DrtTask, FrameSeparationDetection) {
+  EXPECT_TRUE(test::small_task().has_frame_separation() == false);
+  // small_task: A has deadline 10 but outgoing separations 3 and 4.
+  DrtBuilder b("fs");
+  const VertexId a = b.add_vertex("A", Work(1), Time(3));
+  const VertexId c = b.add_vertex("B", Work(1), Time(5));
+  b.add_edge(a, c, Time(3)).add_edge(c, a, Time(5));
+  EXPECT_TRUE(std::move(b).build().has_frame_separation());
+}
+
+TEST(DrtTask, CyclicDetection) {
+  EXPECT_TRUE(test::small_task().is_cyclic());
+  DrtBuilder b("dag");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  const VertexId c = b.add_vertex("B", Work(1), Time(1));
+  b.add_edge(a, c, Time(1));
+  EXPECT_FALSE(std::move(b).build().is_cyclic());
+
+  DrtBuilder s("selfloop");
+  const VertexId v = s.add_vertex("V", Work(1), Time(1));
+  s.add_edge(v, v, Time(3));
+  EXPECT_TRUE(std::move(s).build().is_cyclic());
+}
+
+TEST(DrtTask, StreamOutput) {
+  std::ostringstream os;
+  os << test::small_task();
+  const std::string str = os.str();
+  EXPECT_NE(str.find("A(e=4,d=10)"), std::string::npos);
+  EXPECT_NE(str.find("A->B[3]"), std::string::npos);
+}
+
+TEST(DrtTask, ParallelEdgesAllowed) {
+  DrtBuilder b("par");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  const VertexId c = b.add_vertex("B", Work(1), Time(1));
+  b.add_edge(a, c, Time(2)).add_edge(a, c, Time(9)).add_edge(c, a, Time(1));
+  const DrtTask task = std::move(b).build();
+  EXPECT_EQ(task.out_edges(a).size(), 2u);
+}
+
+}  // namespace
+}  // namespace strt

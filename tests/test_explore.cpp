@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "graph/explore.hpp"
+#include "model/generator.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+/// Brute-force: max released work per span over all paths (DFS).
+std::map<std::int64_t, std::int64_t> brute_pareto(const DrtTask& task,
+                                                  Time limit) {
+  std::map<std::int64_t, std::int64_t> best;  // span -> max work
+  std::function<void(VertexId, Time, Work)> dfs = [&](VertexId v, Time el,
+                                                      Work w) {
+    auto& slot = best[el.count()];
+    slot = std::max(slot, w.count());
+    for (std::int32_t ei : task.out_edges(v)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time next = el + e.separation;
+      if (next > limit) continue;
+      dfs(e.to, next, w + task.vertex(e.to).wcet);
+    }
+  };
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    dfs(v, Time(0), task.vertex(v).wcet);
+  }
+  return best;
+}
+
+/// Max work over spans <= s (what the frontier's skyline represents).
+std::int64_t prefix_max(const std::map<std::int64_t, std::int64_t>& m,
+                        std::int64_t s) {
+  std::int64_t best = 0;
+  for (const auto& [span, w] : m) {
+    if (span > s) break;
+    best = std::max(best, w);
+  }
+  return best;
+}
+
+TEST(Explore, FrontierMatchesBruteForceSkyline) {
+  const DrtTask task = test::small_task();
+  const Time limit(40);
+  const ExploreResult res =
+      explore_paths(task, ExploreOptions{.elapsed_limit = limit});
+  const auto brute = brute_pareto(task, limit);
+
+  // Build skyline from the frontier: max work at span <= s.
+  std::map<std::int64_t, std::int64_t> frontier_best;
+  for (std::int32_t idx : res.frontier) {
+    const PathState& st = res.arena[static_cast<std::size_t>(idx)];
+    auto& slot = frontier_best[st.elapsed.count()];
+    slot = std::max(slot, st.work.count());
+  }
+  for (std::int64_t s = 0; s <= limit.count(); ++s) {
+    EXPECT_EQ(prefix_max(frontier_best, s), prefix_max(brute, s))
+        << "span " << s;
+  }
+}
+
+TEST(Explore, PruningDoesNotChangeTheSkyline) {
+  Rng rng(303);
+  for (int trial = 0; trial < 10; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 3;
+    params.max_vertices = 5;
+    params.min_separation = Time(2);
+    params.max_separation = Time(9);
+    params.target_utilization = 0.4;
+    const DrtTask task = random_drt(rng, params).task;
+    const Time limit(30);
+    const ExploreResult pruned =
+        explore_paths(task, ExploreOptions{.elapsed_limit = limit});
+    const ExploreResult full = explore_paths(
+        task,
+        ExploreOptions{.elapsed_limit = limit, .prune = false});
+    auto skyline = [](const ExploreResult& r, Time lim) {
+      std::map<std::int64_t, std::int64_t> m;
+      for (std::int32_t idx : r.frontier) {
+        const PathState& st = r.arena[static_cast<std::size_t>(idx)];
+        auto& slot = m[st.elapsed.count()];
+        slot = std::max(slot, st.work.count());
+      }
+      std::map<std::int64_t, std::int64_t> pm;
+      std::int64_t best = 0;
+      for (std::int64_t s = 0; s <= lim.count(); ++s) {
+        const auto it = m.find(s);
+        if (it != m.end()) best = std::max(best, it->second);
+        pm[s] = best;
+      }
+      return pm;
+    };
+    EXPECT_EQ(skyline(pruned, limit), skyline(full, limit))
+        << "trial " << trial;
+    EXPECT_LE(pruned.stats.expanded, full.stats.expanded);
+  }
+}
+
+TEST(Explore, StatsAreConsistent) {
+  const DrtTask task = test::small_task();
+  const ExploreResult res =
+      explore_paths(task, ExploreOptions{.elapsed_limit = Time(60)});
+  EXPECT_GT(res.stats.generated, 0u);
+  EXPECT_GT(res.stats.expanded, 0u);
+  EXPECT_EQ(res.stats.generated, res.arena.size() + res.stats.pruned);
+  EXPECT_FALSE(res.frontier.empty());
+}
+
+TEST(Explore, PathReconstruction) {
+  const DrtTask task = test::small_task();
+  const ExploreResult res =
+      explore_paths(task, ExploreOptions{.elapsed_limit = Time(30)});
+  for (std::int32_t idx : res.frontier) {
+    const auto path = res.path_to(idx);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front().elapsed, Time(0));
+    EXPECT_EQ(path.front().work, task.vertex(path.front().vertex).wcet);
+    // Each hop must correspond to an existing edge with matching
+    // separation and accumulate work correctly.
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      const Time gap = path[i].elapsed - path[i - 1].elapsed;
+      bool edge_found = false;
+      for (std::int32_t ei : task.out_edges(path[i - 1].vertex)) {
+        const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+        if (e.to == path[i].vertex && e.separation == gap) {
+          edge_found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(edge_found) << "hop " << i;
+      EXPECT_EQ(path[i].work,
+                path[i - 1].work + task.vertex(path[i].vertex).wcet);
+    }
+    const PathState& last = res.arena[static_cast<std::size_t>(idx)];
+    EXPECT_EQ(path.back().work, last.work);
+    EXPECT_EQ(path.back().elapsed, last.elapsed);
+  }
+}
+
+TEST(Explore, ZeroLimitKeepsOnlySeeds) {
+  const DrtTask task = test::small_task();
+  const ExploreResult res =
+      explore_paths(task, ExploreOptions{.elapsed_limit = Time(0)});
+  for (std::int32_t idx : res.frontier) {
+    EXPECT_EQ(res.arena[static_cast<std::size_t>(idx)].elapsed, Time(0));
+  }
+}
+
+TEST(Explore, StateCapThrows) {
+  const DrtTask task = test::small_task();
+  EXPECT_THROW((void)explore_paths(task, ExploreOptions{
+                                             .elapsed_limit = Time(500),
+                                             .prune = false,
+                                             .max_states = 100}),
+               std::runtime_error);
+}
+
+TEST(Explore, NegativeLimitRejected) {
+  const DrtTask task = test::small_task();
+  EXPECT_THROW(
+      (void)explore_paths(task, ExploreOptions{.elapsed_limit = Time(-1)}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strt

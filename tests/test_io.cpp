@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/curve_csv.hpp"
+#include "io/dot.hpp"
+#include "io/parse.hpp"
+#include "io/table.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| long-name |"), std::string::npos);
+  EXPECT_NE(s.find("|------"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(FmtRatio, FixedDecimals) {
+  EXPECT_EQ(fmt_ratio(1.0 / 3.0), "0.33");
+  EXPECT_EQ(fmt_ratio(2.5, 1), "2.5");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.row({"1", "2"}).row({"3", "4,5"});
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,\"4,5\"\n");
+  EXPECT_THROW(w.row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(Dot, ContainsVerticesAndEdges) {
+  const std::string dot = to_dot(test::small_task());
+  EXPECT_NE(dot.find("digraph \"small\""), std::string::npos);
+  EXPECT_NE(dot.find("e=4 d=10"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1 [label=\"3\"]"), std::string::npos);
+}
+
+TEST(Parse, TaskRoundTrip) {
+  const DrtTask original = test::small_task();
+  const std::string text = serialize_task(original);
+  const DrtTask parsed = parse_task(text);
+  EXPECT_EQ(parsed.name(), original.name());
+  ASSERT_EQ(parsed.vertex_count(), original.vertex_count());
+  ASSERT_EQ(parsed.edge_count(), original.edge_count());
+  for (VertexId v = 0;
+       static_cast<std::size_t>(v) < original.vertex_count(); ++v) {
+    EXPECT_EQ(parsed.vertex(v).name, original.vertex(v).name);
+    EXPECT_EQ(parsed.vertex(v).wcet, original.vertex(v).wcet);
+    EXPECT_EQ(parsed.vertex(v).deadline, original.vertex(v).deadline);
+  }
+  for (std::size_t i = 0; i < original.edge_count(); ++i) {
+    EXPECT_EQ(parsed.edges()[i].from, original.edges()[i].from);
+    EXPECT_EQ(parsed.edges()[i].to, original.edges()[i].to);
+    EXPECT_EQ(parsed.edges()[i].separation, original.edges()[i].separation);
+  }
+}
+
+TEST(Parse, AcceptsCommentsAndBlankLines) {
+  const DrtTask t = parse_task(
+      "# header comment\n"
+      "task demo\n"
+      "\n"
+      "vertex A wcet 2 deadline 7   # trailing comment\n"
+      "vertex B wcet 1 deadline 3\n"
+      "edge A B sep 4\n"
+      "edge B A sep 9\n");
+  EXPECT_EQ(t.name(), "demo");
+  EXPECT_EQ(t.vertex_count(), 2u);
+  EXPECT_EQ(t.vertex(0).deadline, Time(7));
+}
+
+TEST(Parse, ReportsLineNumbers) {
+  try {
+    (void)parse_task("task t\nvertex A wcet X deadline 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_task(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_task("vertex A wcet 1 deadline 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_task("task t\ntask t2\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse_task("task t\nvertex A wcet 1 deadline 1\n"
+                                "edge A Z sep 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_task("task t\nbogus\n"), std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_task("task t\nvertex A wcet 1 deadline 1\n"
+                       "vertex A wcet 1 deadline 1\n"),
+      std::invalid_argument);
+}
+
+TEST(Parse, SupplyRoundTrip) {
+  for (const char* text :
+       {"dedicated rate 2", "bounded_delay rate 3/4 delay 10",
+        "periodic budget 5 period 20", "tdma slot 5 cycle 20"}) {
+    const Supply s = parse_supply(text);
+    EXPECT_EQ(serialize_supply(s), text);
+  }
+}
+
+TEST(CurveCsv, SamplesAllBreakpoints) {
+  const Staircase f = Staircase::from_points(
+      {Step{Time(3), Work(2)}, Step{Time(7), Work(5)}}, Time(10));
+  const Staircase g = Staircase::from_points(
+      {Step{Time(5), Work(1)}}, Time(10));
+  std::ostringstream os;
+  write_curves_csv(os, {CurveSeries{"f", &f}, CurveSeries{"g", &g}},
+                   Time(10));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time,f,g\n"), std::string::npos);
+  // Jump rows and the just-before rows are present with correct values.
+  EXPECT_NE(out.find("\n2,0,0\n"), std::string::npos);
+  EXPECT_NE(out.find("\n3,2,0\n"), std::string::npos);
+  EXPECT_NE(out.find("\n5,2,1\n"), std::string::npos);
+  EXPECT_NE(out.find("\n7,5,1\n"), std::string::npos);
+  EXPECT_NE(out.find("\n10,5,1\n"), std::string::npos);
+}
+
+TEST(CurveCsv, RejectsBadInput) {
+  std::ostringstream os;
+  EXPECT_THROW(write_curves_csv(os, {}, Time(5)), std::invalid_argument);
+  EXPECT_THROW(write_curves_csv(os, {CurveSeries{"x", nullptr}}, Time(5)),
+               std::invalid_argument);
+}
+
+TEST(Parse, SupplyRejectsUnknownKind) {
+  EXPECT_THROW((void)parse_supply("magic beans 3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_supply(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_supply("tdma slot 5"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strt

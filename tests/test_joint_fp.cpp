@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "core/fixed_priority.hpp"
+#include "core/joint_fp.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(JointFp, SporadicHpHasOnePathShape) {
+  // A sporadic high-priority task has exactly one maximal minimum-gap
+  // path per busy window, so joint == rbf-based.
+  const DrtTask hp = SporadicTask{"hp", Work(1), Time(4), Time(4)}.to_drt();
+  const DrtTask lp = SporadicTask{"lp", Work(2), Time(10), Time(10)}.to_drt();
+  const JointFpResult res =
+      joint_two_task_fp(hp, lp, Supply::dedicated(1));
+  ASSERT_FALSE(res.overloaded);
+  EXPECT_EQ(res.joint_delay, res.rbf_delay);
+  EXPECT_EQ(res.joint_delay, Time(3));  // 1 (hp) + 2 (own)
+}
+
+TEST(JointFp, NeverExceedsRbfBaseline) {
+  Rng rng(818);
+  int checked = 0;
+  while (checked < 10) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 3;
+    params.min_separation = Time(5);
+    params.max_separation = Time(18);
+    params.target_utilization = 0.3;
+    const DrtTask hp = random_drt(rng, params).task;
+    const DrtTask lp = random_drt(rng, params).task;
+    const Supply supply = Supply::dedicated(1);
+    JointFpResult res;
+    try {
+      res = joint_two_task_fp(hp, lp, supply);
+    } catch (const std::runtime_error&) {
+      continue;  // path cap: pick another instance
+    }
+    if (res.overloaded) continue;
+    ++checked;
+    EXPECT_LE(res.joint_delay, res.rbf_delay) << "instance " << checked;
+    EXPECT_GT(res.paths_analyzed, 0u);
+    EXPECT_LE(res.paths_analyzed, res.paths_enumerated);
+  }
+}
+
+TEST(JointFp, StrictGainExistsForBranchyInterference) {
+  // hp alternates between a heavy mode and a light mode via an exclusive
+  // branch: rbf takes the heavy burst at small windows AND the dense
+  // light cycle at large windows -- no single path does both.
+  DrtBuilder hb("hp");
+  const VertexId heavy = hb.add_vertex("heavy", Work(6), Time(100));
+  const VertexId light = hb.add_vertex("light", Work(1), Time(100));
+  hb.add_edge(heavy, heavy, Time(30));
+  hb.add_edge(heavy, light, Time(30));
+  hb.add_edge(light, light, Time(4));
+  hb.add_edge(light, heavy, Time(30));
+  const DrtTask hp = std::move(hb).build();
+
+  const DrtTask lp = SporadicTask{"lp", Work(8), Time(60), Time(60)}.to_drt();
+  const Supply supply = Supply::tdma(Time(4), Time(8));
+  const JointFpResult res = joint_two_task_fp(hp, lp, supply);
+  ASSERT_FALSE(res.overloaded);
+  EXPECT_LT(res.joint_delay, res.rbf_delay);  // the headline gain
+  EXPECT_EQ(res.joint_delay, Time(32));
+  EXPECT_EQ(res.rbf_delay, Time(40));
+}
+
+TEST(JointFp, SimulatedPreemptiveRunsRespectTheJointBound) {
+  Rng rng(919);
+  int checked = 0;
+  while (checked < 6) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 3;
+    params.min_separation = Time(6);
+    params.max_separation = Time(16);
+    params.target_utilization = 0.25;
+    const DrtTask hp = random_drt(rng, params).task;
+    const DrtTask lp = random_drt(rng, params).task;
+    const Supply supply = Supply::tdma(Time(4), Time(6));
+    JointFpResult res;
+    try {
+      res = joint_two_task_fp(hp, lp, supply);
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    if (res.overloaded) continue;
+    ++checked;
+
+    const Time horizon(500);
+    for (int run = 0; run < 10; ++run) {
+      const Trace hp_tr = trace_random_walk(hp, rng, Time(400), 0.3, Time(6));
+      const Trace lp_tr = trace_random_walk(lp, rng, Time(400), 0.3, Time(6));
+      const ServicePattern slots =
+          pattern_tdma(Time(4), Time(6),
+                       Time(rng.uniform_int(0, 5)), horizon);
+      // Preemptive FP: hp drains first each tick.
+      std::size_t hn = 0;
+      std::size_t ln = 0;
+      std::vector<std::pair<Time, Work>> hq;
+      std::vector<std::pair<Time, Work>> lq;
+      for (std::int64_t t = 0; t < horizon.count(); ++t) {
+        while (hn < hp_tr.size() && hp_tr[hn].release == Time(t)) {
+          hq.emplace_back(Time(t), hp_tr[hn].wcet);
+          ++hn;
+        }
+        while (ln < lp_tr.size() && lp_tr[ln].release == Time(t)) {
+          lq.emplace_back(Time(t), lp_tr[ln].wcet);
+          ++ln;
+        }
+        std::int64_t cap = slots[static_cast<std::size_t>(t)];
+        while (cap > 0 && !hq.empty()) {
+          const std::int64_t served =
+              std::min(cap, hq.front().second.count());
+          hq.front().second -= Work(served);
+          cap -= served;
+          if (hq.front().second == Work(0)) hq.erase(hq.begin());
+        }
+        while (cap > 0 && !lq.empty()) {
+          const std::int64_t served =
+              std::min(cap, lq.front().second.count());
+          lq.front().second -= Work(served);
+          cap -= served;
+          if (lq.front().second == Work(0)) {
+            const Time delay = Time(t + 1) - lq.front().first;
+            EXPECT_LE(delay, res.joint_delay)
+                << "instance " << checked << " run " << run;
+            lq.erase(lq.begin());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(JointFpMulti, NoInterferenceEqualsSingleStream) {
+  const DrtTask lp = SporadicTask{"lp", Work(3), Time(9), Time(9)}.to_drt();
+  const JointFpResult res =
+      joint_multi_task_fp({}, lp, Supply::dedicated(1));
+  ASSERT_FALSE(res.overloaded);
+  EXPECT_EQ(res.joint_delay, Time(3));
+  EXPECT_EQ(res.rbf_delay, Time(3));
+  EXPECT_EQ(res.paths_analyzed, 1u);  // the empty interference
+}
+
+TEST(JointFpMulti, ThreeTaskStackBeatsRbfLeftover) {
+  // Two branchy interferers stacked above a sporadic victim; the rbf
+  // aggregate charges the victim with both interferers' bursts and dense
+  // cycles simultaneously, the joint analysis keeps each consistent.
+  auto make_hp = [](std::int64_t heavy_sep, std::int64_t light_sep,
+                    std::int64_t heavy_wcet) {
+    DrtBuilder hb("hp");
+    const VertexId heavy =
+        hb.add_vertex("heavy", Work(heavy_wcet), Time(200));
+    const VertexId light = hb.add_vertex("light", Work(1), Time(200));
+    hb.add_edge(heavy, heavy, Time(heavy_sep));
+    hb.add_edge(heavy, light, Time(heavy_sep));
+    hb.add_edge(light, light, Time(light_sep));
+    hb.add_edge(light, heavy, Time(heavy_sep));
+    return std::move(hb).build();
+  };
+  const std::vector<DrtTask> hps{make_hp(30, 4, 6), make_hp(40, 6, 5)};
+  const DrtTask lp =
+      SporadicTask{"lp", Work(12), Time(90), Time(90)}.to_drt();
+  const Supply supply = Supply::tdma(Time(5), Time(8));
+  const JointFpResult res = joint_multi_task_fp(hps, lp, supply);
+  ASSERT_FALSE(res.overloaded);
+  EXPECT_EQ(res.joint_delay, Time(63));
+  EXPECT_EQ(res.rbf_delay, Time(69));
+  EXPECT_EQ(res.paths_analyzed, 6u);  // cross product after pruning
+}
+
+TEST(JointFpMulti, AgreesWithTwoTaskVariant) {
+  Rng rng(2626);
+  int checked = 0;
+  while (checked < 5) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 3;
+    params.min_separation = Time(6);
+    params.max_separation = Time(18);
+    params.target_utilization = 0.25;
+    const DrtTask hp = random_drt(rng, params).task;
+    const DrtTask lp = random_drt(rng, params).task;
+    const Supply supply = Supply::tdma(Time(4), Time(7));
+    JointFpResult two;
+    JointFpResult multi;
+    try {
+      two = joint_two_task_fp(hp, lp, supply);
+      multi = joint_multi_task_fp({&hp, 1}, lp, supply);
+    } catch (const std::runtime_error&) {
+      continue;
+    }
+    if (two.overloaded) continue;
+    ++checked;
+    EXPECT_EQ(two.joint_delay, multi.joint_delay);
+    EXPECT_EQ(two.rbf_delay, multi.rbf_delay);
+  }
+}
+
+TEST(JointFp, OverloadDetected) {
+  const DrtTask hp = SporadicTask{"hp", Work(3), Time(4), Time(4)}.to_drt();
+  const DrtTask lp = SporadicTask{"lp", Work(2), Time(4), Time(4)}.to_drt();
+  const JointFpResult res =
+      joint_two_task_fp(hp, lp, Supply::dedicated(1));
+  EXPECT_TRUE(res.overloaded);
+  EXPECT_TRUE(res.joint_delay.is_unbounded());
+}
+
+}  // namespace
+}  // namespace strt

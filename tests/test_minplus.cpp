@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "curves/builders.hpp"
+#include "curves/minplus.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+using test::dense;
+using test::dense_conv;
+using test::dense_deconv;
+using test::dense_hdev;
+using test::dense_vdev;
+using test::random_staircase;
+
+TEST(Pointwise, AddMinMax) {
+  const Staircase f = Staircase::from_points(
+      {Step{Time(2), Work(3)}, Step{Time(6), Work(5)}}, Time(10));
+  const Staircase g = Staircase::from_points(
+      {Step{Time(1), Work(1)}, Step{Time(7), Work(9)}}, Time(8));
+  const Staircase sum = pointwise_add(f, g);
+  const Staircase mn = pointwise_min(f, g);
+  const Staircase mx = pointwise_max(f, g);
+  EXPECT_EQ(sum.horizon(), Time(8));
+  for (std::int64_t t = 0; t <= 8; ++t) {
+    const Work fv = f.value(Time(t));
+    const Work gv = g.value(Time(t));
+    EXPECT_EQ(sum.value(Time(t)), fv + gv) << t;
+    EXPECT_EQ(mn.value(Time(t)), min(fv, gv)) << t;
+    EXPECT_EQ(mx.value(Time(t)), max(fv, gv)) << t;
+  }
+}
+
+TEST(MinplusConv, MatchesBruteForceOnRandomCurves) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Staircase f = random_staircase(rng, Time(25));
+    const Staircase g = random_staircase(rng, Time(20));
+    const Staircase h = minplus_conv(f, g);
+    ASSERT_EQ(h.horizon(), Time(45));
+    const auto expect = dense_conv(dense(f, Time(25)), dense(g, Time(20)));
+    const auto got = dense(h, Time(45));
+    EXPECT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST(MinplusConv, ZeroCurveActsAsFloor) {
+  // Convolving with the zero curve on [0, Hz] gives 0 wherever the zero
+  // curve can cover the whole window (t <= Hz) and the domain-restricted
+  // minimum min_{s >= t - Hz} f(s) = f(t - Hz) beyond it.
+  const Staircase f = Staircase::from_points(
+      {Step{Time(1), Work(4)}, Step{Time(5), Work(9)}}, Time(10));
+  const Staircase z(Time(10));
+  const Staircase h = minplus_conv(f, z);
+  for (std::int64_t t = 0; t <= 20; ++t) {
+    const Work expect =
+        t <= 10 ? Work(0) : f.value(Time(t - 10));
+    EXPECT_EQ(h.value(Time(t)), expect) << "t=" << t;
+  }
+}
+
+TEST(MinplusConv, Commutative) {
+  Rng rng(7);
+  const Staircase f = random_staircase(rng, Time(30));
+  const Staircase g = random_staircase(rng, Time(30));
+  EXPECT_EQ(minplus_conv(f, g), minplus_conv(g, f));
+}
+
+TEST(MinplusConv, Associative) {
+  Rng rng(8);
+  const Staircase f = random_staircase(rng, Time(12));
+  const Staircase g = random_staircase(rng, Time(12));
+  const Staircase h = random_staircase(rng, Time(12));
+  EXPECT_EQ(minplus_conv(minplus_conv(f, g), h),
+            minplus_conv(f, minplus_conv(g, h)));
+}
+
+TEST(MinplusDeconv, MatchesBruteForceOnRandomCurves) {
+  Rng rng(515);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Staircase f = random_staircase(rng, Time(40));
+    const Staircase g = random_staircase(rng, Time(15));
+    const Staircase h = minplus_deconv(f, g);
+    ASSERT_EQ(h.horizon(), Time(25));
+    const auto expect = dense_deconv(dense(f, Time(40)), dense(g, Time(15)));
+    const auto got = dense(h, Time(25));
+    for (std::size_t t = 0; t < expect.size(); ++t) {
+      EXPECT_EQ(got[t], std::max<std::int64_t>(0, expect[t]))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(MinplusDeconv, RequiresLongerFirstOperand) {
+  const Staircase f(Time(5));
+  const Staircase g(Time(9));
+  EXPECT_THROW((void)minplus_deconv(f, g), std::invalid_argument);
+}
+
+TEST(Deviations, HdevMatchesBruteForce) {
+  Rng rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(30), 4, 0.35);
+    // Service comfortably dominating eventually: rate 2 staircase.
+    const Staircase b = curve::dedicated(2, Time(200));
+    const Time d = hdev(a, b);
+    const std::int64_t expect = dense_hdev(dense(a, Time(30)),
+                                           dense(b, Time(200)));
+    ASSERT_GE(expect, 0);
+    EXPECT_EQ(d.count(), expect) << "trial " << trial;
+  }
+}
+
+TEST(Deviations, HdevUnboundedWhenServiceFlat) {
+  const Staircase a =
+      Staircase::from_points({Step{Time(1), Work(5)}}, Time(10));
+  const Staircase b =
+      Staircase::from_points({Step{Time(1), Work(2)}}, Time(10))
+          .with_tail(Tail{Time(5), Work(0)});
+  EXPECT_TRUE(hdev(a, b).is_unbounded());
+}
+
+TEST(Deviations, VdevMatchesBruteForce) {
+  Rng rng(32);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(30), 4, 0.4);
+    const Staircase b = random_staircase(rng, Time(30), 3, 0.5);
+    const Work v = vdev(a, b, Time(29));
+    const std::int64_t expect =
+        dense_vdev(dense(a, Time(30)), dense(b, Time(30)), 29);
+    EXPECT_EQ(v.count(), std::max<std::int64_t>(0, expect))
+        << "trial " << trial;
+  }
+}
+
+TEST(FirstCatchUp, FindsTheFirstCrossing) {
+  // Workload jumps to 5 immediately; unit-rate service catches up at 5.
+  const Staircase a =
+      Staircase::from_points({Step{Time(1), Work(5)}}, Time(20));
+  const Staircase b = curve::dedicated(1, Time(20));
+  ASSERT_TRUE(first_catch_up(a, b).has_value());
+  EXPECT_EQ(*first_catch_up(a, b), Time(5));
+}
+
+TEST(FirstCatchUp, NoneWithinHorizon) {
+  const Staircase a =
+      Staircase::from_points({Step{Time(1), Work(100)}}, Time(20));
+  const Staircase b = curve::dedicated(1, Time(20));
+  EXPECT_FALSE(first_catch_up(a, b).has_value());
+}
+
+TEST(FirstCatchUp, BruteForceAgreement) {
+  Rng rng(88);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(40), 3, 0.3);
+    const Staircase b = curve::dedicated(1, Time(40));
+    const auto got = first_catch_up(a, b);
+    std::optional<Time> expect;
+    for (std::int64_t t = 1; t <= 40; ++t) {
+      if (a.value(Time(t)) <= b.value(Time(t))) {
+        expect = Time(t);
+        break;
+      }
+    }
+    EXPECT_EQ(got, expect) << "trial " << trial;
+  }
+}
+
+TEST(Leftover, MatchesDefinition) {
+  Rng rng(41);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Staircase beta = curve::dedicated(1, Time(50));
+    const Staircase alpha = random_staircase(rng, Time(50), 2, 0.25);
+    const Staircase left = leftover_service(beta, alpha);
+    std::int64_t best = 0;
+    for (std::int64_t t = 0; t <= 50; ++t) {
+      best = std::max(best, beta.value(Time(t)).count() -
+                                alpha.value(Time(t)).count());
+      EXPECT_EQ(left.value(Time(t)).count(), std::max<std::int64_t>(0, best))
+          << "trial " << trial << " t=" << t;
+    }
+  }
+}
+
+TEST(Leftover, ZeroWhenWorkloadDominatesSupply) {
+  const Staircase beta = curve::dedicated(1, Time(20));
+  const Staircase alpha =
+      Staircase::from_points({Step{Time(1), Work(100)}}, Time(20));
+  const Staircase left = leftover_service(beta, alpha);
+  for (std::int64_t t = 0; t <= 20; ++t) {
+    // beta(0)-alpha(0) = 0 is the only non-negative point.
+    EXPECT_EQ(left.value(Time(t)), Work(0)) << t;
+  }
+}
+
+TEST(SubadditiveClosure, ProducesSubadditiveLowerCurve) {
+  Rng rng(55);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Staircase f = random_staircase(rng, Time(30), 5, 0.3);
+    const Staircase c = subadditive_closure(f);
+    EXPECT_TRUE(c.is_subadditive()) << "trial " << trial;
+    for (std::int64_t t = 0; t <= 30; ++t) {
+      EXPECT_LE(c.value(Time(t)), f.value(Time(t)));
+    }
+  }
+}
+
+TEST(SubadditiveClosure, FixpointOfSubadditiveCurve) {
+  const Staircase sub = Staircase::from_points(
+      {Step{Time(1), Work(2)}, Step{Time(6), Work(4)},
+       Step{Time(11), Work(6)}},
+      Time(15));
+  ASSERT_TRUE(sub.is_subadditive());
+  EXPECT_EQ(subadditive_closure(sub), sub.without_tail());
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+#include "model/generator.hpp"
+#include "model/gmf.hpp"
+#include "model/recurring.hpp"
+#include "model/sporadic.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Sporadic, ToDrtShape) {
+  const DrtTask t = SporadicTask{"s", Work(2), Time(5), Time(4)}.to_drt();
+  EXPECT_EQ(t.vertex_count(), 1u);
+  EXPECT_EQ(t.edge_count(), 1u);
+  EXPECT_EQ(t.vertex(0).wcet, Work(2));
+  EXPECT_EQ(t.vertex(0).deadline, Time(4));
+  EXPECT_TRUE(t.is_cyclic());
+}
+
+TEST(Sporadic, RejectsBadParameters) {
+  const SporadicTask zero_wcet{"s", Work(0), Time(5), Time(5)};
+  EXPECT_THROW((void)zero_wcet.to_drt(), std::invalid_argument);
+  const SporadicTask zero_period{"s", Work(1), Time(0), Time(5)};
+  EXPECT_THROW((void)zero_period.to_drt(), std::invalid_argument);
+}
+
+TEST(Gmf, ValidatesFrames) {
+  EXPECT_THROW(GmfTask("g", {}), std::invalid_argument);
+  EXPECT_THROW(GmfTask("g", {GmfFrame{Work(0), Time(1), Time(1)}}),
+               std::invalid_argument);
+}
+
+TEST(Gmf, RingUtilization) {
+  const GmfTask gmf("g", {GmfFrame{Work(2), Time(4), Time(4)},
+                          GmfFrame{Work(1), Time(6), Time(6)}});
+  const auto u = utilization(gmf.to_drt());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(*u, Rational(3, 10));
+}
+
+TEST(Gmf, SingleFrameEqualsSporadic) {
+  const GmfTask gmf("g", {GmfFrame{Work(3), Time(7), Time(7)}});
+  const SporadicTask sp{"s", Work(3), Time(7), Time(7)};
+  const Staircase a = rbf(gmf.to_drt(), Time(60));
+  const Staircase b = rbf(sp.to_drt(), Time(60));
+  for (std::int64_t t = 0; t <= 60; ++t) {
+    EXPECT_EQ(a.value(Time(t)), b.value(Time(t))) << t;
+  }
+}
+
+TEST(Recurring, BuildsTreeWithRestarts) {
+  RecurringTaskBuilder b("rec");
+  const VertexId root = b.set_root("R", Work(2), Time(5));
+  const VertexId l = b.add_child(root, "L", Work(1), Time(5), Time(5));
+  const VertexId r = b.add_child(root, "Rt", Work(4), Time(10), Time(8));
+  (void)l;
+  (void)r;
+  b.with_global_period(Time(20));
+  const DrtTask task = std::move(b).build();
+  EXPECT_EQ(task.vertex_count(), 3u);
+  // Two tree edges + two restart edges.
+  EXPECT_EQ(task.edge_count(), 4u);
+  EXPECT_TRUE(task.is_cyclic());
+  // Restart separations: 20 - 5 = 15 and 20 - 8 = 12.
+  std::multiset<std::int64_t> restart_seps;
+  for (const DrtEdge& e : task.edges()) {
+    if (e.to == root && e.from != root) {
+      restart_seps.insert(e.separation.count());
+    }
+  }
+  EXPECT_EQ(restart_seps, (std::multiset<std::int64_t>{12, 15}));
+}
+
+TEST(Recurring, GlobalPeriodMustExceedSpan) {
+  RecurringTaskBuilder b("rec");
+  const VertexId root = b.set_root("R", Work(1), Time(5));
+  b.add_child(root, "L", Work(1), Time(5), Time(25));
+  EXPECT_THROW(b.with_global_period(Time(20)), std::invalid_argument);
+}
+
+TEST(Recurring, RootMustComeFirst) {
+  RecurringTaskBuilder b("rec");
+  EXPECT_THROW((void)b.add_child(0, "X", Work(1), Time(1), Time(1)),
+               std::invalid_argument);
+  (void)b.set_root("R", Work(1), Time(1));
+  EXPECT_THROW((void)b.set_root("R2", Work(1), Time(1)),
+               std::invalid_argument);
+}
+
+TEST(Recurring, BranchingShowsInRbf) {
+  // Root then one heavy XOR one light child; rbf must take the heavy one.
+  RecurringTaskBuilder b("rec");
+  const VertexId root = b.set_root("R", Work(1), Time(4));
+  b.add_child(root, "heavy", Work(6), Time(10), Time(4));
+  b.add_child(root, "light", Work(1), Time(10), Time(4));
+  b.with_global_period(Time(30));
+  const DrtTask task = std::move(b).build();
+  const Staircase f = rbf(task, Time(20));
+  EXPECT_EQ(f.value(Time(1)), Work(6));  // heavy alone
+  EXPECT_EQ(f.value(Time(5)), Work(7));  // root + heavy (span 4)
+}
+
+TEST(Generator, ProducesValidCyclicTasks) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    DrtGenParams params;
+    params.target_utilization = 0.05 + 0.85 * rng.uniform_real();
+    const GeneratedTask g = random_drt(rng, params);
+    EXPECT_GE(g.task.vertex_count(), params.min_vertices);
+    EXPECT_LE(g.task.vertex_count(), params.max_vertices);
+    EXPECT_TRUE(g.task.is_cyclic());
+    const auto u = utilization(g.task);
+    ASSERT_TRUE(u.has_value());
+    EXPECT_EQ(*u, g.exact_utilization);
+    EXPECT_GT(g.exact_utilization, Rational(0));
+  }
+}
+
+TEST(Generator, FrameSeparationWhenFactorAtMostOne) {
+  Rng rng(2);
+  DrtGenParams params;
+  params.deadline_factor = 1.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    EXPECT_TRUE(random_drt(rng, params).task.has_frame_separation());
+  }
+}
+
+TEST(Generator, UtilizationTracksTarget) {
+  Rng rng(3);
+  DrtGenParams params;
+  params.min_separation = Time(50);
+  params.max_separation = Time(200);
+  for (double target : {0.1, 0.3, 0.6, 0.9}) {
+    params.target_utilization = target;
+    double sum = 0;
+    const int n = 10;
+    for (int i = 0; i < n; ++i) {
+      sum += random_drt(rng, params).exact_utilization.to_double();
+    }
+    EXPECT_NEAR(sum / n, target, 0.25 * target + 0.05) << target;
+  }
+}
+
+TEST(Generator, SetSplitsUtilization) {
+  Rng rng(4);
+  const auto set = random_drt_set(rng, 4, 0.6);
+  ASSERT_EQ(set.size(), 4u);
+  double total = 0;
+  for (const auto& g : set) total += g.exact_utilization.to_double();
+  EXPECT_NEAR(total, 0.6, 0.35);
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dimensioning.hpp"
+#include "core/edf.hpp"
+#include "core/fixed_priority.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "sim/fifo.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+std::vector<DrtTask> two_sporadics() {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"hi", Work(1), Time(4), Time(4)}.to_drt());
+  tasks.push_back(SporadicTask{"lo", Work(2), Time(10), Time(10)}.to_drt());
+  return tasks;
+}
+
+TEST(FixedPriority, ClassicResponseTimes) {
+  // hi: C=1 T=4; lo: C=2 T=10 on a unit processor.
+  // hi's delay is its wcet; lo's worst response: 1 (hp) + 2 = 3.
+  const auto tasks = two_sporadics();
+  const FpResult res =
+      fixed_priority_analysis(tasks, Supply::dedicated(1));
+  ASSERT_FALSE(res.overloaded);
+  ASSERT_EQ(res.tasks.size(), 2u);
+  EXPECT_EQ(res.tasks[0].structural_delay, Time(1));
+  EXPECT_EQ(res.tasks[1].structural_delay, Time(3));
+  EXPECT_LE(res.tasks[0].structural_delay, res.tasks[0].curve_delay);
+  EXPECT_LE(res.tasks[1].structural_delay, res.tasks[1].curve_delay);
+}
+
+TEST(FixedPriority, OverloadDetected) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(3), Time(4), Time(4)}.to_drt());
+  tasks.push_back(SporadicTask{"b", Work(3), Time(4), Time(4)}.to_drt());
+  const FpResult res =
+      fixed_priority_analysis(tasks, Supply::dedicated(1));
+  EXPECT_TRUE(res.overloaded);
+  EXPECT_TRUE(res.tasks.empty());
+}
+
+TEST(FixedPriority, SimulationNeverExceedsPerTaskBounds) {
+  Rng rng(515151);
+  DrtGenParams params;
+  params.min_vertices = 2;
+  params.max_vertices = 4;
+  params.min_separation = Time(5);
+  params.max_separation = Time(25);
+  std::vector<GeneratedTask> gen = random_drt_set(rng, 3, 0.5, params);
+  std::vector<DrtTask> tasks;
+  for (auto& g : gen) tasks.push_back(std::move(g.task));
+  const FpResult res = fixed_priority_analysis(tasks, Supply::dedicated(1));
+  ASSERT_FALSE(res.overloaded);
+
+  // Preemptive fixed-priority simulation of dense random runs.
+  const Time horizon(600);
+  for (int run = 0; run < 10; ++run) {
+    std::vector<Trace> traces;
+    for (const DrtTask& t : tasks) {
+      traces.push_back(trace_random_walk(t, rng, Time(500), 0.4, Time(10)));
+    }
+    // Cycle-accurate preemptive FP execution on a unit processor.
+    struct Job {
+      Time release;
+      Work remaining;
+    };
+    std::vector<std::vector<Job>> queues(tasks.size());
+    std::vector<std::size_t> next(tasks.size(), 0);
+    for (std::int64_t t = 0; t < horizon.count(); ++t) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        auto& tr = traces[i];
+        while (next[i] < tr.size() && tr[next[i]].release == Time(t)) {
+          queues[i].push_back(Job{Time(t), tr[next[i]].wcet});
+          ++next[i];
+        }
+      }
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (queues[i].empty()) continue;
+        Job& head = queues[i].front();
+        head.remaining -= Work(1);
+        if (head.remaining == Work(0)) {
+          const Time delay = Time(t + 1) - head.release;
+          EXPECT_LE(delay, res.tasks[i].structural_delay)
+              << "task " << i << " run " << run;
+          queues[i].erase(queues[i].begin());
+        }
+        break;  // highest-priority pending task got the tick
+      }
+    }
+  }
+}
+
+TEST(FixedPriority, InterferenceAbstractionOnlyHurts) {
+  Rng rng(727272);
+  StructuralOptions opts;
+  opts.want_witness = false;
+  int checked_sets = 0;
+  while (checked_sets < 6) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 4;
+    params.min_separation = Time(8);
+    params.max_separation = Time(30);
+    auto gen = random_drt_set(rng, 3, 0.6, params);
+    std::vector<DrtTask> tasks;
+    Rational total(0);
+    for (auto& g : gen) {
+      total += g.exact_utilization;
+      tasks.push_back(std::move(g.task));
+    }
+    if (!(total < Rational(1))) continue;
+    const Supply supply = Supply::dedicated(1);
+    const FpResult exact = fixed_priority_analysis(
+        tasks, supply, opts, WorkloadAbstraction::kExactCurve);
+    const FpResult hull = fixed_priority_analysis(
+        tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
+    const FpResult bucket = fixed_priority_analysis(
+        tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
+    ASSERT_FALSE(exact.overloaded);
+    ASSERT_FALSE(hull.overloaded);
+    ASSERT_FALSE(bucket.overloaded);
+    ++checked_sets;
+    // Priority 0 sees no interference: all three agree.
+    EXPECT_EQ(exact.tasks[0].structural_delay,
+              hull.tasks[0].structural_delay);
+    EXPECT_EQ(exact.tasks[0].structural_delay,
+              bucket.tasks[0].structural_delay);
+    // Lower priorities: coarser interference can only inflate the bound.
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      EXPECT_LE(exact.tasks[i].structural_delay,
+                hull.tasks[i].structural_delay)
+          << "set " << checked_sets << " prio " << i;
+      EXPECT_LE(hull.tasks[i].structural_delay,
+                bucket.tasks[i].structural_delay)
+          << "set " << checked_sets << " prio " << i;
+    }
+  }
+}
+
+TEST(FixedPriority, MinGapInterferenceCanOverload) {
+  // Two tasks whose min-gap abstraction claims more than the processor.
+  std::vector<DrtTask> tasks;
+  {
+    DrtBuilder b("bursty1");
+    const VertexId h = b.add_vertex("H", Work(4), Time(50));
+    const VertexId l = b.add_vertex("L", Work(1), Time(20));
+    b.add_edge(h, l, Time(5)).add_edge(l, h, Time(60));
+    tasks.push_back(std::move(b).build());
+  }
+  tasks.push_back(SporadicTask{"bg", Work(2), Time(10), Time(10)}.to_drt());
+  const Supply supply = Supply::dedicated(1);
+  const FpResult exact = fixed_priority_analysis(
+      tasks, supply, {}, WorkloadAbstraction::kExactCurve);
+  EXPECT_FALSE(exact.overloaded);
+  const FpResult mingap = fixed_priority_analysis(
+      tasks, supply, {}, WorkloadAbstraction::kSporadicMinGap);
+  EXPECT_TRUE(mingap.overloaded);  // claims 4/5 + 1/5 = 1 >= rate
+}
+
+TEST(Edf, UnderloadedSporadicsSchedulable) {
+  const auto tasks = two_sporadics();
+  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  EXPECT_FALSE(res.overloaded);
+  EXPECT_TRUE(res.schedulable);
+  ASSERT_TRUE(res.margin.has_value());
+  EXPECT_GE(*res.margin, 0);
+}
+
+TEST(Edf, TightDeadlinesFail) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(3), Time(10), Time(3)}.to_drt());
+  tasks.push_back(SporadicTask{"b", Work(3), Time(10), Time(3)}.to_drt());
+  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  EXPECT_FALSE(res.overloaded);
+  EXPECT_FALSE(res.schedulable);
+  ASSERT_TRUE(res.first_violation.has_value());
+  EXPECT_EQ(*res.first_violation, Time(3));  // demand 6 vs supply 3
+  ASSERT_TRUE(res.margin.has_value());
+  EXPECT_LT(*res.margin, 0);
+}
+
+TEST(Edf, OverloadDetected) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(5), Time(4), Time(4)}.to_drt());
+  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  EXPECT_TRUE(res.overloaded);
+}
+
+TEST(Edf, RequiresFrameSeparation) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(test::small_task());  // deadlines exceed separations
+  EXPECT_THROW((void)edf_schedulable(tasks, Supply::dedicated(1)),
+               std::invalid_argument);
+}
+
+TEST(Edf, EdfOnPartialSupply) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(1), Time(8), Time(8)}.to_drt());
+  const EdfResult ok =
+      edf_schedulable(tasks, Supply::tdma(Time(4), Time(8)));
+  EXPECT_TRUE(ok.schedulable);
+  // Same task but deadline 2 on a slot that can be 4 ticks away: fails.
+  std::vector<DrtTask> tight;
+  tight.push_back(SporadicTask{"a", Work(1), Time(8), Time(2)}.to_drt());
+  const EdfResult bad =
+      edf_schedulable(tight, Supply::tdma(Time(4), Time(8)));
+  EXPECT_FALSE(bad.schedulable);
+}
+
+TEST(Dimensioning, StructuralNeedsNoMoreThanCurve) {
+  Rng rng(9091);
+  for (int trial = 0; trial < 8; ++trial) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 5;
+    params.min_separation = Time(6);
+    params.max_separation = Time(30);
+    params.target_utilization = 0.25;
+    const DrtTask task = random_drt(rng, params).task;
+    const Time cycle(10);
+    const Time deadline(120);
+    const auto s =
+        min_tdma_slot(task, cycle, deadline, WorkloadAbstraction::kStructural);
+    const auto c = min_tdma_slot(task, cycle, deadline, WorkloadAbstraction::kConcaveHull);
+    if (c.has_value()) {
+      ASSERT_TRUE(s.has_value()) << "trial " << trial;
+      EXPECT_LE(*s, *c) << "trial " << trial;
+    }
+    if (s.has_value()) {
+      // Minimality: one slot less must violate the deadline (or be zero).
+      const StructuralOptions opts{.want_witness = false};
+      const StructuralResult at = structural_delay(
+          task, Supply::tdma(*s, cycle), opts);
+      EXPECT_LE(at.delay, deadline);
+      if (*s > Time(1)) {
+        const StructuralResult below = structural_delay(
+            task, Supply::tdma(*s - Time(1), cycle), opts);
+        EXPECT_GT(below.delay, deadline) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Dimensioning, InfeasibleReturnsNullopt) {
+  const SporadicTask sp{"s", Work(50), Time(60), Time(60)};
+  EXPECT_FALSE(min_tdma_slot(sp.to_drt(), Time(10), Time(10),
+                             WorkloadAbstraction::kStructural)
+                   .has_value());
+}
+
+TEST(Dimensioning, PeriodicBudgetSearch) {
+  const SporadicTask sp{"s", Work(2), Time(20), Time(20)};
+  const auto q = min_periodic_budget(sp.to_drt(), Time(10), Time(25),
+                                     WorkloadAbstraction::kStructural);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_GE(*q, Time(1));
+  EXPECT_LE(*q, Time(10));
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,205 @@
+// Parameterized property sweeps: the whole soundness chain of the
+// library, instantiated across supply models and load levels.
+//
+// For every (supply, utilization) cell and several random tasks:
+//   * rbf is monotone, zero at zero, and subadditive;
+//   * busy windows agree between the structural and curve analyses;
+//   * sim <= structural == exact-curve <= hull <= bucket (delay and
+//     backlog);
+//   * the witness path replays to exactly the claimed delay;
+//   * dominance pruning changes nothing but the state counts.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/abstractions.hpp"
+#include "core/busy_window.hpp"
+#include "core/curve_based.hpp"
+#include "core/structural.hpp"
+#include "graph/workload.hpp"
+#include "io/parse.hpp"
+#include "model/generator.hpp"
+#include "sim/fifo.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+struct PropertyCase {
+  const char* label;
+  const char* supply_text;  // parsed with io/parse
+  double utilization;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& os, const PropertyCase& c) {
+  return os << c.label;
+}
+
+class SpectrumProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SpectrumProperty, InvariantBattery) {
+  const PropertyCase& pc = GetParam();
+  const Supply supply = parse_supply(pc.supply_text);
+  Rng rng(pc.seed);
+
+  int analyzed = 0;
+  int attempts = 0;
+  while (analyzed < 4 && attempts < 40) {
+    ++attempts;
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 7;
+    params.min_separation = Time(3);
+    params.max_separation = Time(24);
+    params.target_utilization = pc.utilization;
+    const GeneratedTask gen = random_drt(rng, params);
+    if (!(gen.exact_utilization < supply.long_run_rate())) continue;
+    const DrtTask& task = gen.task;
+    ++analyzed;
+
+    // --- Workload function sanity.
+    const Staircase wl = rbf(task, Time(150));
+    EXPECT_EQ(wl.value(Time(0)), Work(0));
+    EXPECT_TRUE(wl.is_subadditive());
+
+    // --- Busy windows agree.
+    const auto bw = busy_window(task, supply);
+    ASSERT_TRUE(bw.has_value());
+    const StructuralResult st = structural_delay(task, supply);
+    const CurveResult cv = curve_delay(task, supply);
+    EXPECT_EQ(st.busy_window, bw->length);
+    EXPECT_EQ(cv.busy_window, bw->length);
+
+    // --- The abstraction hierarchy.
+    const auto ex = delay_with_abstraction(task, supply,
+                                           WorkloadAbstraction::kExactCurve);
+    const auto hull = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kConcaveHull);
+    const auto bucket = delay_with_abstraction(
+        task, supply, WorkloadAbstraction::kTokenBucket);
+    EXPECT_EQ(st.delay, ex.delay);
+    EXPECT_EQ(st.backlog, ex.backlog);
+    EXPECT_LE(ex.delay, hull.delay);
+    EXPECT_LE(hull.delay, bucket.delay);
+    EXPECT_LE(ex.backlog, hull.backlog);
+    EXPECT_LE(hull.backlog, bucket.backlog);
+
+    // --- Witness replay hits the bound exactly.
+    ASSERT_FALSE(st.witness.empty());
+    Trace trace;
+    for (const WitnessJob& j : st.witness) {
+      trace.push_back(SimJob{j.release, j.wcet, 0});
+    }
+    const Time horizon =
+        bw->sbf.inverse(st.witness.back().cumulative) + Time(2);
+    const SimOutcome replay =
+        simulate_fifo(trace, pattern_from_sbf(bw->sbf, horizon));
+    ASSERT_TRUE(replay.all_completed);
+    EXPECT_EQ(replay.max_delay, st.delay);
+
+    // --- Random legal runs stay within both bounds.
+    for (int run = 0; run < 3; ++run) {
+      const Trace rnd = trace_random_walk(task, rng, Time(250), 0.4,
+                                          Time(10));
+      Work total(0);
+      for (const SimJob& j : rnd) total += j.wcet;
+      const Time h2 = Time(250) + bw->sbf.inverse(total) + Time(2);
+      const SimOutcome out =
+          simulate_fifo(rnd, pattern_from_sbf(bw->sbf.extended(h2), h2));
+      ASSERT_TRUE(out.all_completed);
+      EXPECT_LE(out.max_delay, st.delay);
+      EXPECT_LE(out.max_backlog, st.backlog);
+    }
+
+    // --- Pruning is a pure optimization.
+    StructuralOptions no_prune;
+    no_prune.prune = false;
+    no_prune.want_witness = false;
+    if (bw->length <= Time(48)) {  // keep the unpruned run tractable
+      const StructuralResult full = structural_delay(task, supply, no_prune);
+      EXPECT_EQ(full.delay, st.delay);
+      EXPECT_EQ(full.backlog, st.backlog);
+      EXPECT_GE(full.stats.generated, st.stats.generated);
+    }
+  }
+  ASSERT_GE(analyzed, 1) << "generator never fit under the supply rate";
+}
+
+constexpr PropertyCase kCases[] = {
+    {"dedicated_low", "dedicated rate 1", 0.25, 11},
+    {"dedicated_high", "dedicated rate 1", 0.70, 12},
+    {"tdma_low", "tdma slot 4 cycle 8", 0.20, 13},
+    {"tdma_tight", "tdma slot 4 cycle 8", 0.42, 14},
+    {"tdma_coarse", "tdma slot 2 cycle 9", 0.15, 15},
+    {"periodic_low", "periodic budget 3 period 7", 0.20, 16},
+    {"periodic_tight", "periodic budget 3 period 7", 0.36, 17},
+    {"bdelay_low", "bounded_delay rate 3/4 delay 6", 0.30, 18},
+    {"bdelay_tight", "bounded_delay rate 3/4 delay 6", 0.62, 19},
+    {"fast_cpu", "dedicated rate 3", 0.9, 20},
+};
+
+INSTANTIATE_TEST_SUITE_P(SupplyLoadSweep, SpectrumProperty,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& pinfo) {
+                           return std::string(pinfo.param.label);
+                         });
+
+// ---------------------------------------------------------------------
+// Conformance of every concrete pattern generator to its model's sbf,
+// parameterized over the supply description.
+
+class PatternConformance
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PatternConformance, EveryGeneratedPatternConforms) {
+  const Supply supply = parse_supply(GetParam());
+  const Time horizon(120);
+  const Staircase sbf = supply.sbf(max(horizon, supply.min_horizon()));
+  Rng rng(99);
+
+  std::vector<ServicePattern> patterns;
+  if (const auto* ded = std::get_if<DedicatedSupply>(&supply.model())) {
+    patterns.push_back(pattern_constant(ded->rate, horizon));
+  }
+  if (const auto* tdma = std::get_if<TdmaSupply>(&supply.model())) {
+    for (std::int64_t phase = 0; phase < tdma->cycle.count(); ++phase) {
+      patterns.push_back(
+          pattern_tdma(tdma->slot, tdma->cycle, Time(phase), horizon));
+    }
+  }
+  if (const auto* per = std::get_if<PeriodicSupply>(&supply.model())) {
+    for (const BudgetPlacement p :
+         {BudgetPlacement::kWorstCase, BudgetPlacement::kEarly,
+          BudgetPlacement::kLate, BudgetPlacement::kRandom}) {
+      patterns.push_back(pattern_periodic_server(per->budget, per->period,
+                                                 p, horizon, &rng));
+    }
+  }
+  patterns.push_back(pattern_from_sbf(sbf, horizon));
+
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    EXPECT_TRUE(pattern_conforms(patterns[i], sbf)) << "pattern " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Supplies, PatternConformance,
+    ::testing::Values("dedicated rate 1", "dedicated rate 2",
+                      "tdma slot 3 cycle 7", "tdma slot 1 cycle 5",
+                      "periodic budget 2 period 6",
+                      "periodic budget 5 period 6",
+                      "bounded_delay rate 2/3 delay 4"),
+    [](const auto& pinfo) {
+      std::string name(pinfo.param);
+      for (char& c : name) {
+        if (c == ' ' || c == '/') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace strt

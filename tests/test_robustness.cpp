@@ -1,0 +1,143 @@
+// Failure-injection and robustness tests: malformed inputs must raise
+// clean exceptions (never crash or silently mis-parse), and degenerate
+// task shapes must be analyzed correctly.
+
+#include <gtest/gtest.h>
+
+#include "core/curve_based.hpp"
+#include "core/structural.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/workload.hpp"
+#include "io/parse.hpp"
+#include "io/trace_io.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  const Trace trace{SimJob{Time(0), Work(4), 0}, SimJob{Time(3), Work(1), 1},
+                    SimJob{Time(3), Work(2), 0}};
+  const Trace parsed = parse_trace(serialize_trace(trace));
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i].release, trace[i].release);
+    EXPECT_EQ(parsed[i].wcet, trace[i].wcet);
+    EXPECT_EQ(parsed[i].vertex, trace[i].vertex);
+  }
+}
+
+TEST(TraceIo, AcceptsCommentsAndRejectsGarbage) {
+  const Trace t = parse_trace("# header\n\njob release 5 wcet 2 vertex 0\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].release, Time(5));
+
+  EXPECT_THROW((void)parse_trace("job release x wcet 2 vertex 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_trace("job release 5 wcet 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_trace("jub release 5 wcet 2 vertex 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_trace(
+          "job release 5 wcet 2 vertex 0\njob release 3 wcet 1 vertex 0\n"),
+      std::invalid_argument);  // decreasing releases
+  EXPECT_THROW((void)parse_trace("job release -1 wcet 2 vertex 0\n"),
+               std::invalid_argument);
+}
+
+TEST(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(13);
+  const char alphabet[] =
+      "task vertex edge wcet deadline sep 0123456789 \t#\nabc_-/";
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng.uniform_int(0, 120));
+    for (int i = 0; i < len; ++i) {
+      text += alphabet[rng.pick_index(sizeof(alphabet) - 1)];
+    }
+    try {
+      const DrtTask task = parse_task(text);
+      // If it parsed, it must be a valid task.
+      EXPECT_GE(task.vertex_count(), 1u);
+    } catch (const std::invalid_argument&) {
+      // expected for garbage
+    }
+    try {
+      (void)parse_supply(text);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)parse_trace(text);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(DegenerateShapes, AcyclicTaskHasFiniteWorkloadAndDelay) {
+  // A one-shot chain: no cycle, utilization undefined, busy window still
+  // closes, every analysis finite.
+  DrtBuilder b("oneshot");
+  const VertexId a = b.add_vertex("A", Work(5), Time(20));
+  const VertexId c = b.add_vertex("B", Work(3), Time(10));
+  b.add_edge(a, c, Time(4));
+  const DrtTask task = std::move(b).build();
+  EXPECT_FALSE(utilization(task).has_value());
+
+  const Staircase f = rbf(task, Time(50));
+  EXPECT_EQ(f.value(Time(50)), Work(8));  // total work is bounded
+
+  const Supply supply = Supply::tdma(Time(1), Time(4));
+  const StructuralResult st = structural_delay(task, supply);
+  ASSERT_FALSE(st.delay.is_unbounded());
+  const CurveResult cv = curve_delay(task, supply);
+  EXPECT_EQ(st.delay, cv.delay);
+}
+
+TEST(DegenerateShapes, SingleVertexNoEdges) {
+  DrtBuilder b("solo");
+  b.add_vertex("only", Work(7), Time(30));
+  const DrtTask task = std::move(b).build();
+  EXPECT_FALSE(task.is_cyclic());
+  const StructuralResult st =
+      structural_delay(task, Supply::dedicated(1));
+  EXPECT_EQ(st.delay, Time(7));
+  EXPECT_EQ(st.backlog, Work(7));
+}
+
+TEST(DegenerateShapes, SeparationLargerThanBusyWindow) {
+  // The busy window closes before any second release can occur: the
+  // exploration sees only singleton paths.
+  const DrtTask task = [] {
+    DrtBuilder b("sparse");
+    const VertexId v = b.add_vertex("V", Work(2), Time(100));
+    b.add_edge(v, v, Time(1000));
+    return std::move(b).build();
+  }();
+  const StructuralResult st =
+      structural_delay(task, Supply::dedicated(1));
+  EXPECT_EQ(st.busy_window, Time(2));
+  EXPECT_EQ(st.delay, Time(2));
+  ASSERT_EQ(st.witness.size(), 1u);
+}
+
+TEST(DegenerateShapes, HugeWcetDoesNotOverflowSilently) {
+  // Astronomic parameters must either work or throw OverflowError /
+  // runtime_error -- never wrap around into a bogus bound.
+  DrtBuilder b("huge");
+  const VertexId v =
+      b.add_vertex("V", Work(std::int64_t{1} << 40), Time(1));
+  b.add_edge(v, v, Time(std::int64_t{1} << 41));
+  const DrtTask task = std::move(b).build();
+  try {
+    const StructuralResult st =
+        structural_delay(task, Supply::dedicated(1));
+    EXPECT_EQ(st.delay, Time(std::int64_t{1} << 40));
+  } catch (const OverflowError&) {
+  } catch (const std::runtime_error&) {
+  }
+}
+
+}  // namespace
+}  // namespace strt

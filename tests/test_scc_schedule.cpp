@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "core/structural.hpp"
+#include "curves/builders.hpp"
+#include "graph/cycle_ratio.hpp"
+#include "graph/scc.hpp"
+#include "io/parse.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "sim/service.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Scc, SingleComponentForStronglyConnectedTask) {
+  const DrtTask task = test::small_task();
+  const SccResult scc = strongly_connected_components(task);
+  EXPECT_EQ(scc.component_count, 1);
+  EXPECT_TRUE(is_strongly_connected(task));
+  ASSERT_EQ(scc.members.size(), 1u);
+  EXPECT_EQ(scc.members[0].size(), task.vertex_count());
+}
+
+TEST(Scc, TwoLoopsJoinedByABridge) {
+  // Loop {A,B} -> bridge -> loop {C,D}: three SCCs (bridge is trivial).
+  DrtBuilder b("two-loops");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  const VertexId v = b.add_vertex("B", Work(2), Time(1));
+  const VertexId bridge = b.add_vertex("X", Work(1), Time(1));
+  const VertexId c = b.add_vertex("C", Work(3), Time(1));
+  const VertexId d = b.add_vertex("D", Work(1), Time(1));
+  b.add_edge(a, v, Time(2)).add_edge(v, a, Time(2));
+  b.add_edge(v, bridge, Time(5));
+  b.add_edge(bridge, c, Time(5));
+  b.add_edge(c, d, Time(4)).add_edge(d, c, Time(4));
+  const DrtTask task = std::move(b).build();
+
+  const SccResult scc = strongly_connected_components(task);
+  EXPECT_EQ(scc.component_count, 3);
+  EXPECT_FALSE(is_strongly_connected(task));
+  EXPECT_EQ(scc.component[static_cast<std::size_t>(a)],
+            scc.component[static_cast<std::size_t>(v)]);
+  EXPECT_EQ(scc.component[static_cast<std::size_t>(c)],
+            scc.component[static_cast<std::size_t>(d)]);
+  EXPECT_NE(scc.component[static_cast<std::size_t>(a)],
+            scc.component[static_cast<std::size_t>(bridge)]);
+
+  // Edge direction property: every edge goes to an equal-or-lower id.
+  for (const DrtEdge& e : task.edges()) {
+    EXPECT_LE(scc.component[static_cast<std::size_t>(e.to)],
+              scc.component[static_cast<std::size_t>(e.from)]);
+  }
+
+  // Per-SCC utilizations: {A,B} = 3/4, {C,D} = 4/8, bridge trivial.
+  const auto utils = scc_utilizations(task);
+  ASSERT_EQ(utils.size(), 3u);
+  std::multiset<std::string> seen;
+  for (const auto& u : utils) {
+    seen.insert(u ? u->to_string() : "none");
+  }
+  EXPECT_EQ(seen, (std::multiset<std::string>{"none", "3/4", "1/2"}));
+
+  // Task utilization is the max over components.
+  const auto task_u = utilization(task);
+  ASSERT_TRUE(task_u.has_value());
+  EXPECT_EQ(*task_u, Rational(3, 4));
+}
+
+TEST(Scc, SelfLoopIsNontrivial) {
+  DrtBuilder b("self");
+  const VertexId a = b.add_vertex("A", Work(2), Time(1));
+  b.add_edge(a, a, Time(6));
+  const DrtTask task = std::move(b).build();
+  const auto utils = scc_utilizations(task);
+  ASSERT_EQ(utils.size(), 1u);
+  ASSERT_TRUE(utils[0].has_value());
+  EXPECT_EQ(*utils[0], Rational(1, 3));
+}
+
+TEST(Scc, MatchesUtilizationOnRandomTasks) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 15; ++trial) {
+    DrtGenParams params;
+    params.target_utilization = 0.4;
+    const DrtTask task = random_drt(rng, params).task;
+    const auto task_u = utilization(task);
+    ASSERT_TRUE(task_u.has_value());
+    Rational best(0);
+    for (const auto& u : scc_utilizations(task)) {
+      if (u && best < *u) best = *u;
+    }
+    EXPECT_EQ(best, *task_u) << "trial " << trial;
+  }
+}
+
+TEST(ScheduleSupply, SingleSlotMatchesTdma) {
+  // Mask with one contiguous slot == tdma_supply.
+  std::vector<bool> mask(9, false);
+  mask[0] = mask[1] = mask[2] = true;
+  const Staircase sched = curve::schedule_supply(mask, Time(45));
+  const Staircase tdma = curve::tdma_supply(Time(3), Time(9), Time(45));
+  for (std::int64_t t = 0; t <= 90; ++t) {
+    EXPECT_EQ(sched.value(Time(t)), tdma.value(Time(t))) << t;
+  }
+}
+
+TEST(ScheduleSupply, SplitSlotsBeatOneBigSlotInLatency) {
+  // Same bandwidth (4/12), but two slots of 2 have a shorter worst-case
+  // initial blackout than one slot of 4.
+  std::vector<bool> split(12, false);
+  split[0] = split[1] = true;
+  split[6] = split[7] = true;
+  const Staircase two = curve::schedule_supply(split, Time(48));
+  const Staircase one = curve::tdma_supply(Time(4), Time(12), Time(48));
+  // Equal long-run rate...
+  ASSERT_TRUE(two.long_run_rate().has_value());
+  EXPECT_EQ(*two.long_run_rate(), Rational(1, 3));
+  // ...but the split schedule delivers its first unit strictly earlier.
+  EXPECT_LT(two.inverse(Work(1)), one.inverse(Work(1)));
+  // And it is never behind by more than one slot's worth anywhere.
+  for (std::int64_t t = 0; t <= 48; ++t) {
+    EXPECT_GE(two.value(Time(t)) + Work(2), one.value(Time(t))) << t;
+  }
+}
+
+TEST(ScheduleSupply, EveryPhasePatternConforms) {
+  std::vector<bool> mask{true, false, true, true, false, false, true};
+  const Supply supply = Supply::schedule(mask);
+  const Staircase sbf = supply.sbf(Time(70));
+  for (std::int64_t phase = 0;
+       phase < static_cast<std::int64_t>(mask.size()); ++phase) {
+    const ServicePattern p = pattern_schedule(mask, Time(phase), Time(70));
+    EXPECT_TRUE(pattern_conforms(p, sbf)) << "phase " << phase;
+  }
+}
+
+TEST(ScheduleSupply, StructuralAnalysisRunsOnSchedule) {
+  const SporadicTask sp{"s", Work(2), Time(10), Time(10)};
+  std::vector<bool> mask{true, false, false, true, false, false};
+  const Supply supply = Supply::schedule(mask);
+  const StructuralResult res = structural_delay(sp.to_drt(), supply);
+  ASSERT_FALSE(res.delay.is_unbounded());
+  // First unit can be 2 ticks away (mask worst alignment), second
+  // another 3: sbf^{-1}(2) = 5 at worst... assert via the library's own
+  // consistency instead of a hand number:
+  EXPECT_EQ(res.delay, supply.sbf(Time(12)).inverse(Work(2)));
+}
+
+TEST(ScheduleSupply, ParserRoundTrip) {
+  const Supply s = parse_supply("schedule mask 010011");
+  EXPECT_EQ(serialize_supply(s), "schedule mask 010011");
+  EXPECT_EQ(s.long_run_rate(), Rational(1, 2));
+  EXPECT_THROW((void)parse_supply("schedule mask 01x1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)Supply::schedule({false, false}),
+               std::invalid_argument);
+  EXPECT_THROW((void)Supply::schedule({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hpp"
+#include "core/structural.hpp"
+#include "model/generator.hpp"
+#include "model/sporadic.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Sensitivity, RebuildHelpers) {
+  const DrtTask task = test::small_task();
+  const DrtTask grown = with_wcet_increase(task, 1, Work(5));
+  EXPECT_EQ(grown.vertex(1).wcet, task.vertex(1).wcet + Work(5));
+  EXPECT_EQ(grown.vertex(0).wcet, task.vertex(0).wcet);
+  EXPECT_EQ(grown.edge_count(), task.edge_count());
+
+  const DrtTask denser = with_separation_decrease(task, 0, Time(2));
+  EXPECT_EQ(denser.edges()[0].separation,
+            task.edges()[0].separation - Time(2));
+  EXPECT_EQ(denser.edges()[1].separation, task.edges()[1].separation);
+  EXPECT_THROW((void)with_separation_decrease(task, 0, Time(99)),
+               std::invalid_argument);
+  EXPECT_THROW((void)with_separation_decrease(task, 99, Time(1)),
+               std::invalid_argument);
+}
+
+TEST(Sensitivity, SporadicWcetSlackIsExact) {
+  // Sporadic C=2 T=10 on a unit processor with delay cap 6: delay = C, so
+  // the wcet can grow by exactly 4.
+  const SporadicTask sp{"s", Work(2), Time(10), Time(10)};
+  const DrtTask task = sp.to_drt();
+  SensitivityOptions opts;
+  opts.delay_cap = Time(6);
+  const SensitivityReport rep =
+      sensitivity_analysis(task, Supply::dedicated(1), opts);
+  ASSERT_TRUE(rep.feasible);
+  ASSERT_EQ(rep.wcet_slack.size(), 1u);
+  EXPECT_EQ(rep.wcet_slack[0], Work(4));
+  // Separation slack: with C=2 and the cap met at any density on a unit
+  // processor (rbf(t) = 2ceil(t/T) vs t), even separation 1 keeps... no:
+  // at separation 1 utilization is 2 > 1 -> overload, delay unbounded.
+  // The verdict flips somewhere; slack must be < 9 and consistent.
+  ASSERT_EQ(rep.separation_slack.size(), 1u);
+  const Time slack = rep.separation_slack[0];
+  EXPECT_LT(slack, Time(9));
+  // Boundary check: holds at the reported slack, fails just beyond.
+  StructuralOptions sopts;
+  sopts.want_witness = false;
+  const DrtTask at = with_separation_decrease(task, 0, slack);
+  EXPECT_LE(structural_delay(at, Supply::dedicated(1), sopts).delay,
+            Time(6));
+  if (slack + Time(1) < Time(10)) {
+    const DrtTask beyond =
+        with_separation_decrease(task, 0, slack + Time(1));
+    const StructuralResult r =
+        structural_delay(beyond, Supply::dedicated(1), sopts);
+    EXPECT_TRUE(r.delay.is_unbounded() || r.delay > Time(6));
+  }
+}
+
+TEST(Sensitivity, InfeasibleTaskHasZeroSlack) {
+  // Deadline 1 with wcet 3: per-vertex verdict fails outright.
+  DrtBuilder b("tight");
+  const VertexId v = b.add_vertex("V", Work(3), Time(1));
+  b.add_edge(v, v, Time(10));
+  const SensitivityReport rep =
+      sensitivity_analysis(std::move(b).build(), Supply::dedicated(1));
+  EXPECT_FALSE(rep.feasible);
+  EXPECT_EQ(rep.wcet_slack[0], Work(0));
+  EXPECT_EQ(rep.separation_slack[0], Time(0));
+}
+
+TEST(Sensitivity, SlacksAreBoundaryTight) {
+  Rng rng(515);
+  int checked = 0;
+  StructuralOptions sopts;
+  sopts.want_witness = false;
+  while (checked < 5) {
+    DrtGenParams params;
+    params.min_vertices = 2;
+    params.max_vertices = 4;
+    params.min_separation = Time(5);
+    params.max_separation = Time(20);
+    params.target_utilization = 0.3;
+    params.deadline_factor = 1.0;
+    const DrtTask task = random_drt(rng, params).task;
+    const Supply supply = Supply::tdma(Time(3), Time(5));
+
+    SensitivityOptions opts;
+    const StructuralResult base = structural_delay(task, supply, sopts);
+    if (base.delay.is_unbounded() || !base.meets_vertex_deadlines) continue;
+    ++checked;
+    const SensitivityReport rep = sensitivity_analysis(task, supply, opts);
+    ASSERT_TRUE(rep.feasible);
+
+    for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+         ++v) {
+      const Work slack = rep.wcet_slack[static_cast<std::size_t>(v)];
+      if (slack.is_unbounded()) continue;
+      const DrtTask at = with_wcet_increase(task, v, slack);
+      EXPECT_TRUE(
+          structural_delay(at, supply, sopts).meets_vertex_deadlines)
+          << "vertex " << v;
+      const DrtTask beyond = with_wcet_increase(task, v, slack + Work(1));
+      const StructuralResult r = structural_delay(beyond, supply, sopts);
+      EXPECT_TRUE(r.delay.is_unbounded() || !r.meets_vertex_deadlines)
+          << "vertex " << v;
+    }
+  }
+}
+
+TEST(PerVertexDelays, BoundGlobalDelayAndRespectDeadlineVerdict) {
+  Rng rng(8181);
+  for (int trial = 0; trial < 10; ++trial) {
+    DrtGenParams params;
+    params.target_utilization = 0.35;
+    const DrtTask task = random_drt(rng, params).task;
+    const Supply supply = Supply::dedicated(1);
+    const StructuralResult res = structural_delay(task, supply);
+    ASSERT_FALSE(res.delay.is_unbounded());
+    ASSERT_EQ(res.vertex_delays.size(), task.vertex_count());
+    Time worst(0);
+    bool all_meet = true;
+    for (VertexId v = 0;
+         static_cast<std::size_t>(v) < task.vertex_count(); ++v) {
+      const Time d = res.vertex_delays[static_cast<std::size_t>(v)];
+      worst = max(worst, d);
+      all_meet = all_meet && d <= task.vertex(v).deadline;
+    }
+    EXPECT_EQ(worst, res.delay) << "trial " << trial;
+    EXPECT_EQ(all_meet, res.meets_vertex_deadlines) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace strt

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "curves/builders.hpp"
+#include "sim/fifo.hpp"
+#include "sim/oracle.hpp"
+#include "sim/service.hpp"
+#include "sim/trace.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Fifo, SingleJobOnUnitService) {
+  const Trace trace{SimJob{Time(0), Work(3), 0}};
+  const SimOutcome out = simulate_fifo(trace, pattern_constant(1, Time(10)));
+  ASSERT_EQ(out.jobs.size(), 1u);
+  EXPECT_EQ(out.jobs[0].finish, Time(3));
+  EXPECT_EQ(out.jobs[0].delay, Time(3));
+  EXPECT_EQ(out.max_backlog, Work(3));
+  EXPECT_TRUE(out.all_completed);
+}
+
+TEST(Fifo, BackToBackJobsQueueUp) {
+  const Trace trace{SimJob{Time(0), Work(2), 0}, SimJob{Time(1), Work(2), 1}};
+  const SimOutcome out = simulate_fifo(trace, pattern_constant(1, Time(10)));
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[0].finish, Time(2));
+  EXPECT_EQ(out.jobs[1].finish, Time(4));
+  EXPECT_EQ(out.jobs[1].delay, Time(3));
+  EXPECT_EQ(out.max_delay, Time(3));
+  EXPECT_EQ(out.max_backlog, Work(3));  // at t=1: 1 left + 2 new
+}
+
+TEST(Fifo, IdleServiceIsWasted) {
+  // Gap between jobs: the second job cannot use the idle capacity.
+  const Trace trace{SimJob{Time(0), Work(1), 0}, SimJob{Time(5), Work(2), 1}};
+  const SimOutcome out = simulate_fifo(trace, pattern_constant(1, Time(10)));
+  ASSERT_EQ(out.jobs.size(), 2u);
+  EXPECT_EQ(out.jobs[1].finish, Time(7));
+  EXPECT_EQ(out.jobs[1].delay, Time(2));
+}
+
+TEST(Fifo, RespectsPatternGaps) {
+  // Service only in ticks 4..6.
+  ServicePattern p(Time(8).count(), 0);
+  p[4] = p[5] = p[6] = 1;
+  const Trace trace{SimJob{Time(0), Work(2), 0}};
+  const SimOutcome out = simulate_fifo(trace, p);
+  ASSERT_EQ(out.jobs.size(), 1u);
+  EXPECT_EQ(out.jobs[0].finish, Time(6));
+  EXPECT_EQ(out.jobs[0].delay, Time(6));
+}
+
+TEST(Fifo, IncompleteWhenPatternEnds) {
+  const Trace trace{SimJob{Time(0), Work(5), 0}};
+  const SimOutcome out = simulate_fifo(trace, pattern_constant(1, Time(3)));
+  EXPECT_FALSE(out.all_completed);
+  EXPECT_TRUE(out.jobs.empty());
+}
+
+TEST(Fifo, RejectsUnsortedTrace) {
+  const Trace trace{SimJob{Time(5), Work(1), 0}, SimJob{Time(0), Work(1), 1}};
+  EXPECT_THROW((void)simulate_fifo(trace, pattern_constant(1, Time(10))),
+               std::invalid_argument);
+}
+
+TEST(Fifo, MultiUnitCapacityServesSeveralJobsPerTick) {
+  const Trace trace{SimJob{Time(0), Work(1), 0}, SimJob{Time(0), Work(1), 1},
+                    SimJob{Time(0), Work(1), 2}};
+  const SimOutcome out = simulate_fifo(trace, pattern_constant(3, Time(4)));
+  ASSERT_EQ(out.jobs.size(), 3u);
+  for (const CompletedJob& j : out.jobs) EXPECT_EQ(j.finish, Time(1));
+}
+
+TEST(TraceGen, DenseWalkRespectsSeparationsAndWcets) {
+  const DrtTask task = test::small_task();
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trace t = trace_dense_walk(task, rng, Time(100));
+    ASSERT_FALSE(t.empty());
+    EXPECT_EQ(t.front().release, Time(0));
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      EXPECT_EQ(t[i].wcet, task.vertex(t[i].vertex).wcet);
+      if (i > 0) {
+        const Time gap = t[i].release - t[i - 1].release;
+        bool found = false;
+        for (std::int32_t ei : task.out_edges(t[i - 1].vertex)) {
+          const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+          if (e.to == t[i].vertex && e.separation == gap) found = true;
+        }
+        EXPECT_TRUE(found) << "hop " << i;
+      }
+    }
+  }
+}
+
+TEST(TraceGen, RandomWalkSeparationsAreAtLeastMinimal) {
+  const DrtTask task = test::small_task();
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Trace t = trace_random_walk(task, rng, Time(150), 0.5, Time(10));
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      const Time gap = t[i].release - t[i - 1].release;
+      Time min_sep = Time::unbounded();
+      for (std::int32_t ei : task.out_edges(t[i - 1].vertex)) {
+        const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+        if (e.to == t[i].vertex) min_sep = min(min_sep, e.separation);
+      }
+      ASSERT_FALSE(min_sep.is_unbounded());
+      EXPECT_GE(gap, min_sep) << "hop " << i;
+    }
+  }
+}
+
+TEST(Oracle, SingleSporadicVertexExact) {
+  // Self-loop task e=2, p=5 on unit service: worst delay is 2.
+  DrtBuilder b("s");
+  const VertexId v = b.add_vertex("V", Work(2), Time(5));
+  b.add_edge(v, v, Time(5));
+  const DrtTask task = std::move(b).build();
+  const Staircase sbf = curve::dedicated(1, Time(100));
+  const OracleResult res = oracle_worst_delay(task, sbf, Time(20));
+  EXPECT_EQ(res.delay, Time(2));
+  EXPECT_EQ(res.backlog, Work(2));
+  EXPECT_GT(res.paths_explored, 0u);
+}
+
+TEST(Oracle, CountsAllPathsWithoutPruning) {
+  // Binary branching: A -> B or C each step, span limit 3 steps of sep 1.
+  DrtBuilder b("bin");
+  const VertexId a = b.add_vertex("A", Work(1), Time(1));
+  const VertexId c = b.add_vertex("B", Work(1), Time(1));
+  b.add_edge(a, a, Time(1)).add_edge(a, c, Time(1));
+  b.add_edge(c, a, Time(1)).add_edge(c, c, Time(1));
+  const DrtTask task = std::move(b).build();
+  const Staircase sbf = curve::dedicated(2, Time(100));
+  const OracleResult res = oracle_worst_delay(task, sbf, Time(3));
+  // Maximal paths: 2 starts * 2^3 branch choices = 16.
+  EXPECT_EQ(res.paths_explored, 16u);
+}
+
+}  // namespace
+}  // namespace strt

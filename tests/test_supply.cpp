@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "resource/supply.hpp"
+#include "sim/service.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Supply, DedicatedBasics) {
+  const Supply s = Supply::dedicated(2);
+  EXPECT_EQ(s.long_run_rate(), Rational(2));
+  const Staircase f = s.sbf(Time(10));
+  EXPECT_EQ(f.value(Time(5)), Work(10));
+  EXPECT_EQ(s.describe(), "dedicated(rate=2)");
+  EXPECT_THROW((void)Supply::dedicated(0), std::invalid_argument);
+}
+
+TEST(Supply, BoundedDelayBasics) {
+  const Supply s = Supply::bounded_delay(Rational(1, 2), Time(4));
+  EXPECT_EQ(s.long_run_rate(), Rational(1, 2));
+  const Staircase f = s.sbf(Time(20));
+  EXPECT_EQ(f.value(Time(4)), Work(0));
+  EXPECT_EQ(f.value(Time(6)), Work(1));
+  EXPECT_EQ(f.value(Time(20)), Work(8));
+  EXPECT_THROW((void)s.sbf(Time(3)), std::invalid_argument);
+}
+
+TEST(Supply, PeriodicAndTdmaRates) {
+  EXPECT_EQ(Supply::periodic(Time(3), Time(12)).long_run_rate(),
+            Rational(1, 4));
+  EXPECT_EQ(Supply::tdma(Time(5), Time(20)).long_run_rate(),
+            Rational(1, 4));
+  EXPECT_THROW((void)Supply::periodic(Time(5), Time(4)),
+               std::invalid_argument);
+  EXPECT_THROW((void)Supply::tdma(Time(0), Time(4)), std::invalid_argument);
+}
+
+TEST(Supply, SbfStartsAtZeroAndIsMonotone) {
+  for (const Supply& s :
+       {Supply::dedicated(1), Supply::bounded_delay(Rational(2, 3), Time(5)),
+        Supply::periodic(Time(2), Time(7)), Supply::tdma(Time(3), Time(9))}) {
+    const Staircase f = s.sbf(max(s.min_horizon(), Time(30)));
+    EXPECT_TRUE(f.starts_at_zero()) << s.describe();
+    Work prev(0);
+    for (std::int64_t t = 0; t <= f.horizon().count(); ++t) {
+      EXPECT_GE(f.value(Time(t)), prev) << s.describe() << " t=" << t;
+      prev = f.value(Time(t));
+    }
+    ASSERT_TRUE(f.long_run_rate().has_value());
+    EXPECT_EQ(*f.long_run_rate(), s.long_run_rate()) << s.describe();
+  }
+}
+
+TEST(Supply, SbfIsSuperadditive) {
+  // Worst-case supply curves must be superadditive: the guarantee over a
+  // split window cannot beat the guarantee over the whole window.  This
+  // also justifies pattern_from_sbf as a legal service pattern.
+  for (const Supply& s :
+       {Supply::dedicated(1), Supply::bounded_delay(Rational(2, 3), Time(5)),
+        Supply::periodic(Time(2), Time(7)), Supply::tdma(Time(3), Time(9))}) {
+    const Staircase f = s.sbf(Time(60));
+    for (std::int64_t a = 0; a <= 30; ++a) {
+      for (std::int64_t b = 0; b <= 30; ++b) {
+        EXPECT_GE(f.value(Time(a + b)),
+                  f.value(Time(a)) + f.value(Time(b)))
+            << s.describe() << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(ServicePattern, TdmaAnyPhaseConformsToSbf) {
+  const Supply s = Supply::tdma(Time(3), Time(8));
+  const Staircase f = s.sbf(Time(64));
+  for (std::int64_t phase = 0; phase < 8; ++phase) {
+    const ServicePattern p =
+        pattern_tdma(Time(3), Time(8), Time(phase), Time(64));
+    EXPECT_TRUE(pattern_conforms(p, f)) << "phase " << phase;
+  }
+}
+
+TEST(ServicePattern, PeriodicServerPlacementsConformToSbf) {
+  const Supply s = Supply::periodic(Time(3), Time(10));
+  const Staircase f = s.sbf(Time(60));
+  Rng rng(4);
+  for (const BudgetPlacement placement :
+       {BudgetPlacement::kWorstCase, BudgetPlacement::kEarly,
+        BudgetPlacement::kLate, BudgetPlacement::kRandom}) {
+    const ServicePattern p = pattern_periodic_server(
+        Time(3), Time(10), placement, Time(60), &rng);
+    EXPECT_TRUE(pattern_conforms(p, f))
+        << "placement " << static_cast<int>(placement);
+  }
+}
+
+TEST(ServicePattern, WorstCasePlacementIsTightSomewhere) {
+  // The worst-case placement must actually realize the sbf bound: there
+  // is a window in which it delivers exactly sbf (the 2*(P-Q) blackout).
+  const Time budget(3);
+  const Time period(10);
+  const ServicePattern p = pattern_periodic_server(
+      budget, period, BudgetPlacement::kWorstCase, Time(80));
+  // Window starting right after the first budget (t=3) of length
+  // 2*(P-Q)=14 must contain zero service.
+  std::int64_t sum = 0;
+  for (std::int64_t t = 3; t < 17; ++t) {
+    sum += p[static_cast<std::size_t>(t)];
+  }
+  EXPECT_EQ(sum, 0);
+}
+
+TEST(ServicePattern, FromSbfConformsAndIsMinimal) {
+  for (const Supply& s :
+       {Supply::tdma(Time(2), Time(5)), Supply::periodic(Time(3), Time(7)),
+        Supply::bounded_delay(Rational(1, 2), Time(3))}) {
+    const Staircase f = s.sbf(Time(80));
+    const ServicePattern p = pattern_from_sbf(f, Time(80));
+    EXPECT_TRUE(pattern_conforms(p, f)) << s.describe();
+    // Cumulative equals sbf exactly: pointwise minimal conforming run.
+    std::int64_t cum = 0;
+    for (std::int64_t t = 0; t < 80; ++t) {
+      cum += p[static_cast<std::size_t>(t)];
+      EXPECT_EQ(cum, f.value(Time(t + 1)).count()) << s.describe();
+    }
+  }
+}
+
+TEST(ServicePattern, ConformanceDetectsViolation) {
+  const Supply s = Supply::tdma(Time(3), Time(8));
+  const Staircase f = s.sbf(Time(64));
+  ServicePattern p = pattern_tdma(Time(3), Time(8), Time(0), Time(64));
+  // Steal one slot tick: some window now misses its guarantee.
+  for (auto& c : p) {
+    if (c > 0) {
+      c = 0;
+      break;
+    }
+  }
+  EXPECT_FALSE(pattern_conforms(p, f));
+}
+
+TEST(Supply, MinHorizonAccepted) {
+  for (const Supply& s :
+       {Supply::dedicated(3), Supply::bounded_delay(Rational(3, 4), Time(2)),
+        Supply::periodic(Time(2), Time(9)), Supply::tdma(Time(4), Time(11))}) {
+    EXPECT_NO_THROW((void)s.sbf(s.min_horizon())) << s.describe();
+  }
+}
+
+}  // namespace
+}  // namespace strt

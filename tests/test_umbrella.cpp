@@ -1,0 +1,78 @@
+// Compiles the umbrella header and exercises the cross-module additions
+// (EDF dimensioning, FP per-vertex verdicts, Audsley consistency).
+
+#include <gtest/gtest.h>
+
+#include "strt.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Umbrella, EndToEndSmoke) {
+  // One pass through the whole public surface from a single include.
+  const SporadicTask sp{"s", Work(2), Time(8), Time(8)};
+  const DrtTask task = sp.to_drt();
+  const Supply supply = Supply::tdma(Time(3), Time(6));
+  const StructuralResult st = structural_delay(task, supply);
+  EXPECT_FALSE(st.delay.is_unbounded());
+  EXPECT_TRUE(st.meets_vertex_deadlines);
+  const std::string dot = to_dot(task);
+  EXPECT_FALSE(dot.empty());
+}
+
+TEST(EdfDimensioning, FindsMinimalSlot) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(1), Time(6), Time(6)}.to_drt());
+  tasks.push_back(SporadicTask{"b", Work(2), Time(12), Time(12)}.to_drt());
+  const auto slot = min_tdma_slot_edf(tasks, Time(8));
+  ASSERT_TRUE(slot.has_value());
+  // Verdict boundary: schedulable at *slot, not below.
+  EXPECT_TRUE(
+      edf_schedulable(tasks, Supply::tdma(*slot, Time(8))).schedulable);
+  if (*slot > Time(1)) {
+    EXPECT_FALSE(
+        edf_schedulable(tasks, Supply::tdma(*slot - Time(1), Time(8)))
+            .schedulable);
+  }
+}
+
+TEST(EdfDimensioning, InfeasibleReturnsNullopt) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(9), Time(10), Time(3)}.to_drt());
+  EXPECT_FALSE(min_tdma_slot_edf(tasks, Time(4)).has_value());
+}
+
+TEST(FixedPriority, ExposesPerVertexVerdicts) {
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"hi", Work(1), Time(4), Time(4)}.to_drt());
+  tasks.push_back(SporadicTask{"lo", Work(2), Time(10), Time(10)}.to_drt());
+  const FpResult res = fixed_priority_analysis(tasks, Supply::dedicated(1));
+  ASSERT_FALSE(res.overloaded);
+  for (const FpTaskResult& t : res.tasks) {
+    ASSERT_EQ(t.vertex_delays.size(), 1u);
+    EXPECT_EQ(t.vertex_delays[0], t.structural_delay);
+    EXPECT_TRUE(t.meets_vertex_deadlines);
+  }
+}
+
+TEST(FixedPriority, PerVertexVerdictMatchesAudsleyAtFixedOrder) {
+  // If the FP analysis says every task passes in the given order, Audsley
+  // must find some feasible order too.
+  std::vector<DrtTask> tasks;
+  tasks.push_back(SporadicTask{"a", Work(1), Time(5), Time(5)}.to_drt());
+  tasks.push_back(SporadicTask{"b", Work(2), Time(9), Time(9)}.to_drt());
+  tasks.push_back(SporadicTask{"c", Work(2), Time(20), Time(20)}.to_drt());
+  const Supply supply = Supply::dedicated(1);
+  const FpResult fp = fixed_priority_analysis(tasks, supply);
+  ASSERT_FALSE(fp.overloaded);
+  bool all_pass = true;
+  for (const FpTaskResult& t : fp.tasks) {
+    all_pass = all_pass && t.meets_vertex_deadlines;
+  }
+  ASSERT_TRUE(all_pass);
+  const AudsleyResult aud = audsley_assignment(tasks, supply);
+  EXPECT_TRUE(aud.feasible);
+}
+
+}  // namespace
+}  // namespace strt

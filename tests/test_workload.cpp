@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "graph/workload.hpp"
+#include "model/gmf.hpp"
+#include "model/sporadic.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+TEST(Rbf, SporadicMatchesClosedForm) {
+  for (const auto& [wcet, period] :
+       {std::pair{2, 5}, {1, 1}, {4, 9}, {3, 20}}) {
+    const SporadicTask sp{"s", Work(wcet), Time(period), Time(period)};
+    const Time horizon(100);
+    const Staircase graph_rbf = rbf(sp.to_drt(), horizon);
+    const Staircase closed = sp.rbf_closed_form(horizon);
+    for (std::int64_t t = 0; t <= horizon.count(); ++t) {
+      EXPECT_EQ(graph_rbf.value(Time(t)), closed.value(Time(t)))
+          << "C=" << wcet << " T=" << period << " t=" << t;
+    }
+  }
+}
+
+TEST(Rbf, SmallTaskHandChecked) {
+  // small_task: A(4) -3-> B(1) -5-> C(2) -6-> A; A -4-> D(3) -7-> A.
+  const DrtTask task = test::small_task();
+  const Staircase f = rbf(task, Time(16));
+  EXPECT_EQ(f.value(Time(0)), Work(0));
+  EXPECT_EQ(f.value(Time(1)), Work(4));   // just A
+  EXPECT_EQ(f.value(Time(4)), Work(5));   // A,B (span 3)
+  EXPECT_EQ(f.value(Time(5)), Work(7));   // A,D (span 4)
+  EXPECT_EQ(f.value(Time(9)), Work(7));   // A,B,C (span 8): 4+1+2
+  // Span <= 11 candidates: A,D,A (4+7=11) -> 4+3+4 = 11;
+  // D,A,D (7+4=11) -> 10; D,A,B (7+3=10) -> 8; C,A,D (6+4=10) -> 9.
+  EXPECT_EQ(f.value(Time(12)), Work(11));
+}
+
+TEST(Rbf, IsSubadditive) {
+  // rbf of any DRT task is subadditive: a window of length s+t splits
+  // into two windows whose contents are separately feasible.
+  const Staircase f = rbf(test::small_task(), Time(60));
+  EXPECT_TRUE(f.is_subadditive());
+}
+
+TEST(Rbf, MonotoneAndZeroAtZero) {
+  const Staircase f = rbf(test::small_task(), Time(50));
+  EXPECT_EQ(f.value(Time(0)), Work(0));
+  Work prev(0);
+  for (std::int64_t t = 1; t <= 50; ++t) {
+    EXPECT_GE(f.value(Time(t)), prev);
+    prev = f.value(Time(t));
+  }
+}
+
+TEST(Rbf, GmfRing) {
+  // Two frames: (e=3, sep=10), (e=1, sep=2).  Densest window: frame1 at
+  // 0, frame0 at 2 -> work 4 within window 3.
+  const GmfTask gmf("g", {GmfFrame{Work(3), Time(10), Time(10)},
+                          GmfFrame{Work(1), Time(2), Time(2)}});
+  const Staircase f = rbf(gmf.to_drt(), Time(30));
+  EXPECT_EQ(f.value(Time(1)), Work(3));
+  EXPECT_EQ(f.value(Time(3)), Work(4));
+  EXPECT_EQ(f.value(Time(13)), Work(7));  // frame1,frame0,frame1: span 12
+  EXPECT_EQ(gmf.total_wcet(), Work(4));
+  EXPECT_EQ(gmf.total_separation(), Time(12));
+}
+
+TEST(Dbf, SporadicMatchesClosedForm) {
+  for (const auto& [wcet, period, deadline] :
+       {std::tuple{2, 5, 5}, {1, 4, 2}, {3, 10, 7}}) {
+    const SporadicTask sp{"s", Work(wcet), Time(period), Time(deadline)};
+    const Time horizon(80);
+    const Staircase graph_dbf = dbf(sp.to_drt(), horizon);
+    const Staircase closed = sp.dbf_closed_form(horizon);
+    for (std::int64_t t = 0; t <= horizon.count(); ++t) {
+      EXPECT_EQ(graph_dbf.value(Time(t)), closed.value(Time(t)))
+          << "C=" << wcet << " T=" << period << " D=" << deadline
+          << " t=" << t;
+    }
+  }
+}
+
+TEST(Dbf, PointMatchesStaircaseOnFrameSeparatedTasks) {
+  DrtBuilder b("fs");
+  const VertexId a = b.add_vertex("A", Work(2), Time(4));
+  const VertexId c = b.add_vertex("B", Work(3), Time(5));
+  const VertexId d = b.add_vertex("C", Work(1), Time(2));
+  b.add_edge(a, c, Time(4)).add_edge(c, d, Time(6)).add_edge(d, a, Time(3));
+  b.add_edge(a, d, Time(5));
+  const DrtTask task = std::move(b).build();
+  ASSERT_TRUE(task.has_frame_separation());
+  const Staircase f = dbf(task, Time(50));
+  for (std::int64_t t = 0; t <= 50; ++t) {
+    EXPECT_EQ(f.value(Time(t)), dbf_point(task, Time(t))) << "t=" << t;
+  }
+}
+
+TEST(Dbf, GeneralDeadlinesViaPointQuery) {
+  // The counterexample to "count all jobs on the path": middle job with a
+  // huge deadline, outer jobs tight.  dbf_point must count the qualifying
+  // outer jobs even though the middle one does not qualify.
+  DrtBuilder b("gen");
+  const VertexId v1 = b.add_vertex("v1", Work(5), Time(2));
+  const VertexId v2 = b.add_vertex("v2", Work(4), Time(1000));
+  const VertexId v3 = b.add_vertex("v3", Work(6), Time(2));
+  b.add_edge(v1, v2, Time(3)).add_edge(v2, v3, Time(3));
+  b.add_edge(v3, v1, Time(3));
+  const DrtTask task = std::move(b).build();
+  ASSERT_FALSE(task.has_frame_separation());
+  // Window t=8: v1@0 (d_abs 2), v2@3 (d_abs 1003), v3@6 (d_abs 8):
+  // demand = 5 + 6 = 11.
+  EXPECT_EQ(dbf_point(task, Time(8)), Work(11));
+  // t=2: only v1 (or v3 alone): max(5, 6)... v3 alone has d_abs 2: 6.
+  EXPECT_EQ(dbf_point(task, Time(2)), Work(6));
+  EXPECT_EQ(dbf_point(task, Time(1)), Work(0));
+  EXPECT_EQ(dbf_point(task, Time(0)), Work(0));
+  // Staircase computation must refuse (not frame separated).
+  EXPECT_THROW((void)dbf(task, Time(10)), std::invalid_argument);
+}
+
+TEST(Dbf, NeverExceedsRbf) {
+  const DrtTask task = [] {
+    DrtBuilder b("fs2");
+    const VertexId a = b.add_vertex("A", Work(2), Time(3));
+    const VertexId c = b.add_vertex("B", Work(4), Time(6));
+    b.add_edge(a, c, Time(3)).add_edge(c, a, Time(7));
+    return std::move(b).build();
+  }();
+  const Staircase demand = dbf(task, Time(60));
+  const Staircase request = rbf(task, Time(60));
+  for (std::int64_t t = 0; t <= 60; ++t) {
+    EXPECT_LE(demand.value(Time(t)), request.value(Time(t))) << t;
+  }
+}
+
+TEST(Rbf, ZeroHorizon) {
+  const Staircase f = rbf(test::small_task(), Time(0));
+  EXPECT_EQ(f.value(Time(0)), Work(0));
+  EXPECT_EQ(f.horizon(), Time(0));
+}
+
+}  // namespace
+}  // namespace strt

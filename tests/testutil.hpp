@@ -1,0 +1,117 @@
+// Shared helpers for the strt test suite: dense brute-force reference
+// implementations of the curve algebra, random curve/task generators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+
+namespace strt::test {
+
+/// Dense evaluation f(0..horizon) as a plain vector.
+inline std::vector<std::int64_t> dense(const Staircase& f, Time horizon) {
+  std::vector<std::int64_t> v(static_cast<std::size_t>(horizon.count()) + 1);
+  for (std::int64_t t = 0; t <= horizon.count(); ++t) {
+    v[static_cast<std::size_t>(t)] = f.value(Time(t)).count();
+  }
+  return v;
+}
+
+/// Brute-force min-plus convolution on dense vectors.
+inline std::vector<std::int64_t> dense_conv(
+    const std::vector<std::int64_t>& f, const std::vector<std::int64_t>& g) {
+  const std::size_t n = f.size() + g.size() - 1;
+  std::vector<std::int64_t> h(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t s = 0; s < f.size() && s <= t; ++s) {
+      if (t - s >= g.size()) continue;
+      best = std::min(best, f[s] + g[t - s]);
+    }
+    h[t] = best;
+  }
+  return h;
+}
+
+/// Brute-force min-plus deconvolution on dense vectors; result length
+/// f.size() - g.size() + 1, clamped at zero.
+inline std::vector<std::int64_t> dense_deconv(
+    const std::vector<std::int64_t>& f, const std::vector<std::int64_t>& g) {
+  const std::size_t n = f.size() - g.size() + 1;
+  std::vector<std::int64_t> h(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    std::int64_t best = 0;
+    for (std::size_t u = 0; u < g.size(); ++u) {
+      best = std::max(best, f[t + u] - g[u]);
+    }
+    h[t] = best;
+  }
+  return h;
+}
+
+/// Brute-force discrete hdev: max over t >= 1 of inverse_b(a(t)) - (t-1).
+inline std::int64_t dense_hdev(const std::vector<std::int64_t>& a,
+                               const std::vector<std::int64_t>& b) {
+  std::int64_t worst = 0;
+  for (std::size_t t = 1; t < a.size(); ++t) {
+    if (a[t] == 0) continue;
+    std::size_t d = 0;
+    while (d < b.size() && b[d] < a[t]) ++d;
+    if (d >= b.size()) return -1;  // not reachable within b's horizon
+    worst = std::max(worst, static_cast<std::int64_t>(d) -
+                                (static_cast<std::int64_t>(t) - 1));
+  }
+  return worst;
+}
+
+/// Brute-force discrete vdev: max over t <= upto of a(t+1) - b(t).
+inline std::int64_t dense_vdev(const std::vector<std::int64_t>& a,
+                               const std::vector<std::int64_t>& b,
+                               std::size_t upto) {
+  std::int64_t worst = 0;
+  for (std::size_t t = 0; t <= upto && t + 1 < a.size() && t < b.size();
+       ++t) {
+    worst = std::max(worst, a[t + 1] - b[t]);
+  }
+  return worst;
+}
+
+/// Random monotone staircase on [0, horizon] starting at 0.
+inline Staircase random_staircase(Rng& rng, Time horizon,
+                                  std::int64_t max_jump = 5,
+                                  double step_prob = 0.3) {
+  std::vector<Step> pts;
+  std::int64_t v = 0;
+  for (std::int64_t t = 1; t <= horizon.count(); ++t) {
+    if (rng.chance(step_prob)) {
+      v += rng.uniform_int(1, max_jump);
+      pts.push_back(Step{Time(t), Work(v)});
+    }
+  }
+  return Staircase::from_points(std::move(pts), horizon);
+}
+
+/// A small fixed DRT task used across suites: heavy vertex A followed by
+/// light vertices, a branch, and a cycle back.
+///
+///      A(e=4,d=10) --3--> B(e=1,d=5) --5--> C(e=2,d=8) --6--> A
+///            \--4--> D(e=3,d=9) --7--> A
+inline DrtTask small_task() {
+  DrtBuilder b("small");
+  const VertexId a = b.add_vertex("A", Work(4), Time(10));
+  const VertexId bb = b.add_vertex("B", Work(1), Time(5));
+  const VertexId c = b.add_vertex("C", Work(2), Time(8));
+  const VertexId d = b.add_vertex("D", Work(3), Time(9));
+  b.add_edge(a, bb, Time(3));
+  b.add_edge(bb, c, Time(5));
+  b.add_edge(c, a, Time(6));
+  b.add_edge(a, d, Time(4));
+  b.add_edge(d, a, Time(7));
+  return std::move(b).build();
+}
+
+}  // namespace strt::test
