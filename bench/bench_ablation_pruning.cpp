@@ -37,6 +37,7 @@ int main() {
   std::cout << "E6: dominance-pruning ablation on a 5-vertex task "
                "(branching factor from chords)\n\n";
 
+  BenchReport report("ablation_pruning");
   Table table({"window", "pruned states", "pruned ms", "full states",
                "full ms", "state ratio", "speedup"});
   std::vector<std::vector<std::string>> csv_rows;
@@ -44,15 +45,22 @@ int main() {
   for (const std::int64_t window : {10, 20, 30, 40, 50, 60}) {
     ExploreOptions pruned_opts;
     pruned_opts.elapsed_limit = Time(window);
-    Stopwatch sw1;
-    const ExploreResult pruned = explore_paths(gen.task, pruned_opts);
-    const double pruned_ms = sw1.millis();
-
-    ExploreOptions full_opts = pruned_opts;
-    full_opts.prune = false;
-    Stopwatch sw2;
-    const ExploreResult full = explore_paths(gen.task, full_opts);
-    const double full_ms = sw2.millis();
+    double pruned_ms = 0;
+    double full_ms = 0;
+    ExploreResult pruned;
+    ExploreResult full;
+    {
+      Phase phase("ablation.pruned");
+      pruned = explore_paths(gen.task, pruned_opts);
+      pruned_ms = phase.millis();
+    }
+    {
+      ExploreOptions full_opts = pruned_opts;
+      full_opts.prune = false;
+      Phase phase("ablation.full");
+      full = explore_paths(gen.task, full_opts);
+      full_ms = phase.millis();
+    }
 
     const double state_ratio = static_cast<double>(full.stats.generated) /
                                static_cast<double>(pruned.stats.generated);
@@ -74,5 +82,6 @@ int main() {
   CsvWriter csv(std::cout, {"window", "pruned_states", "pruned_ms",
                             "full_states", "full_ms"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("windows", static_cast<std::int64_t>(csv_rows.size()));
   return 0;
 }

@@ -32,11 +32,13 @@ int main() {
             << ", deadline = max separation, " << kTasksPerLevel
             << " random tasks per level\n\n";
 
+  BenchReport report("acceptance");
   Table table({"target U", "structural", "hull", "bucket", "min-gap"});
   std::vector<std::vector<std::string>> csv_rows;
   Rng rng(909090);
 
   for (const double level : levels) {
+    Phase phase("level:" + fmt_ratio(level));
     int accept[4] = {0, 0, 0, 0};
     int n = 0;
     while (n < kTasksPerLevel) {
@@ -86,5 +88,7 @@ int main() {
   CsvWriter csv(std::cout, {"target_u", "structural", "hull", "bucket",
                             "mingap"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("levels", std::size(levels));
+  report.metric("tasks_per_level", kTasksPerLevel);
   return 0;
 }

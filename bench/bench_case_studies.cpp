@@ -121,18 +121,27 @@ int main() {
                "the minimal\n conforming service pattern; a lower bound on "
                "the true worst case)\n\n";
 
+  BenchReport report("case_studies");
   Table table({"case study", "supply", "sim", "structural", "exact-curve",
                "concave-hull", "token-bucket", "min-gap", "hull/struct"});
   std::vector<std::vector<std::string>> csv_rows;
   Rng rng(7);
 
   for (const CaseStudy& cs : case_studies()) {
-    const Time sim = simulate_lower_bound(cs, rng);
+    Time sim(0);
+    {
+      Phase phase("simulate:" + cs.name);
+      sim = simulate_lower_bound(cs, rng);
+    }
     Time delays[5];
     int i = 0;
-    for (const WorkloadAbstraction a : kAllAbstractions) {
-      delays[i++] = delay_with_abstraction(cs.task, cs.supply, a).delay;
+    {
+      Phase phase("analyze:" + cs.name);
+      for (const WorkloadAbstraction a : kAllAbstractions) {
+        delays[i++] = delay_with_abstraction(cs.task, cs.supply, a).delay;
+      }
     }
+    report.metric("structural." + cs.name, delays[0]);
     table.add_row({cs.name, cs.supply.describe(), show(sim), show(delays[0]),
                    show(delays[1]), show(delays[2]), show(delays[3]),
                    show(delays[4]), factor(delays[2], delays[0])});

@@ -35,12 +35,16 @@ int main() {
                "is the\nsound bound for store-and-forward relays (see "
                "core/chain.hpp)\n\n";
 
+  BenchReport report("chain");
   Table table({"hops", "structural", "pboo", "per-hop sum", "sum/struct"});
   std::vector<std::vector<std::string>> csv_rows;
   std::vector<Supply> hops;
+  ChainResult last{};
   for (int n = 1; n <= 5; ++n) {
+    Phase phase("hops:" + std::to_string(n));
     hops.push_back(Supply::bounded_delay(Rational(3, 4), Time(4)));
     const ChainResult res = chain_delay(task, hops);
+    last = res;
     table.add_row({std::to_string(n), show(res.structural), show(res.pboo),
                    show(res.per_hop_sum),
                    factor(res.per_hop_sum, res.structural)});
@@ -52,5 +56,8 @@ int main() {
   std::cout << "\nCSV:\n";
   CsvWriter csv(std::cout, {"hops", "structural", "pboo", "per_hop_sum"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("hops", csv_rows.size());
+  report.metric("structural_at_max_hops", last.structural);
+  report.metric("per_hop_sum_at_max_hops", last.per_hop_sum);
   return 0;
 }

@@ -33,6 +33,7 @@ int main() {
             << "(frame-separated sets), " << kSetsPerLevel
             << " sets of 3 per level\n\n";
 
+  BenchReport report("edf_vs_fp");
   Table table({"target U", "EDF accept", "FP accept"});
   std::vector<std::vector<std::string>> csv_rows;
   Rng rng(616161);
@@ -40,6 +41,7 @@ int main() {
   opts.want_witness = false;
 
   for (const double level : levels) {
+    Phase phase("level:" + fmt_ratio(level));
     int edf_ok = 0;
     int fp_ok = 0;
     int n = 0;
@@ -105,5 +107,7 @@ int main() {
   std::cout << "\nCSV:\n";
   CsvWriter csv(std::cout, {"target_u", "edf_accept", "fp_accept"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("levels", std::size(levels));
+  report.metric("sets_per_level", kSetsPerLevel);
   return 0;
 }

@@ -35,6 +35,7 @@ int main() {
             << " tasks, total utilization ~" << kTotalUtil << " on "
             << supply.describe() << "\n\n";
 
+  BenchReport report("fp_interference");
   Rng rng(181818);
   std::vector<double> sum_hull(kSetSize, 0.0);
   std::vector<double> sum_bucket(kSetSize, 0.0);
@@ -44,39 +45,42 @@ int main() {
   StructuralOptions opts;
   opts.want_witness = false;
 
-  while (used < kSets) {
-    DrtGenParams params;
-    params.min_vertices = 2;
-    params.max_vertices = 5;
-    params.min_separation = Time(8);
-    params.max_separation = Time(40);
-    auto gen = random_drt_set(rng, kSetSize, kTotalUtil, params);
-    std::vector<DrtTask> tasks;
-    Rational total(0);
-    for (auto& g : gen) {
-      total += g.exact_utilization;
-      tasks.push_back(std::move(g.task));
-    }
-    if (!(total < supply.long_run_rate())) continue;
+  {
+    Phase phase("fp_interference.sets");
+    while (used < kSets) {
+      DrtGenParams params;
+      params.min_vertices = 2;
+      params.max_vertices = 5;
+      params.min_separation = Time(8);
+      params.max_separation = Time(40);
+      auto gen = random_drt_set(rng, kSetSize, kTotalUtil, params);
+      std::vector<DrtTask> tasks;
+      Rational total(0);
+      for (auto& g : gen) {
+        total += g.exact_utilization;
+        tasks.push_back(std::move(g.task));
+      }
+      if (!(total < supply.long_run_rate())) continue;
 
-    const FpResult exact = fixed_priority_analysis(
-        tasks, supply, opts, WorkloadAbstraction::kExactCurve);
-    const FpResult hull = fixed_priority_analysis(
-        tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
-    const FpResult bucket = fixed_priority_analysis(
-        tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
-    if (exact.overloaded || hull.overloaded || bucket.overloaded) continue;
+      const FpResult exact = fixed_priority_analysis(
+          tasks, supply, opts, WorkloadAbstraction::kExactCurve);
+      const FpResult hull = fixed_priority_analysis(
+          tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
+      const FpResult bucket = fixed_priority_analysis(
+          tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
+      if (exact.overloaded || hull.overloaded || bucket.overloaded) continue;
 
-    for (std::size_t i = 0; i < kSetSize; ++i) {
-      const double d =
-          static_cast<double>(exact.tasks[i].structural_delay.count());
-      sum_exact_delay[i] += d;
-      sum_hull[i] +=
-          static_cast<double>(hull.tasks[i].structural_delay.count()) / d;
-      sum_bucket[i] +=
-          static_cast<double>(bucket.tasks[i].structural_delay.count()) / d;
+      for (std::size_t i = 0; i < kSetSize; ++i) {
+        const double d =
+            static_cast<double>(exact.tasks[i].structural_delay.count());
+        sum_exact_delay[i] += d;
+        sum_hull[i] +=
+            static_cast<double>(hull.tasks[i].structural_delay.count()) / d;
+        sum_bucket[i] +=
+            static_cast<double>(bucket.tasks[i].structural_delay.count()) / d;
+      }
+      ++used;
     }
-    ++used;
   }
 
   Table table({"priority", "mean exact delay", "hull-interf ratio",
@@ -97,5 +101,7 @@ int main() {
   CsvWriter csv(std::cout, {"priority", "mean_exact_delay", "hull_ratio",
                             "bucket_ratio"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("sets", used);
+  report.metric("set_size", kSetSize);
   return 0;
 }

@@ -44,26 +44,33 @@ DrtTask mode_switch_hp() {
 int main() {
   std::cout << "E11: joint interference-path analysis vs rbf leftover\n\n";
 
+  BenchReport report("joint_fp");
+
   // --- Part 1: share sweep on the mode-switch family.
   const DrtTask hp = mode_switch_hp();
   const DrtTask lp =
       SporadicTask{"lp", Work(8), Time(60), Time(60)}.to_drt();
 
+  std::uint64_t explored_states = 0;
   Table sweep({"tdma slot/8", "joint", "rbf leftover", "rbf/joint",
                "paths analyzed"});
   std::vector<std::vector<std::string>> csv1;
-  for (std::int64_t slot = 3; slot <= 8; ++slot) {
-    const Supply supply = Supply::tdma(Time(slot), Time(8));
-    const JointFpResult r = joint_two_task_fp(hp, lp, supply);
-    if (r.overloaded) {
-      sweep.add_row({std::to_string(slot), "inf", "inf", "-", "-"});
-      continue;
+  {
+    Phase phase("joint_fp.sweep");
+    for (std::int64_t slot = 3; slot <= 8; ++slot) {
+      const Supply supply = Supply::tdma(Time(slot), Time(8));
+      const JointFpResult r = joint_two_task_fp(hp, lp, supply);
+      explored_states += r.explore_stats.generated;
+      if (r.overloaded) {
+        sweep.add_row({std::to_string(slot), "inf", "inf", "-", "-"});
+        continue;
+      }
+      sweep.add_row({std::to_string(slot), show(r.joint_delay),
+                     show(r.rbf_delay), factor(r.rbf_delay, r.joint_delay),
+                     std::to_string(r.paths_analyzed)});
+      csv1.push_back({std::to_string(slot), show(r.joint_delay),
+                      show(r.rbf_delay)});
     }
-    sweep.add_row({std::to_string(slot), show(r.joint_delay),
-                   show(r.rbf_delay), factor(r.rbf_delay, r.joint_delay),
-                   std::to_string(r.paths_analyzed)});
-    csv1.push_back({std::to_string(slot), show(r.joint_delay),
-                    show(r.rbf_delay)});
   }
   sweep.print(std::cout);
 
@@ -77,30 +84,33 @@ int main() {
   double worst_ratio = 1.0;
   JointFpOptions jopts;
   jopts.max_paths = 20'000;  // skip path-explosion instances quickly
-  while (n < 15) {
-    DrtGenParams params;
-    params.min_vertices = 2;
-    params.max_vertices = 3;
-    params.min_separation = Time(5);
-    params.max_separation = Time(20);
-    params.chord_probability = 0.3;
-    params.target_utilization = 0.25;
-    const DrtTask h = random_drt(rng, params).task;
-    const DrtTask l = random_drt(rng, params).task;
-    const Supply supply = Supply::tdma(Time(4), Time(7));
-    JointFpResult r;
-    try {
-      r = joint_two_task_fp(h, l, supply, jopts);
-    } catch (const std::runtime_error&) {
-      continue;
+  {
+    Phase phase("joint_fp.random");
+    while (n < 15) {
+      DrtGenParams params;
+      params.min_vertices = 2;
+      params.max_vertices = 3;
+      params.min_separation = Time(5);
+      params.max_separation = Time(20);
+      params.chord_probability = 0.3;
+      params.target_utilization = 0.25;
+      const DrtTask h = random_drt(rng, params).task;
+      const DrtTask l = random_drt(rng, params).task;
+      const Supply supply = Supply::tdma(Time(4), Time(7));
+      JointFpResult r;
+      try {
+        r = joint_two_task_fp(h, l, supply, jopts);
+      } catch (const std::runtime_error&) {
+        continue;
+      }
+      if (r.overloaded) continue;
+      ++n;
+      const double ratio = static_cast<double>(r.rbf_delay.count()) /
+                           static_cast<double>(r.joint_delay.count());
+      sum_ratio += ratio;
+      worst_ratio = std::max(worst_ratio, ratio);
+      if (r.rbf_delay > r.joint_delay) ++gaps;
     }
-    if (r.overloaded) continue;
-    ++n;
-    const double ratio = static_cast<double>(r.rbf_delay.count()) /
-                         static_cast<double>(r.joint_delay.count());
-    sum_ratio += ratio;
-    worst_ratio = std::max(worst_ratio, ratio);
-    if (r.rbf_delay > r.joint_delay) ++gaps;
   }
   Table stats({"instances", "strict gaps", "mean rbf/joint",
                "max rbf/joint"});
@@ -142,5 +152,9 @@ int main() {
   std::cout << "\nCSV:\n";
   CsvWriter csv(std::cout, {"slot", "joint", "rbf"});
   for (const auto& row : csv1) csv.row(row);
+
+  report.metric("sweep_explored_states", explored_states);
+  report.metric("random_instances", n);
+  report.metric("random_strict_gaps", gaps);
   return 0;
 }

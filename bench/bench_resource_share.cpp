@@ -32,10 +32,13 @@ int main() {
   std::cout << "E3: delay bound vs TDMA slot (cycle " << cycle.count()
             << ") for task " << task.name() << "\n\n";
 
+  BenchReport report("resource_share");
   Table table({"slot", "share", "structural", "exact", "hull", "bucket",
                "min-gap"});
   std::vector<std::vector<std::string>> csv_rows;
+  Time min_finite_slot = Time::unbounded();
   for (std::int64_t slot = 2; slot <= cycle.count(); ++slot) {
+    Phase phase("slot:" + std::to_string(slot));
     std::vector<std::string> cells{
         std::to_string(slot),
         fmt_ratio(static_cast<double>(slot) /
@@ -45,6 +48,9 @@ int main() {
     for (const WorkloadAbstraction a : kAllAbstractions) {
       const AbstractionResult r =
           delay_with_abstraction(task, Supply::tdma(Time(slot), cycle), a);
+      if (a == WorkloadAbstraction::kStructural && !r.delay.is_unbounded()) {
+        min_finite_slot = min(min_finite_slot, Time(slot));
+      }
       cells.push_back(show(r.delay));
       csv_cells.push_back(show(r.delay));
     }
@@ -57,5 +63,7 @@ int main() {
   CsvWriter csv(std::cout, {"slot", "share", "structural", "exact", "hull",
                             "bucket", "mingap"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("slots", csv_rows.size());
+  report.metric("min_finite_structural_slot", min_finite_slot);
   return 0;
 }

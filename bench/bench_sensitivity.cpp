@@ -35,13 +35,16 @@ int main() {
   std::cout << "E10: slack landscape vs TDMA share for task "
             << task.name() << " (cycle " << cycle.count() << ")\n\n";
 
+  BenchReport report("sensitivity");
   Table table({"slot", "verdict", "worst delay", "min wcet slack",
                "min sep slack"});
   std::vector<std::vector<std::string>> csv_rows;
   StructuralOptions sopts;
   sopts.want_witness = false;
+  int feasible_slots = 0;
 
   for (std::int64_t slot = 1; slot <= cycle.count(); ++slot) {
+    Phase phase("slot:" + std::to_string(slot));
     const Supply supply = Supply::tdma(Time(slot), cycle);
     const StructuralResult base = structural_delay(task, supply, sopts);
     const SensitivityReport rep = sensitivity_analysis(task, supply);
@@ -49,6 +52,7 @@ int main() {
     std::string min_wcet = "-";
     std::string min_sep = "-";
     if (rep.feasible) {
+      ++feasible_slots;
       Work w = Work::unbounded();
       for (const Work s : rep.wcet_slack) w = min(w, s);
       Time t = Time::unbounded();
@@ -69,5 +73,7 @@ int main() {
   CsvWriter csv(std::cout, {"slot", "feasible", "worst_delay",
                             "min_wcet_slack", "min_sep_slack"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("slots", csv_rows.size());
+  report.metric("feasible_slots", feasible_slots);
   return 0;
 }

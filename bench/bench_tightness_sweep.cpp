@@ -63,12 +63,14 @@ int main() {
             << " random DRT tasks per level; ratios are means relative to "
                "the structural bound\n\n";
 
+  BenchReport report("tightness_sweep");
   Table table({"target U", "mean U", "sim/struct", "hull/struct",
                "bucket/struct", "mingap finite%", "mean struct delay"});
   std::vector<std::vector<std::string>> csv_rows;
   Rng rng(12345);
 
   for (const double level : levels) {
+    Phase phase("level:" + fmt_ratio(level));
     double sum_u = 0;
     double sum_sim = 0;
     double sum_hull = 0;
@@ -127,5 +129,7 @@ int main() {
                 {"target_u", "mean_u", "sim_ratio", "hull_ratio",
                  "bucket_ratio", "mingap_finite_frac", "mean_struct_delay"});
   for (const auto& row : csv_rows) csv.row(row);
+  report.metric("levels", std::size(levels));
+  report.metric("tasks_per_level", kTasksPerLevel);
   return 0;
 }

@@ -1,10 +1,25 @@
 // Shared helpers for the experiment harnesses (bench_*).
+//
+// Timing goes through obs::Span (phases show up in the run report's span
+// tree) with wall-clock readback for table printing.  Each harness opens
+// a BenchReport at the top of main and feeds it its headline metrics;
+// on destruction the report -- counters, spans, metrics -- is appended
+// to BENCH_<name>.json (strt.obs.report.v1 schema, one line per run)
+// whenever observability is enabled (STRT_OBS=1) or STRT_BENCH_JSON
+// names an output directory.
 #pragma once
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <type_traits>
 
 #include "base/types.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 
 namespace strt::bench {
 
@@ -19,6 +34,9 @@ inline std::string show(Work w) {
 /// Ratio of two delay bounds as a printable factor ("1.27x", "inf").
 inline std::string factor(Time num, Time den) {
   if (num.is_unbounded()) return "inf";
+  // An unbounded denominator is a sentinel (max int64), not a number;
+  // dividing by its raw count would print a misleading finite factor.
+  if (den.is_unbounded()) return "-";
   if (den == Time(0)) return "-";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.2fx",
@@ -39,6 +57,73 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// A timed benchmark phase: an obs::Span (so the phase lands in the span
+/// tree of the emitted report) plus a wall clock the harness can read for
+/// its tables.  Declaration order matters for RAII: the span closes when
+/// the Phase goes out of scope.
+class Phase {
+ public:
+  explicit Phase(std::string_view name) : span_(name) {}
+  [[nodiscard]] double seconds() const { return sw_.seconds(); }
+  [[nodiscard]] double millis() const { return sw_.millis(); }
+
+ private:
+  obs::Span span_;
+  Stopwatch sw_;
+};
+
+/// Per-binary structured report sink.  Construct once at the top of main;
+/// record headline metrics with metric(); the destructor captures the
+/// observability state and appends one JSON line to BENCH_<name>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : report_(name), name_(std::move(name)) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  void metric(std::string_view key, std::string value) {
+    report_.put(key, std::move(value));
+  }
+  void metric(std::string_view key, const char* value) {
+    report_.put(key, value);
+  }
+  void metric(std::string_view key, double value) { report_.put(key, value); }
+  void metric(std::string_view key, bool value) { report_.put(key, value); }
+  template <class V>
+    requires std::is_integral_v<V>
+  void metric(std::string_view key, V value) {
+    report_.put(key, static_cast<std::int64_t>(value));
+  }
+  void metric(std::string_view key, Time value) {
+    report_.put(key, show(value));
+  }
+  void metric(std::string_view key, Work value) {
+    report_.put(key, show(value));
+  }
+
+  ~BenchReport() {
+    const char* dir = std::getenv("STRT_BENCH_JSON");
+    if (!obs::enabled() && dir == nullptr) return;
+    report_.capture();
+    std::string path = "BENCH_" + name_ + ".json";
+    if (dir != nullptr && *dir != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::cerr << "bench: cannot open '" << path << "' for the report\n";
+      return;
+    }
+    report_.write_json_line(out);
+    std::cerr << "bench: report appended to " << path << '\n';
+  }
+
+ private:
+  obs::RunReport report_;
+  std::string name_;
 };
 
 }  // namespace strt::bench

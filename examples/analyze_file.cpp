@@ -4,6 +4,12 @@
 //   $ ./examples/analyze_file <task-file> "<supply spec>" [deadline]
 //   $ ./examples/analyze_file            # runs a built-in demo input
 //
+// With `--report out.json` (anywhere on the command line) a structured
+// run report -- analysis inputs/outputs, observability counters, and the
+// timing-span tree -- is appended to `out.json` as one JSON line (schema
+// strt.obs.report.v1, see README "Observability").  Set STRT_OBS=1 to
+// populate the counters and spans; the report is written either way.
+//
 // Task file format (see src/io/parse.hpp):
 //     task burst
 //     vertex B wcet 8 deadline 60
@@ -19,11 +25,13 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "core/abstractions.hpp"
 #include "io/dot.hpp"
 #include "io/parse.hpp"
 #include "io/table.hpp"
+#include "obs/report.hpp"
 
 using namespace strt;
 
@@ -48,21 +56,38 @@ int main(int argc, char** argv) {
   std::string task_text = kDemoTask;
   std::string supply_text = "tdma slot 3 cycle 8";
   std::optional<Time> deadline;
+  std::string report_path;
 
-  if (argc >= 3) {
-    std::ifstream file(argv[1]);
+  // Peel off `--report <path>` wherever it appears; the remaining
+  // positional arguments keep their original meaning.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "--report requires a file path\n";
+        return 2;
+      }
+      report_path = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+
+  if (args.size() >= 2) {
+    std::ifstream file(args[0]);
     if (!file) {
-      std::cerr << "cannot open task file '" << argv[1] << "'\n";
+      std::cerr << "cannot open task file '" << args[0] << "'\n";
       return 2;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
     task_text = buffer.str();
-    supply_text = argv[2];
-    if (argc >= 4) deadline = Time(std::stoll(argv[3]));
-  } else if (argc != 1) {
+    supply_text = args[1];
+    if (args.size() >= 3) deadline = Time(std::stoll(args[2]));
+  } else if (!args.empty()) {
     std::cerr << "usage: analyze_file <task-file> \"<supply spec>\" "
-                 "[deadline]\n(no arguments runs a built-in demo)\n";
+                 "[deadline] [--report out.json]\n"
+                 "(no positional arguments runs a built-in demo)\n";
     return 2;
   }
 
@@ -86,6 +111,13 @@ int main(int argc, char** argv) {
   std::cout << "Task:   " << task << '\n';
   std::cout << "Supply: " << supply.describe() << "\n\n";
 
+  obs::RunReport report("analyze_file");
+  report.put("task", task.name());
+  report.put("supply", supply.describe());
+  report.put("vertices", static_cast<std::int64_t>(task.vertex_count()));
+  report.put("edges", static_cast<std::int64_t>(task.edge_count()));
+  if (deadline) report.put("deadline", deadline->count());
+
   Table table({"analysis", "delay", "backlog", "busy window",
                deadline ? "meets deadline" : "-"});
   for (const WorkloadAbstraction a : kAllAbstractions) {
@@ -100,8 +132,29 @@ int main(int argc, char** argv) {
                        ? "unbounded"
                        : std::to_string(r.backlog.count()),
                    show(r.busy_window), verdict});
+    const std::string key = "delay." + std::string(abstraction_name(a));
+    if (r.delay.is_unbounded()) {
+      report.put(key, "unbounded");
+    } else {
+      report.put(key, r.delay.count());
+    }
   }
   table.print(std::cout);
+
+  report.capture();
+  if (obs::enabled()) {
+    std::cout << '\n';
+    print_report_table(std::cout, report);
+  }
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::app);
+    if (!out) {
+      std::cerr << "cannot open report file '" << report_path << "'\n";
+      return 2;
+    }
+    report.write_json_line(out);
+    std::cout << "\nReport appended to " << report_path << '\n';
+  }
 
   std::cout << "\nGraphviz:\n" << to_dot(task);
   return 0;

@@ -55,8 +55,9 @@ int main() {
   std::cout << "Structural backlog bound    : " << st.backlog.count() << '\n';
   std::cout << "Busy window                 : " << show(st.busy_window)
             << '\n';
-  std::cout << "States generated/pruned     : " << st.stats.generated << " / "
-            << st.stats.pruned << "\n\n";
+  std::cout << "Explorer stats              : " << st.stats.generated
+            << " generated, " << st.stats.expanded << " expanded, "
+            << st.stats.pruned << " pruned\n\n";
 
   std::cout << "Witness release path (job, release, cumulative work, latest "
                "finish, delay):\n";

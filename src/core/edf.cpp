@@ -8,6 +8,8 @@
 #include "curves/minplus.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -22,6 +24,10 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
     STRT_REQUIRE(t.has_frame_separation(),
                  "EDF test requires frame-separated tasks (exact dbf)");
   }
+  const obs::Span span("edf.check");
+  static obs::Counter& c_runs = obs::counter("edf.runs");
+  static obs::Counter& c_doublings = obs::counter("edf.horizon_doublings");
+  c_runs.add(1);
   EdfResult res;
 
   Rational total(0);
@@ -50,6 +56,7 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
         throw std::runtime_error("edf_schedulable: horizon guard exceeded");
       }
       horizon = horizon * 2;
+      c_doublings.add(1);
       continue;
     }
     res.horizon_checked = *L;

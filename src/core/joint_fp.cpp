@@ -8,10 +8,19 @@
 #include "curves/minplus.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
 namespace {
+
+void accumulate(ExploreStats& into, const ExploreStats& s) {
+  into.generated += s.generated;
+  into.expanded += s.expanded;
+  into.pruned += s.pruned;
+  into.aborted = into.aborted || s.aborted;
+}
 
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 28;
 
@@ -90,6 +99,9 @@ std::vector<Staircase> interference_paths(const DrtTask& task, Time limit,
 JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
                                   const DrtTask& lp, const Supply& supply,
                                   const JointFpOptions& opts) {
+  const obs::Span span("joint_fp");
+  static obs::Counter& c_runs = obs::counter("joint_fp.runs");
+  c_runs.add(1);
   JointFpResult res;
 
   Rational total(0);
@@ -130,38 +142,52 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
 
   // Baseline: rbf-based leftover.
   const Staircase leftover_rbf = leftover_service(sv, rbf_hp);
-  res.rbf_delay = structural_delay_vs(lp, leftover_rbf, sopts).delay;
+  const StructuralResult baseline =
+      structural_delay_vs(lp, leftover_rbf, sopts);
+  res.rbf_delay = baseline.delay;
+  accumulate(res.explore_stats, baseline.stats);
 
   // Joint interference candidates: one consistent path per hp task,
   // summed; pruned after every fold to keep the cross product in check.
   const Time limit = max(Time(0), res.busy_window - Time(1));
   std::vector<Staircase> combined{Staircase(horizon)};
-  for (const DrtTask& hp : hps) {
-    std::vector<Staircase> paths = interference_paths(
-        hp, limit, horizon, opts.max_paths, res.paths_enumerated);
-    prune_dominated(paths);
-    std::vector<Staircase> next;
-    if (combined.size() > opts.max_paths / std::max<std::size_t>(
-                                               paths.size(), 1)) {
-      throw std::runtime_error(
-          "joint FP analysis: interference cross-product cap exceeded");
-    }
-    next.reserve(combined.size() * paths.size());
-    for (const Staircase& c : combined) {
-      for (const Staircase& p : paths) {
-        next.push_back(pointwise_add(c, p));
+  {
+    const obs::Span enum_span("joint_fp.enumerate");
+    for (const DrtTask& hp : hps) {
+      std::vector<Staircase> paths = interference_paths(
+          hp, limit, horizon, opts.max_paths, res.paths_enumerated);
+      prune_dominated(paths);
+      std::vector<Staircase> next;
+      if (combined.size() > opts.max_paths / std::max<std::size_t>(
+                                                 paths.size(), 1)) {
+        throw std::runtime_error(
+            "joint FP analysis: interference cross-product cap exceeded");
       }
+      next.reserve(combined.size() * paths.size());
+      for (const Staircase& c : combined) {
+        for (const Staircase& p : paths) {
+          next.push_back(pointwise_add(c, p));
+        }
+      }
+      prune_dominated(next);
+      combined = std::move(next);
     }
-    prune_dominated(next);
-    combined = std::move(next);
   }
 
-  for (const Staircase& interference : combined) {
-    ++res.paths_analyzed;
-    const Staircase leftover = leftover_service(sv, interference);
-    const Time d = structural_delay_vs(lp, leftover, sopts).delay;
-    res.joint_delay = max(res.joint_delay, d);
+  {
+    const obs::Span analyze_span("joint_fp.analyze");
+    for (const Staircase& interference : combined) {
+      ++res.paths_analyzed;
+      const Staircase leftover = leftover_service(sv, interference);
+      const StructuralResult sr = structural_delay_vs(lp, leftover, sopts);
+      accumulate(res.explore_stats, sr.stats);
+      res.joint_delay = max(res.joint_delay, sr.delay);
+    }
   }
+  static obs::Counter& c_enumerated = obs::counter("joint_fp.paths_enumerated");
+  static obs::Counter& c_analyzed = obs::counter("joint_fp.paths_analyzed");
+  c_enumerated.add(res.paths_enumerated);
+  c_analyzed.add(res.paths_analyzed);
   return res;
 }
 

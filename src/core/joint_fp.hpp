@@ -56,6 +56,10 @@ struct JointFpResult {
   std::uint64_t paths_analyzed{0};
   /// System busy window used to bound the enumeration.
   Time busy_window{0};
+  /// Aggregated explorer statistics over every structural analysis this
+  /// call ran (the rbf baseline plus one per surviving interference
+  /// candidate).
+  ExploreStats explore_stats;
 };
 
 /// Analyzes `lp` under preemptive fixed priority below `hp` on `supply`.

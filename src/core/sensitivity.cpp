@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "base/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -56,10 +58,13 @@ DrtTask with_separation_decrease(const DrtTask& task,
 SensitivityReport sensitivity_analysis(const DrtTask& task,
                                        const Supply& supply,
                                        const SensitivityOptions& opts) {
+  const obs::Span span("sensitivity");
   StructuralOptions sopts;
   sopts.want_witness = false;
 
   const auto holds = [&](const DrtTask& t) {
+    static obs::Counter& c_probes = obs::counter("sensitivity.probes");
+    c_probes.add(1);
     const StructuralResult res = structural_delay(t, supply, sopts);
     if (res.delay.is_unbounded()) return false;
     if (opts.delay_cap) return res.delay <= *opts.delay_cap;

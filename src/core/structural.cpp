@@ -3,6 +3,8 @@
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
 #include "graph/workload.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -10,31 +12,39 @@ namespace {
 
 StructuralResult analyze(const DrtTask& task, const Staircase& service,
                          Time window, const StructuralOptions& opts) {
+  const obs::Span span("structural");
+  static obs::Counter& c_runs = obs::counter("structural.runs");
+  c_runs.add(1);
   StructuralResult res;
   res.busy_window = window;
 
   ExploreResult ex = explore_paths(
       task, ExploreOptions{.elapsed_limit = max(Time(0), window - Time(1)),
                            .prune = opts.prune,
-                           .max_states = opts.max_states});
+                           .max_states = opts.max_states,
+                           .progress_every = opts.progress_every,
+                           .on_progress = opts.on_progress});
   res.stats = ex.stats;
 
   std::int32_t best = -1;
   res.vertex_delays.assign(task.vertex_count(), Time(0));
-  for (std::int32_t idx : ex.frontier) {
-    const PathState& s = ex.arena[static_cast<std::size_t>(idx)];
-    const Time finish = service.inverse(s.work);
-    STRT_ASSERT(!finish.is_unbounded(),
-                "service never delivers busy-window work");
-    const Time d = finish > s.elapsed ? finish - s.elapsed : Time(0);
-    if (d > res.delay || best < 0) {
-      res.delay = d;
-      best = idx;
+  {
+    const obs::Span fold_span("inverse_sbf");
+    for (std::int32_t idx : ex.frontier) {
+      const PathState& s = ex.arena[static_cast<std::size_t>(idx)];
+      const Time finish = service.inverse(s.work);
+      STRT_ASSERT(!finish.is_unbounded(),
+                  "service never delivers busy-window work");
+      const Time d = finish > s.elapsed ? finish - s.elapsed : Time(0);
+      if (d > res.delay || best < 0) {
+        res.delay = d;
+        best = idx;
+      }
+      auto& vd = res.vertex_delays[static_cast<std::size_t>(s.vertex)];
+      vd = max(vd, d);
+      const Work served = service.value(s.elapsed);
+      if (s.work > served) res.backlog = max(res.backlog, s.work - served);
     }
-    auto& vd = res.vertex_delays[static_cast<std::size_t>(s.vertex)];
-    vd = max(vd, d);
-    const Work served = service.value(s.elapsed);
-    if (s.work > served) res.backlog = max(res.backlog, s.work - served);
   }
 
   res.meets_vertex_deadlines = true;
@@ -47,6 +57,7 @@ StructuralResult analyze(const DrtTask& task, const Staircase& service,
   }
 
   if (opts.want_witness && best >= 0) {
+    const obs::Span witness_span("witness");
     // The frontier state with the worst delay bounds the delay of its
     // *last* job; replay the path to report per-job numbers.
     for (const PathState& s : ex.path_to(best)) {
@@ -68,7 +79,10 @@ StructuralResult analyze(const DrtTask& task, const Staircase& service,
 
 StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
                                   const StructuralOptions& opts) {
-  const std::optional<BusyWindow> bw = busy_window(task, supply);
+  const std::optional<BusyWindow> bw = [&] {
+    const obs::Span span("busy_window");
+    return busy_window(task, supply);
+  }();
   if (!bw) {
     StructuralResult overload;
     overload.delay = Time::unbounded();

@@ -45,6 +45,12 @@ struct StructuralOptions {
   bool want_witness = true;
   /// State cap forwarded to the explorer.
   std::size_t max_states = 50'000'000;
+  /// Progress hook forwarded to the explorer (see ExploreOptions): invoked
+  /// every `progress_every` expanded states; return false to cancel.  A
+  /// cancelled run returns with stats.aborted set and a delay that is only
+  /// a lower bound (the explored prefix's worst case).
+  std::uint64_t progress_every = 0;
+  ExploreProgressFn on_progress{};
 };
 
 /// One job of the witness path.

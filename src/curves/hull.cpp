@@ -4,6 +4,8 @@
 
 #include "base/assert.hpp"
 #include "base/checked.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -42,6 +44,9 @@ std::vector<HullVertex> concave_hull(const Staircase& f) {
 }
 
 Staircase concave_hull_staircase(const Staircase& f) {
+  const obs::Span span("curves.hull");
+  static obs::Counter& c_calls = obs::counter("curves.hull.calls");
+  c_calls.add(1);
   const std::vector<HullVertex> hull = concave_hull(f);
   std::vector<Step> pts;
   for (std::size_t i = 0; i + 1 < hull.size(); ++i) {

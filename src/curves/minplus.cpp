@@ -7,6 +7,8 @@
 
 #include "base/assert.hpp"
 #include "base/checked.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -48,6 +50,8 @@ Staircase from_monotone_samples(const std::vector<Step>& samples,
 
 template <class Combine>
 Staircase pointwise_op(const Staircase& f, const Staircase& g, Combine&& op) {
+  static obs::Counter& c_calls = obs::counter("minplus.pointwise.calls");
+  c_calls.add(1);
   const Time h = min(f.horizon(), g.horizon());
   std::vector<Step> samples;
   for (Time t : merged_times(f, g, h)) {
@@ -137,6 +141,11 @@ Staircase minplus_conv(const Staircase& f, const Staircase& g) {
   // inside step j of g exists iff  a_i + b_j <= t <= a_{i+1}-1 + b_{j+1}-1,
   // and then contributes value f_i + g_j.  The convolution is the lower
   // envelope of these constant pieces.
+  const obs::Span span("minplus.conv");
+  static obs::Counter& c_calls = obs::counter("minplus.conv.calls");
+  static obs::Counter& c_pieces = obs::counter("minplus.conv.pieces");
+  c_calls.add(1);
+  c_pieces.add(f.steps().size() * g.steps().size());
   const Time horizon = f.horizon() + g.horizon();
   const auto fs = f.steps();
   const auto gs = g.steps();
@@ -161,6 +170,11 @@ Staircase minplus_conv(const Staircase& f, const Staircase& g) {
 Staircase minplus_deconv(const Staircase& f, const Staircase& g) {
   STRT_REQUIRE(g.horizon() <= f.horizon(),
                "deconvolution requires Hg <= Hf (extend f first)");
+  const obs::Span span("minplus.deconv");
+  static obs::Counter& c_calls = obs::counter("minplus.deconv.calls");
+  static obs::Counter& c_pieces = obs::counter("minplus.deconv.pieces");
+  c_calls.add(1);
+  c_pieces.add(f.steps().size() * g.steps().size());
   const Time horizon = f.horizon() - g.horizon();
   // For f-step i and g-step j the witness u exists iff
   //   u in [b_j, b_{j+1}-1]  and  t + u in [a_i, a_{i+1}-1]
@@ -250,6 +264,7 @@ Staircase leftover_service(const Staircase& b, const Staircase& a) {
 Staircase subadditive_closure(const Staircase& f) {
   STRT_REQUIRE(f.starts_at_zero(),
                "subadditive closure requires f(0) == 0");
+  const obs::Span span("minplus.subadditive_closure");
   Staircase cur = f.without_tail();
   for (;;) {
     Staircase conv = minplus_conv(cur, cur).truncated(cur.horizon());

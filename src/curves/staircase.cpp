@@ -5,6 +5,7 @@
 
 #include "base/assert.hpp"
 #include "base/checked.hpp"
+#include "obs/counters.hpp"
 
 namespace strt {
 
@@ -46,6 +47,10 @@ void Staircase::check_invariants() const {
 
 Staircase Staircase::from_points(std::vector<Step> points, Time horizon) {
   STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+  static obs::Counter& c_calls = obs::counter("staircase.from_points.calls");
+  static obs::Counter& c_points = obs::counter("staircase.from_points.points");
+  c_calls.add(1);
+  c_points.add(points.size());
   for (const Step& p : points) {
     STRT_REQUIRE(p.time >= Time(0) && p.time <= horizon,
                  "point outside [0, horizon]");
@@ -98,6 +103,8 @@ Work Staircase::value(Time t) const {
 }
 
 Time Staircase::inverse(Work w) const {
+  static obs::Counter& c_calls = obs::counter("staircase.inverse.calls");
+  c_calls.add(1);
   if (w <= steps_.front().value) return Time(0);
   if (w <= value_at_horizon()) {
     // First step with value >= w; the step's start time is the answer.

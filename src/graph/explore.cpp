@@ -1,11 +1,14 @@
 #include "graph/explore.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <queue>
 #include <stdexcept>
 
 #include "base/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -64,7 +67,13 @@ std::vector<PathState> ExploreResult::path_to(std::int32_t state) const {
 ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
   STRT_REQUIRE(opts.elapsed_limit >= Time(0),
                "elapsed_limit must be non-negative");
+  const obs::Span span("explore");
   ExploreResult res;
+  // The clock is only consulted on the progress path; a run without a
+  // callback never reads it.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point started =
+      opts.progress_every != 0 ? Clock::now() : Clock::time_point{};
   std::vector<Skyline> skylines(opts.prune ? task.vertex_count() : 0);
 
   // Queue ordered by (elapsed ascending, work descending): children always
@@ -115,6 +124,25 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
       continue;  // dominated after insertion
     }
     ++res.stats.expanded;
+    if (opts.progress_every != 0 &&
+        res.stats.expanded % opts.progress_every == 0 && opts.on_progress) {
+      ExploreProgress p;
+      p.generated = res.stats.generated;
+      p.expanded = res.stats.expanded;
+      p.pruned = res.stats.pruned;
+      p.arena_size = res.arena.size();
+      p.frontier_width = queue.size();
+      p.elapsed_seconds =
+          std::chrono::duration<double>(Clock::now() - started).count();
+      p.states_per_second =
+          p.elapsed_seconds > 0.0
+              ? static_cast<double>(p.expanded) / p.elapsed_seconds
+              : 0.0;
+      if (!opts.on_progress(p)) {
+        res.stats.aborted = true;
+        break;
+      }
+    }
     for (std::int32_t ei : task.out_edges(st.vertex)) {
       const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
       const Time elapsed = st.elapsed + e.separation;
@@ -135,6 +163,23 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
       res.frontier[i] = static_cast<std::int32_t>(i);
     }
   }
+
+  // Registry totals are bumped once per run (not per state), so the hot
+  // loop carries no instrumentation cost at all.
+  static obs::Counter& c_runs = obs::counter("explore.runs");
+  static obs::Counter& c_generated = obs::counter("explore.generated");
+  static obs::Counter& c_expanded = obs::counter("explore.expanded");
+  static obs::Counter& c_pruned = obs::counter("explore.pruned");
+  static obs::Counter& c_aborted = obs::counter("explore.aborted");
+  static obs::Gauge& g_arena = obs::gauge("explore.arena_size");
+  static obs::Gauge& g_frontier = obs::gauge("explore.frontier_width");
+  c_runs.add(1);
+  c_generated.add(res.stats.generated);
+  c_expanded.add(res.stats.expanded);
+  c_pruned.add(res.stats.pruned);
+  if (res.stats.aborted) c_aborted.add(1);
+  g_arena.set(static_cast<std::int64_t>(res.arena.size()));
+  g_frontier.set(static_cast<std::int64_t>(res.frontier.size()));
   return res;
 }
 

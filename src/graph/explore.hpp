@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "base/types.hpp"
@@ -41,7 +42,29 @@ struct ExploreStats {
   std::uint64_t generated{0};  // states created (before dominance check)
   std::uint64_t expanded{0};   // states whose successors were generated
   std::uint64_t pruned{0};     // states discarded by dominance
+  /// True when the exploration was cancelled by the progress callback;
+  /// results derived from an aborted run cover only the explored prefix.
+  bool aborted{false};
 };
+
+/// Periodic progress snapshot handed to ExploreOptions::on_progress.
+struct ExploreProgress {
+  std::uint64_t generated{0};
+  std::uint64_t expanded{0};
+  std::uint64_t pruned{0};
+  /// States accepted into the arena so far (memory proxy).
+  std::size_t arena_size{0};
+  /// States queued awaiting expansion (frontier width).
+  std::size_t frontier_width{0};
+  /// Wall time since the exploration started, seconds.
+  double elapsed_seconds{0.0};
+  /// Expansion throughput over the whole run so far.
+  double states_per_second{0.0};
+};
+
+/// Return true to continue, false to cancel the exploration (the partial
+/// result is returned with stats.aborted set).
+using ExploreProgressFn = std::function<bool(const ExploreProgress&)>;
 
 struct ExploreOptions {
   /// Inclusive bound on `elapsed`; paths are not extended past it.
@@ -52,6 +75,11 @@ struct ExploreOptions {
   /// Hard cap on arena size to keep unpruned runs from exhausting memory;
   /// exceeded => throws std::runtime_error.
   std::size_t max_states{50'000'000};
+  /// Invoke `on_progress` every this many expanded states (0 = never).
+  /// Long unpruned/ablation runs become observable and cancellable at
+  /// the cost of one branch per expansion.
+  std::uint64_t progress_every{0};
+  ExploreProgressFn on_progress{};
 };
 
 struct ExploreResult {

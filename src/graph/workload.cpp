@@ -10,8 +10,9 @@ namespace strt {
 Staircase rbf(const DrtTask& task, Time horizon, ExploreStats* stats) {
   STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
   if (horizon == Time(0)) return Staircase(horizon);
-  ExploreResult res = explore_paths(
-      task, ExploreOptions{.elapsed_limit = horizon - Time(1)});
+  ExploreOptions opts;
+  opts.elapsed_limit = horizon - Time(1);
+  ExploreResult res = explore_paths(task, opts);
   if (stats) *stats = res.stats;
   std::vector<Step> pts;
   pts.reserve(res.frontier.size());
@@ -104,8 +105,9 @@ Staircase dbf(const DrtTask& task, Time horizon, ExploreStats* stats) {
                "exact dbf staircase requires the frame separation "
                "property; use dbf_point for general deadlines");
   if (horizon == Time(0)) return Staircase(horizon);
-  ExploreResult res = explore_paths(
-      task, ExploreOptions{.elapsed_limit = max(Time(0), horizon - Time(1))});
+  ExploreOptions opts;
+  opts.elapsed_limit = max(Time(0), horizon - Time(1));
+  ExploreResult res = explore_paths(task, opts);
   if (stats) *stats = res.stats;
   std::vector<Step> pts;
   for (std::int32_t idx : res.frontier) {

@@ -53,4 +53,61 @@ std::string fmt_ratio(double value, int decimals) {
   return os.str();
 }
 
+namespace {
+
+std::string field_to_string(const obs::RunReport::FieldValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return fmt_ratio(*d, 3);
+  return std::get<bool>(v) ? "true" : "false";
+}
+
+void add_span_rows(Table& table, const std::vector<obs::SpanSample>& spans,
+                   int depth) {
+  for (const obs::SpanSample& s : spans) {
+    table.add_row({std::string(static_cast<std::size_t>(depth) * 2, ' ') +
+                       s.name,
+                   std::to_string(s.count),
+                   fmt_ratio(static_cast<double>(s.total_ns) / 1e6, 3)});
+    add_span_rows(table, s.children, depth + 1);
+  }
+}
+
+}  // namespace
+
+void print_report_table(std::ostream& os, const obs::RunReport& report) {
+  os << "Run report: " << report.name() << '\n';
+
+  if (!report.fields().empty()) {
+    Table fields({"field", "value"});
+    for (const auto& [k, v] : report.fields()) {
+      fields.add_row({k, field_to_string(v)});
+    }
+    fields.print(os);
+    os << '\n';
+  }
+
+  Table cells({"counter", "value"});
+  for (const obs::CounterSample& c : report.counters()) {
+    if (c.value != 0) cells.add_row({c.name, std::to_string(c.value)});
+  }
+  for (const obs::GaugeSample& g : report.gauges()) {
+    if (g.value != 0 || g.max_value != 0) {
+      cells.add_row({g.name + " (gauge, max " + std::to_string(g.max_value) +
+                         ")",
+                     std::to_string(g.value)});
+    }
+  }
+  if (cells.row_count() > 0) {
+    cells.print(os);
+    os << '\n';
+  }
+
+  if (!report.spans().empty()) {
+    Table spans({"phase", "count", "ms"});
+    add_span_rows(spans, report.spans(), 0);
+    spans.print(os);
+  }
+}
+
 }  // namespace strt

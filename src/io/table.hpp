@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
+
 namespace strt {
 
 class Table {
@@ -25,5 +27,10 @@ class Table {
 
 /// Formatting helpers shared by benches/examples.
 [[nodiscard]] std::string fmt_ratio(double value, int decimals = 2);
+
+/// Human-readable rendering of an observability run report: one table of
+/// fields, one of (non-zero) counters and gauges, and the span profile
+/// tree with indented phase names, entry counts, and milliseconds.
+void print_report_table(std::ostream& os, const obs::RunReport& report);
 
 }  // namespace strt

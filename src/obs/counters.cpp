@@ -1,0 +1,113 @@
+#include "obs/counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+
+namespace strt::obs {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("STRT_OBS");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_default()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Deques never relocate elements, so the references handed out stay
+  // valid as the registry grows.  Registration order == deque order.
+  std::deque<std::pair<std::string, Counter>> counters;
+  std::deque<std::pair<std::string, Gauge>> gauges;
+  std::map<std::string, Counter*> counter_index;
+  std::map<std::string, Gauge*> gauge_index;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked intentionally: instrumented code may run during static
+  // destruction of other translation units.
+  static Registry* reg = new Registry;
+  return *reg;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  if (auto it = impl_->counter_index.find(name);
+      it != impl_->counter_index.end()) {
+    return *it->second;
+  }
+  impl_->counters.emplace_back(std::piecewise_construct,
+                               std::forward_as_tuple(name),
+                               std::forward_as_tuple());
+  Counter* cell = &impl_->counters.back().second;
+  impl_->counter_index.emplace(name, cell);
+  return *cell;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->mu);
+  if (auto it = impl_->gauge_index.find(name);
+      it != impl_->gauge_index.end()) {
+    return *it->second;
+  }
+  impl_->gauges.emplace_back(std::piecewise_construct,
+                             std::forward_as_tuple(name),
+                             std::forward_as_tuple());
+  Gauge* cell = &impl_->gauges.back().second;
+  impl_->gauge_index.emplace(name, cell);
+  return *cell;
+}
+
+std::vector<CounterSample> Registry::counters() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<CounterSample> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, cell] : impl_->counters) {
+    out.push_back(CounterSample{name, cell.value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> Registry::gauges() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<GaugeSample> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, cell] : impl_->gauges) {
+    out.push_back(GaugeSample{name, cell.value(), cell.max_value()});
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [name, cell] : impl_->counters) cell.reset();
+  for (auto& [name, cell] : impl_->gauges) cell.reset();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+
+Gauge& gauge(const std::string& name) {
+  return Registry::global().gauge(name);
+}
+
+}  // namespace strt::obs

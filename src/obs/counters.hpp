@@ -1,0 +1,144 @@
+// Observability: named monotonic counters and gauges.
+//
+// A process-global Registry maps names to Counter / Gauge cells.  Cells
+// are created on first use (registration takes a mutex) and never move,
+// so the returned references stay valid for the process lifetime --
+// instrumented code looks a cell up once (function-local static) and
+// bumps it lock-free afterwards.
+//
+// Cost model: every mutation first checks the global enabled flag, a
+// relaxed atomic load plus a branch; with STRT_OBS unset that is the
+// *entire* cost of an instrumented site.  Enabled mutations are relaxed
+// atomic read-modify-writes.  Snapshots iterate cells in registration
+// order, which is deterministic for single-threaded registration (all of
+// this library's instrumentation registers from function-local statics
+// on first use).
+//
+// Enabling: set the environment variable STRT_OBS (any value other than
+// "0" or empty) before the first instrumented call, or call
+// obs::set_enabled(true) at runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strt::obs {
+
+/// True when instrumentation is live.  Relaxed load + branch; this is the
+/// only cost a disabled counter bump or span pays.
+[[nodiscard]] bool enabled();
+
+/// Flip instrumentation at runtime (overrides the STRT_OBS env default).
+void set_enabled(bool on);
+
+/// A named monotonic counter.  Obtain via Registry::counter(); never
+/// constructed directly by instrumented code.
+class Counter {
+ public:
+  /// Adds `n` if observability is enabled; no-op (load + branch) if not.
+  void add(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+ private:
+  friend class Registry;
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A named gauge: an instantaneous signed level plus the maximum level
+/// ever set (high-water mark).  Same cost model as Counter.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+ private:
+  friend class Registry;
+
+  void reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value;
+  std::int64_t max_value;
+};
+
+/// The process-global name -> cell map.  Thread-safe; cells never move.
+class Registry {
+ public:
+  /// The global registry (all library instrumentation uses this one).
+  static Registry& global();
+
+  /// Finds or creates the counter / gauge named `name`.  The reference is
+  /// valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// All counters / gauges in registration order.  Includes zero-valued
+  /// cells (a registered name is part of the schema of a run).
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::vector<GaugeSample> gauges() const;
+
+  /// Zeroes every cell; registrations (and their order) are kept.
+  void reset();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Shorthand for Registry::global().counter(name) -- intended use:
+///   static obs::Counter& c = obs::counter("explore.generated");
+///   c.add(stats.generated);
+[[nodiscard]] Counter& counter(const std::string& name);
+[[nodiscard]] Gauge& gauge(const std::string& name);
+
+}  // namespace strt::obs

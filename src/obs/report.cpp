@@ -1,0 +1,416 @@
+#include "obs/report.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace strt::obs {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += v > 0 ? "1e308" : (v < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_field(std::string& out, const RunReport::FieldValue& v) {
+  if (const auto* s = std::get_if<std::string>(&v)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    out += std::to_string(*i);
+  } else if (const auto* d = std::get_if<double>(&v)) {
+    append_number(out, *d);
+  } else {
+    out += std::get<bool>(v) ? "true" : "false";
+  }
+}
+
+void append_spans(std::string& out, const std::vector<SpanSample>& spans) {
+  out += '[';
+  bool first = true;
+  for (const SpanSample& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(s.name);
+    out += "\",\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"ns\":";
+    out += std::to_string(s.total_ns);
+    out += ",\"children\":";
+    append_spans(out, s.children);
+    out += '}';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {}
+
+void RunReport::put(std::string_view key, std::string value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(key), std::move(value));
+}
+
+void RunReport::put(std::string_view key, const char* value) {
+  put(key, std::string(value));
+}
+
+void RunReport::put(std::string_view key, std::int64_t value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(key), value);
+}
+
+void RunReport::put(std::string_view key, std::uint64_t value) {
+  put(key, static_cast<std::int64_t>(value));
+}
+
+void RunReport::put(std::string_view key, double value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(key), value);
+}
+
+void RunReport::put(std::string_view key, bool value) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(key), value);
+}
+
+void RunReport::capture() {
+  counters_ = Registry::global().counters();
+  gauges_ = Registry::global().gauges();
+  spans_ = span_tree();
+}
+
+std::string RunReport::to_json() const {
+  std::string out;
+  out += "{\"schema\":\"strt.obs.report.v1\",\"name\":\"";
+  out += json_escape(name_);
+  out += "\",\"fields\":{";
+  bool first = true;
+  for (const auto& [k, v] : fields_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(k);
+    out += "\":";
+    append_field(out, v);
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const CounterSample& c : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(c.name);
+    out += "\":";
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& g : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(g.name);
+    out += "\":{\"value\":";
+    out += std::to_string(g.value);
+    out += ",\"max\":";
+    out += std::to_string(g.max_value);
+    out += '}';
+  }
+  out += "},\"spans\":";
+  append_spans(out, spans_);
+  out += '}';
+  return out;
+}
+
+void RunReport::write_json_line(std::ostream& os) const {
+  os << to_json() << '\n';
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    skip_ws();
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument("JsonValue::parse: " + std::string(what) +
+                                " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.string = string();
+        return v;
+      }
+      default: return literal_or_number();
+    }
+  }
+
+  JsonValue literal_or_number() {
+    JsonValue v;
+    if (consume_word("true")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.kind = JsonValue::Kind::Bool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_word("null")) return v;  // Kind::Null
+
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[pos_])) &&
+          text_[pos_] != '-') {
+        integral = false;
+      }
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    v.kind = JsonValue::Kind::Number;
+    v.is_integer = integral;
+    if (integral) {
+      auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v.integer);
+      if (ec != std::errc() || p != tok.data() + tok.size()) {
+        fail("malformed integer");
+      }
+      v.number = static_cast<double>(v.integer);
+    } else {
+      auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v.number);
+      if (ec != std::errc() || p != tok.data() + tok.size()) {
+        fail("malformed number");
+      }
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (reports only ever emit
+          // escapes for control characters, which are single bytes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      skip_ws();
+      v.array.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return Parser(text).document();
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+}  // namespace strt::obs

@@ -1,0 +1,117 @@
+// Observability: structured run reports.
+//
+// A RunReport gathers the inputs and outputs of one analysis run (typed
+// key/value fields) together with a snapshot of the counter registry and
+// the calling thread's span profile, and serializes everything to a
+// single line of JSON -- one run per line, append-friendly, no external
+// dependencies.
+//
+// Schema (version "strt.obs.report.v1"):
+//
+//   {
+//     "schema":   "strt.obs.report.v1",
+//     "name":     "<run name>",
+//     "fields":   { "<key>": <string | integer | float | bool>, ... },
+//     "counters": { "<name>": <integer>, ... },
+//     "gauges":   { "<name>": {"value": <int>, "max": <int>}, ... },
+//     "spans":    [ {"name": "<phase>", "count": <int>, "ns": <int>,
+//                    "children": [ ... ]}, ... ]
+//   }
+//
+// Field insertion order is preserved; counters/gauges appear in
+// registration order; spans in first-entered order.  A minimal JSON
+// reader (JsonValue::parse) is included so tools -- and the round-trip
+// tests -- can consume reports without a JSON library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
+
+namespace strt::obs {
+
+/// Escapes `s` as the contents of a JSON string literal (quotes not
+/// included): ", \, and control characters become escape sequences.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class RunReport {
+ public:
+  using FieldValue = std::variant<std::string, std::int64_t, double, bool>;
+
+  explicit RunReport(std::string name);
+
+  /// Records an input/output of the run.  Re-putting a key overwrites in
+  /// place (original position kept).
+  void put(std::string_view key, std::string value);
+  void put(std::string_view key, const char* value);
+  void put(std::string_view key, std::int64_t value);
+  void put(std::string_view key, std::uint64_t value);
+  void put(std::string_view key, double value);
+  void put(std::string_view key, bool value);
+
+  /// Snapshots the global counter registry and the calling thread's span
+  /// tree into the report (replacing any earlier capture).
+  void capture();
+
+  /// One line of JSON (no trailing newline), per the schema above.
+  [[nodiscard]] std::string to_json() const;
+
+  /// to_json() plus '\n'.
+  void write_json_line(std::ostream& os) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<std::pair<std::string, FieldValue>>&
+  fields() const {
+    return fields_;
+  }
+  [[nodiscard]] const std::vector<CounterSample>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<GaugeSample>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::vector<SpanSample>& spans() const {
+    return spans_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, FieldValue>> fields_;
+  std::vector<CounterSample> counters_;
+  std::vector<GaugeSample> gauges_;
+  std::vector<SpanSample> spans_;
+};
+
+/// Minimal JSON document model + recursive-descent parser, sufficient for
+/// reading RunReport output back (objects, arrays, strings, numbers,
+/// booleans, null; no surrogate-pair decoding -- \u escapes outside the
+/// BMP round-trip as-is is not supported, and this library never emits
+/// them).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;            // always set for Kind::Number
+  bool is_integer = false;        // true when the token had no '.'/'e'
+  std::int64_t integer = 0;       // valid when is_integer
+  std::string string;             // Kind::String
+  std::vector<JsonValue> array;   // Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> object;  // Kind::Object
+
+  /// Parses a complete JSON document; throws std::invalid_argument on
+  /// malformed input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+}  // namespace strt::obs

@@ -1,0 +1,86 @@
+#include "obs/span.hpp"
+
+#include <memory>
+
+#include "obs/counters.hpp"
+
+namespace strt::obs {
+
+namespace detail {
+
+struct SpanNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  SpanNode* parent = nullptr;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode* child(std::string_view child_name) {
+    for (const auto& c : children) {
+      if (c->name == child_name) return c.get();
+    }
+    auto node = std::make_unique<SpanNode>();
+    node->name = std::string(child_name);
+    node->parent = this;
+    children.push_back(std::move(node));
+    return children.back().get();
+  }
+};
+
+namespace {
+
+struct ThreadTree {
+  SpanNode root;       // name left empty; holds the top-level phases
+  SpanNode* current = &root;
+};
+
+ThreadTree& tls_tree() {
+  thread_local ThreadTree tree;
+  return tree;
+}
+
+void sample_into(const SpanNode& node, std::vector<SpanSample>& out) {
+  for (const auto& c : node.children) {
+    SpanSample s;
+    s.name = c->name;
+    s.count = c->count;
+    s.total_ns = c->total_ns;
+    sample_into(*c, s.children);
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+}  // namespace detail
+
+Span::Span(std::string_view name) {
+  if (!enabled()) return;
+  detail::ThreadTree& tree = detail::tls_tree();
+  node_ = tree.current->child(name);
+  tree.current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->total_ns +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  ++node_->count;
+  detail::tls_tree().current = node_->parent;
+}
+
+std::vector<SpanSample> span_tree() {
+  std::vector<SpanSample> out;
+  detail::sample_into(detail::tls_tree().root, out);
+  return out;
+}
+
+void reset_spans() {
+  detail::ThreadTree& tree = detail::tls_tree();
+  tree.root.children.clear();
+  tree.current = &tree.root;
+}
+
+}  // namespace strt::obs

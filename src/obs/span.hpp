@@ -1,0 +1,67 @@
+// Observability: RAII timing spans building a nested phase profile.
+//
+// A Span marks a phase of the analysis ("explore", "minplus.conv", ...).
+// Spans nest lexically: a span opened while another is live becomes its
+// child in the profile tree, and re-entering the same phase name under
+// the same parent accumulates into one node (count + total time) instead
+// of growing the tree.  The tree is therefore bounded by the number of
+// distinct phase *paths*, not the number of phase entries -- safe to put
+// on per-operation boundaries such as each min-plus convolution.
+//
+// The profile tree is per-thread (thread_local): spans never contend, and
+// a worker thread's profile does not interleave into the main thread's.
+// Snapshot / reset act on the calling thread's tree.
+//
+// When observability is disabled (see counters.hpp) constructing a Span
+// costs one relaxed atomic load and a branch; no clock is read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strt::obs {
+
+namespace detail {
+struct SpanNode;
+}  // namespace detail
+
+/// RAII phase marker.  `name` must outlive the constructor call only (it
+/// is copied on first use of a given phase path).
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+ private:
+  detail::SpanNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One node of a profile snapshot.
+struct SpanSample {
+  std::string name;
+  std::uint64_t count = 0;    // times the phase was entered
+  std::int64_t total_ns = 0;  // accumulated wall time, nanoseconds
+  std::vector<SpanSample> children;
+};
+
+/// Snapshot of the calling thread's profile tree: the top-level phases in
+/// first-entered order, children nested.  Live (unclosed) spans report
+/// the time accumulated by their already-closed entries only.
+[[nodiscard]] std::vector<SpanSample> span_tree();
+
+/// Clears the calling thread's profile tree.  Must not be called while a
+/// span is live on this thread (the live span would dangle); the library
+/// never holds spans across public API boundaries, so resetting between
+/// analyses is safe.
+void reset_spans();
+
+}  // namespace strt::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/assert.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
 
 namespace strt {
 
@@ -21,6 +23,13 @@ std::vector<EdfJob> edf_jobs_of_trace(const DrtTask& task,
 
 EdfOutcome simulate_edf(const std::vector<EdfJob>& jobs,
                         const ServicePattern& pattern) {
+  const obs::Span span("sim.edf");
+  static obs::Counter& c_runs = obs::counter("sim.edf.runs");
+  static obs::Counter& c_jobs = obs::counter("sim.edf.jobs");
+  static obs::Counter& c_ticks = obs::counter("sim.edf.ticks");
+  c_runs.add(1);
+  c_jobs.add(jobs.size());
+  c_ticks.add(pattern.size());
   std::vector<EdfJob> sorted = jobs;
   std::sort(sorted.begin(), sorted.end(),
             [](const EdfJob& a, const EdfJob& b) {

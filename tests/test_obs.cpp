@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/structural.hpp"
+#include "graph/explore.hpp"
+#include "obs/counters.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+/// Every test runs with observability on and a clean slate, and leaves
+/// the process-global state disabled and zeroed for the next test.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Registry::global().reset();
+    obs::reset_spans();
+  }
+  void TearDown() override {
+    obs::Registry::global().reset();
+    obs::reset_spans();
+    obs::set_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterAddAndReset) {
+  obs::Counter& c = obs::counter("test.counter_add");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  obs::Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);  // same cell, zeroed
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(ObsTest, CounterIsNoOpWhenDisabled) {
+  obs::Counter& c = obs::counter("test.disabled");
+  obs::set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(c.value(), 0u);
+  obs::set_enabled(true);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsTest, GaugeTracksValueAndHighWater) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(10);
+  g.set(25);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max_value(), 25);
+}
+
+TEST_F(ObsTest, RegistryIteratesInRegistrationOrder) {
+  obs::counter("test.order.zz").add(1);
+  obs::counter("test.order.aa").add(2);
+  obs::counter("test.order.mm").add(3);
+
+  std::vector<std::string> seen;
+  for (const obs::CounterSample& s : obs::Registry::global().counters()) {
+    if (s.name.rfind("test.order.", 0) == 0) seen.push_back(s.name);
+  }
+  const std::vector<std::string> want{"test.order.zz", "test.order.aa",
+                                      "test.order.mm"};
+  EXPECT_EQ(seen, want);
+
+  // Re-lookup returns the same cell, not a new registration.
+  obs::counter("test.order.zz").add(10);
+  EXPECT_EQ(obs::counter("test.order.zz").value(), 11u);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  obs::Counter& c = obs::counter("test.threads");
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  // Concurrent registration of fresh names must not invalidate `c`.
+  obs::counter("test.threads.other").add(1);
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, SpansNestAndAccumulate) {
+  {
+    const obs::Span outer("outer");
+    {
+      const obs::Span inner("inner");
+    }
+    {
+      const obs::Span inner("inner");  // same path -> same node
+    }
+  }
+  {
+    const obs::Span outer("outer");  // re-entered top-level phase
+  }
+
+  const std::vector<obs::SpanSample> tree = obs::span_tree();
+  ASSERT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree[0].name, "outer");
+  EXPECT_EQ(tree[0].count, 2u);
+  EXPECT_GE(tree[0].total_ns, 0);
+  ASSERT_EQ(tree[0].children.size(), 1u);
+  EXPECT_EQ(tree[0].children[0].name, "inner");
+  EXPECT_EQ(tree[0].children[0].count, 2u);
+
+  obs::reset_spans();
+  EXPECT_TRUE(obs::span_tree().empty());
+}
+
+TEST_F(ObsTest, SpansAreFreeWhenDisabled) {
+  obs::set_enabled(false);
+  {
+    const obs::Span s("invisible");
+  }
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::span_tree().empty());
+}
+
+TEST_F(ObsTest, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("\n\t"), "\\n\\t");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST_F(ObsTest, ReportRoundTripsThroughAnalysis) {
+  // Run a real structural analysis so the explorer and curve counters
+  // fire, then serialize the report and parse it back.
+  const DrtTask task = test::small_task();
+  const Supply supply = Supply::tdma(Time(4), Time(5));
+  const StructuralResult st = structural_delay(task, supply);
+  ASSERT_FALSE(st.delay.is_unbounded());
+
+  obs::RunReport report("roundtrip");
+  report.put("task", task.name());
+  report.put("delay", st.delay.count());
+  report.put("rate", 0.5);
+  report.put("feasible", true);
+  report.capture();
+
+  const std::string json = report.to_json();
+  const obs::JsonValue doc = obs::JsonValue::parse(json);
+  ASSERT_EQ(doc.kind, obs::JsonValue::Kind::Object);
+
+  const obs::JsonValue* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, "strt.obs.report.v1");
+  EXPECT_EQ(doc.find("name")->string, "roundtrip");
+
+  const obs::JsonValue* fields = doc.find("fields");
+  ASSERT_NE(fields, nullptr);
+  EXPECT_EQ(fields->find("task")->string, "small");
+  ASSERT_TRUE(fields->find("delay")->is_integer);
+  EXPECT_EQ(fields->find("delay")->integer, st.delay.count());
+  EXPECT_DOUBLE_EQ(fields->find("rate")->number, 0.5);
+  EXPECT_TRUE(fields->find("feasible")->boolean);
+
+  // The analysis must have left its marks: explorer counters and the
+  // structural span tree (with the explore phase nested inside).
+  const obs::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* runs = counters->find("explore.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_GE(runs->integer, 1);
+  // The counter aggregates every explore run triggered by the analysis
+  // (the busy-window rbf computation explores too), so it dominates the
+  // per-result stats.
+  const obs::JsonValue* generated = counters->find("explore.generated");
+  ASSERT_NE(generated, nullptr);
+  EXPECT_GE(static_cast<std::uint64_t>(generated->integer),
+            st.stats.generated);
+
+  const obs::JsonValue* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->kind, obs::JsonValue::Kind::Array);
+  bool saw_structural = false;
+  bool saw_explore_child = false;
+  for (const obs::JsonValue& s : spans->array) {
+    if (s.find("name")->string != "structural") continue;
+    saw_structural = true;
+    for (const obs::JsonValue& c : s.find("children")->array) {
+      if (c.find("name")->string == "explore") saw_explore_child = true;
+    }
+  }
+  EXPECT_TRUE(saw_structural);
+  EXPECT_TRUE(saw_explore_child);
+
+  // write_json_line == to_json + newline.
+  std::ostringstream os;
+  report.write_json_line(os);
+  EXPECT_EQ(os.str(), json + "\n");
+}
+
+TEST_F(ObsTest, ReportPutOverwritesInPlace) {
+  obs::RunReport report("overwrite");
+  report.put("k1", std::int64_t{1});
+  report.put("k2", std::int64_t{2});
+  report.put("k1", "replaced");
+  ASSERT_EQ(report.fields().size(), 2u);
+  EXPECT_EQ(report.fields()[0].first, "k1");
+  EXPECT_EQ(std::get<std::string>(report.fields()[0].second), "replaced");
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(obs::JsonValue::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(obs::JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(obs::JsonValue::parse("\"unterminated"),
+               std::invalid_argument);
+}
+
+TEST_F(ObsTest, ProgressCallbackFires) {
+  const DrtTask task = test::small_task();
+  ExploreOptions opts;
+  opts.elapsed_limit = Time(200);
+  opts.progress_every = 10;
+  std::uint64_t calls = 0;
+  ExploreProgress last{};
+  opts.on_progress = [&](const ExploreProgress& p) {
+    ++calls;
+    last = p;
+    return true;  // keep going
+  };
+  const ExploreResult res = explore_paths(task, opts);
+  EXPECT_FALSE(res.stats.aborted);
+  ASSERT_GE(calls, 1u);
+  EXPECT_EQ(last.expanded % 10, 0u);
+  EXPECT_LE(last.expanded, res.stats.expanded);
+  EXPECT_GT(last.arena_size, 0u);
+  EXPECT_GE(last.elapsed_seconds, 0.0);
+}
+
+TEST_F(ObsTest, ProgressCallbackCanAbort) {
+  const DrtTask task = test::small_task();
+
+  ExploreOptions full_opts;
+  full_opts.elapsed_limit = Time(200);
+  const ExploreResult full = explore_paths(task, full_opts);
+  ASSERT_GT(full.stats.expanded, 20u);
+
+  ExploreOptions opts;
+  opts.elapsed_limit = Time(200);
+  opts.progress_every = 10;
+  std::uint64_t calls = 0;
+  opts.on_progress = [&](const ExploreProgress&) {
+    ++calls;
+    return calls < 2;  // cancel at the second report
+  };
+  const ExploreResult res = explore_paths(task, opts);
+  EXPECT_TRUE(res.stats.aborted);
+  EXPECT_EQ(calls, 2u);
+  EXPECT_LT(res.stats.expanded, full.stats.expanded);
+}
+
+TEST_F(ObsTest, StructuralOptionsForwardProgress) {
+  const DrtTask task = test::small_task();
+  const Supply supply = Supply::tdma(Time(4), Time(5));
+  StructuralOptions opts;
+  opts.progress_every = 5;
+  std::atomic<std::uint64_t> calls{0};
+  opts.on_progress = [&](const ExploreProgress&) {
+    ++calls;
+    return true;
+  };
+  const StructuralResult st = structural_delay(task, supply, opts);
+  EXPECT_FALSE(st.stats.aborted);
+  EXPECT_GE(calls.load(), 1u);
+}
+
+}  // namespace
+}  // namespace strt
