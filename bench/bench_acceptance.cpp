@@ -11,6 +11,7 @@
 // spread in the mid-load range (at light load everything is accepted, in
 // overload nothing is).
 
+#include <array>
 #include <iostream>
 #include <vector>
 
@@ -35,41 +36,55 @@ int main() {
   BenchReport report("acceptance");
   Table table({"target U", "structural", "hull", "bucket", "min-gap"});
   std::vector<std::vector<std::string>> csv_rows;
-  Rng rng(909090);
+  std::uint64_t level_idx = 0;
 
   for (const double level : levels) {
     Phase phase("level:" + fmt_ratio(level));
-    int accept[4] = {0, 0, 0, 0};
-    int n = 0;
-    while (n < kTasksPerLevel) {
-      DrtGenParams params;
-      params.min_vertices = 3;
-      params.max_vertices = 8;
-      params.min_separation = Time(4);
-      params.max_separation = Time(30);
-      params.target_utilization = level;
-      const GeneratedTask gen = random_drt(rng, params);
-      if (!(gen.exact_utilization < supply.long_run_rate())) continue;
-      Time max_sep(0);
-      for (const DrtEdge& e : gen.task.edges()) {
-        max_sep = max(max_sep, e.separation);
-      }
-      const Time deadline = max_sep;
+    // One independent trial per task: trial i of level l draws from
+    // Rng::split, so the sweep parallelizes over STRT_THREADS with
+    // results identical to a serial run.
+    const auto outcomes = trials(
+        909090 + level_idx * 7919, kTasksPerLevel,
+        [&](Rng& rng, std::size_t) {
+          std::array<bool, 4> acc{};
+          for (;;) {
+            DrtGenParams params;
+            params.min_vertices = 3;
+            params.max_vertices = 8;
+            params.min_separation = Time(4);
+            params.max_separation = Time(30);
+            params.target_utilization = level;
+            const GeneratedTask gen = random_drt(rng, params);
+            if (!(gen.exact_utilization < supply.long_run_rate())) continue;
+            Time max_sep(0);
+            for (const DrtEdge& e : gen.task.edges()) {
+              max_sep = max(max_sep, e.separation);
+            }
+            const Time deadline = max_sep;
 
-      const WorkloadAbstraction kinds[] = {
-          WorkloadAbstraction::kStructural,
-          WorkloadAbstraction::kConcaveHull,
-          WorkloadAbstraction::kTokenBucket,
-          WorkloadAbstraction::kSporadicMinGap,
-      };
-      StructuralOptions opts;
-      opts.want_witness = false;
+            const WorkloadAbstraction kinds[] = {
+                WorkloadAbstraction::kStructural,
+                WorkloadAbstraction::kConcaveHull,
+                WorkloadAbstraction::kTokenBucket,
+                WorkloadAbstraction::kSporadicMinGap,
+            };
+            StructuralOptions opts;
+            opts.want_witness = false;
+            for (int k = 0; k < 4; ++k) {
+              const AbstractionResult r =
+                  delay_with_abstraction(gen.task, supply, kinds[k], opts);
+              acc[static_cast<std::size_t>(k)] =
+                  !r.delay.is_unbounded() && r.delay <= deadline;
+            }
+            return acc;
+          }
+        });
+    ++level_idx;
+    int accept[4] = {0, 0, 0, 0};
+    for (const auto& acc : outcomes) {
       for (int k = 0; k < 4; ++k) {
-        const AbstractionResult r =
-            delay_with_abstraction(gen.task, supply, kinds[k], opts);
-        if (!r.delay.is_unbounded() && r.delay <= deadline) ++accept[k];
+        if (acc[static_cast<std::size_t>(k)]) ++accept[k];
       }
-      ++n;
     }
     auto pct = [&](int a) {
       return fmt_ratio(100.0 * a / kTasksPerLevel, 0) + "%";

@@ -36,63 +36,76 @@ int main() {
   BenchReport report("edf_vs_fp");
   Table table({"target U", "EDF accept", "FP accept"});
   std::vector<std::vector<std::string>> csv_rows;
-  Rng rng(616161);
+  std::uint64_t level_idx = 0;
   StructuralOptions opts;
   opts.want_witness = false;
 
   for (const double level : levels) {
     Phase phase("level:" + fmt_ratio(level));
+    struct SetOut {
+      bool edf_ok;
+      bool fp_ok;
+    };
+    // Split streams make the sweep parallel over STRT_THREADS while
+    // reproducing the serial set sequence per level.
+    const auto outs = trials(
+        616161 + level_idx * 7919, static_cast<std::size_t>(kSetsPerLevel),
+        [&](Rng& rng, std::size_t) -> SetOut {
+          for (;;) {
+            DrtGenParams params;
+            params.min_vertices = 2;
+            params.max_vertices = 5;
+            params.min_separation = Time(6);
+            params.max_separation = Time(30);
+            params.deadline_factor = 1.0;  // frame separated
+            auto gen = random_drt_set(rng, 3, level, params);
+            std::vector<DrtTask> tasks;
+            Rational total(0);
+            for (auto& g : gen) {
+              total += g.exact_utilization;
+              tasks.push_back(std::move(g.task));
+            }
+            if (!(total < supply.long_run_rate())) continue;
+            bool frame_separated = true;
+            for (const DrtTask& t : tasks) {
+              frame_separated = frame_separated && t.has_frame_separation();
+            }
+            if (!frame_separated) continue;
+
+            // Rate-monotonic-ish priority order: shortest min-deadline
+            // first.
+            std::sort(tasks.begin(), tasks.end(),
+                      [](const DrtTask& a, const DrtTask& b) {
+                        auto min_d = [](const DrtTask& t) {
+                          Time d = Time::unbounded();
+                          for (const DrtVertex& v : t.vertices()) {
+                            d = min(d, v.deadline);
+                          }
+                          return d;
+                        };
+                        return min_d(a) < min_d(b);
+                      });
+
+            const EdfResult edf = edf_schedulable(tasks, supply);
+
+            const FpResult fp = fixed_priority_analysis(tasks, supply, opts);
+            bool ok = !fp.overloaded;
+            for (std::size_t i = 0; ok && i < tasks.size(); ++i) {
+              Time min_d = Time::unbounded();
+              for (const DrtVertex& v : tasks[i].vertices()) {
+                min_d = min(min_d, v.deadline);
+              }
+              ok = fp.tasks[i].structural_delay <= min_d;
+            }
+            return SetOut{edf.schedulable, ok};
+          }
+        });
+    ++level_idx;
     int edf_ok = 0;
     int fp_ok = 0;
-    int n = 0;
-    while (n < kSetsPerLevel) {
-      DrtGenParams params;
-      params.min_vertices = 2;
-      params.max_vertices = 5;
-      params.min_separation = Time(6);
-      params.max_separation = Time(30);
-      params.deadline_factor = 1.0;  // frame separated
-      auto gen = random_drt_set(rng, 3, level, params);
-      std::vector<DrtTask> tasks;
-      Rational total(0);
-      for (auto& g : gen) {
-        total += g.exact_utilization;
-        tasks.push_back(std::move(g.task));
-      }
-      if (!(total < supply.long_run_rate())) continue;
-      bool frame_separated = true;
-      for (const DrtTask& t : tasks) {
-        frame_separated = frame_separated && t.has_frame_separation();
-      }
-      if (!frame_separated) continue;
-      ++n;
-
-      // Rate-monotonic-ish priority order: shortest min-deadline first.
-      std::sort(tasks.begin(), tasks.end(),
-                [](const DrtTask& a, const DrtTask& b) {
-                  auto min_d = [](const DrtTask& t) {
-                    Time d = Time::unbounded();
-                    for (const DrtVertex& v : t.vertices()) {
-                      d = min(d, v.deadline);
-                    }
-                    return d;
-                  };
-                  return min_d(a) < min_d(b);
-                });
-
-      const EdfResult edf = edf_schedulable(tasks, supply);
-      if (edf.schedulable) ++edf_ok;
-
-      const FpResult fp = fixed_priority_analysis(tasks, supply, opts);
-      bool ok = !fp.overloaded;
-      for (std::size_t i = 0; ok && i < tasks.size(); ++i) {
-        Time min_d = Time::unbounded();
-        for (const DrtVertex& v : tasks[i].vertices()) {
-          min_d = min(min_d, v.deadline);
-        }
-        ok = fp.tasks[i].structural_delay <= min_d;
-      }
-      if (ok) ++fp_ok;
+    for (const SetOut& o : outs) {
+      if (o.edf_ok) ++edf_ok;
+      if (o.fp_ok) ++fp_ok;
     }
     auto pct = [&](int a) {
       return fmt_ratio(100.0 * a / kSetsPerLevel, 0) + "%";

@@ -36,7 +36,6 @@ int main() {
             << supply.describe() << "\n\n";
 
   BenchReport report("fp_interference");
-  Rng rng(181818);
   std::vector<double> sum_hull(kSetSize, 0.0);
   std::vector<double> sum_bucket(kSetSize, 0.0);
   std::vector<double> sum_exact_delay(kSetSize, 0.0);
@@ -45,39 +44,65 @@ int main() {
   StructuralOptions opts;
   opts.want_witness = false;
 
+  struct SetOut {
+    std::vector<double> exact_delay;
+    std::vector<double> hull_ratio;
+    std::vector<double> bucket_ratio;
+  };
   {
     Phase phase("fp_interference.sets");
-    while (used < kSets) {
-      DrtGenParams params;
-      params.min_vertices = 2;
-      params.max_vertices = 5;
-      params.min_separation = Time(8);
-      params.max_separation = Time(40);
-      auto gen = random_drt_set(rng, kSetSize, kTotalUtil, params);
-      std::vector<DrtTask> tasks;
-      Rational total(0);
-      for (auto& g : gen) {
-        total += g.exact_utilization;
-        tasks.push_back(std::move(g.task));
-      }
-      if (!(total < supply.long_run_rate())) continue;
+    // One split RNG stream per set: the sweep runs on every core with
+    // results identical to STRT_THREADS=1.
+    const auto outs = trials(
+        181818, static_cast<std::size_t>(kSets),
+        [&](Rng& rng, std::size_t) -> SetOut {
+          for (;;) {
+            DrtGenParams params;
+            params.min_vertices = 2;
+            params.max_vertices = 5;
+            params.min_separation = Time(8);
+            params.max_separation = Time(40);
+            auto gen = random_drt_set(rng, kSetSize, kTotalUtil, params);
+            std::vector<DrtTask> tasks;
+            Rational total(0);
+            for (auto& g : gen) {
+              total += g.exact_utilization;
+              tasks.push_back(std::move(g.task));
+            }
+            if (!(total < supply.long_run_rate())) continue;
 
-      const FpResult exact = fixed_priority_analysis(
-          tasks, supply, opts, WorkloadAbstraction::kExactCurve);
-      const FpResult hull = fixed_priority_analysis(
-          tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
-      const FpResult bucket = fixed_priority_analysis(
-          tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
-      if (exact.overloaded || hull.overloaded || bucket.overloaded) continue;
+            const FpResult exact = fixed_priority_analysis(
+                tasks, supply, opts, WorkloadAbstraction::kExactCurve);
+            const FpResult hull = fixed_priority_analysis(
+                tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
+            const FpResult bucket = fixed_priority_analysis(
+                tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
+            if (exact.overloaded || hull.overloaded || bucket.overloaded) {
+              continue;
+            }
 
+            SetOut out;
+            for (std::size_t i = 0; i < kSetSize; ++i) {
+              const double d = static_cast<double>(
+                  exact.tasks[i].structural_delay.count());
+              out.exact_delay.push_back(d);
+              out.hull_ratio.push_back(
+                  static_cast<double>(
+                      hull.tasks[i].structural_delay.count()) /
+                  d);
+              out.bucket_ratio.push_back(
+                  static_cast<double>(
+                      bucket.tasks[i].structural_delay.count()) /
+                  d);
+            }
+            return out;
+          }
+        });
+    for (const SetOut& out : outs) {
       for (std::size_t i = 0; i < kSetSize; ++i) {
-        const double d =
-            static_cast<double>(exact.tasks[i].structural_delay.count());
-        sum_exact_delay[i] += d;
-        sum_hull[i] +=
-            static_cast<double>(hull.tasks[i].structural_delay.count()) / d;
-        sum_bucket[i] +=
-            static_cast<double>(bucket.tasks[i].structural_delay.count()) / d;
+        sum_exact_delay[i] += out.exact_delay[i];
+        sum_hull[i] += out.hull_ratio[i];
+        sum_bucket[i] += out.bucket_ratio[i];
       }
       ++used;
     }

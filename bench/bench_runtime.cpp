@@ -4,15 +4,35 @@
 // google-benchmark harness; counters report busy-window length and
 // explored/pruned state counts alongside wall time.
 //
+// After the microbenchmarks, a speedup section times the same structural
+// sweep serially (STRT_THREADS=1) and on the exec pool, checks the
+// results are bit-identical, and times the overhauled explorer against
+// the pre-overhaul implementation (std::map skyline + std::priority_queue
+// agenda, kept below as `legacy`).  The headline numbers land in
+// BENCH_runtime.json: serial_ms / parallel_ms / speedup / threads and
+// explorer_legacy_ms / explorer_new_ms / explorer_speedup.
+//
 // Expected shape: runtime grows mildly with the vertex count (the
 // dominance-pruned frontier is small) and roughly linearly with the
 // busy-window length; everything stays in the interactive range for
-// DATE-scale graphs.
+// DATE-scale graphs.  The parallel speedup tracks the physical core
+// count; the explorer overhaul wins a constant factor from flat storage
+// and O(1) bucket scheduling.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "core/abstractions.hpp"
 #include "core/structural.hpp"
+#include "graph/explore.hpp"
+#include "io/table.hpp"
 #include "model/generator.hpp"
 
 namespace strt {
@@ -100,7 +120,250 @@ BENCHMARK(BM_AbstractionAnalyses)
     ->DenseRange(0, 4, 1)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------
+// Explorer-overhaul baseline: the pre-overhaul implementation, verbatim
+// in structure -- per-vertex std::map skyline, std::priority_queue agenda
+// -- so the ablation times data structures, not algorithmic drift.  Both
+// implementations must produce the same Pareto frontier; the ablation
+// checks that before timing.
+
+namespace legacy {
+
+class Skyline {
+ public:
+  bool insert(Time t, Work w, std::int32_t idx) {
+    auto it = entries_.upper_bound(t);
+    if (it != entries_.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.second.first >= w) return false;  // dominated
+    }
+    while (it != entries_.end() && it->second.first <= w) {
+      it = entries_.erase(it);
+    }
+    entries_.insert_or_assign(t, std::make_pair(w, idx));
+    return true;
+  }
+
+  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
+    auto it = entries_.find(t);
+    return it != entries_.end() && it->second.second == idx;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [t, wi] : entries_) fn(t, wi.first, wi.second);
+  }
+
+ private:
+  std::map<Time, std::pair<Work, std::int32_t>> entries_;
+};
+
+struct Result {
+  std::vector<PathState> arena;
+  std::vector<std::int32_t> frontier;
+  std::uint64_t generated = 0;
+};
+
+Result explore(const DrtTask& task, Time elapsed_limit) {
+  Result res;
+  std::vector<Skyline> skylines(task.vertex_count());
+
+  struct QItem {
+    Time elapsed;
+    Work work;
+    std::int32_t idx;
+  };
+  auto cmp = [](const QItem& a, const QItem& b) {
+    if (a.elapsed != b.elapsed) return a.elapsed > b.elapsed;
+    return a.work < b.work;
+  };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
+
+  auto accept = [&](VertexId v, Time elapsed, Work work,
+                    std::int32_t parent) {
+    ++res.generated;
+    const auto idx = static_cast<std::int32_t>(res.arena.size());
+    if (!skylines[static_cast<std::size_t>(v)].insert(elapsed, work, idx)) {
+      return;
+    }
+    res.arena.push_back(PathState{v, elapsed, work, parent});
+    queue.push(QItem{elapsed, work, idx});
+  };
+
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    accept(v, Time(0), task.vertex(v).wcet, -1);
+  }
+
+  while (!queue.empty()) {
+    const QItem item = queue.top();
+    queue.pop();
+    const PathState st = res.arena[static_cast<std::size_t>(item.idx)];
+    if (!skylines[static_cast<std::size_t>(st.vertex)].is_live(st.elapsed,
+                                                               item.idx)) {
+      continue;  // dominated after insertion
+    }
+    for (std::int32_t ei : task.out_edges(st.vertex)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time elapsed = st.elapsed + e.separation;
+      if (elapsed > elapsed_limit) continue;
+      accept(e.to, elapsed, st.work + task.vertex(e.to).wcet, item.idx);
+    }
+  }
+
+  for (const Skyline& s : skylines) {
+    s.for_each([&](Time, Work, std::int32_t idx) {
+      res.frontier.push_back(idx);
+    });
+  }
+  return res;
+}
+
+}  // namespace legacy
+
+/// The Pareto frontier as a canonical (elapsed -> max work) map -- the
+/// semantic content both explorer implementations must agree on.
+template <class Arena, class Frontier>
+std::map<std::int64_t, std::int64_t> frontier_skyline(
+    const Arena& arena, const Frontier& frontier) {
+  std::map<std::int64_t, std::int64_t> m;
+  for (const std::int32_t idx : frontier) {
+    const PathState& st = arena[static_cast<std::size_t>(idx)];
+    auto& slot = m[st.elapsed.count()];
+    slot = std::max(slot, st.work.count());
+  }
+  return m;
+}
+
+/// Serial vs parallel timing of the same 40-vertex structural sweep plus
+/// the explorer-overhaul ablation; emits the headline numbers into
+/// BENCH_runtime.json via the report.
+int run_speedup_section() {
+  using namespace strt::bench;
+  BenchReport report("runtime");
+
+  const Supply supply = Supply::tdma(Time(5), Time(10));
+  constexpr std::size_t kTrials = 12;
+  constexpr std::size_t kVertices = 40;
+  StructuralOptions opts;
+  opts.want_witness = false;
+
+  // Each trial generates its own task from a split stream and analyzes
+  // it; the returned delays must match bit-for-bit across thread counts.
+  auto sweep = [&](std::uint64_t seed) {
+    return trials(seed, kTrials, [&](Rng& rng, std::size_t) {
+      DrtGenParams params;
+      params.min_vertices = kVertices;
+      params.max_vertices = kVertices;
+      params.min_separation = Time(5);
+      params.max_separation = Time(40);
+      params.chord_probability = 0.10;
+      params.target_utilization = 0.35;
+      const GeneratedTask gen = random_drt(rng, params);
+      const StructuralResult r = structural_delay(gen.task, supply, opts);
+      return r.delay.count();
+    });
+  };
+
+  std::cout << "\nSerial vs parallel: " << kTrials << " structural "
+            << "analyses of " << kVertices << "-vertex tasks\n";
+
+  exec::set_thread_count(1);
+  std::vector<std::int64_t> serial_delays;
+  double serial_ms = 0;
+  {
+    Phase phase("speedup.serial");
+    serial_delays = sweep(5151);
+    serial_ms = phase.millis();
+  }
+
+  exec::set_thread_count(0);  // back to STRT_THREADS / hardware default
+  const std::size_t threads = exec::thread_count();
+  std::vector<std::int64_t> parallel_delays;
+  double parallel_ms = 0;
+  {
+    Phase phase("speedup.parallel");
+    parallel_delays = sweep(5151);
+    parallel_ms = phase.millis();
+  }
+
+  if (serial_delays != parallel_delays) {
+    std::cerr << "speedup section: serial and parallel delay vectors "
+                 "differ -- determinism contract broken\n";
+    return 1;
+  }
+
+  const double speedup = serial_ms / std::max(parallel_ms, 1e-6);
+  Table sp({"threads", "serial ms", "parallel ms", "speedup"});
+  sp.add_row({std::to_string(threads), fmt_ratio(serial_ms, 1),
+              fmt_ratio(parallel_ms, 1), fmt_ratio(speedup, 2) + "x"});
+  sp.print(std::cout);
+
+  // --- Explorer overhaul ablation: same exploration, old data
+  // structures vs new, results checked equal before timing.
+  const GeneratedTask gen = task_with_vertices(20, 0.40, 2026);
+  const Time window(600);
+  constexpr int kReps = 5;
+
+  const ExploreResult once =
+      explore_paths(gen.task, ExploreOptions{.elapsed_limit = window});
+  const legacy::Result legacy_once = legacy::explore(gen.task, window);
+  if (frontier_skyline(once.arena, once.frontier) !=
+      frontier_skyline(legacy_once.arena, legacy_once.frontier)) {
+    std::cerr << "explorer ablation: legacy and overhauled frontiers "
+                 "differ\n";
+    return 1;
+  }
+
+  double new_ms = 0;
+  {
+    Phase phase("ablation.explorer.new");
+    for (int rep = 0; rep < kReps; ++rep) {
+      const ExploreResult r =
+          explore_paths(gen.task, ExploreOptions{.elapsed_limit = window});
+      benchmark::DoNotOptimize(r.frontier.size());
+    }
+    new_ms = phase.millis();
+  }
+  double legacy_ms = 0;
+  {
+    Phase phase("ablation.explorer.legacy");
+    for (int rep = 0; rep < kReps; ++rep) {
+      const legacy::Result r = legacy::explore(gen.task, window);
+      benchmark::DoNotOptimize(r.frontier.size());
+    }
+    legacy_ms = phase.millis();
+  }
+  const double explorer_speedup = legacy_ms / std::max(new_ms, 1e-6);
+
+  std::cout << "\nExplorer overhaul (20-vertex task, window "
+            << window.count() << ", " << kReps << " reps, "
+            << once.stats.generated << " states/run):\n";
+  Table ab({"legacy ms", "new ms", "speedup"});
+  ab.add_row({fmt_ratio(legacy_ms, 1), fmt_ratio(new_ms, 1),
+              fmt_ratio(explorer_speedup, 2) + "x"});
+  ab.print(std::cout);
+
+  report.metric("sweep_trials", kTrials);
+  report.metric("sweep_vertices", kVertices);
+  report.metric("serial_ms", serial_ms);
+  report.metric("parallel_ms", parallel_ms);
+  report.metric("speedup", speedup);
+  report.metric("threads", threads);
+  report.metric("explorer_states_per_run", once.stats.generated);
+  report.metric("explorer_legacy_ms", legacy_ms);
+  report.metric("explorer_new_ms", new_ms);
+  report.metric("explorer_speedup", explorer_speedup);
+  return 0;
+}
+
 }  // namespace
 }  // namespace strt
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return strt::run_speedup_section();
+}

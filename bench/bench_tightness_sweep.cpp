@@ -67,49 +67,72 @@ int main() {
   Table table({"target U", "mean U", "sim/struct", "hull/struct",
                "bucket/struct", "mingap finite%", "mean struct delay"});
   std::vector<std::vector<std::string>> csv_rows;
-  Rng rng(12345);
+  std::uint64_t level_idx = 0;
 
+  struct TrialOut {
+    double u;
+    double sim_ratio;
+    double hull_ratio;
+    double bucket_ratio;
+    double struct_delay;
+    bool mingap_finite;
+  };
   for (const double level : levels) {
     Phase phase("level:" + fmt_ratio(level));
+    // Per-trial split streams: the sweep fans out over STRT_THREADS and
+    // still produces the serial trial sequence (including the simulation
+    // draws, which come from the same per-trial stream).
+    const auto outs = trials(
+        12345 + level_idx * 7919, kTasksPerLevel,
+        [&](Rng& rng, std::size_t) -> TrialOut {
+          for (;;) {
+            DrtGenParams params;
+            params.min_vertices = 3;
+            params.max_vertices = 8;
+            params.min_separation = Time(4);
+            params.max_separation = Time(30);
+            params.target_utilization = level;
+            const GeneratedTask gen = random_drt(rng, params);
+            if (!(gen.exact_utilization < supply.long_run_rate())) continue;
+
+            const auto bw = busy_window(gen.task, supply);
+            if (!bw) continue;
+            const auto st = delay_with_abstraction(
+                gen.task, supply, WorkloadAbstraction::kStructural);
+            const auto hull = delay_with_abstraction(
+                gen.task, supply, WorkloadAbstraction::kConcaveHull);
+            const auto bucket = delay_with_abstraction(
+                gen.task, supply, WorkloadAbstraction::kTokenBucket);
+            const auto mingap = delay_with_abstraction(
+                gen.task, supply, WorkloadAbstraction::kSporadicMinGap);
+            const Time sim = simulated_worst(gen.task, *bw, rng);
+
+            const double d = static_cast<double>(st.delay.count());
+            return TrialOut{
+                gen.exact_utilization.to_double(),
+                static_cast<double>(sim.count()) / d,
+                static_cast<double>(hull.delay.count()) / d,
+                static_cast<double>(bucket.delay.count()) / d,
+                d,
+                !mingap.delay.is_unbounded()};
+          }
+        });
+    ++level_idx;
     double sum_u = 0;
     double sum_sim = 0;
     double sum_hull = 0;
     double sum_bucket = 0;
     double sum_struct = 0;
     int mingap_finite = 0;
-    int n = 0;
-    while (n < kTasksPerLevel) {
-      DrtGenParams params;
-      params.min_vertices = 3;
-      params.max_vertices = 8;
-      params.min_separation = Time(4);
-      params.max_separation = Time(30);
-      params.target_utilization = level;
-      const GeneratedTask gen = random_drt(rng, params);
-      if (!(gen.exact_utilization < supply.long_run_rate())) continue;
-
-      const auto bw = busy_window(gen.task, supply);
-      if (!bw) continue;
-      const auto st = delay_with_abstraction(gen.task, supply,
-                                             WorkloadAbstraction::kStructural);
-      const auto hull = delay_with_abstraction(
-          gen.task, supply, WorkloadAbstraction::kConcaveHull);
-      const auto bucket = delay_with_abstraction(
-          gen.task, supply, WorkloadAbstraction::kTokenBucket);
-      const auto mingap = delay_with_abstraction(
-          gen.task, supply, WorkloadAbstraction::kSporadicMinGap);
-      const Time sim = simulated_worst(gen.task, *bw, rng);
-
-      const double d = static_cast<double>(st.delay.count());
-      sum_u += gen.exact_utilization.to_double();
-      sum_sim += static_cast<double>(sim.count()) / d;
-      sum_hull += static_cast<double>(hull.delay.count()) / d;
-      sum_bucket += static_cast<double>(bucket.delay.count()) / d;
-      sum_struct += d;
-      if (!mingap.delay.is_unbounded()) ++mingap_finite;
-      ++n;
+    for (const TrialOut& o : outs) {
+      sum_u += o.u;
+      sum_sim += o.sim_ratio;
+      sum_hull += o.hull_ratio;
+      sum_bucket += o.bucket_ratio;
+      sum_struct += o.struct_delay;
+      if (o.mingap_finite) ++mingap_finite;
     }
-    const double inv = 1.0 / n;
+    const double inv = 1.0 / kTasksPerLevel;
     table.add_row({fmt_ratio(level), fmt_ratio(sum_u * inv),
                    fmt_ratio(sum_sim * inv), fmt_ratio(sum_hull * inv),
                    fmt_ratio(sum_bucket * inv),

@@ -17,11 +17,28 @@
 #include <string>
 #include <type_traits>
 
+#include "base/rng.hpp"
 #include "base/types.hpp"
+#include "exec/exec.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 
 namespace strt::bench {
+
+/// Runs `n` independent trials over the exec pool and returns the results
+/// in trial order.  Trial i draws from Rng::split(seed, i), so the trial
+/// sequence -- generated task sets included -- is identical whether the
+/// sweep runs serially (STRT_THREADS=1) or across every core.  fn takes
+/// (Rng&, trial_index) and returns the trial's result; rejection loops
+/// (regenerate until the instance fits the supply) belong inside fn,
+/// where they stay deterministic per index.
+template <class Fn>
+[[nodiscard]] auto trials(std::uint64_t seed, std::size_t n, Fn&& fn) {
+  return exec::parallel_map(n, [&](std::size_t i) {
+    Rng rng = Rng::split(seed, i);
+    return fn(rng, i);
+  });
+}
 
 inline std::string show(Time t) {
   return t.is_unbounded() ? "inf" : std::to_string(t.count());

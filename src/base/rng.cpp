@@ -75,6 +75,16 @@ std::size_t Rng::pick_index(std::size_t n) {
 
 Rng Rng::split() { return Rng(next()); }
 
+Rng Rng::split(std::uint64_t seed, std::uint64_t index) {
+  // Two splitmix64 rounds decorrelate (seed, index) pairs: adjacent
+  // indices under the same seed land in unrelated states, and the same
+  // index under different seeds does too.
+  std::uint64_t x = seed;
+  const std::uint64_t mixed_seed = splitmix64(x);
+  x = mixed_seed ^ (index + 0x9E3779B97F4A7C15ULL);
+  return Rng(splitmix64(x));
+}
+
 std::vector<double> uunifast(Rng& rng, std::size_t n, double total) {
   STRT_REQUIRE(n > 0, "uunifast requires n > 0");
   STRT_REQUIRE(total > 0.0, "uunifast requires positive total");

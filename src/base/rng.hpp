@@ -39,6 +39,13 @@ class Rng {
   /// Fork an independent stream (for per-task generators inside a fleet).
   Rng split();
 
+  /// Deterministic stream for trial/worker `index` of a run seeded with
+  /// `seed`: split(s, i) depends only on (s, i), never on which thread
+  /// runs the trial or in which order, so a parallel sweep that seeds
+  /// trial i with split(seed, i) reproduces the serial sweep exactly
+  /// regardless of STRT_THREADS.
+  static Rng split(std::uint64_t seed, std::uint64_t index);
+
  private:
   std::uint64_t s_[4];
 };

@@ -5,6 +5,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "exec/exec.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 
@@ -53,27 +54,34 @@ AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
   inner.want_witness = false;
 
   while (!unassigned.empty()) {
-    bool placed = false;
-    for (std::size_t pos = 0; pos < unassigned.size(); ++pos) {
-      const std::size_t cand = unassigned[pos];
-      Staircase hp_sum(horizon);
-      for (const std::size_t other : unassigned) {
-        if (other == cand) continue;
-        hp_sum = pointwise_add(hp_sum, rbfs[other]);
-      }
-      const Staircase leftover = leftover_service(sv, hp_sum);
-      ++res.tests_run;
-      const StructuralResult st =
-          structural_delay_vs(tasks[cand], leftover, inner);
-      if (st.meets_vertex_deadlines) {
-        reversed.push_back(cand);
-        unassigned.erase(unassigned.begin() +
-                         static_cast<std::ptrdiff_t>(pos));
-        placed = true;
-        break;
-      }
+    // All candidates at this level are probed in parallel (speculative:
+    // a serial run stops at the first fit).  The first fitting position
+    // is selected and tests_run counts the probes the serial scan would
+    // have made, so the result -- order, feasibility, tests_run -- is
+    // bit-identical to a STRT_THREADS=1 run.
+    const std::vector<char> fits =
+        exec::parallel_map(unassigned.size(), [&](std::size_t pos) {
+          const std::size_t cand = unassigned[pos];
+          Staircase hp_sum(horizon);
+          for (const std::size_t other : unassigned) {
+            if (other == cand) continue;
+            hp_sum = pointwise_add(hp_sum, rbfs[other]);
+          }
+          const Staircase leftover = leftover_service(sv, hp_sum);
+          const StructuralResult st =
+              structural_delay_vs(tasks[cand], leftover, inner);
+          return static_cast<char>(st.meets_vertex_deadlines);
+        });
+    const auto first_fit = std::find(fits.begin(), fits.end(), char{1});
+    if (first_fit == fits.end()) {
+      res.tests_run += unassigned.size();
+      return res;  // no task fits at this level: infeasible
     }
-    if (!placed) return res;  // no task fits at this level: infeasible
+    const auto pos =
+        static_cast<std::size_t>(first_fit - fits.begin());
+    res.tests_run += pos + 1;
+    reversed.push_back(unassigned[pos]);
+    unassigned.erase(unassigned.begin() + static_cast<std::ptrdiff_t>(pos));
   }
 
   res.feasible = true;

@@ -4,6 +4,7 @@
 
 #include "base/assert.hpp"
 #include "core/abstractions.hpp"
+#include "exec/exec.hpp"
 #include "curves/minplus.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
@@ -68,9 +69,20 @@ FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
     horizon = horizon * 2;
   }
 
-  Staircase hp_sum(horizon);  // sum of higher-priority request bounds
+  // The higher-priority interference prefix of level i depends only on
+  // the curves, not on the analyses, so the prefix sums are materialized
+  // serially (cheap pointwise adds) and the expensive per-level
+  // structural + curve analyses fan out over the pool.  Results land in
+  // index order, identical to a serial run.
+  std::vector<Staircase> hp_prefix;  // hp_prefix[i]: sum of levels < i
+  hp_prefix.reserve(tasks.size());
+  Staircase hp_sum(horizon);
   for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const Staircase leftover = leftover_service(sv, hp_sum);
+    hp_prefix.push_back(hp_sum);
+    hp_sum = pointwise_add(hp_sum, contribs[i]);
+  }
+  res.tasks = exec::parallel_map(tasks.size(), [&](std::size_t i) {
+    const Staircase leftover = leftover_service(sv, hp_prefix[i]);
     FpTaskResult tr;
     tr.task_index = i;
 
@@ -79,16 +91,14 @@ FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
     tr.structural_delay = st.delay;
     tr.structural_backlog = st.backlog;
     tr.stats = st.stats;
-    tr.vertex_delays = st.vertex_delays;
+    tr.vertex_delays = std::move(st.vertex_delays);
     tr.meets_vertex_deadlines = st.meets_vertex_deadlines;
 
     const CurveResult cv = curve_delay_vs(rbfs[i], leftover);
     tr.curve_delay = cv.delay;
     tr.curve_backlog = cv.backlog;
-
-    res.tasks.push_back(std::move(tr));
-    hp_sum = pointwise_add(hp_sum, contribs[i]);
-  }
+    return tr;
+  });
   return res;
 }
 

@@ -6,6 +6,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "exec/exec.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 #include "obs/counters.hpp"
@@ -175,11 +176,17 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
   }
 
   {
+    // Each candidate's leftover + structural analysis is independent;
+    // fan them out and fold the per-candidate results serially in index
+    // order, so the outcome is bit-identical to a STRT_THREADS=1 run.
     const obs::Span analyze_span("joint_fp.analyze");
-    for (const Staircase& interference : combined) {
+    const std::vector<StructuralResult> per_path =
+        exec::parallel_map(combined.size(), [&](std::size_t i) {
+          const Staircase leftover = leftover_service(sv, combined[i]);
+          return structural_delay_vs(lp, leftover, sopts);
+        });
+    for (const StructuralResult& sr : per_path) {
       ++res.paths_analyzed;
-      const Staircase leftover = leftover_service(sv, interference);
-      const StructuralResult sr = structural_delay_vs(lp, leftover, sopts);
       accumulate(res.explore_stats, sr.stats);
       res.joint_delay = max(res.joint_delay, sr.delay);
     }

@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "base/assert.hpp"
+#include "exec/exec.hpp"
 #include "obs/counters.hpp"
 #include "obs/span.hpp"
 
@@ -77,50 +78,53 @@ SensitivityReport sensitivity_analysis(const DrtTask& task,
   report.separation_slack.assign(task.edge_count(), Time(0));
   if (!report.feasible) return report;
 
-  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
-       ++v) {
-    // Doubling to bracket, then binary search; the criterion is antitone
-    // in the extra demand.
-    Work lo(0);  // holds
-    Work hi(1);
-    while (hi <= opts.max_wcet_growth &&
-           holds(with_wcet_increase(task, v, hi))) {
-      lo = hi;
-      hi = hi * 2;
-    }
-    if (hi > opts.max_wcet_growth) {
-      report.wcet_slack[static_cast<std::size_t>(v)] = Work::unbounded();
-      continue;
-    }
-    while (lo + Work(1) < hi) {
-      const Work mid((lo.count() + hi.count()) / 2);
-      if (holds(with_wcet_increase(task, v, mid))) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    report.wcet_slack[static_cast<std::size_t>(v)] = lo;
-  }
+  // Every per-parameter search (bracket + binary search) probes its own
+  // perturbed task copies and touches nothing shared, so the vertex and
+  // edge sweeps fan out over the pool; each slot is written by exactly
+  // one parameter's search, making the report independent of the
+  // schedule.
+  report.wcet_slack = exec::parallel_map(
+      task.vertex_count(), [&](std::size_t vi) -> Work {
+        const auto v = static_cast<VertexId>(vi);
+        // Doubling to bracket, then binary search; the criterion is
+        // antitone in the extra demand.
+        Work lo(0);  // holds
+        Work hi(1);
+        while (hi <= opts.max_wcet_growth &&
+               holds(with_wcet_increase(task, v, hi))) {
+          lo = hi;
+          hi = hi * 2;
+        }
+        if (hi > opts.max_wcet_growth) return Work::unbounded();
+        while (lo + Work(1) < hi) {
+          const Work mid((lo.count() + hi.count()) / 2);
+          if (holds(with_wcet_increase(task, v, mid))) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        return lo;
+      });
 
-  for (std::size_t i = 0; i < task.edge_count(); ++i) {
-    const Time sep = task.edges()[i].separation;
-    Time lo(0);             // holds
-    Time hi = sep - Time(1);  // maximal legal reduction
-    if (hi > Time(0) && holds(with_separation_decrease(task, i, hi))) {
-      report.separation_slack[i] = hi;
-      continue;
-    }
-    while (lo + Time(1) < hi) {
-      const Time mid((lo.count() + hi.count()) / 2);
-      if (holds(with_separation_decrease(task, i, mid))) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    report.separation_slack[i] = lo;
-  }
+  report.separation_slack = exec::parallel_map(
+      task.edge_count(), [&](std::size_t i) -> Time {
+        const Time sep = task.edges()[i].separation;
+        Time lo(0);               // holds
+        Time hi = sep - Time(1);  // maximal legal reduction
+        if (hi > Time(0) && holds(with_separation_decrease(task, i, hi))) {
+          return hi;
+        }
+        while (lo + Time(1) < hi) {
+          const Time mid((lo.count() + hi.count()) / 2);
+          if (holds(with_separation_decrease(task, i, mid))) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        return lo;
+      });
   return report;
 }
 

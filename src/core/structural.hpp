@@ -43,7 +43,8 @@ struct StructuralOptions {
   bool prune = true;
   /// Reconstruct the witness path achieving the delay bound.
   bool want_witness = true;
-  /// State cap forwarded to the explorer.
+  /// State cap forwarded to the explorer.  A capped run returns with
+  /// stats.aborted set and bounds that cover the explored prefix only.
   std::size_t max_states = 50'000'000;
   /// Progress hook forwarded to the explorer (see ExploreOptions): invoked
   /// every `progress_every` expanded states; return false to cancel.  A

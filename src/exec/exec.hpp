@@ -1,0 +1,82 @@
+// Parallel execution: a work-stealing thread pool behind two loop shapes.
+//
+//   parallel_for(n, fn)  -- fn(i) for every i in [0, n), blocking.
+//   parallel_map(n, fn)  -- collects fn(i) into a vector indexed by i.
+//
+// Sizing: the pool holds STRT_THREADS - 1 worker threads (the calling
+// thread is always the remaining participant).  STRT_THREADS defaults to
+// std::thread::hardware_concurrency(); STRT_THREADS=1 is the fully serial
+// fallback -- no thread is ever created and parallel_for degenerates to a
+// plain loop, so single-threaded deployments pay nothing.
+//
+// Scheduling: the iteration space is split into one contiguous block per
+// participant.  A participant pops indices from the front of its own
+// block; when the block runs dry it steals the back half of the fattest
+// remaining block ("steal-half", Cilk-style) and continues.  Blocks are
+// tiny structs guarded by per-block mutexes -- the intended grain is
+// coarse (one index == one whole analysis), so synchronization cost is
+// noise.  `exec.tasks` counts indices executed by pool runs and
+// `exec.steals` counts successful steals; a "parallel_for" obs span wraps
+// every parallel run on the calling thread.
+//
+// Determinism: the schedule (which thread runs which index) is
+// nondeterministic, but results are deterministic by construction --
+// parallel_map writes slot i from iteration i only, and callers fold the
+// slots serially in index order.  Library call sites (joint_fp,
+// fixed_priority, audsley, sensitivity) reduce in index order, so their
+// results are bit-identical to a STRT_THREADS=1 run.
+//
+// Nesting: a parallel_for issued from inside a pool worker (or from a
+// thread already inside parallel_for) runs inline and serial.  The outer
+// loop owns the hardware; nested parallelism would only add contention
+// and a deadlock hazard.
+//
+// Exceptions: the first exception thrown by any iteration is captured,
+// remaining claimed indices are drained without executing, and the
+// exception is rethrown on the calling thread after the run quiesces.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace strt::exec {
+
+/// The configured participant count (workers + calling thread), >= 1.
+/// Resolved from STRT_THREADS on first use; see set_thread_count().
+[[nodiscard]] std::size_t thread_count();
+
+/// Overrides the participant count (tests / benches).  `n == 0` resets to
+/// the STRT_THREADS / hardware default.  Joins existing workers; must not
+/// be called concurrently with a parallel_for.
+void set_thread_count(std::size_t n);
+
+/// True while the calling thread is executing inside a parallel_for
+/// (either as a pool worker or as the caller).  Nested parallel loops
+/// detect this and run serially.
+[[nodiscard]] bool inside_parallel_region();
+
+/// Invokes fn(i) for every i in [0, n), distributing across the pool;
+/// returns when all iterations completed.  Serial (plain loop, no pool
+/// interaction) when n <= 1, thread_count() == 1, or nested.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// parallel_for that collects results: out[i] = fn(i).  The output order
+/// is by index regardless of the execution schedule, so a serial fold
+/// over the returned vector is deterministic.
+template <class Fn>
+[[nodiscard]] auto parallel_map(std::size_t n, Fn&& fn) {
+  using R = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(!std::is_void_v<R>, "parallel_map requires a result type");
+  std::vector<std::optional<R>> slots(n);
+  parallel_for(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+  std::vector<R> out;
+  out.reserve(n);
+  for (auto& s : slots) out.push_back(std::move(*s));
+  return out;
+}
+
+}  // namespace strt::exec

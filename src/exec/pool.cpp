@@ -1,0 +1,295 @@
+#include "exec/exec.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
+
+namespace strt::exec {
+
+namespace {
+
+thread_local bool t_inside_parallel = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("STRT_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One participant's slice of the iteration space.  The owner pops from
+/// the front, thieves take the back half; both paths lock `mu` for a few
+/// instructions only.
+struct Block {
+  std::mutex mu;
+  std::size_t next = 0;
+  std::size_t end = 0;
+};
+
+/// Shared state of one parallel_for run.  Heap-allocated and reference-
+/// counted so a worker that wakes late (after the caller returned) still
+/// holds valid memory.
+struct Job {
+  explicit Job(std::size_t n_, std::size_t participants)
+      : n(n_), blocks(participants) {
+    const std::size_t per = n / participants;
+    std::size_t lo = 0;
+    for (std::size_t p = 0; p < participants; ++p) {
+      // Spread the n % participants leftover one-per-block from the front.
+      const std::size_t hi = lo + per + (p < n % participants ? 1 : 0);
+      blocks[p].next = lo;
+      blocks[p].end = hi;
+      lo = hi;
+    }
+  }
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::vector<Block> blocks;
+
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t finished = 0;  // guarded by done_mu
+
+  void record_error(std::exception_ptr e) {
+    const std::lock_guard lock(error_mu);
+    if (!error) error = std::move(e);
+    failed.store(true, std::memory_order_relaxed);
+  }
+
+  /// Pops the next index of block `p`, or steals the back half of the
+  /// fattest other block.  Returns false when the whole space is claimed.
+  bool claim(std::size_t& p, std::size_t& idx) {
+    {
+      const std::lock_guard lock(blocks[p].mu);
+      if (blocks[p].next < blocks[p].end) {
+        idx = blocks[p].next++;
+        return true;
+      }
+    }
+    for (;;) {
+      std::size_t victim = blocks.size();
+      std::size_t fattest = 0;
+      for (std::size_t v = 0; v < blocks.size(); ++v) {
+        if (v == p) continue;
+        const std::lock_guard lock(blocks[v].mu);
+        const std::size_t avail = blocks[v].end - blocks[v].next;
+        if (avail > fattest) {
+          fattest = avail;
+          victim = v;
+        }
+      }
+      if (victim == blocks.size()) return false;  // everything claimed
+      std::size_t lo;
+      std::size_t hi;
+      {
+        const std::lock_guard lock(blocks[victim].mu);
+        const std::size_t avail = blocks[victim].end - blocks[victim].next;
+        if (avail == 0) continue;  // raced; rescan
+        const std::size_t take = (avail + 1) / 2;
+        blocks[victim].end -= take;
+        lo = blocks[victim].end;
+        hi = lo + take;
+      }
+      // Adopt the detached back half as our own block (one lock at a
+      // time -- holding victim + own together could cycle among thieves);
+      // later steals from *us* then rebalance further.  Our block is
+      // empty, so nobody else writes it between the two sections.
+      const std::lock_guard own(blocks[p].mu);
+      blocks[p].next = lo;
+      blocks[p].end = hi;
+      idx = blocks[p].next++;
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+
+  /// Runs the participant loop for block `p` until the iteration space is
+  /// exhausted.  On failure the remaining indices are claimed and dropped
+  /// so `finished` still reaches n and the caller wakes exactly once.
+  void work(std::size_t p) {
+    std::size_t idx = 0;
+    while (claim(p, idx)) {
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          (*fn)(idx);
+        } catch (...) {
+          record_error(std::current_exception());
+        }
+      }
+      const std::lock_guard lock(done_mu);
+      if (++finished == n) done_cv.notify_all();
+    }
+  }
+};
+
+class Pool {
+ public:
+  static Pool& global() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t threads() {
+    const std::lock_guard lock(config_mu_);
+    return configured_;
+  }
+
+  void set_threads(std::size_t n) {
+    const std::lock_guard lock(config_mu_);
+    join_workers();
+    configured_ = n == 0 ? default_thread_count() : n;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (t_inside_parallel) {  // nested: the outer loop owns the pool
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    const std::lock_guard run_lock(run_mu_);
+    std::size_t participants;
+    {
+      const std::lock_guard lock(config_mu_);
+      participants = std::min(configured_, n);
+      if (participants > 1) spawn_workers(configured_ - 1);
+    }
+    if (participants <= 1) {
+      t_inside_parallel = true;
+      struct Reset {
+        ~Reset() { t_inside_parallel = false; }
+      } reset;
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+
+    const obs::Span span("parallel_for");
+    auto job = std::make_shared<Job>(n, participants);
+    job->fn = &fn;
+    {
+      const std::lock_guard lock(job_mu_);
+      job_ = job;
+      ++job_seq_;
+    }
+    job_cv_.notify_all();
+
+    // The caller is participant 0; workers map themselves onto blocks
+    // 1..participants-1 (extra workers start empty and steal).
+    t_inside_parallel = true;
+    job->work(0);
+    t_inside_parallel = false;
+    {
+      std::unique_lock lock(job->done_mu);
+      job->done_cv.wait(lock, [&] { return job->finished == job->n; });
+    }
+    {
+      const std::lock_guard lock(job_mu_);
+      job_.reset();
+    }
+
+    static obs::Counter& c_tasks = obs::counter("exec.tasks");
+    static obs::Counter& c_steals = obs::counter("exec.steals");
+    c_tasks.add(n);
+    c_steals.add(job->steals.load(std::memory_order_relaxed));
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  ~Pool() {
+    const std::lock_guard lock(config_mu_);
+    join_workers();
+  }
+
+ private:
+  Pool() : configured_(default_thread_count()) {}
+
+  // Requires config_mu_.  Tops the worker set up to `want` threads;
+  // workers persist across runs and park on job_cv_.
+  void spawn_workers(std::size_t want) {
+    while (workers_.size() < want) {
+      const std::size_t worker_index = workers_.size();
+      workers_.emplace_back([this, worker_index] { worker_loop(worker_index); });
+    }
+  }
+
+  // Requires config_mu_.
+  void join_workers() {
+    {
+      const std::lock_guard lock(job_mu_);
+      stop_ = true;
+    }
+    job_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    {
+      const std::lock_guard lock(job_mu_);
+      stop_ = false;
+    }
+  }
+
+  void worker_loop(std::size_t worker_index) {
+    t_inside_parallel = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      std::uint64_t seq;
+      {
+        std::unique_lock lock(job_mu_);
+        job_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && job_seq_ != seen);
+        });
+        if (stop_) return;
+        job = job_;
+        seq = job_seq_;
+      }
+      seen = seq;
+      // Participant index: caller is 0, this worker is worker_index + 1.
+      // Workers beyond the participant count sit this run out (their
+      // blocks do not exist; n was smaller than the pool).
+      const std::size_t p = worker_index + 1;
+      if (p < job->blocks.size()) job->work(p);
+    }
+  }
+
+  std::mutex config_mu_;
+  std::size_t configured_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // one parallel_for at a time
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t thread_count() { return Pool::global().threads(); }
+
+void set_thread_count(std::size_t n) { Pool::global().set_threads(n); }
+
+bool inside_parallel_region() { return t_inside_parallel; }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  Pool::global().run(n, fn);
+}
+
+}  // namespace strt::exec

@@ -1,12 +1,11 @@
 #include "graph/explore.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <map>
-#include <queue>
-#include <stdexcept>
 
 #include "base/assert.hpp"
+#include "graph/skyline.hpp"
 #include "obs/counters.hpp"
 #include "obs/span.hpp"
 
@@ -14,40 +13,16 @@ namespace strt {
 
 namespace {
 
-/// Per-vertex Pareto skyline: elapsed -> (work, arena index), with work
-/// strictly increasing in elapsed.
-class Skyline {
- public:
-  /// Returns false if (t, w) is dominated by an existing entry; otherwise
-  /// inserts it (evicting entries it dominates) and returns true.
-  bool insert(Time t, Work w, std::int32_t idx) {
-    auto it = entries_.upper_bound(t);
-    if (it != entries_.begin()) {
-      const auto& prev = *std::prev(it);
-      if (prev.second.first >= w) return false;  // dominated
-    }
-    // Evict entries at time >= t with work <= w.
-    while (it != entries_.end() && it->second.first <= w) {
-      it = entries_.erase(it);
-    }
-    entries_.insert_or_assign(t, std::make_pair(w, idx));
-    return true;
-  }
+/// Arena size of the most recent run, used to pre-size the next run's
+/// arena: explorations repeat with near-identical state counts inside
+/// sensitivity sweeps, joint-FP candidate loops, and bench trials, so
+/// last run's size is a good reservation hint.  Atomic because runs
+/// execute concurrently under exec::parallel_for.
+std::atomic<std::size_t> g_arena_hint{0};
 
-  /// True if arena index `idx` is still the live entry at time t.
-  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
-    auto it = entries_.find(t);
-    return it != entries_.end() && it->second.second == idx;
-  }
-
-  template <class Fn>
-  void for_each(Fn&& fn) const {
-    for (const auto& [t, wi] : entries_) fn(t, wi.first, wi.second);
-  }
-
- private:
-  std::map<Time, std::pair<Work, std::int32_t>> entries_;
-};
+/// Never reserve more than this many states up front (a one-off huge
+/// ablation run must not make every later small run allocate big).
+constexpr std::size_t kMaxReserve = std::size_t{1} << 22;
 
 }  // namespace
 
@@ -69,35 +44,34 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
                "elapsed_limit must be non-negative");
   const obs::Span span("explore");
   ExploreResult res;
+  res.arena.reserve(std::min({g_arena_hint.load(std::memory_order_relaxed),
+                              opts.max_states, kMaxReserve}));
   // The clock is only consulted on the progress path; a run without a
   // callback never reads it.
   using Clock = std::chrono::steady_clock;
   const Clock::time_point started =
       opts.progress_every != 0 ? Clock::now() : Clock::time_point{};
-  std::vector<Skyline> skylines(opts.prune ? task.vertex_count() : 0);
+  std::vector<FlatSkyline> skylines(opts.prune ? task.vertex_count() : 0);
 
-  // Queue ordered by (elapsed ascending, work descending): children always
-  // have strictly larger elapsed than their parent, so when a state is
-  // popped the skyline below its elapsed is final and the liveness check
-  // is exact.
-  struct QItem {
-    Time elapsed;
-    Work work;
-    std::int32_t idx;
-  };
-  auto cmp = [](const QItem& a, const QItem& b) {
-    if (a.elapsed != b.elapsed) return a.elapsed > b.elapsed;
-    return a.work < b.work;
-  };
-  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
+  // Monotone bucket queue over elapsed: children always have strictly
+  // larger elapsed than their parent (separations are >= 1), so buckets
+  // pop in order.  Within a bucket the queue hands out work-descending
+  // order, so when a state is popped the skyline below its elapsed is
+  // final and the liveness check is exact.
+  BucketQueue queue(opts.elapsed_limit);
 
+  // Hitting the state cap stops the exploration and marks the result
+  // aborted (same contract as a progress-callback cancellation): the
+  // explored prefix is sound, its bounds are lower bounds.
+  bool capped = false;
   auto accept = [&](VertexId v, Time elapsed, Work work,
                     std::int32_t parent) {
-    ++res.stats.generated;
     if (res.arena.size() >= opts.max_states) {
-      throw std::runtime_error(
-          "explore_paths: state cap exceeded (disable-pruning run?)");
+      capped = true;
+      res.stats.aborted = true;
+      return;
     }
+    ++res.stats.generated;
     const auto idx = static_cast<std::int32_t>(res.arena.size());
     if (opts.prune) {
       if (!skylines[static_cast<std::size_t>(v)].insert(elapsed, work, idx)) {
@@ -106,7 +80,7 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
       }
     }
     res.arena.push_back(PathState{v, elapsed, work, parent});
-    queue.push(QItem{elapsed, work, idx});
+    queue.push(elapsed, work, idx);
   };
 
   for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
@@ -114,9 +88,9 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
     accept(v, Time(0), task.vertex(v).wcet, -1);
   }
 
-  while (!queue.empty()) {
-    const QItem item = queue.top();
-    queue.pop();
+  Time elapsed(0);
+  BucketQueue::Item item{};
+  while (!capped && queue.pop(elapsed, item)) {
     const PathState st = res.arena[static_cast<std::size_t>(item.idx)];
     if (opts.prune &&
         !skylines[static_cast<std::size_t>(st.vertex)].is_live(st.elapsed,
@@ -144,15 +118,16 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
       }
     }
     for (std::int32_t ei : task.out_edges(st.vertex)) {
+      if (capped) break;
       const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
-      const Time elapsed = st.elapsed + e.separation;
-      if (elapsed > opts.elapsed_limit) continue;
-      accept(e.to, elapsed, st.work + task.vertex(e.to).wcet, item.idx);
+      const Time next = st.elapsed + e.separation;
+      if (next > opts.elapsed_limit) continue;
+      accept(e.to, next, st.work + task.vertex(e.to).wcet, item.idx);
     }
   }
 
   if (opts.prune) {
-    for (const Skyline& s : skylines) {
+    for (const FlatSkyline& s : skylines) {
       s.for_each([&](Time, Work, std::int32_t idx) {
         res.frontier.push_back(idx);
       });
@@ -163,6 +138,7 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
       res.frontier[i] = static_cast<std::int32_t>(i);
     }
   }
+  g_arena_hint.store(res.arena.size(), std::memory_order_relaxed);
 
   // Registry totals are bumped once per run (not per state), so the hot
   // loop carries no instrumentation cost at all.

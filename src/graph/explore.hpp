@@ -42,8 +42,10 @@ struct ExploreStats {
   std::uint64_t generated{0};  // states created (before dominance check)
   std::uint64_t expanded{0};   // states whose successors were generated
   std::uint64_t pruned{0};     // states discarded by dominance
-  /// True when the exploration was cancelled by the progress callback;
-  /// results derived from an aborted run cover only the explored prefix.
+  /// True when the exploration was cut short -- cancelled by the progress
+  /// callback or stopped at the max_states cap.  Results derived from an
+  /// aborted run cover only the explored prefix: every reported bound is
+  /// a sound *lower* bound on the worst case, not the worst case itself.
   bool aborted{false};
 };
 
@@ -72,8 +74,11 @@ struct ExploreOptions {
   /// Disable dominance pruning (every distinct (vertex, elapsed, work)
   /// reachable state is kept).  Exponential; ablation/testing only.
   bool prune{true};
-  /// Hard cap on arena size to keep unpruned runs from exhausting memory;
-  /// exceeded => throws std::runtime_error.
+  /// Hard cap on arena size to keep unpruned runs from exhausting memory.
+  /// Reaching it stops the exploration and returns the partial result
+  /// with stats.aborted set (the same contract as a progress-callback
+  /// cancellation), so capped ablation runs report their explored prefix
+  /// instead of dying.
   std::size_t max_states{50'000'000};
   /// Invoke `on_progress` every this many expanded states (0 = never).
   /// Long unpruned/ablation runs become observable and cancellable at

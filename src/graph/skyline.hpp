@@ -1,0 +1,172 @@
+// Hot-path containers of the exploration engine (graph/explore).
+//
+// FlatSkyline: the per-vertex Pareto frontier as a flat sorted vector
+// instead of a std::map.  The skyline invariant (elapsed strictly
+// increasing => work strictly increasing) makes the entries sorted by
+// *both* keys, so a dominance check is one binary search on elapsed and
+// an eviction is one binary search on work plus a contiguous erase --
+// no per-node allocation, no pointer chasing, and the whole frontier of
+// a vertex sits in a few cache lines.
+//
+// BucketQueue: the exploration frontier as a monotone bucket queue
+// indexed by elapsed ticks.  Every child state has strictly larger
+// elapsed than its parent (edge separations are >= 1), so the pop cursor
+// only moves forward and a bucket is complete by the time the cursor
+// reaches it: push and pop are O(1) amortized, replacing per-state
+// binary-heap churn.  Within a bucket, states are handed out in (work
+// descending, insertion ascending) order -- the same order the previous
+// priority-queue implementation used -- which expands heavy states first
+// and maximizes the skyline evictions their children cause.
+//
+// Both containers are exercised directly by tests/test_skyline.cpp
+// against the previous std::map / std::priority_queue implementations as
+// oracles.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace strt {
+
+/// Pareto skyline over (elapsed, work) with an arena index payload:
+/// entries sorted by elapsed, work strictly increasing.
+class FlatSkyline {
+ public:
+  struct Entry {
+    Time t;
+    Work w;
+    std::int32_t idx;
+  };
+
+  /// Returns false if (t, w) is dominated by an existing entry; otherwise
+  /// inserts it (evicting entries it dominates) and returns true.
+  bool insert(Time t, Work w, std::int32_t idx) {
+    // First entry strictly later than t.
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), t,
+        [](Time key, const Entry& e) { return key < e.t; });
+    auto evict_from = it;
+    if (it != entries_.begin()) {
+      const Entry& prev = *std::prev(it);
+      if (prev.w >= w) return false;  // dominated (covers equal t too)
+      // An equal-elapsed entry with less work is itself dominated.
+      if (prev.t == t) --evict_from;
+    }
+    // Entries at time >= t with work <= w form a contiguous run (work is
+    // sorted); locate its end by binary search on work.
+    const auto evict_to = std::upper_bound(
+        evict_from, entries_.end(), w,
+        [](Work key, const Entry& e) { return key < e.w; });
+    if (evict_from != evict_to) {
+      *evict_from = Entry{t, w, idx};
+      entries_.erase(evict_from + 1, evict_to);
+    } else {
+      entries_.insert(evict_from, Entry{t, w, idx});
+    }
+    return true;
+  }
+
+  /// True if arena index `idx` is still the live entry at time t.
+  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), t,
+        [](const Entry& e, Time key) { return e.t < key; });
+    return it != entries_.end() && it->t == t && it->idx == idx;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.t, e.w, e.idx);
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Monotone bucket queue over elapsed ticks in [0, limit].  Pops ascend
+/// in elapsed; pushes at or below the pop cursor are illegal (asserted by
+/// construction in the explorer: children are strictly later than their
+/// parent).  Buckets are direct-indexed up to kDenseLimit ticks and fall
+/// back to an ordered map of buckets beyond it, so a pathological
+/// elapsed_limit cannot allocate an arbitrarily large empty array.
+class BucketQueue {
+ public:
+  struct Item {
+    Work work;
+    std::int32_t idx;
+  };
+
+  static constexpr std::int64_t kDenseLimit = std::int64_t{1} << 20;
+
+  explicit BucketQueue(Time limit) {
+    const std::int64_t n = limit.count() < 0 ? 0 : limit.count() + 1;
+    if (n <= kDenseLimit) {
+      dense_.resize(static_cast<std::size_t>(n));
+    }
+  }
+
+  void push(Time elapsed, Work work, std::int32_t idx) {
+    if (!dense_.empty()) {
+      dense_[static_cast<std::size_t>(elapsed.count())].push_back(
+          Item{work, idx});
+    } else {
+      sparse_[elapsed.count()].push_back(Item{work, idx});
+    }
+    ++size_;
+  }
+
+  /// Pops the next item in (elapsed asc, work desc, insertion asc) order.
+  /// Returns false when the queue is empty.
+  bool pop(Time& elapsed, Item& out) {
+    if (size_ == 0) return false;
+    if (!dense_.empty()) {
+      while (drained_ == dense_[cursor_].size()) {
+        dense_[cursor_].clear();
+        drained_ = 0;
+        ++cursor_;
+      }
+      std::vector<Item>& bucket = dense_[cursor_];
+      if (drained_ == 0) order(bucket);  // first access; bucket is complete
+      elapsed = Time(static_cast<std::int64_t>(cursor_));
+      out = bucket[drained_++];
+    } else {
+      auto it = sparse_.begin();
+      while (drained_ == it->second.size()) {
+        it = sparse_.erase(it);
+        drained_ = 0;
+      }
+      if (drained_ == 0) order(it->second);
+      elapsed = Time(it->first);
+      out = it->second[drained_++];
+    }
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  // A bucket is complete when the cursor reaches it (pushes only go
+  // forward), so it is ordered lazily, exactly once.
+  static void order(std::vector<Item>& bucket) {
+    std::sort(bucket.begin(), bucket.end(),
+              [](const Item& a, const Item& b) {
+                if (a.work != b.work) return a.work > b.work;
+                return a.idx < b.idx;
+              });
+  }
+
+  std::vector<std::vector<Item>> dense_;
+  std::map<std::int64_t, std::vector<Item>> sparse_;
+  std::size_t cursor_ = 0;   // dense: current bucket
+  std::size_t drained_ = 0;  // items already handed out of current bucket
+  std::size_t size_ = 0;
+};
+
+}  // namespace strt

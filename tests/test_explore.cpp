@@ -152,13 +152,25 @@ TEST(Explore, ZeroLimitKeepsOnlySeeds) {
   }
 }
 
-TEST(Explore, StateCapThrows) {
+TEST(Explore, StateCapReturnsAbortedPartialResult) {
   const DrtTask task = test::small_task();
-  EXPECT_THROW((void)explore_paths(task, ExploreOptions{
-                                             .elapsed_limit = Time(500),
-                                             .prune = false,
-                                             .max_states = 100}),
-               std::runtime_error);
+  const ExploreResult capped =
+      explore_paths(task, ExploreOptions{.elapsed_limit = Time(500),
+                                         .prune = false,
+                                         .max_states = 100});
+  EXPECT_TRUE(capped.stats.aborted);
+  EXPECT_EQ(capped.arena.size(), 100u);
+  // The explored prefix is sound and usable: its stats stay arithmetic-
+  // consistent and the frontier is the prefix's own.
+  EXPECT_EQ(capped.stats.generated,
+            capped.arena.size() + capped.stats.pruned);
+  EXPECT_FALSE(capped.frontier.empty());
+
+  // The same exploration with pruning stays polynomial, never reaches
+  // the cap, and is not aborted.
+  const ExploreResult pruned =
+      explore_paths(task, ExploreOptions{.elapsed_limit = Time(500)});
+  EXPECT_FALSE(pruned.stats.aborted);
 }
 
 TEST(Explore, NegativeLimitRejected) {
