@@ -6,11 +6,14 @@
 //
 // After the microbenchmarks, a speedup section times the same structural
 // sweep serially (STRT_THREADS=1) and on the exec pool, checks the
-// results are bit-identical, and times the overhauled explorer against
-// the pre-overhaul implementation (std::map skyline + std::priority_queue
-// agenda, kept below as `legacy`).  The headline numbers land in
-// BENCH_runtime.json: serial_ms / parallel_ms / speedup / threads and
-// explorer_legacy_ms / explorer_new_ms / explorer_speedup.
+// results are bit-identical, times the overhauled explorer against the
+// pre-overhaul implementation (std::map skyline + std::priority_queue
+// agenda, kept as the bench-only strt_bench_legacy library), and times a
+// sensitivity sweep with the engine Workspace cache on vs off.  The
+// headline numbers land in BENCH_runtime.json: serial_ms / parallel_ms /
+// speedup / threads, explorer_legacy_ms / explorer_new_ms /
+// explorer_speedup, and sensitivity_uncached_ms / sensitivity_cached_ms /
+// cache_speedup.
 //
 // Expected shape: runtime grows mildly with the vertex count (the
 // dominance-pruned frontier is small) and roughly linearly with the
@@ -24,15 +27,17 @@
 #include <cstdint>
 #include <iostream>
 #include <map>
-#include <queue>
 #include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
+#include "core/sensitivity.hpp"
 #include "core/structural.hpp"
+#include "engine/workspace.hpp"
 #include "graph/explore.hpp"
 #include "io/table.hpp"
+#include "legacy_explore.hpp"
 #include "model/generator.hpp"
 
 namespace strt {
@@ -119,107 +124,6 @@ void BM_AbstractionAnalyses(benchmark::State& state) {
 BENCHMARK(BM_AbstractionAnalyses)
     ->DenseRange(0, 4, 1)
     ->Unit(benchmark::kMillisecond);
-
-// ---------------------------------------------------------------------
-// Explorer-overhaul baseline: the pre-overhaul implementation, verbatim
-// in structure -- per-vertex std::map skyline, std::priority_queue agenda
-// -- so the ablation times data structures, not algorithmic drift.  Both
-// implementations must produce the same Pareto frontier; the ablation
-// checks that before timing.
-
-namespace legacy {
-
-class Skyline {
- public:
-  bool insert(Time t, Work w, std::int32_t idx) {
-    auto it = entries_.upper_bound(t);
-    if (it != entries_.begin()) {
-      const auto& prev = *std::prev(it);
-      if (prev.second.first >= w) return false;  // dominated
-    }
-    while (it != entries_.end() && it->second.first <= w) {
-      it = entries_.erase(it);
-    }
-    entries_.insert_or_assign(t, std::make_pair(w, idx));
-    return true;
-  }
-
-  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
-    auto it = entries_.find(t);
-    return it != entries_.end() && it->second.second == idx;
-  }
-
-  template <class Fn>
-  void for_each(Fn&& fn) const {
-    for (const auto& [t, wi] : entries_) fn(t, wi.first, wi.second);
-  }
-
- private:
-  std::map<Time, std::pair<Work, std::int32_t>> entries_;
-};
-
-struct Result {
-  std::vector<PathState> arena;
-  std::vector<std::int32_t> frontier;
-  std::uint64_t generated = 0;
-};
-
-Result explore(const DrtTask& task, Time elapsed_limit) {
-  Result res;
-  std::vector<Skyline> skylines(task.vertex_count());
-
-  struct QItem {
-    Time elapsed;
-    Work work;
-    std::int32_t idx;
-  };
-  auto cmp = [](const QItem& a, const QItem& b) {
-    if (a.elapsed != b.elapsed) return a.elapsed > b.elapsed;
-    return a.work < b.work;
-  };
-  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
-
-  auto accept = [&](VertexId v, Time elapsed, Work work,
-                    std::int32_t parent) {
-    ++res.generated;
-    const auto idx = static_cast<std::int32_t>(res.arena.size());
-    if (!skylines[static_cast<std::size_t>(v)].insert(elapsed, work, idx)) {
-      return;
-    }
-    res.arena.push_back(PathState{v, elapsed, work, parent});
-    queue.push(QItem{elapsed, work, idx});
-  };
-
-  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
-       ++v) {
-    accept(v, Time(0), task.vertex(v).wcet, -1);
-  }
-
-  while (!queue.empty()) {
-    const QItem item = queue.top();
-    queue.pop();
-    const PathState st = res.arena[static_cast<std::size_t>(item.idx)];
-    if (!skylines[static_cast<std::size_t>(st.vertex)].is_live(st.elapsed,
-                                                               item.idx)) {
-      continue;  // dominated after insertion
-    }
-    for (std::int32_t ei : task.out_edges(st.vertex)) {
-      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
-      const Time elapsed = st.elapsed + e.separation;
-      if (elapsed > elapsed_limit) continue;
-      accept(e.to, elapsed, st.work + task.vertex(e.to).wcet, item.idx);
-    }
-  }
-
-  for (const Skyline& s : skylines) {
-    s.for_each([&](Time, Work, std::int32_t idx) {
-      res.frontier.push_back(idx);
-    });
-  }
-  return res;
-}
-
-}  // namespace legacy
 
 /// The Pareto frontier as a canonical (elapsed -> max work) map -- the
 /// semantic content both explorer implementations must agree on.
@@ -344,6 +248,73 @@ int run_speedup_section() {
               fmt_ratio(explorer_speedup, 2) + "x"});
   ab.print(std::cout);
 
+  // --- Workspace cache ablation: the same sensitivity sweep (the
+  // design-exploration loop that hammers rbf/sbf/inverse lookups) run
+  // twice per mode through one shared workspace -- cache off vs on --
+  // with the reports checked bit-identical before timing.
+  constexpr std::size_t kCacheTasks = 4;
+  constexpr int kCacheRounds = 2;
+  std::vector<GeneratedTask> cache_tasks;
+  for (std::size_t i = 0; i < kCacheTasks; ++i) {
+    cache_tasks.push_back(task_with_vertices(8, 0.45, 9000 + i));
+  }
+  const Supply cache_supply = Supply::tdma(Time(9), Time(20));
+
+  auto sensitivity_sweep = [&](engine::Workspace& ws) {
+    std::vector<SensitivityReport> reports;
+    for (int round = 0; round < kCacheRounds; ++round) {
+      for (const GeneratedTask& g : cache_tasks) {
+        reports.push_back(sensitivity_analysis(ws, g.task, cache_supply));
+      }
+    }
+    return reports;
+  };
+  auto same_reports = [](const std::vector<SensitivityReport>& a,
+                         const std::vector<SensitivityReport>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].feasible != b[i].feasible ||
+          a[i].wcet_slack != b[i].wcet_slack ||
+          a[i].separation_slack != b[i].separation_slack) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  engine::Workspace ws_off(false);
+  std::vector<SensitivityReport> uncached_reports;
+  double uncached_ms = 0;
+  {
+    Phase phase("ablation.cache.off");
+    uncached_reports = sensitivity_sweep(ws_off);
+    uncached_ms = phase.millis();
+  }
+  engine::Workspace ws_on(true);
+  std::vector<SensitivityReport> cached_reports;
+  double cached_ms = 0;
+  {
+    Phase phase("ablation.cache.on");
+    cached_reports = sensitivity_sweep(ws_on);
+    cached_ms = phase.millis();
+  }
+  if (!same_reports(uncached_reports, cached_reports)) {
+    std::cerr << "cache ablation: cached and uncached sensitivity reports "
+                 "differ -- bit-identity contract broken\n";
+    return 1;
+  }
+  const double cache_speedup = uncached_ms / std::max(cached_ms, 1e-6);
+  const engine::WorkspaceStats cache_stats = ws_on.stats();
+
+  std::cout << "\nWorkspace cache (sensitivity sweep, " << kCacheTasks
+            << " tasks x " << kCacheRounds << " rounds):\n";
+  Table ct({"uncached ms", "cached ms", "speedup", "hits", "misses"});
+  ct.add_row({fmt_ratio(uncached_ms, 1), fmt_ratio(cached_ms, 1),
+              fmt_ratio(cache_speedup, 2) + "x",
+              std::to_string(cache_stats.hits),
+              std::to_string(cache_stats.misses)});
+  ct.print(std::cout);
+
   report.metric("sweep_trials", kTrials);
   report.metric("sweep_vertices", kVertices);
   report.metric("serial_ms", serial_ms);
@@ -354,6 +325,12 @@ int run_speedup_section() {
   report.metric("explorer_legacy_ms", legacy_ms);
   report.metric("explorer_new_ms", new_ms);
   report.metric("explorer_speedup", explorer_speedup);
+  report.metric("sensitivity_uncached_ms", uncached_ms);
+  report.metric("sensitivity_cached_ms", cached_ms);
+  report.metric("cache_speedup", cache_speedup);
+  report.metric("cache_hits", cache_stats.hits);
+  report.metric("cache_misses", cache_stats.misses);
+  report.metric("cache_bytes", cache_stats.bytes);
   return 0;
 }
 

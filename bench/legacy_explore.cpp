@@ -1,0 +1,62 @@
+#include "legacy_explore.hpp"
+
+#include <queue>
+
+namespace strt::legacy {
+
+Result explore(const DrtTask& task, Time elapsed_limit) {
+  Result res;
+  std::vector<Skyline> skylines(task.vertex_count());
+
+  struct QItem {
+    Time elapsed;
+    Work work;
+    std::int32_t idx;
+  };
+  auto cmp = [](const QItem& a, const QItem& b) {
+    if (a.elapsed != b.elapsed) return a.elapsed > b.elapsed;
+    return a.work < b.work;
+  };
+  std::priority_queue<QItem, std::vector<QItem>, decltype(cmp)> queue(cmp);
+
+  auto accept = [&](VertexId v, Time elapsed, Work work,
+                    std::int32_t parent) {
+    ++res.generated;
+    const auto idx = static_cast<std::int32_t>(res.arena.size());
+    if (!skylines[static_cast<std::size_t>(v)].insert(elapsed, work, idx)) {
+      return;
+    }
+    res.arena.push_back(PathState{v, elapsed, work, parent});
+    queue.push(QItem{elapsed, work, idx});
+  };
+
+  for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
+       ++v) {
+    accept(v, Time(0), task.vertex(v).wcet, -1);
+  }
+
+  while (!queue.empty()) {
+    const QItem item = queue.top();
+    queue.pop();
+    const PathState st = res.arena[static_cast<std::size_t>(item.idx)];
+    if (!skylines[static_cast<std::size_t>(st.vertex)].is_live(st.elapsed,
+                                                               item.idx)) {
+      continue;  // dominated after insertion
+    }
+    for (std::int32_t ei : task.out_edges(st.vertex)) {
+      const DrtEdge& e = task.edges()[static_cast<std::size_t>(ei)];
+      const Time elapsed = st.elapsed + e.separation;
+      if (elapsed > elapsed_limit) continue;
+      accept(e.to, elapsed, st.work + task.vertex(e.to).wcet, item.idx);
+    }
+  }
+
+  for (const Skyline& s : skylines) {
+    s.for_each([&](Time, Work, std::int32_t idx) {
+      res.frontier.push_back(idx);
+    });
+  }
+  return res;
+}
+
+}  // namespace strt::legacy

@@ -1,0 +1,61 @@
+// The pre-overhaul path explorer, kept verbatim in structure -- per-vertex
+// std::map skyline, std::priority_queue agenda -- as the ablation baseline
+// for bench_runtime.  It lives in a bench-only library so the production
+// src/graph target ships exactly one explorer; benchmarks link
+// strt_bench_legacy explicitly.
+//
+// Both implementations must produce the same Pareto frontier (the ablation
+// checks that before timing); only the data structures differ.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+#include "graph/explore.hpp"
+
+namespace strt::legacy {
+
+class Skyline {
+ public:
+  bool insert(Time t, Work w, std::int32_t idx) {
+    auto it = entries_.upper_bound(t);
+    if (it != entries_.begin()) {
+      const auto& prev = *std::prev(it);
+      if (prev.second.first >= w) return false;  // dominated
+    }
+    while (it != entries_.end() && it->second.first <= w) {
+      it = entries_.erase(it);
+    }
+    entries_.insert_or_assign(t, std::make_pair(w, idx));
+    return true;
+  }
+
+  [[nodiscard]] bool is_live(Time t, std::int32_t idx) const {
+    auto it = entries_.find(t);
+    return it != entries_.end() && it->second.second == idx;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [t, wi] : entries_) fn(t, wi.first, wi.second);
+  }
+
+ private:
+  std::map<Time, std::pair<Work, std::int32_t>> entries_;
+};
+
+struct Result {
+  std::vector<PathState> arena;
+  std::vector<std::int32_t> frontier;
+  std::uint64_t generated = 0;
+};
+
+/// Dominance-pruned busy-window exploration of `task` up to
+/// `elapsed_limit`, with the pre-overhaul data structures.
+[[nodiscard]] Result explore(const DrtTask& task, Time elapsed_limit);
+
+}  // namespace strt::legacy

@@ -5,10 +5,15 @@
 //   $ ./examples/analyze_file            # runs a built-in demo input
 //
 // With `--report out.json` (anywhere on the command line) a structured
-// run report -- analysis inputs/outputs, observability counters, and the
-// timing-span tree -- is appended to `out.json` as one JSON line (schema
-// strt.obs.report.v1, see README "Observability").  Set STRT_OBS=1 to
-// populate the counters and spans; the report is written either way.
+// run report -- analysis inputs/outputs, cache statistics, observability
+// counters, and the timing-span tree -- is appended to `out.json` as one
+// JSON line (schema strt.obs.report.v1, see README "Observability").
+// Set STRT_OBS=1 to populate the counters and spans; the report is
+// written either way.
+//
+// `--no-cache` disables the engine workspace memoization (results are
+// bit-identical; useful for ablations) and `--threads N` pins the exec
+// pool size (0 = hardware default).
 //
 // Task file format (see src/io/parse.hpp):
 //     task burst
@@ -28,6 +33,8 @@
 #include <vector>
 
 #include "core/abstractions.hpp"
+#include "engine/workspace.hpp"
+#include "exec/exec.hpp"
 #include "io/dot.hpp"
 #include "io/parse.hpp"
 #include "io/table.hpp"
@@ -57,19 +64,30 @@ int main(int argc, char** argv) {
   std::string supply_text = "tdma slot 3 cycle 8";
   std::optional<Time> deadline;
   std::string report_path;
+  bool no_cache = false;
 
-  // Peel off `--report <path>` wherever it appears; the remaining
+  // Peel off the `--flag` arguments wherever they appear; the remaining
   // positional arguments keep their original meaning.
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--report") {
+    const std::string arg(argv[i]);
+    if (arg == "--report") {
       if (i + 1 >= argc) {
         std::cerr << "--report requires a file path\n";
         return 2;
       }
       report_path = argv[++i];
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads requires a count\n";
+        return 2;
+      }
+      exec::set_thread_count(static_cast<std::size_t>(
+          std::stoull(argv[++i])));
     } else {
-      args.emplace_back(argv[i]);
+      args.emplace_back(arg);
     }
   }
 
@@ -86,7 +104,8 @@ int main(int argc, char** argv) {
     if (args.size() >= 3) deadline = Time(std::stoll(args[2]));
   } else if (!args.empty()) {
     std::cerr << "usage: analyze_file <task-file> \"<supply spec>\" "
-                 "[deadline] [--report out.json]\n"
+                 "[deadline] [--report out.json] [--no-cache] "
+                 "[--threads N]\n"
                  "(no positional arguments runs a built-in demo)\n";
     return 2;
   }
@@ -118,10 +137,14 @@ int main(int argc, char** argv) {
   report.put("edges", static_cast<std::int64_t>(task.edge_count()));
   if (deadline) report.put("deadline", deadline->count());
 
+  // One workspace shared across the whole spectrum: the coarser
+  // abstractions reuse the exact rbf/sbf the earlier rows materialized.
+  engine::Workspace ws(!no_cache);
+
   Table table({"analysis", "delay", "backlog", "busy window",
                deadline ? "meets deadline" : "-"});
   for (const WorkloadAbstraction a : kAllAbstractions) {
-    const AbstractionResult r = delay_with_abstraction(task, supply, a);
+    const AbstractionResult r = delay_with_abstraction(ws, task, supply, a);
     std::string verdict = "-";
     if (deadline) {
       verdict = (!r.delay.is_unbounded() && r.delay <= *deadline) ? "yes"
@@ -140,6 +163,12 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+
+  const engine::WorkspaceStats cache = ws.stats();
+  report.put("cache.enabled", ws.caching());
+  report.put("cache.hits", static_cast<std::int64_t>(cache.hits));
+  report.put("cache.misses", static_cast<std::int64_t>(cache.misses));
+  report.put("cache.bytes", static_cast<std::int64_t>(cache.bytes));
 
   report.capture();
   if (obs::enabled()) {

@@ -8,6 +8,7 @@
 #include "curves/builders.hpp"
 #include "curves/hull.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 
@@ -103,18 +104,18 @@ std::string_view abstraction_name(WorkloadAbstraction a) {
   return "?";
 }
 
-Staircase abstracted_arrival(const DrtTask& task, WorkloadAbstraction a,
-                             Time horizon) {
+Staircase abstracted_arrival(engine::Workspace& ws, const DrtTask& task,
+                             WorkloadAbstraction a, Time horizon) {
   STRT_REQUIRE(a != WorkloadAbstraction::kStructural,
                "the structural analysis is not a curve abstraction");
-  const Staircase exact = rbf(task, horizon);
+  const engine::CurvePtr exact = ws.rbf(task, horizon);
   switch (a) {
     case WorkloadAbstraction::kExactCurve:
-      return exact;
+      return *exact;
     case WorkloadAbstraction::kConcaveHull:
-      return concave_hull_staircase(exact);
+      return *ws.concave_hull_staircase(*exact);
     case WorkloadAbstraction::kTokenBucket:
-      return token_bucket_fit(task, exact, horizon);
+      return token_bucket_fit(task, *exact, horizon);
     case WorkloadAbstraction::kSporadicMinGap:
       return sporadic_min_gap_fit(task, horizon);
     case WorkloadAbstraction::kStructural:
@@ -123,7 +124,14 @@ Staircase abstracted_arrival(const DrtTask& task, WorkloadAbstraction a,
   throw std::logic_error("unreachable");
 }
 
-AbstractionResult delay_with_abstraction(const DrtTask& task,
+Staircase abstracted_arrival(const DrtTask& task, WorkloadAbstraction a,
+                             Time horizon) {
+  engine::Workspace ws;
+  return abstracted_arrival(ws, task, a, horizon);
+}
+
+AbstractionResult delay_with_abstraction(engine::Workspace& ws,
+                                         const DrtTask& task,
                                          const Supply& supply,
                                          WorkloadAbstraction a,
                                          const StructuralOptions& opts) {
@@ -135,7 +143,7 @@ AbstractionResult delay_with_abstraction(const DrtTask& task,
     return res;
   }
   if (a == WorkloadAbstraction::kStructural) {
-    const StructuralResult st = structural_delay(task, supply, opts);
+    const StructuralResult st = structural_delay(ws, task, supply, opts);
     res.delay = st.delay;
     res.backlog = st.backlog;
     res.busy_window = st.busy_window;
@@ -146,13 +154,13 @@ AbstractionResult delay_with_abstraction(const DrtTask& task,
   // depends on the horizon; requiring L <= H/2 makes the fit stable).
   Time horizon = max(supply.min_horizon(), Time(64));
   for (;;) {
-    const Staircase alpha = abstracted_arrival(task, a, horizon);
-    const Staircase beta = supply.sbf(horizon);
-    const std::optional<Time> L = first_catch_up(alpha, beta);
+    const Staircase alpha = abstracted_arrival(ws, task, a, horizon);
+    const engine::CurvePtr beta = ws.sbf(supply, horizon);
+    const std::optional<Time> L = first_catch_up(alpha, *beta);
     if (L && *L * 2 <= horizon) {
       res.busy_window = *L;
-      res.delay = hdev(alpha.truncated(*L), beta);
-      res.backlog = vdev(alpha, beta, *L);
+      res.delay = hdev(alpha.truncated(*L), *beta);
+      res.backlog = vdev(alpha, *beta, *L);
       return res;
     }
     if (horizon.count() > kMaxHorizon) {
@@ -161,6 +169,14 @@ AbstractionResult delay_with_abstraction(const DrtTask& task,
     }
     horizon = horizon * 2;
   }
+}
+
+AbstractionResult delay_with_abstraction(const DrtTask& task,
+                                         const Supply& supply,
+                                         WorkloadAbstraction a,
+                                         const StructuralOptions& opts) {
+  engine::Workspace ws;
+  return delay_with_abstraction(ws, task, supply, a, opts);
 }
 
 }  // namespace strt

@@ -56,6 +56,12 @@ struct AbstractionResult {
 };
 
 /// Delay/backlog bound of `task` on `supply` through abstraction `a`.
+/// The Workspace overload shares memoized rbf/sbf/hull curves across
+/// abstractions and repeated calls; the plain overload spins up a
+/// private workspace.
+[[nodiscard]] AbstractionResult delay_with_abstraction(
+    engine::Workspace& ws, const DrtTask& task, const Supply& supply,
+    WorkloadAbstraction a, const StructuralOptions& opts = {});
 [[nodiscard]] AbstractionResult delay_with_abstraction(
     const DrtTask& task, const Supply& supply, WorkloadAbstraction a,
     const StructuralOptions& opts = {});
@@ -69,6 +75,10 @@ struct AbstractionResult {
 /// The fitted arrival curve of an abstraction (not defined for
 /// kStructural, which is not a curve).  `horizon` is the fitting horizon;
 /// the exact rbf is computed on it first.
+[[nodiscard]] Staircase abstracted_arrival(engine::Workspace& ws,
+                                           const DrtTask& task,
+                                           WorkloadAbstraction a,
+                                           Time horizon);
 [[nodiscard]] Staircase abstracted_arrival(const DrtTask& task,
                                            WorkloadAbstraction a,
                                            Time horizon);

@@ -5,6 +5,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
@@ -15,7 +16,8 @@ namespace {
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
 }
 
-AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
+AudsleyResult audsley_assignment(engine::Workspace& ws,
+                                 std::span<const DrtTask> tasks,
                                  const Supply& supply,
                                  const StructuralOptions& opts) {
   STRT_REQUIRE(!tasks.empty(), "task set must not be empty");
@@ -29,17 +31,17 @@ AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
 
   // Materialize everything out to the system busy window once.
   Time horizon = max(supply.min_horizon(), Time(64));
-  std::vector<Staircase> rbfs;
-  Staircase sv(Time(0));
+  std::vector<engine::CurvePtr> rbfs;
+  engine::CurvePtr sv;
   for (;;) {
     rbfs.clear();
-    Staircase sum(horizon);
+    engine::CurvePtr sum = ws.intern(Staircase(horizon));
     for (const DrtTask& t : tasks) {
-      rbfs.push_back(rbf(t, horizon));
-      sum = pointwise_add(sum, rbfs.back());
+      rbfs.push_back(ws.rbf(t, horizon));
+      sum = ws.pointwise_add(*sum, *rbfs.back());
     }
-    sv = supply.sbf(horizon);
-    if (first_catch_up(sum, sv)) break;
+    sv = ws.sbf(supply, horizon);
+    if (first_catch_up(*sum, *sv)) break;
     if (horizon.count() > kMaxHorizon) {
       throw std::runtime_error("audsley_assignment: horizon guard exceeded");
     }
@@ -62,14 +64,14 @@ AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
     const std::vector<char> fits =
         exec::parallel_map(unassigned.size(), [&](std::size_t pos) {
           const std::size_t cand = unassigned[pos];
-          Staircase hp_sum(horizon);
+          engine::CurvePtr hp_sum = ws.intern(Staircase(horizon));
           for (const std::size_t other : unassigned) {
             if (other == cand) continue;
-            hp_sum = pointwise_add(hp_sum, rbfs[other]);
+            hp_sum = ws.pointwise_add(*hp_sum, *rbfs[other]);
           }
-          const Staircase leftover = leftover_service(sv, hp_sum);
+          const engine::CurvePtr leftover = ws.leftover_service(*sv, *hp_sum);
           const StructuralResult st =
-              structural_delay_vs(tasks[cand], leftover, inner);
+              structural_delay_vs(ws, tasks[cand], *leftover, inner);
           return static_cast<char>(st.meets_vertex_deadlines);
         });
     const auto first_fit = std::find(fits.begin(), fits.end(), char{1});
@@ -87,6 +89,13 @@ AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
   res.feasible = true;
   res.order.assign(reversed.rbegin(), reversed.rend());
   return res;
+}
+
+AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
+                                 const Supply& supply,
+                                 const StructuralOptions& opts) {
+  engine::Workspace ws;
+  return audsley_assignment(ws, tasks, supply, opts);
 }
 
 }  // namespace strt

@@ -4,6 +4,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 
@@ -16,19 +17,20 @@ namespace {
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
 }  // namespace
 
-std::optional<BusyWindow> busy_window(const DrtTask& task,
+std::optional<BusyWindow> busy_window(engine::Workspace& ws,
+                                      const DrtTask& task,
                                       const Supply& supply) {
   const std::optional<Rational> util = utilization(task);
   if (util && *util >= supply.long_run_rate()) return std::nullopt;
 
   Time horizon = max(supply.min_horizon(), Time(64));
   for (;;) {
-    const Staircase wl = rbf(task, horizon);
-    const Staircase sv = supply.sbf(horizon);
-    if (const std::optional<Time> L = first_catch_up(wl, sv)) {
+    const engine::CurvePtr wl = ws.rbf(task, horizon);
+    const engine::CurvePtr sv = ws.sbf(supply, horizon);
+    if (const std::optional<Time> L = first_catch_up(*wl, *sv)) {
       // Keep the full materialized curves: the supply tail stays valid
       // and inverse lookups up to rbf(L) <= sbf(L) resolve in range.
-      return BusyWindow{*L, wl, sv};
+      return BusyWindow{*L, *wl, *sv};
     }
     if (horizon.count() > kMaxHorizon) {
       throw std::runtime_error(
@@ -37,6 +39,12 @@ std::optional<BusyWindow> busy_window(const DrtTask& task,
     }
     horizon = horizon * 2;
   }
+}
+
+std::optional<BusyWindow> busy_window(const DrtTask& task,
+                                      const Supply& supply) {
+  engine::Workspace ws;
+  return busy_window(ws, task, supply);
 }
 
 Time busy_window_of_curves(const Staircase& wl, const Staircase& sv) {

@@ -15,6 +15,10 @@
 
 namespace strt {
 
+namespace engine {
+class Workspace;
+}  // namespace engine
+
 struct BusyWindow {
   Time length{0};   // L
   Staircase rbf;    // materialized on [0, L]
@@ -23,7 +27,12 @@ struct BusyWindow {
 
 /// Busy window of a single DRT task on a supply.  Returns nullopt when the
 /// task's utilization is not strictly below the supply rate (overload: no
-/// finite busy window, delays unbounded).
+/// finite busy window, delays unbounded).  The Workspace overload serves
+/// the rbf/sbf materializations (and their doubling-search re-extensions)
+/// from the cache; the plain overload spins up a private workspace.
+[[nodiscard]] std::optional<BusyWindow> busy_window(engine::Workspace& ws,
+                                                    const DrtTask& task,
+                                                    const Supply& supply);
 [[nodiscard]] std::optional<BusyWindow> busy_window(const DrtTask& task,
                                                     const Supply& supply);
 

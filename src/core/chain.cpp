@@ -4,6 +4,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 
@@ -14,7 +15,8 @@ namespace {
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 30;
 
 /// One attempt at a fixed horizon; nullopt = not enough horizon yet.
-std::optional<ChainResult> try_chain(const DrtTask& task,
+std::optional<ChainResult> try_chain(engine::Workspace& ws,
+                                     const DrtTask& task,
                                      std::span<const Supply> hops,
                                      const StructuralOptions& opts,
                                      Time horizon) {
@@ -22,29 +24,31 @@ std::optional<ChainResult> try_chain(const DrtTask& task,
   // workload curve is materialized on hops.size() + 1 times the base.
   const auto n = static_cast<std::int64_t>(hops.size());
   const Time alpha_horizon = horizon * (n + 1);
-  const Staircase alpha0 = rbf(task, alpha_horizon);
+  const engine::CurvePtr alpha0 = ws.rbf(task, alpha_horizon);
 
   // --- Convolved service, exact on [0, horizon].
-  Staircase conv = hops[0].sbf(horizon);
+  engine::CurvePtr conv = ws.sbf(hops[0], horizon);
   for (std::size_t i = 1; i < hops.size(); ++i) {
-    conv = minplus_conv(conv, hops[i].sbf(horizon)).truncated(horizon);
+    conv = ws.intern(
+        ws.minplus_conv(*conv, *ws.sbf(hops[i], horizon))->truncated(horizon));
   }
-  const Staircase alpha_base = alpha0.truncated(horizon);
-  const std::optional<Time> L = first_catch_up(alpha_base, conv);
+  const Staircase alpha_base = alpha0->truncated(horizon);
+  const std::optional<Time> L = first_catch_up(alpha_base, *conv);
   if (!L || *L * 2 > horizon) return std::nullopt;
 
   ChainResult res;
   res.busy_window = *L;
-  res.pboo = hdev(alpha_base.truncated(*L), conv);
+  res.pboo = hdev(alpha_base.truncated(*L), *conv);
 
-  const StructuralResult st = structural_delay_vs(task, conv, opts);
+  const StructuralResult st = structural_delay_vs(ws, task, *conv, opts);
   res.structural = st.delay;
 
   // --- Compositional per-hop analysis with propagated arrivals.
-  Staircase alpha = alpha0;
+  Staircase alpha = *alpha0;
   Time sum(0);
   for (std::size_t i = 0; i < hops.size(); ++i) {
-    const Staircase beta = hops[i].sbf(horizon);
+    const engine::CurvePtr beta_ptr = ws.sbf(hops[i], horizon);
+    const Staircase& beta = *beta_ptr;
     const std::optional<Time> Li =
         first_catch_up(alpha.truncated(min(alpha.horizon(), horizon)), beta);
     if (!Li || *Li * 2 > horizon) return std::nullopt;
@@ -85,7 +89,8 @@ Staircase output_arrival(const Staircase& alpha, const Staircase& beta) {
   return Staircase::from_points(std::move(pts), horizon);
 }
 
-ChainResult chain_delay(const DrtTask& task, std::span<const Supply> hops,
+ChainResult chain_delay(engine::Workspace& ws, const DrtTask& task,
+                        std::span<const Supply> hops,
                         const StructuralOptions& opts) {
   STRT_REQUIRE(!hops.empty(), "a chain needs at least one hop");
   ChainResult overload;
@@ -106,7 +111,7 @@ ChainResult chain_delay(const DrtTask& task, std::span<const Supply> hops,
   for (const Supply& s : hops) horizon = max(horizon, s.min_horizon());
   for (;;) {
     if (std::optional<ChainResult> res =
-            try_chain(task, hops, opts, horizon)) {
+            try_chain(ws, task, hops, opts, horizon)) {
       return *res;
     }
     if (horizon.count() > kMaxHorizon) {
@@ -114,6 +119,12 @@ ChainResult chain_delay(const DrtTask& task, std::span<const Supply> hops,
     }
     horizon = horizon * 2;
   }
+}
+
+ChainResult chain_delay(const DrtTask& task, std::span<const Supply> hops,
+                        const StructuralOptions& opts) {
+  engine::Workspace ws;
+  return chain_delay(ws, task, hops, opts);
 }
 
 }  // namespace strt

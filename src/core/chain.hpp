@@ -55,7 +55,13 @@ struct ChainResult {
 
 /// Analyzes `task` flowing through `hops` in order.  Requires at least
 /// one hop.  Overload (utilization >= any hop's long-run rate) yields
-/// overloaded = true with unbounded delays.
+/// overloaded = true with unbounded delays.  The Workspace overload
+/// shares memoized rbf/sbf/convolution curves across horizon retries;
+/// the plain overload spins up a private workspace.
+[[nodiscard]] ChainResult chain_delay(engine::Workspace& ws,
+                                      const DrtTask& task,
+                                      std::span<const Supply> hops,
+                                      const StructuralOptions& opts = {});
 [[nodiscard]] ChainResult chain_delay(const DrtTask& task,
                                       std::span<const Supply> hops,
                                       const StructuralOptions& opts = {});

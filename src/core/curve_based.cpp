@@ -1,11 +1,13 @@
 #include "core/curve_based.hpp"
 
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 
 namespace strt {
 
-CurveResult curve_delay(const DrtTask& task, const Supply& supply) {
-  const std::optional<BusyWindow> bw = busy_window(task, supply);
+CurveResult curve_delay(engine::Workspace& ws, const DrtTask& task,
+                        const Supply& supply) {
+  const std::optional<BusyWindow> bw = busy_window(ws, task, supply);
   if (!bw) {
     return CurveResult{Time::unbounded(), Work::unbounded(),
                        Time::unbounded()};
@@ -13,6 +15,11 @@ CurveResult curve_delay(const DrtTask& task, const Supply& supply) {
   CurveResult res = curve_delay_vs(bw->rbf.truncated(bw->length), bw->sbf);
   res.busy_window = bw->length;
   return res;
+}
+
+CurveResult curve_delay(const DrtTask& task, const Supply& supply) {
+  engine::Workspace ws;
+  return curve_delay(ws, task, supply);
 }
 
 CurveResult curve_delay_vs(const Staircase& workload,

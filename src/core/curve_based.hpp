@@ -23,7 +23,16 @@ struct CurveResult {
   Time busy_window{0};
 };
 
-/// Curve-based delay/backlog bounds for `task` on `supply`.
+namespace engine {
+class Workspace;
+}  // namespace engine
+
+/// Curve-based delay/backlog bounds for `task` on `supply`.  The
+/// Workspace overload shares busy-window curve materializations with the
+/// other analyses; the plain overload spins up a private workspace.
+[[nodiscard]] CurveResult curve_delay(engine::Workspace& ws,
+                                      const DrtTask& task,
+                                      const Supply& supply);
 [[nodiscard]] CurveResult curve_delay(const DrtTask& task,
                                       const Supply& supply);
 

@@ -4,17 +4,18 @@
 
 #include "base/assert.hpp"
 #include "core/edf.hpp"
+#include "engine/workspace.hpp"
 #include "resource/supply.hpp"
 
 namespace strt {
 
 namespace {
 
-Time bound_for(const DrtTask& task, const Supply& supply,
-               WorkloadAbstraction a) {
+Time bound_for(engine::Workspace& ws, const DrtTask& task,
+               const Supply& supply, WorkloadAbstraction a) {
   StructuralOptions opts;
   opts.want_witness = false;
-  return delay_with_abstraction(task, supply, a, opts).delay;
+  return delay_with_abstraction(ws, task, supply, a, opts).delay;
 }
 
 /// Binary search for the smallest share in [1, cap] whose delay bound
@@ -38,35 +39,57 @@ std::optional<Time> min_share(
 
 }  // namespace
 
-std::optional<Time> min_tdma_slot(const DrtTask& task, Time cycle,
+std::optional<Time> min_tdma_slot(engine::Workspace& ws,
+                                  const DrtTask& task, Time cycle,
                                   Time deadline, WorkloadAbstraction a) {
   STRT_REQUIRE(cycle >= Time(1), "cycle must be positive");
   STRT_REQUIRE(deadline >= Time(1), "deadline must be positive");
   return min_share(cycle, deadline, [&](Time slot) {
-    return bound_for(task, Supply::tdma(slot, cycle), a);
+    return bound_for(ws, task, Supply::tdma(slot, cycle), a);
+  });
+}
+
+std::optional<Time> min_tdma_slot(const DrtTask& task, Time cycle,
+                                  Time deadline, WorkloadAbstraction a) {
+  engine::Workspace ws;
+  return min_tdma_slot(ws, task, cycle, deadline, a);
+}
+
+std::optional<Time> min_periodic_budget(engine::Workspace& ws,
+                                        const DrtTask& task, Time period,
+                                        Time deadline,
+                                        WorkloadAbstraction a) {
+  STRT_REQUIRE(period >= Time(1), "period must be positive");
+  STRT_REQUIRE(deadline >= Time(1), "deadline must be positive");
+  return min_share(period, deadline, [&](Time budget) {
+    return bound_for(ws, task, Supply::periodic(budget, period), a);
   });
 }
 
 std::optional<Time> min_periodic_budget(const DrtTask& task, Time period,
                                         Time deadline,
                                         WorkloadAbstraction a) {
-  STRT_REQUIRE(period >= Time(1), "period must be positive");
-  STRT_REQUIRE(deadline >= Time(1), "deadline must be positive");
-  return min_share(period, deadline, [&](Time budget) {
-    return bound_for(task, Supply::periodic(budget, period), a);
+  engine::Workspace ws;
+  return min_periodic_budget(ws, task, period, deadline, a);
+}
+
+std::optional<Time> min_tdma_slot_edf(engine::Workspace& ws,
+                                      std::span<const DrtTask> tasks,
+                                      Time cycle) {
+  STRT_REQUIRE(cycle >= Time(1), "cycle must be positive");
+  return min_share(cycle, Time(0), [&](Time slot) {
+    const EdfResult res =
+        edf_schedulable(ws, tasks, Supply::tdma(slot, cycle));
+    // Encode the boolean verdict as a delay vs deadline 0: schedulable
+    // maps to 0 (accept), unschedulable to 1 (reject).
+    return res.schedulable ? Time(0) : Time(1);
   });
 }
 
 std::optional<Time> min_tdma_slot_edf(std::span<const DrtTask> tasks,
                                       Time cycle) {
-  STRT_REQUIRE(cycle >= Time(1), "cycle must be positive");
-  return min_share(cycle, Time(0), [&](Time slot) {
-    const EdfResult res =
-        edf_schedulable(tasks, Supply::tdma(slot, cycle));
-    // Encode the boolean verdict as a delay vs deadline 0: schedulable
-    // maps to 0 (accept), unschedulable to 1 (reject).
-    return res.schedulable ? Time(0) : Time(1);
-  });
+  engine::Workspace ws;
+  return min_tdma_slot_edf(ws, tasks, cycle);
 }
 
 }  // namespace strt

@@ -19,13 +19,24 @@ namespace strt {
 
 /// Smallest TDMA slot length (out of `cycle`) for which analysis `a`
 /// certifies a worst-case delay <= `deadline` for `task`; nullopt if even
-/// the full cycle does not suffice.
+/// the full cycle does not suffice.  The Workspace overloads reuse the
+/// task's memoized rbf across every probe of the binary search; the
+/// plain overloads spin up a private workspace.
+[[nodiscard]] std::optional<Time> min_tdma_slot(engine::Workspace& ws,
+                                                const DrtTask& task,
+                                                Time cycle, Time deadline,
+                                                WorkloadAbstraction a);
 [[nodiscard]] std::optional<Time> min_tdma_slot(const DrtTask& task,
                                                 Time cycle, Time deadline,
                                                 WorkloadAbstraction a);
 
 /// Smallest periodic-resource budget (out of `period`) for which `a`
 /// certifies a worst-case delay <= `deadline`; nullopt if infeasible.
+[[nodiscard]] std::optional<Time> min_periodic_budget(engine::Workspace& ws,
+                                                      const DrtTask& task,
+                                                      Time period,
+                                                      Time deadline,
+                                                      WorkloadAbstraction a);
 [[nodiscard]] std::optional<Time> min_periodic_budget(const DrtTask& task,
                                                       Time period,
                                                       Time deadline,
@@ -34,6 +45,8 @@ namespace strt {
 /// Smallest TDMA slot on which the whole set is EDF-schedulable (exact
 /// demand-bound criterion, per-vertex deadlines).  Requires
 /// frame-separated tasks; nullopt if even the full cycle fails.
+[[nodiscard]] std::optional<Time> min_tdma_slot_edf(
+    engine::Workspace& ws, std::span<const DrtTask> tasks, Time cycle);
 [[nodiscard]] std::optional<Time> min_tdma_slot_edf(
     std::span<const DrtTask> tasks, Time cycle);
 

@@ -6,6 +6,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
 #include "obs/counters.hpp"
@@ -17,7 +18,8 @@ namespace {
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
 }
 
-EdfResult edf_schedulable(std::span<const DrtTask> tasks,
+EdfResult edf_schedulable(engine::Workspace& ws,
+                          std::span<const DrtTask> tasks,
                           const Supply& supply) {
   STRT_REQUIRE(!tasks.empty(), "task set must not be empty");
   for (const DrtTask& t : tasks) {
@@ -43,14 +45,14 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
   // (dbf <= rbf pointwise, so demand has caught up once requests have).
   Time horizon = max(supply.min_horizon(), Time(64));
   for (;;) {
-    Staircase sum_rbf(horizon);
-    Staircase sum_dbf(horizon);
+    engine::CurvePtr sum_rbf = ws.intern(Staircase(horizon));
+    engine::CurvePtr sum_dbf = ws.intern(Staircase(horizon));
     for (const DrtTask& t : tasks) {
-      sum_rbf = pointwise_add(sum_rbf, rbf(t, horizon));
-      sum_dbf = pointwise_add(sum_dbf, dbf(t, horizon));
+      sum_rbf = ws.pointwise_add(*sum_rbf, *ws.rbf(t, horizon));
+      sum_dbf = ws.pointwise_add(*sum_dbf, *ws.dbf(t, horizon));
     }
-    const Staircase sv = supply.sbf(horizon);
-    const std::optional<Time> L = first_catch_up(sum_rbf, sv);
+    const engine::CurvePtr sv = ws.sbf(supply, horizon);
+    const std::optional<Time> L = first_catch_up(*sum_rbf, *sv);
     if (!L) {
       if (horizon.count() > kMaxHorizon) {
         throw std::runtime_error("edf_schedulable: horizon guard exceeded");
@@ -63,9 +65,9 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
 
     // Sweep the merged breakpoints of demand and supply up to L.
     std::vector<Time> ts;
-    for (const Step& s : sum_dbf.steps())
+    for (const Step& s : sum_dbf->steps())
       if (s.time <= *L) ts.push_back(s.time);
-    for (const Step& s : sv.steps())
+    for (const Step& s : sv->steps())
       if (s.time <= *L) ts.push_back(s.time);
     ts.push_back(*L);
     std::sort(ts.begin(), ts.end());
@@ -75,7 +77,7 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
     std::optional<Time> violation;
     for (Time t : ts) {
       const std::int64_t m =
-          sv.value(t).count() - sum_dbf.value(t).count();
+          sv->value(t).count() - sum_dbf->value(t).count();
       margin = std::min(margin, m);
       if (m < 0 && !violation) violation = t;
     }
@@ -84,6 +86,12 @@ EdfResult edf_schedulable(std::span<const DrtTask> tasks,
     res.first_violation = violation;
     return res;
   }
+}
+
+EdfResult edf_schedulable(std::span<const DrtTask> tasks,
+                          const Supply& supply) {
+  engine::Workspace ws;
+  return edf_schedulable(ws, tasks, supply);
 }
 
 }  // namespace strt

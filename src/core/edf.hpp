@@ -26,6 +26,16 @@ struct EdfResult {
   Time horizon_checked{0};
 };
 
+namespace engine {
+class Workspace;
+}  // namespace engine
+
+/// The Workspace overload memoizes the per-task rbf/dbf staircases across
+/// horizon doublings and repeated calls; the plain overload spins up a
+/// private workspace.
+[[nodiscard]] EdfResult edf_schedulable(engine::Workspace& ws,
+                                        std::span<const DrtTask> tasks,
+                                        const Supply& supply);
 [[nodiscard]] EdfResult edf_schedulable(std::span<const DrtTask> tasks,
                                         const Supply& supply);
 

@@ -4,6 +4,7 @@
 
 #include "base/assert.hpp"
 #include "core/abstractions.hpp"
+#include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "curves/minplus.hpp"
 #include "graph/cycle_ratio.hpp"
@@ -15,7 +16,8 @@ namespace {
 constexpr std::int64_t kMaxHorizon = std::int64_t{1} << 32;
 }
 
-FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
+FpResult fixed_priority_analysis(engine::Workspace& ws,
+                                 std::span<const DrtTask> tasks,
                                  const Supply& supply,
                                  const StructuralOptions& opts,
                                  WorkloadAbstraction interference) {
@@ -41,24 +43,25 @@ FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
   // system-level busy window of the abstracted aggregate (which majorizes
   // the exact one, so every per-task busy window closes inside it).
   Time horizon = max(supply.min_horizon(), Time(64));
-  std::vector<Staircase> rbfs;
-  std::vector<Staircase> contribs;
-  Staircase sv(Time(0));
+  std::vector<engine::CurvePtr> rbfs;
+  std::vector<engine::CurvePtr> contribs;
+  engine::CurvePtr sv;
   for (;;) {
     rbfs.clear();
     contribs.clear();
     rbfs.reserve(tasks.size());
     contribs.reserve(tasks.size());
-    Staircase sum(horizon);
+    engine::CurvePtr sum = ws.intern(Staircase(horizon));
     for (const DrtTask& t : tasks) {
-      rbfs.push_back(rbf(t, horizon));
-      contribs.push_back(interference == WorkloadAbstraction::kExactCurve
-                             ? rbfs.back()
-                             : abstracted_arrival(t, interference, horizon));
-      sum = pointwise_add(sum, contribs.back());
+      rbfs.push_back(ws.rbf(t, horizon));
+      contribs.push_back(
+          interference == WorkloadAbstraction::kExactCurve
+              ? rbfs.back()
+              : ws.intern(abstracted_arrival(ws, t, interference, horizon)));
+      sum = ws.pointwise_add(*sum, *contribs.back());
     }
-    sv = supply.sbf(horizon);
-    if (const std::optional<Time> L = first_catch_up(sum, sv)) {
+    sv = ws.sbf(supply, horizon);
+    if (const std::optional<Time> L = first_catch_up(*sum, *sv)) {
       res.system_busy_window = *L;
       break;
     }
@@ -74,19 +77,19 @@ FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
   // serially (cheap pointwise adds) and the expensive per-level
   // structural + curve analyses fan out over the pool.  Results land in
   // index order, identical to a serial run.
-  std::vector<Staircase> hp_prefix;  // hp_prefix[i]: sum of levels < i
+  std::vector<engine::CurvePtr> hp_prefix;  // hp_prefix[i]: sum of levels < i
   hp_prefix.reserve(tasks.size());
-  Staircase hp_sum(horizon);
+  engine::CurvePtr hp_sum = ws.intern(Staircase(horizon));
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     hp_prefix.push_back(hp_sum);
-    hp_sum = pointwise_add(hp_sum, contribs[i]);
+    hp_sum = ws.pointwise_add(*hp_sum, *contribs[i]);
   }
   res.tasks = exec::parallel_map(tasks.size(), [&](std::size_t i) {
-    const Staircase leftover = leftover_service(sv, hp_prefix[i]);
+    const engine::CurvePtr leftover = ws.leftover_service(*sv, *hp_prefix[i]);
     FpTaskResult tr;
     tr.task_index = i;
 
-    StructuralResult st = structural_delay_vs(tasks[i], leftover, opts);
+    StructuralResult st = structural_delay_vs(ws, tasks[i], *leftover, opts);
     tr.busy_window = st.busy_window;
     tr.structural_delay = st.delay;
     tr.structural_backlog = st.backlog;
@@ -94,12 +97,20 @@ FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
     tr.vertex_delays = std::move(st.vertex_delays);
     tr.meets_vertex_deadlines = st.meets_vertex_deadlines;
 
-    const CurveResult cv = curve_delay_vs(rbfs[i], leftover);
+    const CurveResult cv = curve_delay_vs(*rbfs[i], *leftover);
     tr.curve_delay = cv.delay;
     tr.curve_backlog = cv.backlog;
     return tr;
   });
   return res;
+}
+
+FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
+                                 const Supply& supply,
+                                 const StructuralOptions& opts,
+                                 WorkloadAbstraction interference) {
+  engine::Workspace ws;
+  return fixed_priority_analysis(ws, tasks, supply, opts, interference);
 }
 
 }  // namespace strt

@@ -52,6 +52,10 @@ struct FpResult {
 /// classical tools.  kStructural is treated as kExactCurve here (the
 /// interference enters the analysis as a curve either way).
 [[nodiscard]] FpResult fixed_priority_analysis(
+    engine::Workspace& ws, std::span<const DrtTask> tasks,
+    const Supply& supply, const StructuralOptions& opts = {},
+    WorkloadAbstraction interference = WorkloadAbstraction::kExactCurve);
+[[nodiscard]] FpResult fixed_priority_analysis(
     std::span<const DrtTask> tasks, const Supply& supply,
     const StructuralOptions& opts = {},
     WorkloadAbstraction interference = WorkloadAbstraction::kExactCurve);

@@ -6,6 +6,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "graph/cycle_ratio.hpp"
 #include "graph/workload.hpp"
@@ -97,7 +98,8 @@ std::vector<Staircase> interference_paths(const DrtTask& task, Time limit,
 
 }  // namespace
 
-JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
+JointFpResult joint_multi_task_fp(engine::Workspace& ws,
+                                  std::span<const DrtTask> hps,
                                   const DrtTask& lp, const Supply& supply,
                                   const JointFpOptions& opts) {
   const obs::Span span("joint_fp");
@@ -119,16 +121,17 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
 
   // Materialize out to the system busy window.
   Time horizon = max(supply.min_horizon(), Time(64));
-  Staircase rbf_hp(Time(0));
-  Staircase sv(Time(0));
+  engine::CurvePtr rbf_hp;
+  engine::CurvePtr sv;
   for (;;) {
-    rbf_hp = Staircase(horizon);
+    rbf_hp = ws.intern(Staircase(horizon));
     for (const DrtTask& hp : hps) {
-      rbf_hp = pointwise_add(rbf_hp, rbf(hp, horizon));
+      rbf_hp = ws.pointwise_add(*rbf_hp, *ws.rbf(hp, horizon));
     }
-    const Staircase sum = pointwise_add(rbf_hp, rbf(lp, horizon));
-    sv = supply.sbf(horizon);
-    if (const std::optional<Time> L = first_catch_up(sum, sv)) {
+    const engine::CurvePtr sum =
+        ws.pointwise_add(*rbf_hp, *ws.rbf(lp, horizon));
+    sv = ws.sbf(supply, horizon);
+    if (const std::optional<Time> L = first_catch_up(*sum, *sv)) {
       res.busy_window = *L;
       break;
     }
@@ -142,9 +145,9 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
   sopts.want_witness = false;
 
   // Baseline: rbf-based leftover.
-  const Staircase leftover_rbf = leftover_service(sv, rbf_hp);
+  const engine::CurvePtr leftover_rbf = ws.leftover_service(*sv, *rbf_hp);
   const StructuralResult baseline =
-      structural_delay_vs(lp, leftover_rbf, sopts);
+      structural_delay_vs(ws, lp, *leftover_rbf, sopts);
   res.rbf_delay = baseline.delay;
   accumulate(res.explore_stats, baseline.stats);
 
@@ -182,8 +185,9 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
     const obs::Span analyze_span("joint_fp.analyze");
     const std::vector<StructuralResult> per_path =
         exec::parallel_map(combined.size(), [&](std::size_t i) {
-          const Staircase leftover = leftover_service(sv, combined[i]);
-          return structural_delay_vs(lp, leftover, sopts);
+          const engine::CurvePtr leftover =
+              ws.leftover_service(*sv, combined[i]);
+          return structural_delay_vs(ws, lp, *leftover, sopts);
         });
     for (const StructuralResult& sr : per_path) {
       ++res.paths_analyzed;
@@ -198,10 +202,24 @@ JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
   return res;
 }
 
+JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
+                                  const DrtTask& lp, const Supply& supply,
+                                  const JointFpOptions& opts) {
+  engine::Workspace ws;
+  return joint_multi_task_fp(ws, hps, lp, supply, opts);
+}
+
+JointFpResult joint_two_task_fp(engine::Workspace& ws, const DrtTask& hp,
+                                const DrtTask& lp, const Supply& supply,
+                                const JointFpOptions& opts) {
+  return joint_multi_task_fp(ws, {&hp, 1}, lp, supply, opts);
+}
+
 JointFpResult joint_two_task_fp(const DrtTask& hp, const DrtTask& lp,
                                 const Supply& supply,
                                 const JointFpOptions& opts) {
-  return joint_multi_task_fp({&hp, 1}, lp, supply, opts);
+  engine::Workspace ws;
+  return joint_multi_task_fp(ws, {&hp, 1}, lp, supply, opts);
 }
 
 }  // namespace strt

@@ -63,6 +63,12 @@ struct JointFpResult {
 };
 
 /// Analyzes `lp` under preemptive fixed priority below `hp` on `supply`.
+/// The Workspace overloads share memoized rbf/sbf curves and the
+/// low-priority pseudo-inverses across the per-candidate analyses; the
+/// plain overloads spin up a private workspace.
+[[nodiscard]] JointFpResult joint_two_task_fp(
+    engine::Workspace& ws, const DrtTask& hp, const DrtTask& lp,
+    const Supply& supply, const JointFpOptions& opts = {});
 [[nodiscard]] JointFpResult joint_two_task_fp(
     const DrtTask& hp, const DrtTask& lp, const Supply& supply,
     const JointFpOptions& opts = {});
@@ -73,6 +79,9 @@ struct JointFpResult {
 /// fold).  Exponential in principle; the pruning and the path cap keep
 /// DATE-scale instances tractable.  `hps` may be empty (then both bounds
 /// are the plain single-stream analysis).
+[[nodiscard]] JointFpResult joint_multi_task_fp(
+    engine::Workspace& ws, std::span<const DrtTask> hps, const DrtTask& lp,
+    const Supply& supply, const JointFpOptions& opts = {});
 [[nodiscard]] JointFpResult joint_multi_task_fp(
     std::span<const DrtTask> hps, const DrtTask& lp, const Supply& supply,
     const JointFpOptions& opts = {});

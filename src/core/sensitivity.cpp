@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "base/assert.hpp"
+#include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "obs/counters.hpp"
 #include "obs/span.hpp"
@@ -56,7 +57,8 @@ DrtTask with_separation_decrease(const DrtTask& task,
       });
 }
 
-SensitivityReport sensitivity_analysis(const DrtTask& task,
+SensitivityReport sensitivity_analysis(engine::Workspace& ws,
+                                       const DrtTask& task,
                                        const Supply& supply,
                                        const SensitivityOptions& opts) {
   const obs::Span span("sensitivity");
@@ -66,7 +68,7 @@ SensitivityReport sensitivity_analysis(const DrtTask& task,
   const auto holds = [&](const DrtTask& t) {
     static obs::Counter& c_probes = obs::counter("sensitivity.probes");
     c_probes.add(1);
-    const StructuralResult res = structural_delay(t, supply, sopts);
+    const StructuralResult res = structural_delay(ws, t, supply, sopts);
     if (res.delay.is_unbounded()) return false;
     if (opts.delay_cap) return res.delay <= *opts.delay_cap;
     return res.meets_vertex_deadlines;
@@ -126,6 +128,13 @@ SensitivityReport sensitivity_analysis(const DrtTask& task,
         return lo;
       });
   return report;
+}
+
+SensitivityReport sensitivity_analysis(const DrtTask& task,
+                                       const Supply& supply,
+                                       const SensitivityOptions& opts) {
+  engine::Workspace ws;
+  return sensitivity_analysis(ws, task, supply, opts);
 }
 
 }  // namespace strt

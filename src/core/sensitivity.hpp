@@ -42,6 +42,12 @@ struct SensitivityReport {
   std::vector<Time> separation_slack;
 };
 
+/// The Workspace overload shares memoized supply curves (and any curves
+/// perturbed probes have in common) across the hundreds of probe
+/// analyses; the plain overload spins up a private workspace.
+[[nodiscard]] SensitivityReport sensitivity_analysis(
+    engine::Workspace& ws, const DrtTask& task, const Supply& supply,
+    const SensitivityOptions& opts = {});
 [[nodiscard]] SensitivityReport sensitivity_analysis(
     const DrtTask& task, const Supply& supply,
     const SensitivityOptions& opts = {});

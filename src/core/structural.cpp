@@ -2,6 +2,7 @@
 
 #include "base/assert.hpp"
 #include "curves/minplus.hpp"
+#include "engine/workspace.hpp"
 #include "graph/workload.hpp"
 #include "obs/counters.hpp"
 #include "obs/span.hpp"
@@ -10,8 +11,9 @@ namespace strt {
 
 namespace {
 
-StructuralResult analyze(const DrtTask& task, const Staircase& service,
-                         Time window, const StructuralOptions& opts) {
+StructuralResult analyze(engine::Workspace& ws, const DrtTask& task,
+                         const Staircase& service, Time window,
+                         const StructuralOptions& opts) {
   const obs::Span span("structural");
   static obs::Counter& c_runs = obs::counter("structural.runs");
   c_runs.add(1);
@@ -26,13 +28,14 @@ StructuralResult analyze(const DrtTask& task, const Staircase& service,
                            .on_progress = opts.on_progress});
   res.stats = ex.stats;
 
+  const engine::Workspace::PseudoInverse inverse = ws.inverse_of(service);
   std::int32_t best = -1;
   res.vertex_delays.assign(task.vertex_count(), Time(0));
   {
     const obs::Span fold_span("inverse_sbf");
     for (std::int32_t idx : ex.frontier) {
       const PathState& s = ex.arena[static_cast<std::size_t>(idx)];
-      const Time finish = service.inverse(s.work);
+      const Time finish = inverse(s.work);
       STRT_ASSERT(!finish.is_unbounded(),
                   "service never delivers busy-window work");
       const Time d = finish > s.elapsed ? finish - s.elapsed : Time(0);
@@ -61,7 +64,7 @@ StructuralResult analyze(const DrtTask& task, const Staircase& service,
     // The frontier state with the worst delay bounds the delay of its
     // *last* job; replay the path to report per-job numbers.
     for (const PathState& s : ex.path_to(best)) {
-      const Time finish = service.inverse(s.work);
+      const Time finish = inverse(s.work);
       WitnessJob job;
       job.vertex = task.vertex(s.vertex).name;
       job.release = s.elapsed;
@@ -77,11 +80,12 @@ StructuralResult analyze(const DrtTask& task, const Staircase& service,
 
 }  // namespace
 
-StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
+StructuralResult structural_delay(engine::Workspace& ws,
+                                  const DrtTask& task, const Supply& supply,
                                   const StructuralOptions& opts) {
   const std::optional<BusyWindow> bw = [&] {
     const obs::Span span("busy_window");
-    return busy_window(task, supply);
+    return busy_window(ws, task, supply);
   }();
   if (!bw) {
     StructuralResult overload;
@@ -90,15 +94,29 @@ StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
     overload.busy_window = Time::unbounded();
     return overload;
   }
-  return analyze(task, bw->sbf, bw->length, opts);
+  return analyze(ws, task, bw->sbf, bw->length, opts);
+}
+
+StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
+                                  const StructuralOptions& opts) {
+  engine::Workspace ws;
+  return structural_delay(ws, task, supply, opts);
+}
+
+StructuralResult structural_delay_vs(engine::Workspace& ws,
+                                     const DrtTask& task,
+                                     const Staircase& service,
+                                     const StructuralOptions& opts) {
+  const engine::CurvePtr wl = ws.rbf(task, service.horizon());
+  const Time window = busy_window_of_curves(*wl, service);
+  return analyze(ws, task, service, window, opts);
 }
 
 StructuralResult structural_delay_vs(const DrtTask& task,
                                      const Staircase& service,
                                      const StructuralOptions& opts) {
-  const Staircase wl = rbf(task, service.horizon());
-  const Time window = busy_window_of_curves(wl, service);
-  return analyze(task, service, window, opts);
+  engine::Workspace ws;
+  return structural_delay_vs(ws, task, service, opts);
 }
 
 }  // namespace strt

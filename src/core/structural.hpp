@@ -84,7 +84,17 @@ struct StructuralResult {
   bool meets_vertex_deadlines{false};
 };
 
-/// Structural delay analysis of `task` on `supply`.
+namespace engine {
+class Workspace;
+}  // namespace engine
+
+/// Structural delay analysis of `task` on `supply`.  The Workspace
+/// overload reuses memoized busy-window curves and pseudo-inverse
+/// lookups; the plain overload spins up a private workspace, so existing
+/// callers are unaffected.
+[[nodiscard]] StructuralResult structural_delay(
+    engine::Workspace& ws, const DrtTask& task, const Supply& supply,
+    const StructuralOptions& opts = {});
 [[nodiscard]] StructuralResult structural_delay(
     const DrtTask& task, const Supply& supply,
     const StructuralOptions& opts = {});
@@ -92,6 +102,9 @@ struct StructuralResult {
 /// Structural delay analysis against an arbitrary materialized service
 /// curve (e.g. a fixed-priority leftover).  `service` must be long enough
 /// for the busy window to close within its horizon; throws otherwise.
+[[nodiscard]] StructuralResult structural_delay_vs(
+    engine::Workspace& ws, const DrtTask& task, const Staircase& service,
+    const StructuralOptions& opts = {});
 [[nodiscard]] StructuralResult structural_delay_vs(
     const DrtTask& task, const Staircase& service,
     const StructuralOptions& opts = {});

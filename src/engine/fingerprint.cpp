@@ -1,0 +1,23 @@
+#include "engine/fingerprint.hpp"
+
+namespace strt::engine {
+
+std::uint64_t fingerprint(const Staircase& c) {
+  std::uint64_t fp = mix64(0x5374616972636173ULL);  // "Staircas"
+  fp = hash_combine(fp, static_cast<std::uint64_t>(c.horizon().count()));
+  if (const auto& tail = c.tail()) {
+    fp = hash_combine(fp, static_cast<std::uint64_t>(tail->period.count()));
+    fp = hash_combine(fp,
+                      static_cast<std::uint64_t>(tail->increment.count()));
+  } else {
+    fp = hash_combine(fp, 0xffffffffffffffffULL);
+  }
+  fp = hash_combine(fp, c.steps().size());
+  for (const Step& s : c.steps()) {
+    fp = hash_combine(fp, static_cast<std::uint64_t>(s.time.count()));
+    fp = hash_combine(fp, static_cast<std::uint64_t>(s.value.count()));
+  }
+  return fp;
+}
+
+}  // namespace strt::engine

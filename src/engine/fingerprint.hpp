@@ -1,0 +1,34 @@
+// Content fingerprints for curves and analysis artifacts.
+//
+// A fingerprint is a 64-bit content hash (splitmix64 lane mixing over the
+// canonical representation).  engine::Workspace uses fingerprints to key
+// its memoization tables: two Staircases compare equal iff they have the
+// same canonical breakpoints, horizon, and tail, so hashing exactly those
+// fields gives a collision-resistant cache key.  Where aliasing would be
+// unacceptable (the hash-consing intern table), the Workspace confirms a
+// fingerprint match with a full equality compare.
+#pragma once
+
+#include <cstdint>
+
+#include "curves/staircase.hpp"
+
+namespace strt::engine {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit lane.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+/// Content fingerprint of a staircase: breakpoints, horizon, and tail.
+/// O(breakpoint_count); equal curves hash equal by construction.
+[[nodiscard]] std::uint64_t fingerprint(const Staircase& c);
+
+}  // namespace strt::engine

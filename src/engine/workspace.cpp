@@ -1,0 +1,308 @@
+#include "engine/workspace.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "curves/hull.hpp"
+#include "curves/minplus.hpp"
+#include "engine/fingerprint.hpp"
+#include "graph/workload.hpp"
+#include "obs/counters.hpp"
+
+namespace strt::engine {
+
+bool cache_enabled_default() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("STRT_CACHE");
+    return v == nullptr || std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+enum class Workspace::DerivedOp : std::uint8_t {
+  kAdd,
+  kConv,
+  kLeftover,
+  kHull,
+};
+
+struct Workspace::PseudoInverse::Entry {
+  std::mutex m;
+  std::unordered_map<std::int64_t, Time> memo;
+};
+
+struct Workspace::Impl {
+  struct TaskEntry {
+    /// The largest-horizon materialization so far (source of truncations).
+    CurvePtr max_curve;
+    /// Every horizon already answered, for exact re-hits.
+    std::map<std::int64_t, CurvePtr> by_horizon;
+  };
+
+  struct DerivedKey {
+    std::uint8_t op;
+    std::uint64_t a;
+    std::uint64_t b;
+    friend bool operator==(const DerivedKey&, const DerivedKey&) = default;
+  };
+  struct DerivedKeyHash {
+    std::size_t operator()(const DerivedKey& k) const {
+      return static_cast<std::size_t>(
+          hash_combine(hash_combine(k.a, k.b), k.op));
+    }
+  };
+
+  std::mutex m_intern;
+  std::unordered_map<std::uint64_t, std::vector<CurvePtr>> interned;
+
+  std::mutex m_tasks;
+  std::unordered_map<std::uint64_t, TaskEntry> rbfs;
+  std::unordered_map<std::uint64_t, TaskEntry> dbfs;
+
+  std::mutex m_sbf;
+  std::map<std::pair<std::string, std::int64_t>, CurvePtr> sbfs;
+
+  std::mutex m_derived;
+  std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash> derived;
+
+  std::mutex m_inverse;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PseudoInverse::Entry>>
+      inverses;
+
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<std::uint64_t> inverse_hits{0};
+  std::atomic<std::uint64_t> inverse_misses{0};
+
+  void note_hit() {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("cache.hits");
+    c.add(1);
+  }
+  void note_miss() {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("cache.misses");
+    c.add(1);
+  }
+  void note_bytes(std::uint64_t n) {
+    bytes.fetch_add(n, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("cache.bytes");
+    c.add(n);
+  }
+  void note_inverse(bool hit) {
+    (hit ? inverse_hits : inverse_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& ch = obs::counter("cache.inverse_hits");
+    static obs::Counter& cm = obs::counter("cache.inverse_misses");
+    (hit ? ch : cm).add(1);
+  }
+};
+
+Workspace::Workspace() : Workspace(cache_enabled_default()) {}
+
+Workspace::Workspace(bool caching)
+    : impl_(std::make_unique<Impl>()), caching_(caching) {}
+
+Workspace::~Workspace() = default;
+
+CurvePtr Workspace::intern(Staircase c) {
+  if (!caching_) return std::make_shared<const Staircase>(std::move(c));
+  const std::uint64_t fp = fingerprint(c);
+  const std::lock_guard lock(impl_->m_intern);
+  std::vector<CurvePtr>& bucket = impl_->interned[fp];
+  for (const CurvePtr& p : bucket) {
+    if (*p == c) return p;
+  }
+  auto p = std::make_shared<const Staircase>(std::move(c));
+  impl_->note_bytes(sizeof(Staircase) +
+                    static_cast<std::uint64_t>(p->steps().size()) *
+                        sizeof(Step));
+  bucket.push_back(p);
+  return p;
+}
+
+CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
+                                   bool demand) {
+  const auto compute = [&] {
+    return demand ? strt::dbf(task, horizon) : strt::rbf(task, horizon);
+  };
+  if (!caching_) {
+    impl_->note_miss();
+    return std::make_shared<const Staircase>(compute());
+  }
+  auto& table = demand ? impl_->dbfs : impl_->rbfs;
+  const std::uint64_t fp = task.fingerprint();
+
+  CurvePtr base;  // cached curve on a larger horizon, if any
+  {
+    const std::lock_guard lock(impl_->m_tasks);
+    Impl::TaskEntry& e = table[fp];
+    if (const auto hit = e.by_horizon.find(horizon.count());
+        hit != e.by_horizon.end()) {
+      impl_->note_hit();
+      return hit->second;
+    }
+    if (e.max_curve && e.max_curve->horizon() > horizon) base = e.max_curve;
+  }
+
+  // Compute outside the lock: either truncate the wider materialization
+  // (bit-identical to a fresh computation -- both are the canonical
+  // staircase of the same horizon-independent function) or explore fresh.
+  CurvePtr result;
+  if (base) {
+    result = intern(base->truncated(horizon));
+    impl_->note_hit();
+  } else {
+    result = intern(compute());
+    impl_->note_miss();
+  }
+  {
+    const std::lock_guard lock(impl_->m_tasks);
+    Impl::TaskEntry& e = table[fp];
+    const auto [it, inserted] =
+        e.by_horizon.emplace(horizon.count(), result);
+    if (!inserted) result = it->second;  // a racer filled it; same bits
+    if (!e.max_curve || e.max_curve->horizon() < horizon) {
+      e.max_curve = result;
+    }
+  }
+  return result;
+}
+
+CurvePtr Workspace::rbf(const DrtTask& task, Time horizon) {
+  return workload_curve(task, horizon, /*demand=*/false);
+}
+
+CurvePtr Workspace::dbf(const DrtTask& task, Time horizon) {
+  return workload_curve(task, horizon, /*demand=*/true);
+}
+
+CurvePtr Workspace::sbf(const Supply& supply, Time horizon) {
+  if (!caching_) {
+    impl_->note_miss();
+    return std::make_shared<const Staircase>(supply.sbf(horizon));
+  }
+  // Exact-match keying only: sbf curves carry a periodic tail, which
+  // truncation would drop, so horizon-extension reuse does not apply.
+  auto key = std::make_pair(supply.describe(), horizon.count());
+  {
+    const std::lock_guard lock(impl_->m_sbf);
+    if (const auto it = impl_->sbfs.find(key); it != impl_->sbfs.end()) {
+      impl_->note_hit();
+      return it->second;
+    }
+  }
+  CurvePtr result = intern(supply.sbf(horizon));
+  impl_->note_miss();
+  {
+    const std::lock_guard lock(impl_->m_sbf);
+    const auto [it, inserted] = impl_->sbfs.emplace(std::move(key), result);
+    if (!inserted) result = it->second;
+  }
+  return result;
+}
+
+CurvePtr Workspace::derived(DerivedOp op, const Staircase& f,
+                            const Staircase* g) {
+  const auto compute = [&]() -> Staircase {
+    switch (op) {
+      case DerivedOp::kAdd:
+        return strt::pointwise_add(f, *g);
+      case DerivedOp::kConv:
+        return strt::minplus_conv(f, *g);
+      case DerivedOp::kLeftover:
+        return strt::leftover_service(f, *g);
+      case DerivedOp::kHull:
+        return strt::concave_hull_staircase(f);
+    }
+    throw std::logic_error("unreachable");
+  };
+  if (!caching_) {
+    impl_->note_miss();
+    return std::make_shared<const Staircase>(compute());
+  }
+  const Impl::DerivedKey key{static_cast<std::uint8_t>(op), fingerprint(f),
+                             g != nullptr ? fingerprint(*g) : 0};
+  {
+    const std::lock_guard lock(impl_->m_derived);
+    if (const auto it = impl_->derived.find(key);
+        it != impl_->derived.end()) {
+      impl_->note_hit();
+      return it->second;
+    }
+  }
+  CurvePtr result = intern(compute());
+  impl_->note_miss();
+  {
+    const std::lock_guard lock(impl_->m_derived);
+    const auto [it, inserted] = impl_->derived.emplace(key, result);
+    if (!inserted) result = it->second;
+  }
+  return result;
+}
+
+CurvePtr Workspace::pointwise_add(const Staircase& f, const Staircase& g) {
+  return derived(DerivedOp::kAdd, f, &g);
+}
+
+CurvePtr Workspace::minplus_conv(const Staircase& f, const Staircase& g) {
+  return derived(DerivedOp::kConv, f, &g);
+}
+
+CurvePtr Workspace::leftover_service(const Staircase& b,
+                                     const Staircase& a) {
+  return derived(DerivedOp::kLeftover, b, &a);
+}
+
+CurvePtr Workspace::concave_hull_staircase(const Staircase& f) {
+  return derived(DerivedOp::kHull, f, nullptr);
+}
+
+Workspace::PseudoInverse Workspace::inverse_of(const Staircase& curve) {
+  if (!caching_) return PseudoInverse(&curve, nullptr, this);
+  const std::uint64_t fp = fingerprint(curve);
+  std::shared_ptr<PseudoInverse::Entry> entry;
+  {
+    const std::lock_guard lock(impl_->m_inverse);
+    auto& slot = impl_->inverses[fp];
+    if (!slot) slot = std::make_shared<PseudoInverse::Entry>();
+    entry = slot;
+  }
+  return PseudoInverse(&curve, std::move(entry), this);
+}
+
+Time Workspace::PseudoInverse::operator()(Work w) const {
+  if (!entry_) return curve_->inverse(w);
+  {
+    const std::lock_guard lock(entry_->m);
+    if (const auto it = entry_->memo.find(w.count());
+        it != entry_->memo.end()) {
+      owner_->impl_->note_inverse(true);
+      return it->second;
+    }
+  }
+  const Time t = curve_->inverse(w);
+  owner_->impl_->note_inverse(false);
+  const std::lock_guard lock(entry_->m);
+  entry_->memo.emplace(w.count(), t);
+  return t;
+}
+
+WorkspaceStats Workspace::stats() const {
+  WorkspaceStats s;
+  s.hits = impl_->hits.load(std::memory_order_relaxed);
+  s.misses = impl_->misses.load(std::memory_order_relaxed);
+  s.bytes = impl_->bytes.load(std::memory_order_relaxed);
+  s.inverse_hits = impl_->inverse_hits.load(std::memory_order_relaxed);
+  s.inverse_misses = impl_->inverse_misses.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace strt::engine

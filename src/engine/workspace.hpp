@@ -1,0 +1,151 @@
+// strt::engine -- a memoizing analysis workspace.
+//
+// Every core analysis is built from the same few expensive artifacts: the
+// exploration-backed request/demand-bound staircases rbf/dbf, materialized
+// supply curves, pointwise sums, leftover-service curves, concave hulls,
+// min-plus convolutions, and pseudo-inverse lookups on service curves.
+// Sweeping callers (sensitivity probing, Audsley priority search, the
+// joint-FP candidate loop, bench trial sweeps) recompute those artifacts
+// with identical arguments over and over.
+//
+// A Workspace is the cache that makes curves first-class reusable
+// artifacts:
+//
+//   * Hash-consing: every curve the workspace produces is interned by a
+//     64-bit content fingerprint (full equality confirmed on fingerprint
+//     match), so identical curves share one allocation and cache keys can
+//     be compared cheaply.
+//   * Workload curves rbf/dbf are memoized per task fingerprint
+//     (graph/drt computes it at build time) with *horizon-extension
+//     reuse*: a cached curve materialized to H' >= H answers the H query
+//     by truncation.  Both rbf and dbf are exact canonical staircases of
+//     a horizon-independent function, so the truncated answer is
+//     bit-identical to a fresh computation (enforced by
+//     tests/test_engine_equivalence.cpp).
+//   * Supply curves, pointwise sums, leftover service, concave hulls, and
+//     min-plus convolutions are memoized by operand fingerprints (exact
+//     match).
+//   * Pseudo-inverse lookups -- the hot loop of the structural analysis
+//     -- are memoized per (curve, value) via inverse_of().
+//
+// Concurrency: a Workspace is safe to share across strt::exec parallel
+// regions.  Tables take a mutex per lookup; computations run outside the
+// locks, so two threads may race to fill the same slot -- both compute
+// the identical canonical artifact and the intern table collapses the
+// results, keeping cache-on results bit-identical to cache-off and to
+// STRT_THREADS=1 runs.
+//
+// Switching off: Workspace(false) -- or the environment variable
+// STRT_CACHE=0 for workspaces built with the default constructor -- turns
+// every method into a pass-through that computes fresh (counted as
+// misses).  Results are bit-identical either way.
+//
+// Observability: cache.hits / cache.misses / cache.bytes (plus
+// cache.inverse_hits / cache.inverse_misses) are bumped on the global
+// obs registry, so run reports and BENCH_*.json pick them up; stats()
+// returns the same numbers per workspace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt::engine {
+
+/// Shared immutable curve handle: the unit of hash-consing.
+using CurvePtr = std::shared_ptr<const Staircase>;
+
+struct WorkspaceStats {
+  /// Curve-level queries answered from the cache (including horizon
+  /// truncations of a larger cached curve).
+  std::uint64_t hits{0};
+  /// Curve-level queries that had to compute (all queries when caching is
+  /// off).
+  std::uint64_t misses{0};
+  /// Approximate bytes of interned curve storage currently held.
+  std::uint64_t bytes{0};
+  /// Pseudo-inverse point lookups answered from / added to the memo.
+  std::uint64_t inverse_hits{0};
+  std::uint64_t inverse_misses{0};
+};
+
+/// True unless the environment variable STRT_CACHE is set to "0"
+/// (resolved once, on first use).
+[[nodiscard]] bool cache_enabled_default();
+
+class Workspace {
+ public:
+  /// Caching per STRT_CACHE (default: on).
+  Workspace();
+  /// Explicit caching switch (tests, ablations, --no-cache flags).
+  explicit Workspace(bool caching);
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  [[nodiscard]] bool caching() const { return caching_; }
+
+  /// Exact request-bound staircase of `task` on [0, horizon]; memoized by
+  /// task fingerprint with horizon-extension reuse.
+  [[nodiscard]] CurvePtr rbf(const DrtTask& task, Time horizon);
+
+  /// Exact demand-bound staircase (frame-separated tasks only; throws
+  /// like strt::dbf otherwise); memoized like rbf().
+  [[nodiscard]] CurvePtr dbf(const DrtTask& task, Time horizon);
+
+  /// supply.sbf(horizon), memoized by (supply description, horizon).
+  [[nodiscard]] CurvePtr sbf(const Supply& supply, Time horizon);
+
+  /// Memoized curve algebra (operand-fingerprint keyed, exact match).
+  [[nodiscard]] CurvePtr pointwise_add(const Staircase& f,
+                                       const Staircase& g);
+  [[nodiscard]] CurvePtr minplus_conv(const Staircase& f, const Staircase& g);
+  [[nodiscard]] CurvePtr leftover_service(const Staircase& b,
+                                          const Staircase& a);
+  [[nodiscard]] CurvePtr concave_hull_staircase(const Staircase& f);
+
+  /// Memoized pseudo-inverse view of one curve: obtain once per curve
+  /// (pays one content hash), then call per value.  `curve` must outlive
+  /// the returned object.  Thread-safe; lookups on the same curve share
+  /// one memo across the workspace.
+  class PseudoInverse {
+   public:
+    [[nodiscard]] Time operator()(Work w) const;
+
+   private:
+    friend class Workspace;
+    struct Entry;
+    PseudoInverse(const Staircase* curve, std::shared_ptr<Entry> entry,
+                  Workspace* owner)
+        : curve_(curve), entry_(std::move(entry)), owner_(owner) {}
+
+    const Staircase* curve_;
+    std::shared_ptr<Entry> entry_;  // null => pass-through (caching off)
+    Workspace* owner_;
+  };
+  [[nodiscard]] PseudoInverse inverse_of(const Staircase& curve);
+
+  /// Hash-conses `c`: returns the workspace's canonical shared instance
+  /// (full equality checked on fingerprint collision).
+  [[nodiscard]] CurvePtr intern(Staircase c);
+
+  [[nodiscard]] WorkspaceStats stats() const;
+
+ private:
+  enum class DerivedOp : std::uint8_t;
+  [[nodiscard]] CurvePtr derived(DerivedOp op, const Staircase& f,
+                                 const Staircase* g);
+  [[nodiscard]] CurvePtr workload_curve(const DrtTask& task, Time horizon,
+                                        bool demand);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool caching_;
+};
+
+}  // namespace strt::engine

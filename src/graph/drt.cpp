@@ -7,6 +7,22 @@
 
 namespace strt {
 
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of one 64-bit lane.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ mix64(v));
+}
+
+}  // namespace
+
 const DrtVertex& DrtTask::vertex(VertexId v) const {
   STRT_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < vertices_.size(),
                "vertex id out of range");
@@ -106,6 +122,22 @@ DrtTask DrtBuilder::build() && {
     task.out_edges_[static_cast<std::size_t>(cursor[v]++)] =
         static_cast<std::int32_t>(i);
   }
+
+  std::uint64_t fp = mix64(0x537472745461736bULL);  // "StrtTask"
+  fp = hash_combine(fp, task.vertices_.size());
+  for (const DrtVertex& v : task.vertices_) {
+    fp = hash_combine(fp, static_cast<std::uint64_t>(v.wcet.count()));
+    fp = hash_combine(fp, static_cast<std::uint64_t>(v.deadline.count()));
+  }
+  fp = hash_combine(fp, task.edges_.size());
+  for (const DrtEdge& e : task.edges_) {
+    fp = hash_combine(fp, static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(e.from)));
+    fp = hash_combine(fp, static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(e.to)));
+    fp = hash_combine(fp, static_cast<std::uint64_t>(e.separation.count()));
+  }
+  task.fingerprint_ = fp;
   return task;
 }
 

@@ -64,6 +64,14 @@ class DrtTask {
   /// unboundedly many jobs).
   [[nodiscard]] bool is_cyclic() const;
 
+  /// Content fingerprint over the analysis-relevant structure: vertex
+  /// (wcet, deadline) lists and (from, to, separation) edge lists, in
+  /// order.  Names are deliberately excluded -- they never influence a
+  /// curve or a delay bound -- so structurally identical tasks share one
+  /// fingerprint.  Computed once at build(); used by engine::Workspace to
+  /// key memoized rbf/dbf curves.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   friend class DrtBuilder;
   DrtTask() = default;
@@ -73,6 +81,7 @@ class DrtTask {
   std::vector<DrtEdge> edges_;
   std::vector<std::int32_t> out_index_;   // CSR offsets, size V+1
   std::vector<std::int32_t> out_edges_;   // CSR edge indices
+  std::uint64_t fingerprint_{0};
 };
 
 /// Incremental construction of a DrtTask with validation at build().

@@ -27,6 +27,9 @@
 
 #include "resource/supply.hpp"
 
+#include "engine/fingerprint.hpp"
+#include "engine/workspace.hpp"
+
 #include "core/abstractions.hpp"
 #include "core/audsley.hpp"
 #include "core/busy_window.hpp"

@@ -1,0 +1,163 @@
+// Unit tests of the strt::engine layer: task/curve fingerprints, the
+// hash-consing intern table, workload-curve memoization with
+// horizon-extension reuse, derived-op caching, pseudo-inverse memos, and
+// the caching-off pass-through mode.
+
+#include <gtest/gtest.h>
+
+#include "curves/builders.hpp"
+#include "curves/hull.hpp"
+#include "curves/minplus.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/workspace.hpp"
+#include "graph/drt.hpp"
+#include "graph/workload.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+namespace {
+
+DrtTask demo_task(const std::string& name, Work burst_wcet) {
+  DrtBuilder b(name);
+  b.add_vertex("B", burst_wcet, Time(60));
+  b.add_vertex("T", Work(1), Time(20));
+  b.add_edge(0, 1, Time(9));
+  b.add_edge(1, 1, Time(9));
+  b.add_edge(1, 0, Time(70));
+  return std::move(b).build();
+}
+
+TEST(EngineFingerprint, TaskFingerprintIsStructuralAndNameBlind) {
+  const DrtTask a = demo_task("alpha", Work(8));
+  const DrtTask b = demo_task("beta", Work(8));
+  const DrtTask c = demo_task("alpha", Work(9));
+  EXPECT_NE(a.fingerprint(), 0u);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // names don't matter
+  EXPECT_NE(a.fingerprint(), c.fingerprint());  // wcet does
+}
+
+TEST(EngineFingerprint, CurveFingerprintTracksContent) {
+  const DrtTask t = demo_task("t", Work(8));
+  const Staircase c1 = rbf(t, Time(200));
+  const Staircase c2 = rbf(t, Time(200));
+  const Staircase c3 = rbf(t, Time(300));
+  EXPECT_EQ(engine::fingerprint(c1), engine::fingerprint(c2));
+  EXPECT_NE(engine::fingerprint(c1), engine::fingerprint(c3));
+}
+
+TEST(EngineWorkspace, InternDeduplicates) {
+  engine::Workspace ws(true);
+  const DrtTask t = demo_task("t", Work(8));
+  const engine::CurvePtr a = ws.intern(rbf(t, Time(200)));
+  const engine::CurvePtr b = ws.intern(rbf(t, Time(200)));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_GT(ws.stats().bytes, 0u);
+}
+
+TEST(EngineWorkspace, RbfMemoizedWithHorizonExtensionReuse) {
+  engine::Workspace ws(true);
+  const DrtTask t = demo_task("t", Work(8));
+
+  const engine::CurvePtr big = ws.rbf(t, Time(512));
+  EXPECT_EQ(ws.stats().hits, 0u);
+
+  // Exact repeat: a hit, same canonical instance.
+  const engine::CurvePtr again = ws.rbf(t, Time(512));
+  EXPECT_EQ(big.get(), again.get());
+  EXPECT_GE(ws.stats().hits, 1u);
+
+  // Smaller horizon: answered by truncating the cached curve, and the
+  // truncation must be bit-identical to a fresh computation.
+  const engine::CurvePtr small = ws.rbf(t, Time(100));
+  EXPECT_EQ(*small, rbf(t, Time(100)));
+  EXPECT_GE(ws.stats().hits, 2u);
+}
+
+TEST(EngineWorkspace, DbfMatchesFreeFunction) {
+  engine::Workspace ws(true);
+  // Frame-separated variant: every deadline within the outgoing
+  // separations, so the exact dbf staircase is defined.
+  DrtBuilder b("frame");
+  b.add_vertex("B", Work(4), Time(9));
+  b.add_vertex("T", Work(1), Time(9));
+  b.add_edge(0, 1, Time(9));
+  b.add_edge(1, 1, Time(9));
+  b.add_edge(1, 0, Time(70));
+  const DrtTask t = std::move(b).build();
+  ASSERT_TRUE(t.has_frame_separation());
+  EXPECT_EQ(*ws.dbf(t, Time(400)), dbf(t, Time(400)));
+  EXPECT_EQ(*ws.dbf(t, Time(150)), dbf(t, Time(150)));
+}
+
+TEST(EngineWorkspace, SbfMemoizedByDescriptionAndHorizon) {
+  engine::Workspace ws(true);
+  const Supply s = Supply::tdma(Time(3), Time(8));
+  const engine::CurvePtr a = ws.sbf(s, Time(200));
+  const engine::CurvePtr b = ws.sbf(s, Time(200));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(*a, s.sbf(Time(200)));
+  // Different horizon is a fresh entry (tails forbid truncation reuse).
+  EXPECT_EQ(*ws.sbf(s, Time(100)), s.sbf(Time(100)));
+}
+
+TEST(EngineWorkspace, DerivedOpsMatchFreeFunctions) {
+  engine::Workspace ws(true);
+  const DrtTask t1 = demo_task("t1", Work(8));
+  const DrtTask t2 = demo_task("t2", Work(3));
+  const Staircase f = rbf(t1, Time(300));
+  const Staircase g = rbf(t2, Time(300));
+  const Staircase beta = Supply::tdma(Time(5), Time(10)).sbf(Time(300));
+
+  EXPECT_EQ(*ws.pointwise_add(f, g), pointwise_add(f, g));
+  EXPECT_EQ(*ws.minplus_conv(f, g), minplus_conv(f, g));
+  EXPECT_EQ(*ws.leftover_service(beta, g), leftover_service(beta, g));
+  EXPECT_EQ(*ws.concave_hull_staircase(f), concave_hull_staircase(f));
+
+  // Second identical query is served from the derived-op table.
+  const std::uint64_t hits = ws.stats().hits;
+  EXPECT_EQ(*ws.pointwise_add(f, g), pointwise_add(f, g));
+  EXPECT_GT(ws.stats().hits, hits);
+}
+
+TEST(EngineWorkspace, PseudoInverseMatchesDirectLookups) {
+  const Staircase beta = Supply::tdma(Time(4), Time(9)).sbf(Time(300));
+  for (const bool caching : {true, false}) {
+    engine::Workspace ws(caching);
+    const engine::Workspace::PseudoInverse inv = ws.inverse_of(beta);
+    for (std::int64_t w = 0; w <= beta.value(Time(300)).count(); ++w) {
+      EXPECT_EQ(inv(Work(w)), beta.inverse(Work(w)));
+    }
+    // Repeat pass: memoized answers must not drift.
+    for (std::int64_t w = 0; w <= beta.value(Time(300)).count(); ++w) {
+      EXPECT_EQ(inv(Work(w)), beta.inverse(Work(w)));
+    }
+  }
+}
+
+TEST(EngineWorkspace, CachingOffIsPassThrough) {
+  engine::Workspace ws(false);
+  EXPECT_FALSE(ws.caching());
+  const DrtTask t = demo_task("t", Work(8));
+  const engine::CurvePtr a = ws.rbf(t, Time(256));
+  const engine::CurvePtr b = ws.rbf(t, Time(256));
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(*a, rbf(t, Time(256)));
+  EXPECT_EQ(ws.stats().hits, 0u);
+  EXPECT_GE(ws.stats().misses, 2u);
+}
+
+TEST(EngineWorkspace, StatsCountHitsAndMisses) {
+  engine::Workspace ws(true);
+  const DrtTask t = demo_task("t", Work(8));
+  (void)ws.rbf(t, Time(128));
+  const engine::WorkspaceStats after_miss = ws.stats();
+  EXPECT_EQ(after_miss.hits, 0u);
+  EXPECT_EQ(after_miss.misses, 1u);
+  (void)ws.rbf(t, Time(128));
+  const engine::WorkspaceStats after_hit = ws.stats();
+  EXPECT_EQ(after_hit.hits, 1u);
+  EXPECT_EQ(after_hit.misses, 1u);
+}
+
+}  // namespace
+}  // namespace strt

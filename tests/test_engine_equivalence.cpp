@@ -1,0 +1,178 @@
+// Bit-identity contract of the engine Workspace: for every core analysis
+// routed through it, a cache-on run must be bit-identical to a cache-off
+// run and to a serial (STRT_THREADS=1) run -- same delays, same stats,
+// same orders, same counts -- across a population of random task sets,
+// and a second run on the same warm workspace must reproduce the first.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/audsley.hpp"
+#include "core/edf.hpp"
+#include "core/fixed_priority.hpp"
+#include "core/joint_fp.hpp"
+#include "core/sensitivity.hpp"
+#include "engine/workspace.hpp"
+#include "exec/exec.hpp"
+#include "model/generator.hpp"
+
+namespace strt {
+namespace {
+
+constexpr int kTaskSets = 50;
+
+void expect_same(const ExploreStats& a, const ExploreStats& b) {
+  EXPECT_EQ(a.generated, b.generated);
+  EXPECT_EQ(a.expanded, b.expanded);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.aborted, b.aborted);
+}
+
+void expect_same(const FpResult& a, const FpResult& b) {
+  EXPECT_EQ(a.overloaded, b.overloaded);
+  EXPECT_EQ(a.system_busy_window, b.system_busy_window);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].task_index, b.tasks[i].task_index);
+    EXPECT_EQ(a.tasks[i].busy_window, b.tasks[i].busy_window);
+    EXPECT_EQ(a.tasks[i].structural_delay, b.tasks[i].structural_delay);
+    EXPECT_EQ(a.tasks[i].curve_delay, b.tasks[i].curve_delay);
+    EXPECT_EQ(a.tasks[i].structural_backlog, b.tasks[i].structural_backlog);
+    EXPECT_EQ(a.tasks[i].curve_backlog, b.tasks[i].curve_backlog);
+    EXPECT_EQ(a.tasks[i].vertex_delays, b.tasks[i].vertex_delays);
+    EXPECT_EQ(a.tasks[i].meets_vertex_deadlines,
+              b.tasks[i].meets_vertex_deadlines);
+    expect_same(a.tasks[i].stats, b.tasks[i].stats);
+  }
+}
+
+void expect_same(const EdfResult& a, const EdfResult& b) {
+  EXPECT_EQ(a.schedulable, b.schedulable);
+  EXPECT_EQ(a.overloaded, b.overloaded);
+  EXPECT_EQ(a.first_violation, b.first_violation);
+  EXPECT_EQ(a.margin, b.margin);
+  EXPECT_EQ(a.horizon_checked, b.horizon_checked);
+}
+
+void expect_same(const JointFpResult& a, const JointFpResult& b) {
+  EXPECT_EQ(a.overloaded, b.overloaded);
+  EXPECT_EQ(a.joint_delay, b.joint_delay);
+  EXPECT_EQ(a.rbf_delay, b.rbf_delay);
+  EXPECT_EQ(a.paths_enumerated, b.paths_enumerated);
+  EXPECT_EQ(a.paths_analyzed, b.paths_analyzed);
+  EXPECT_EQ(a.busy_window, b.busy_window);
+  expect_same(a.explore_stats, b.explore_stats);
+}
+
+void expect_same(const SensitivityReport& a, const SensitivityReport& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.wcet_slack, b.wcet_slack);
+  EXPECT_EQ(a.separation_slack, b.separation_slack);
+}
+
+void expect_same(const AudsleyResult& a, const AudsleyResult& b) {
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.tests_run, b.tests_run);
+}
+
+/// Runs `analysis` (a callable taking a Workspace&) four ways -- cache
+/// off, cache on, cache on warm (second run on the same workspace), and
+/// cache on under 4 exec threads -- and requires all results identical.
+template <class Fn>
+void cache_equivalence(Fn&& analysis) {
+  exec::set_thread_count(1);
+  engine::Workspace off(false);
+  const auto reference = analysis(off);
+
+  engine::Workspace on(true);
+  const auto cached = analysis(on);
+  const auto warm = analysis(on);  // every curve already interned
+
+  exec::set_thread_count(4);
+  engine::Workspace shared(true);
+  const auto parallel = analysis(shared);
+  exec::set_thread_count(0);
+
+  expect_same(reference, cached);
+  expect_same(reference, warm);
+  expect_same(reference, parallel);
+}
+
+std::vector<DrtTask> random_set(std::uint64_t seed, std::size_t set_size,
+                                double total_util) {
+  Rng rng = Rng::split(seed, 0);
+  DrtGenParams params;
+  params.min_vertices = 2;
+  params.max_vertices = 4;
+  params.min_separation = Time(6);
+  params.max_separation = Time(24);
+  auto gen = random_drt_set(rng, set_size, total_util, params);
+  std::vector<DrtTask> tasks;
+  for (auto& g : gen) tasks.push_back(std::move(g.task));
+  return tasks;
+}
+
+TEST(EngineEquivalence, FixedPriorityBitIdentical) {
+  const Supply supply = Supply::dedicated(1);
+  StructuralOptions opts;
+  opts.want_witness = false;
+  for (int t = 0; t < kTaskSets; ++t) {
+    const auto tasks =
+        random_set(1000 + static_cast<std::uint64_t>(t), 3, 0.6);
+    cache_equivalence([&](engine::Workspace& ws) {
+      return fixed_priority_analysis(ws, tasks, supply, opts);
+    });
+  }
+}
+
+TEST(EngineEquivalence, EdfBitIdentical) {
+  const Supply supply = Supply::tdma(Time(7), Time(10));
+  for (int t = 0; t < kTaskSets; ++t) {
+    const auto tasks =
+        random_set(5000 + static_cast<std::uint64_t>(t), 3, 0.6);
+    cache_equivalence([&](engine::Workspace& ws) {
+      return edf_schedulable(ws, tasks, supply);
+    });
+  }
+}
+
+TEST(EngineEquivalence, JointFpBitIdentical) {
+  const Supply supply = Supply::dedicated(1);
+  for (int t = 0; t < kTaskSets; ++t) {
+    const auto tasks =
+        random_set(2000 + static_cast<std::uint64_t>(t), 3, 0.5);
+    cache_equivalence([&](engine::Workspace& ws) {
+      return joint_multi_task_fp(ws, {tasks.data(), 2}, tasks[2], supply,
+                                 {});
+    });
+  }
+}
+
+TEST(EngineEquivalence, SensitivityBitIdentical) {
+  const Supply supply = Supply::tdma(Time(5), Time(10));
+  for (int t = 0; t < kTaskSets; ++t) {
+    const auto tasks =
+        random_set(3000 + static_cast<std::uint64_t>(t), 1, 0.3);
+    cache_equivalence([&](engine::Workspace& ws) {
+      return sensitivity_analysis(ws, tasks[0], supply, {});
+    });
+  }
+}
+
+TEST(EngineEquivalence, AudsleyBitIdentical) {
+  const Supply supply = Supply::dedicated(1);
+  StructuralOptions opts;
+  opts.want_witness = false;
+  for (int t = 0; t < 10; ++t) {
+    const auto tasks =
+        random_set(4000 + static_cast<std::uint64_t>(t), 4, 0.7);
+    cache_equivalence([&](engine::Workspace& ws) {
+      return audsley_assignment(ws, tasks, supply, opts);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace strt
