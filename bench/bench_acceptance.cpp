@@ -34,6 +34,25 @@ int main() {
             << " random tasks per level\n\n";
 
   BenchReport report("acceptance");
+
+  // Front gate: lint a sample set from the same generator family before
+  // burning the sweep -- a generator regression fails loudly here, and
+  // the check.* counters land in the emitted report.
+  {
+    Rng rng = Rng::split(424242, 0);
+    std::vector<DrtTask> sample;
+    for (int i = 0; i < 4; ++i) {
+      DrtGenParams params;
+      params.min_vertices = 3;
+      params.max_vertices = 8;
+      params.min_separation = Time(4);
+      params.max_separation = Time(30);
+      params.target_utilization = levels[0];
+      sample.push_back(random_drt(rng, params).task);
+    }
+    lint_generated(sample);
+  }
+
   Table table({"target U", "structural", "hull", "bucket", "min-gap"});
   std::vector<std::vector<std::string>> csv_rows;
   std::uint64_t level_idx = 0;

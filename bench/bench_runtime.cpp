@@ -206,6 +206,7 @@ int run_speedup_section() {
   // --- Explorer overhaul ablation: same exploration, old data
   // structures vs new, results checked equal before timing.
   const GeneratedTask gen = task_with_vertices(20, 0.40, 2026);
+  lint_generated({&gen.task, 1});
   const Time window(600);
   constexpr int kReps = 5;
 

@@ -14,12 +14,15 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <type_traits>
 
 #include "base/rng.hpp"
 #include "base/types.hpp"
+#include "check/check.hpp"
 #include "exec/exec.hpp"
+#include "graph/drt.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 
@@ -38,6 +41,22 @@ template <class Fn>
     Rng rng = Rng::split(seed, i);
     return fn(rng, i);
   });
+}
+
+/// Front-gates generated instances through the strt::check lint once per
+/// harness run: a generator bug (malformed structure, utilization at or
+/// above 1) aborts the experiment instead of producing garbage tables,
+/// and the check.* counters the passes bump are captured into the
+/// harness's BENCH_<name>.json report.
+inline void lint_generated(std::span<const DrtTask> tasks) {
+  check::CheckResult r;
+  for (const DrtTask& t : tasks) r.merge(check::check_task(t));
+  r.merge(check::check_task_set(tasks));
+  if (!r.ok()) {
+    std::cerr << "bench: generated task set failed strt::check:\n";
+    r.print(std::cerr);
+    std::exit(1);
+  }
 }
 
 inline std::string show(Time t) {

@@ -15,6 +15,13 @@
 // bit-identical; useful for ablations) and `--threads N` pins the exec
 // pool size (0 = hardware default).
 //
+// `--check` runs the strt::check domain lint (task, task/supply system,
+// supply curve) before the analysis and prints its diagnostics; errors
+// abort with exit code 1.  `--check=strict` additionally treats warnings
+// as errors.  Diagnostics flow into the `--report` JSON either way
+// (check.report / check.errors / check.warnings fields).  Checking never
+// changes the analysis results -- it only gates them.
+//
 // Task file format (see src/io/parse.hpp):
 //     task burst
 //     vertex B wcet 8 deadline 60
@@ -32,6 +39,7 @@
 #include <sstream>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/abstractions.hpp"
 #include "engine/workspace.hpp"
 #include "exec/exec.hpp"
@@ -65,6 +73,8 @@ int main(int argc, char** argv) {
   std::optional<Time> deadline;
   std::string report_path;
   bool no_cache = false;
+  bool check = false;
+  bool check_strict = false;
 
   // Peel off the `--flag` arguments wherever they appear; the remaining
   // positional arguments keep their original meaning.
@@ -79,6 +89,11 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--check=strict") {
+      check = true;
+      check_strict = true;
     } else if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::cerr << "--threads requires a count\n";
@@ -105,19 +120,25 @@ int main(int argc, char** argv) {
   } else if (!args.empty()) {
     std::cerr << "usage: analyze_file <task-file> \"<supply spec>\" "
                  "[deadline] [--report out.json] [--no-cache] "
-                 "[--threads N]\n"
+                 "[--check[=strict]] [--threads N]\n"
                  "(no positional arguments runs a built-in demo)\n";
     return 2;
   }
 
-  DrtTask task = [&] {
+  check::CheckResult lint;
+  std::optional<DrtTask> parsed;
+  if (check) {
+    ParseResult res = parse_task_checked(task_text);
+    lint.merge(std::move(res.diagnostics));
+    parsed = std::move(res.task);
+  } else {
     try {
-      return parse_task(task_text);
+      parsed = parse_task(task_text);
     } catch (const std::invalid_argument& e) {
       std::cerr << "task: " << e.what() << '\n';
-      std::exit(2);
+      return 2;
     }
-  }();
+  }
   const Supply supply = [&] {
     try {
       return parse_supply(supply_text);
@@ -127,10 +148,31 @@ int main(int argc, char** argv) {
     }
   }();
 
+  if (check) {
+    if (parsed) {
+      lint.merge(check::check_system({&*parsed, 1}, supply));
+      lint.merge(check::check_supply_curve(supply.sbf(supply.min_horizon())));
+    }
+    if (!lint.clean()) lint.print(std::cerr);
+    const bool gate =
+        !lint.ok() || (check_strict && lint.warning_count() > 0);
+    if (gate || !parsed) {
+      std::cerr << "check: " << lint.error_count() << " error(s), "
+                << lint.warning_count() << " warning(s)"
+                << (check_strict ? " (strict: warnings are fatal)" : "")
+                << '\n';
+      if (gate) return 1;
+      return 2;  // parse failed without diagnostics -- defensive
+    }
+  }
+  if (!parsed) return 2;
+  DrtTask task = std::move(*parsed);
+
   std::cout << "Task:   " << task << '\n';
   std::cout << "Supply: " << supply.describe() << "\n\n";
 
   obs::RunReport report("analyze_file");
+  if (check) lint.append_to_report(report);
   report.put("task", task.name());
   report.put("supply", supply.describe());
   report.put("vertices", static_cast<std::int64_t>(task.vertex_count()));

@@ -52,13 +52,17 @@ int main() {
   for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
        ++v) {
     const Work slack = rep.wcet_slack[static_cast<std::size_t>(v)];
+    std::string slack_cell = "unbounded";
+    if (!slack.is_unbounded()) {
+      slack_cell = "+";
+      slack_cell += std::to_string(slack.count());
+    }
     wcet.add_row(
         {task.vertex(v).name, std::to_string(task.vertex(v).wcet.count()),
          std::to_string(task.vertex(v).deadline.count()),
          std::to_string(
              base.vertex_delays[static_cast<std::size_t>(v)].count()),
-         slack.is_unbounded() ? "unbounded"
-                              : "+" + std::to_string(slack.count())});
+         std::move(slack_cell)});
   }
   wcet.print(std::cout);
 
@@ -66,9 +70,11 @@ int main() {
   Table sep({"constraint", "separation", "separation slack"});
   for (std::size_t i = 0; i < task.edge_count(); ++i) {
     const DrtEdge& e = task.edges()[i];
+    std::string slack_cell = "-";
+    slack_cell += std::to_string(rep.separation_slack[i].count());
     sep.add_row({task.vertex(e.from).name + " -> " + task.vertex(e.to).name,
                  std::to_string(e.separation.count()),
-                 "-" + std::to_string(rep.separation_slack[i].count())});
+                 std::move(slack_cell)});
   }
   sep.print(std::cout);
 

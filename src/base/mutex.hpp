@@ -1,0 +1,65 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// strt::Mutex is std::mutex declared as a capability and strt::MutexLock
+// is an annotated lock_guard, so `-Wthread-safety` can statically verify
+// the locking discipline declared with STRT_GUARDED_BY / STRT_REQUIRES
+// (see base/thread_annotations.hpp).  Under libstdc++ the std types carry
+// no annotations, which is why the library's mutex-protected state goes
+// through these wrappers instead.
+//
+// Condition variables: use std::condition_variable_any and the
+// MutexLock::wait() hook.  wait() releases and reacquires the mutex
+// around the sleep; lexically the caller holds the capability across the
+// call, which is exactly the guarantee the analysis needs for the
+// predicate re-check that follows.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.hpp"
+
+namespace strt {
+
+class STRT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() STRT_ACQUIRE() { mu_.lock(); }
+  void unlock() STRT_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() STRT_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock (annotated std::lock_guard).
+class STRT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) STRT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() STRT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Blocks on `cv` until notified; the mutex is released while asleep
+  /// and held again on return.  Call in a loop re-checking the guarded
+  /// predicate, as with any condition variable.
+  void wait(std::condition_variable_any& cv) { cv.wait(*this); }
+
+  /// BasicLockable hooks for std::condition_variable_any only.  They
+  /// temporarily drop the capability without telling the analysis, which
+  /// is the one re-acquisition pattern it cannot model; do not call them
+  /// directly.
+  void lock() STRT_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() STRT_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace strt

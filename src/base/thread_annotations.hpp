@@ -1,0 +1,61 @@
+// Clang Thread Safety Analysis annotation shim.
+//
+// These macros expose Clang's -Wthread-safety attributes (capability
+// analysis over mutexes: which lock guards which state, which functions
+// require / acquire / release which locks) and compile away to nothing on
+// toolchains without the attributes (GCC, MSVC).  CI builds the library
+// with clang and -Wthread-safety -Werror, so a missing or wrong
+// annotation is a build break, not a TSan-only runtime find.
+//
+// Use together with strt::Mutex / strt::MutexLock (base/mutex.hpp) --
+// std::mutex itself is not an annotated capability under libstdc++, so
+// the analysis only understands the wrappers.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define STRT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define STRT_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (lockable) type; `x` names the
+/// capability kind in diagnostics, e.g. STRT_CAPABILITY("mutex").
+#define STRT_CAPABILITY(x) STRT_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define STRT_SCOPED_CAPABILITY STRT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define STRT_GUARDED_BY(x) STRT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member is protected
+/// by the given capability (the pointer itself is not).
+#define STRT_PT_GUARDED_BY(x) STRT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function-level contracts.
+#define STRT_REQUIRES(...) \
+  STRT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define STRT_ACQUIRE(...) \
+  STRT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define STRT_RELEASE(...) \
+  STRT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define STRT_TRY_ACQUIRE(...) \
+  STRT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define STRT_EXCLUDES(...) STRT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock detection).
+#define STRT_ACQUIRED_BEFORE(...) \
+  STRT_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define STRT_ACQUIRED_AFTER(...) \
+  STRT_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Returns a reference to the named capability (accessor functions).
+#define STRT_RETURN_CAPABILITY(x) STRT_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts a function out of the analysis entirely.  Reserve for cases the
+/// analysis cannot model (condition-variable wait reacquisition).
+#define STRT_NO_THREAD_SAFETY_ANALYSIS \
+  STRT_THREAD_ANNOTATION_(no_thread_safety_analysis)

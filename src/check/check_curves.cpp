@@ -1,0 +1,109 @@
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/check.hpp"
+#include "check/pass.hpp"
+
+namespace strt::check {
+
+namespace {
+
+constexpr auto kError = Severity::kError;
+constexpr auto kWarning = Severity::kWarning;
+
+std::string point_loc(std::size_t index) {
+  return "point #" + std::to_string(index);
+}
+
+}  // namespace
+
+CheckResult check_curve_points(std::span<const Step> points) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Step& p = points[i];
+    if (p.time < Time(0) || p.value < Work(0)) {
+      std::ostringstream msg;
+      msg << "sample (" << p.time << ", " << p.value
+          << ") has a negative coordinate";
+      r.add(kError, "curve.negative", point_loc(i), msg.str());
+    }
+  }
+
+  // Non-monotone samples: a later-in-time sample strictly below an
+  // earlier-in-time one.  from_points would silently lift the later
+  // sample to the running max, which almost always means the data is
+  // wrong (a dropped digit, shuffled columns), not that the author wanted
+  // the max.  Sweep in time order tracking the running max.
+  std::vector<std::size_t> order(points.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a].time != points[b].time)
+      return points[a].time < points[b].time;
+    return points[a].value < points[b].value;
+  });
+  Work running_max = Work(0);
+  Time max_at = Time(0);
+  for (const std::size_t i : order) {
+    if (points[i].time > max_at && points[i].value < running_max) {
+      std::ostringstream msg;
+      msg << "sample (" << points[i].time << ", " << points[i].value
+          << ") falls below the running maximum " << running_max << " at "
+          << max_at << " -- curves must be non-decreasing";
+      r.add(kError, "curve.non-monotone", point_loc(i), msg.str());
+    }
+    if (points[i].value > running_max) {
+      running_max = points[i].value;
+      max_at = points[i].time;
+    }
+  }
+  return r;
+}
+
+CheckResult check_arrival_curve(const Staircase& f) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  if (!f.starts_at_zero()) {
+    std::ostringstream msg;
+    msg << "f(0) = " << f.value(Time(0))
+        << " -- an arrival curve bounds the work of an empty window, "
+           "which is zero";
+    r.add(kWarning, "curve.nonzero-origin", "t = 0", msg.str());
+  }
+  return r;
+}
+
+CheckResult check_supply_curve(const Staircase& sbf) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  if (!sbf.starts_at_zero()) {
+    std::ostringstream msg;
+    msg << "sbf(0) = " << sbf.value(Time(0))
+        << " -- a supply curve delivers no service in an empty window";
+    r.add(kWarning, "curve.nonzero-origin", "t = 0", msg.str());
+  }
+
+  // The structural analysis inverts the sbf at every request level; that
+  // pseudo-inverse only stays in its domain when the curve provably keeps
+  // growing.  A missing tail means inverse() throws past the horizon
+  // value; a zero-increment tail means the inverse is unbounded for any
+  // demand above it.
+  const auto rate = sbf.long_run_rate();
+  if (!rate.has_value()) {
+    r.add(kError, "curve.unbounded-inverse", "tail",
+          "no periodic tail -- sbf^{-1}(w) is undefined for w above the "
+          "horizon value; attach the supply's long-run tail");
+  } else if (rate->is_zero()) {
+    r.add(kError, "curve.unbounded-inverse", "tail",
+          "tail increment is zero -- sbf^{-1}(w) is unbounded for any "
+          "demand above the horizon value");
+  }
+  return r;
+}
+
+}  // namespace strt::check

@@ -1,0 +1,115 @@
+#include <sstream>
+#include <string>
+
+#include "check/check.hpp"
+#include "check/pass.hpp"
+
+namespace strt::check {
+
+namespace {
+
+constexpr auto kError = Severity::kError;
+constexpr auto kWarning = Severity::kWarning;
+
+std::string frame_loc(const std::string& task, std::size_t index) {
+  std::string loc = "frame #" + std::to_string(index);
+  if (!task.empty()) loc += " of " + task;
+  return loc;
+}
+
+}  // namespace
+
+CheckResult check_gmf(const GmfTask& task) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  for (std::size_t i = 0; i < task.frames().size(); ++i) {
+    const GmfFrame& f = task.frames()[i];
+    const std::string loc = frame_loc(task.name(), i);
+    if (Time(f.wcet.count()) > f.deadline) {
+      std::ostringstream msg;
+      msg << "wcet " << f.wcet << " exceeds deadline " << f.deadline;
+      r.add(kError, "gmf.wcet-exceeds-deadline", loc, msg.str());
+    }
+    if (f.deadline > f.separation) {
+      std::ostringstream msg;
+      msg << "deadline " << f.deadline << " exceeds separation "
+          << f.separation
+          << " -- the ring loses frame separation (exact dbf unavailable)";
+      r.add(kWarning, "gmf.deadline-exceeds-separation", loc, msg.str());
+    }
+  }
+
+  // Frame-sum rule: one revolution of the ring releases total_wcet() work
+  // every total_separation() ticks, so the long-run utilization is their
+  // ratio; at or above 1 no unit-rate supply keeps up.
+  if (!task.frames().empty() &&
+      Time(task.total_wcet().count()) >= task.total_separation()) {
+    std::ostringstream msg;
+    msg << "frame wcet sum " << task.total_wcet()
+        << " reaches the separation sum " << task.total_separation()
+        << " -- long-run utilization >= 1";
+    r.add(kError, "gmf.overutilized",
+          task.name().empty() ? std::string("gmf task")
+                              : "gmf task " + task.name(),
+          msg.str());
+  }
+  return r;
+}
+
+CheckResult check_sporadic(const SporadicTask& task) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  const std::string loc = task.name.empty()
+                              ? std::string("sporadic task")
+                              : "sporadic task " + task.name;
+  if (Time(task.wcet.count()) > task.deadline) {
+    std::ostringstream msg;
+    msg << "wcet " << task.wcet << " exceeds deadline " << task.deadline;
+    r.add(kError, "sporadic.wcet-exceeds-deadline", loc, msg.str());
+  }
+  if (Time(task.wcet.count()) > task.period) {
+    std::ostringstream msg;
+    msg << "wcet " << task.wcet << " exceeds period " << task.period
+        << " -- utilization above 1";
+    r.add(kError, "sporadic.overutilized", loc, msg.str());
+  }
+  return r;
+}
+
+CheckResult check_recurring(const RecurringTaskBuilder& b) {
+  CheckResult r;
+  const detail::Pass pass(r);
+
+  const auto branches = b.branches();
+  std::optional<Time> period;
+  std::string period_branch;
+  for (const RecurringTaskBuilder::BranchInfo& br : branches) {
+    const std::string loc =
+        br.name.empty() ? "leaf #" + std::to_string(br.leaf)
+                        : "leaf " + br.name;
+    if (!br.restart.has_value()) {
+      r.add(kError, "recurring.missing-restart", loc,
+            "branch never restarts at the root -- the built DRT graph "
+            "dead-ends here (add_restart or with_global_period)");
+      continue;
+    }
+    // Root-to-root period implied by this branch: the span accumulated
+    // down the branch plus the restart separation back to the root.
+    const Time implied = br.span + *br.restart;
+    if (!period.has_value()) {
+      period = implied;
+      period_branch = loc;
+    } else if (implied != *period) {
+      std::ostringstream msg;
+      msg << "implies a root-to-root period of " << implied << " but "
+          << period_branch << " implies " << *period
+          << " -- branches of a recurring task usually share one period";
+      r.add(kWarning, "recurring.inconsistent-period", loc, msg.str());
+    }
+  }
+  return r;
+}
+
+}  // namespace strt::check

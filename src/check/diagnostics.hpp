@@ -1,0 +1,109 @@
+// strt::check -- diagnostics for the domain linter.
+//
+// A Diagnostic is one finding of a validator pass: a stable dotted code
+// (the unit tests pin one test per code), a severity, a human-oriented
+// location ("vertex B", "edge A->B", "line 7"), and a message.  A
+// CheckResult accumulates the findings of one or more passes; `ok()` is
+// the gate the analysis pipeline consults before running.
+//
+// The linter *never mutates* its subject: a model that passes checking
+// analyzes bit-identically to one that was never checked (enforced by
+// tests/test_check.cpp).
+//
+// Rendering: print() for terminals, to_json() (a JSON array, escaped with
+// the strt.obs.report machinery) for embedding into run reports, and
+// append_to_report() to fold summary fields plus the rendered array into
+// an obs::RunReport.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strt::obs {
+class RunReport;
+}  // namespace strt::obs
+
+namespace strt::check {
+
+enum class Severity : std::uint8_t {
+  /// Suspicious but analyzable: the analyses stay sound, the model is
+  /// probably not what the author meant (dead-end vertex, transient
+  /// vertex, non-frame-separated deadlines).
+  kWarning,
+  /// The model violates a precondition of the analyses: running them
+  /// would throw or silently produce meaningless bounds (non-positive
+  /// separation, utilization at or above the supply rate).
+  kError,
+};
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+/// One finding of a validator pass.
+struct Diagnostic {
+  std::string code;      // stable dotted identifier, e.g. "drt.dead-end"
+  Severity severity{Severity::kError};
+  std::string location;  // subject-relative, e.g. "vertex B" or "line 7"
+  std::string message;
+
+  /// `{"code": ..., "severity": ..., "location": ..., "message": ...}`.
+  [[nodiscard]] std::string to_json() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Diagnostic& d);
+
+/// Accumulated findings of one or more passes over one subject.
+class CheckResult {
+ public:
+  void add(Severity severity, std::string code, std::string location,
+           std::string message);
+  void merge(CheckResult other);
+
+  /// No errors (warnings allowed): the analyses' preconditions hold.
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  /// No findings at all.
+  [[nodiscard]] bool clean() const { return diagnostics_.empty(); }
+
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const {
+    return diagnostics_.size() - error_count_;
+  }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+  /// True if any finding carries exactly this code.
+  [[nodiscard]] bool has(std::string_view code) const;
+  /// Number of findings carrying exactly this code.
+  [[nodiscard]] std::size_t count(std::string_view code) const;
+
+  /// One line per diagnostic: `error[drt.dead-end] vertex B: ...`.
+  void print(std::ostream& os) const;
+
+  /// JSON array of Diagnostic::to_json() objects (no newlines).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Adds `check.diagnostics` / `check.errors` / `check.warnings` integer
+  /// fields and a `check.report` field holding to_json() to `report`.
+  void append_to_report(obs::RunReport& report) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+/// Registry entry describing one diagnostic code (docs and exhaustive
+/// test-coverage checks iterate this table).
+struct CodeInfo {
+  std::string_view code;
+  Severity severity;
+  std::string_view summary;
+};
+
+/// Every diagnostic code the linter can emit, sorted by code.
+[[nodiscard]] std::span<const CodeInfo> all_codes();
+
+}  // namespace strt::check

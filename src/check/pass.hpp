@@ -1,0 +1,46 @@
+// Internal: per-pass observability bookkeeping for strt::check.
+//
+// Every public pass opens one Pass at the top of its body: a "check" obs
+// span (precise nanosecond timing in the span tree) and, on close, the
+// check.diagnostics / check.errors / check.time_ms counter bumps that
+// run reports and BENCH_*.json pick up.  check.time_ms is coarse
+// (whole-millisecond truncation per pass); use the span tree for exact
+// lint cost.
+#pragma once
+
+#include <chrono>
+
+#include "check/diagnostics.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
+
+namespace strt::check::detail {
+
+class Pass {
+ public:
+  explicit Pass(const CheckResult& result)
+      : result_(result), span_("check"),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Pass(const Pass&) = delete;
+  Pass& operator=(const Pass&) = delete;
+
+  ~Pass() {
+    static obs::Counter& c_diags = obs::counter("check.diagnostics");
+    static obs::Counter& c_errors = obs::counter("check.errors");
+    static obs::Counter& c_ms = obs::counter("check.time_ms");
+    c_diags.add(result_.diagnostics().size());
+    c_errors.add(result_.error_count());
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    c_ms.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  const CheckResult& result_;
+  obs::Span span_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace strt::check::detail

@@ -27,6 +27,7 @@ std::int64_t cross(const HullVertex& a, const HullVertex& b,
 std::vector<HullVertex> concave_hull(const Staircase& f) {
   std::vector<HullVertex> pts;
   for (const Step& s : f.steps()) pts.push_back(HullVertex{s.time, s.value});
+  if (pts.empty()) pts.push_back(HullVertex{Time(0), Work(0)});
   if (pts.back().time < f.horizon()) {
     pts.push_back(HullVertex{f.horizon(), pts.back().value});
   }
@@ -67,7 +68,17 @@ Staircase concave_hull_staircase(const Staircase& f) {
   if (!hull.empty() && hull.front().value > Work(0)) {
     pts.push_back(Step{hull.front().time, hull.front().value});
   }
-  return Staircase::from_points(std::move(pts), f.horizon());
+  Staircase r = Staircase::from_points(std::move(pts), f.horizon());
+  // The hull dominates f pointwise, and both are integer staircases, so
+  // the floored hull must still sit on or above f at every breakpoint.
+  STRT_DCHECK(([&] {
+    for (const Step& s : f.steps()) {
+      if (r.value(s.time) < s.value) return false;
+    }
+    return true;
+  }()),
+              "concave hull staircase must dominate its input");
+  return r;
 }
 
 }  // namespace strt

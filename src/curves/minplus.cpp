@@ -19,11 +19,9 @@ namespace {
 constexpr std::size_t kMaxPieces = 30'000'000;
 
 void check_piece_budget(std::size_t nf, std::size_t ng) {
-  if (nf > kMaxPieces / std::max<std::size_t>(ng, 1)) {
-    throw std::runtime_error(
-        "minplus (de)convolution: operands have too many breakpoints; "
-        "coarsen the curves or shrink the horizon");
-  }
+  STRT_LIMIT(nf <= kMaxPieces / std::max<std::size_t>(ng, 1),
+             "minplus (de)convolution: operands have too many breakpoints; "
+             "coarsen the curves or shrink the horizon");
 }
 
 /// Merged, deduplicated breakpoint times of two curves, restricted to
@@ -125,7 +123,18 @@ Staircase envelope(std::vector<Piece> pieces, Time horizon) {
 }  // namespace
 
 Staircase pointwise_add(const Staircase& f, const Staircase& g) {
-  return pointwise_op(f, g, [](Work a, Work b) { return a + b; });
+  Staircase r = pointwise_op(f, g, [](Work a, Work b) { return a + b; });
+  // (Monotonicity of r is re-verified by the Staircase constructor; this
+  // cross-checks the *values* against a direct evaluation.)
+  STRT_DCHECK(([&] {
+    for (const Step& s : r.steps()) {
+      if (s.value != f.value(s.time) + g.value(s.time)) return false;
+    }
+    return r.value(r.horizon()) ==
+           f.value(r.horizon()) + g.value(r.horizon());
+  }()),
+              "pointwise_add samples must equal f(t) + g(t)");
+  return r;
 }
 
 Staircase pointwise_min(const Staircase& f, const Staircase& g) {
@@ -164,7 +173,25 @@ Staircase minplus_conv(const Staircase& f, const Staircase& g) {
                              fs[i].value + gs[j].value});
     }
   }
-  return envelope</*kMin=*/true>(std::move(pieces), horizon);
+  Staircase r = envelope</*kMin=*/true>(std::move(pieces), horizon);
+  // conv(t) = min_s f(s) + g(t-s) <= f(t) + g(0) wherever f is defined
+  // (and symmetrically); a breakpoint above that bound means the envelope
+  // dropped a piece.
+  STRT_DCHECK(([&] {
+    for (const Step& s : r.steps()) {
+      if (s.time <= f.horizon() &&
+          s.value > f.value(s.time) + g.value(Time(0))) {
+        return false;
+      }
+      if (s.time <= g.horizon() &&
+          s.value > g.value(s.time) + f.value(Time(0))) {
+        return false;
+      }
+    }
+    return true;
+  }()),
+              "minplus_conv must lie below f(t) + g(0) and g(t) + f(0)");
+  return r;
 }
 
 Staircase minplus_deconv(const Staircase& f, const Staircase& g) {

@@ -3,12 +3,14 @@
 #include <atomic>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "base/assert.hpp"
+#include "base/mutex.hpp"
+#include "check/check.hpp"
 #include "curves/hull.hpp"
 #include "curves/minplus.hpp"
 #include "engine/fingerprint.hpp"
@@ -33,8 +35,8 @@ enum class Workspace::DerivedOp : std::uint8_t {
 };
 
 struct Workspace::PseudoInverse::Entry {
-  std::mutex m;
-  std::unordered_map<std::int64_t, Time> memo;
+  Mutex m;
+  std::unordered_map<std::int64_t, Time> memo STRT_GUARDED_BY(m);
 };
 
 struct Workspace::Impl {
@@ -58,22 +60,29 @@ struct Workspace::Impl {
     }
   };
 
-  std::mutex m_intern;
-  std::unordered_map<std::uint64_t, std::vector<CurvePtr>> interned;
+  Mutex m_intern;
+  std::unordered_map<std::uint64_t, std::vector<CurvePtr>> interned
+      STRT_GUARDED_BY(m_intern);
 
-  std::mutex m_tasks;
-  std::unordered_map<std::uint64_t, TaskEntry> rbfs;
-  std::unordered_map<std::uint64_t, TaskEntry> dbfs;
+  Mutex m_tasks;
+  std::unordered_map<std::uint64_t, TaskEntry> rbfs STRT_GUARDED_BY(m_tasks);
+  std::unordered_map<std::uint64_t, TaskEntry> dbfs STRT_GUARDED_BY(m_tasks);
 
-  std::mutex m_sbf;
-  std::map<std::pair<std::string, std::int64_t>, CurvePtr> sbfs;
+  Mutex m_sbf;
+  std::map<std::pair<std::string, std::int64_t>, CurvePtr> sbfs
+      STRT_GUARDED_BY(m_sbf);
 
-  std::mutex m_derived;
-  std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash> derived;
+  Mutex m_derived;
+  std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash> derived
+      STRT_GUARDED_BY(m_derived);
 
-  std::mutex m_inverse;
+  Mutex m_inverse;
   std::unordered_map<std::uint64_t, std::shared_ptr<PseudoInverse::Entry>>
-      inverses;
+      inverses STRT_GUARDED_BY(m_inverse);
+
+  Mutex m_validate;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const check::CheckResult>>
+      validations STRT_GUARDED_BY(m_validate);
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
@@ -115,17 +124,50 @@ Workspace::~Workspace() = default;
 CurvePtr Workspace::intern(Staircase c) {
   if (!caching_) return std::make_shared<const Staircase>(std::move(c));
   const std::uint64_t fp = fingerprint(c);
-  const std::lock_guard lock(impl_->m_intern);
+  const MutexLock lock(impl_->m_intern);
   std::vector<CurvePtr>& bucket = impl_->interned[fp];
   for (const CurvePtr& p : bucket) {
     if (*p == c) return p;
   }
+  // A non-empty bucket here means two unequal curves share a 64-bit
+  // content fingerprint.  Hash-consing stays correct (full equality above
+  // decides), but every fingerprint-keyed memo table would then conflate
+  // them -- flag it under STRT_VALIDATE.
+  STRT_DCHECK(bucket.empty(),
+              "curve fingerprint collision: unequal curves share a hash");
   auto p = std::make_shared<const Staircase>(std::move(c));
   impl_->note_bytes(sizeof(Staircase) +
                     static_cast<std::uint64_t>(p->steps().size()) *
                         sizeof(Step));
   bucket.push_back(p);
   return p;
+}
+
+std::shared_ptr<const check::CheckResult> Workspace::validate(
+    const DrtTask& task) {
+  if (!caching_) {
+    return std::make_shared<const check::CheckResult>(check::check_task(task));
+  }
+  const std::uint64_t fp = task.fingerprint();
+  {
+    const MutexLock lock(impl_->m_validate);
+    if (const auto it = impl_->validations.find(fp);
+        it != impl_->validations.end()) {
+      impl_->note_hit();
+      return it->second;
+    }
+  }
+  // Lint outside the lock; racers produce identical results (the pass is
+  // pure) and the emplace below keeps the first one.
+  auto result =
+      std::make_shared<const check::CheckResult>(check::check_task(task));
+  impl_->note_miss();
+  {
+    const MutexLock lock(impl_->m_validate);
+    const auto [it, inserted] = impl_->validations.emplace(fp, result);
+    if (!inserted) result = it->second;
+  }
+  return result;
 }
 
 CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
@@ -142,7 +184,7 @@ CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
 
   CurvePtr base;  // cached curve on a larger horizon, if any
   {
-    const std::lock_guard lock(impl_->m_tasks);
+    const MutexLock lock(impl_->m_tasks);
     Impl::TaskEntry& e = table[fp];
     if (const auto hit = e.by_horizon.find(horizon.count());
         hit != e.by_horizon.end()) {
@@ -164,7 +206,7 @@ CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
     impl_->note_miss();
   }
   {
-    const std::lock_guard lock(impl_->m_tasks);
+    const MutexLock lock(impl_->m_tasks);
     Impl::TaskEntry& e = table[fp];
     const auto [it, inserted] =
         e.by_horizon.emplace(horizon.count(), result);
@@ -193,7 +235,7 @@ CurvePtr Workspace::sbf(const Supply& supply, Time horizon) {
   // truncation would drop, so horizon-extension reuse does not apply.
   auto key = std::make_pair(supply.describe(), horizon.count());
   {
-    const std::lock_guard lock(impl_->m_sbf);
+    const MutexLock lock(impl_->m_sbf);
     if (const auto it = impl_->sbfs.find(key); it != impl_->sbfs.end()) {
       impl_->note_hit();
       return it->second;
@@ -202,7 +244,7 @@ CurvePtr Workspace::sbf(const Supply& supply, Time horizon) {
   CurvePtr result = intern(supply.sbf(horizon));
   impl_->note_miss();
   {
-    const std::lock_guard lock(impl_->m_sbf);
+    const MutexLock lock(impl_->m_sbf);
     const auto [it, inserted] = impl_->sbfs.emplace(std::move(key), result);
     if (!inserted) result = it->second;
   }
@@ -231,7 +273,7 @@ CurvePtr Workspace::derived(DerivedOp op, const Staircase& f,
   const Impl::DerivedKey key{static_cast<std::uint8_t>(op), fingerprint(f),
                              g != nullptr ? fingerprint(*g) : 0};
   {
-    const std::lock_guard lock(impl_->m_derived);
+    const MutexLock lock(impl_->m_derived);
     if (const auto it = impl_->derived.find(key);
         it != impl_->derived.end()) {
       impl_->note_hit();
@@ -241,7 +283,7 @@ CurvePtr Workspace::derived(DerivedOp op, const Staircase& f,
   CurvePtr result = intern(compute());
   impl_->note_miss();
   {
-    const std::lock_guard lock(impl_->m_derived);
+    const MutexLock lock(impl_->m_derived);
     const auto [it, inserted] = impl_->derived.emplace(key, result);
     if (!inserted) result = it->second;
   }
@@ -270,7 +312,7 @@ Workspace::PseudoInverse Workspace::inverse_of(const Staircase& curve) {
   const std::uint64_t fp = fingerprint(curve);
   std::shared_ptr<PseudoInverse::Entry> entry;
   {
-    const std::lock_guard lock(impl_->m_inverse);
+    const MutexLock lock(impl_->m_inverse);
     auto& slot = impl_->inverses[fp];
     if (!slot) slot = std::make_shared<PseudoInverse::Entry>();
     entry = slot;
@@ -281,7 +323,7 @@ Workspace::PseudoInverse Workspace::inverse_of(const Staircase& curve) {
 Time Workspace::PseudoInverse::operator()(Work w) const {
   if (!entry_) return curve_->inverse(w);
   {
-    const std::lock_guard lock(entry_->m);
+    const MutexLock lock(entry_->m);
     if (const auto it = entry_->memo.find(w.count());
         it != entry_->memo.end()) {
       owner_->impl_->note_inverse(true);
@@ -290,7 +332,7 @@ Time Workspace::PseudoInverse::operator()(Work w) const {
   }
   const Time t = curve_->inverse(w);
   owner_->impl_->note_inverse(false);
-  const std::lock_guard lock(entry_->m);
+  const MutexLock lock(entry_->m);
   entry_->memo.emplace(w.count(), t);
   return t;
 }

@@ -50,6 +50,7 @@
 #include <memory>
 
 #include "base/types.hpp"
+#include "check/diagnostics.hpp"
 #include "curves/staircase.hpp"
 #include "graph/drt.hpp"
 #include "resource/supply.hpp"
@@ -89,6 +90,13 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   [[nodiscard]] bool caching() const { return caching_; }
+
+  /// Front gate: strt::check::check_task diagnostics for `task`, memoized
+  /// by task fingerprint (the lint pass is pure, so one result serves
+  /// every later query).  Callers gate on result->ok() before running the
+  /// analyses; checking never changes what rbf/dbf return.
+  [[nodiscard]] std::shared_ptr<const check::CheckResult> validate(
+      const DrtTask& task);
 
   /// Exact request-bound staircase of `task` on [0, horizon]; memoized by
   /// task fingerprint with horizon-extension reuse.

@@ -6,9 +6,10 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "obs/counters.hpp"
 #include "obs/span.hpp"
 
@@ -32,9 +33,9 @@ std::size_t default_thread_count() {
 /// the front, thieves take the back half; both paths lock `mu` for a few
 /// instructions only.
 struct Block {
-  std::mutex mu;
-  std::size_t next = 0;
-  std::size_t end = 0;
+  Mutex mu;
+  std::size_t next STRT_GUARDED_BY(mu) = 0;
+  std::size_t end STRT_GUARDED_BY(mu) = 0;
 };
 
 /// Shared state of one parallel_for run.  Heap-allocated and reference-
@@ -48,6 +49,7 @@ struct Job {
     for (std::size_t p = 0; p < participants; ++p) {
       // Spread the n % participants leftover one-per-block from the front.
       const std::size_t hi = lo + per + (p < n % participants ? 1 : 0);
+      const MutexLock lock(blocks[p].mu);
       blocks[p].next = lo;
       blocks[p].end = hi;
       lo = hi;
@@ -60,24 +62,31 @@ struct Job {
 
   std::atomic<std::uint64_t> steals{0};
   std::atomic<bool> failed{false};
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex error_mu;
+  std::exception_ptr error STRT_GUARDED_BY(error_mu);
 
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t finished = 0;  // guarded by done_mu
+  Mutex done_mu;
+  std::condition_variable_any done_cv;
+  std::size_t finished STRT_GUARDED_BY(done_mu) = 0;
 
   void record_error(std::exception_ptr e) {
-    const std::lock_guard lock(error_mu);
+    const MutexLock lock(error_mu);
     if (!error) error = std::move(e);
     failed.store(true, std::memory_order_relaxed);
+  }
+
+  /// Reads the first recorded error; call only after every participant is
+  /// done (the caller's wait on done_cv is the synchronization point).
+  std::exception_ptr take_error() {
+    const MutexLock lock(error_mu);
+    return error;
   }
 
   /// Pops the next index of block `p`, or steals the back half of the
   /// fattest other block.  Returns false when the whole space is claimed.
   bool claim(std::size_t& p, std::size_t& idx) {
     {
-      const std::lock_guard lock(blocks[p].mu);
+      const MutexLock lock(blocks[p].mu);
       if (blocks[p].next < blocks[p].end) {
         idx = blocks[p].next++;
         return true;
@@ -88,7 +97,7 @@ struct Job {
       std::size_t fattest = 0;
       for (std::size_t v = 0; v < blocks.size(); ++v) {
         if (v == p) continue;
-        const std::lock_guard lock(blocks[v].mu);
+        const MutexLock lock(blocks[v].mu);
         const std::size_t avail = blocks[v].end - blocks[v].next;
         if (avail > fattest) {
           fattest = avail;
@@ -99,7 +108,7 @@ struct Job {
       std::size_t lo;
       std::size_t hi;
       {
-        const std::lock_guard lock(blocks[victim].mu);
+        const MutexLock lock(blocks[victim].mu);
         const std::size_t avail = blocks[victim].end - blocks[victim].next;
         if (avail == 0) continue;  // raced; rescan
         const std::size_t take = (avail + 1) / 2;
@@ -111,7 +120,7 @@ struct Job {
       // time -- holding victim + own together could cycle among thieves);
       // later steals from *us* then rebalance further.  Our block is
       // empty, so nobody else writes it between the two sections.
-      const std::lock_guard own(blocks[p].mu);
+      const MutexLock own(blocks[p].mu);
       blocks[p].next = lo;
       blocks[p].end = hi;
       idx = blocks[p].next++;
@@ -133,7 +142,7 @@ struct Job {
           record_error(std::current_exception());
         }
       }
-      const std::lock_guard lock(done_mu);
+      const MutexLock lock(done_mu);
       if (++finished == n) done_cv.notify_all();
     }
   }
@@ -147,12 +156,12 @@ class Pool {
   }
 
   std::size_t threads() {
-    const std::lock_guard lock(config_mu_);
+    const MutexLock lock(config_mu_);
     return configured_;
   }
 
   void set_threads(std::size_t n) {
-    const std::lock_guard lock(config_mu_);
+    const MutexLock lock(config_mu_);
     join_workers();
     configured_ = n == 0 ? default_thread_count() : n;
   }
@@ -163,10 +172,10 @@ class Pool {
       for (std::size_t i = 0; i < n; ++i) fn(i);
       return;
     }
-    const std::lock_guard run_lock(run_mu_);
+    const MutexLock run_lock(run_mu_);
     std::size_t participants;
     {
-      const std::lock_guard lock(config_mu_);
+      const MutexLock lock(config_mu_);
       participants = std::min(configured_, n);
       if (participants > 1) spawn_workers(configured_ - 1);
     }
@@ -183,7 +192,7 @@ class Pool {
     auto job = std::make_shared<Job>(n, participants);
     job->fn = &fn;
     {
-      const std::lock_guard lock(job_mu_);
+      const MutexLock lock(job_mu_);
       job_ = job;
       ++job_seq_;
     }
@@ -195,11 +204,11 @@ class Pool {
     job->work(0);
     t_inside_parallel = false;
     {
-      std::unique_lock lock(job->done_mu);
-      job->done_cv.wait(lock, [&] { return job->finished == job->n; });
+      MutexLock lock(job->done_mu);
+      while (job->finished != job->n) lock.wait(job->done_cv);
     }
     {
-      const std::lock_guard lock(job_mu_);
+      const MutexLock lock(job_mu_);
       job_.reset();
     }
 
@@ -207,37 +216,36 @@ class Pool {
     static obs::Counter& c_steals = obs::counter("exec.steals");
     c_tasks.add(n);
     c_steals.add(job->steals.load(std::memory_order_relaxed));
-    if (job->error) std::rethrow_exception(job->error);
+    if (std::exception_ptr e = job->take_error()) std::rethrow_exception(e);
   }
 
   ~Pool() {
-    const std::lock_guard lock(config_mu_);
+    const MutexLock lock(config_mu_);
     join_workers();
   }
 
  private:
   Pool() : configured_(default_thread_count()) {}
 
-  // Requires config_mu_.  Tops the worker set up to `want` threads;
-  // workers persist across runs and park on job_cv_.
-  void spawn_workers(std::size_t want) {
+  /// Tops the worker set up to `want` threads; workers persist across
+  /// runs and park on job_cv_.
+  void spawn_workers(std::size_t want) STRT_REQUIRES(config_mu_) {
     while (workers_.size() < want) {
       const std::size_t worker_index = workers_.size();
       workers_.emplace_back([this, worker_index] { worker_loop(worker_index); });
     }
   }
 
-  // Requires config_mu_.
-  void join_workers() {
+  void join_workers() STRT_REQUIRES(config_mu_) {
     {
-      const std::lock_guard lock(job_mu_);
+      const MutexLock lock(job_mu_);
       stop_ = true;
     }
     job_cv_.notify_all();
     for (std::thread& t : workers_) t.join();
     workers_.clear();
     {
-      const std::lock_guard lock(job_mu_);
+      const MutexLock lock(job_mu_);
       stop_ = false;
     }
   }
@@ -249,10 +257,10 @@ class Pool {
       std::shared_ptr<Job> job;
       std::uint64_t seq;
       {
-        std::unique_lock lock(job_mu_);
-        job_cv_.wait(lock, [&] {
-          return stop_ || (job_ != nullptr && job_seq_ != seen);
-        });
+        MutexLock lock(job_mu_);
+        while (!stop_ && (job_ == nullptr || job_seq_ == seen)) {
+          lock.wait(job_cv_);
+        }
         if (stop_) return;
         job = job_;
         seq = job_seq_;
@@ -266,17 +274,17 @@ class Pool {
     }
   }
 
-  std::mutex config_mu_;
-  std::size_t configured_;
-  std::vector<std::thread> workers_;
+  Mutex config_mu_;
+  std::size_t configured_ STRT_GUARDED_BY(config_mu_);
+  std::vector<std::thread> workers_ STRT_GUARDED_BY(config_mu_);
 
-  std::mutex run_mu_;  // one parallel_for at a time
+  Mutex run_mu_;  // one parallel_for at a time
 
-  std::mutex job_mu_;
-  std::condition_variable job_cv_;
-  std::shared_ptr<Job> job_;
-  std::uint64_t job_seq_ = 0;
-  bool stop_ = false;
+  Mutex job_mu_;
+  std::condition_variable_any job_cv_;
+  std::shared_ptr<Job> job_ STRT_GUARDED_BY(job_mu_);
+  std::uint64_t job_seq_ STRT_GUARDED_BY(job_mu_) = 0;
+  bool stop_ STRT_GUARDED_BY(job_mu_) = false;
 };
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include "io/curve_csv.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <ostream>
+#include <utility>
 
 #include "base/assert.hpp"
+#include "check/check.hpp"
 #include "io/csv.hpp"
 
 namespace strt {
@@ -39,6 +42,72 @@ void write_curves_csv(std::ostream& os,
     }
     csv.row(row);
   }
+}
+
+namespace {
+
+std::optional<std::int64_t> csv_int(std::string_view field) {
+  while (!field.empty() && (field.front() == ' ' || field.front() == '\t')) {
+    field.remove_prefix(1);
+  }
+  while (!field.empty() && (field.back() == ' ' || field.back() == '\t' ||
+                            field.back() == '\r')) {
+    field.remove_suffix(1);
+  }
+  if (field.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(field.begin(), field.end(), v);
+  if (ec != std::errc{} || p != field.end()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+CurveReadResult read_curve_points_csv(std::string_view text) {
+  constexpr auto kError = check::Severity::kError;
+  CurveReadResult out;
+  check::CheckResult& r = out.diagnostics;
+  std::vector<Step> points;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    std::string_view body = line;
+    if (!body.empty() && body.back() == '\r') body.remove_suffix(1);
+    if (body.empty() || body.front() == '#') continue;
+    const std::string loc = "line " + std::to_string(line_no);
+
+    const std::size_t comma = body.find(',');
+    if (comma == std::string_view::npos) {
+      r.add(kError, "parse.syntax", loc,
+            "expected 'time,value', got '" + std::string(body) + "'");
+      continue;
+    }
+    if (body.find(',', comma + 1) != std::string_view::npos) {
+      r.add(kError, "parse.syntax", loc,
+            "expected exactly two columns 'time,value'");
+      continue;
+    }
+    const auto t = csv_int(body.substr(0, comma));
+    const auto v = csv_int(body.substr(comma + 1));
+    if (!t || !v) {
+      // A non-numeric leading row is the header; anything later is bad.
+      if (points.empty() && r.clean() && !t && !v) continue;
+      r.add(kError, "parse.invalid-value", loc,
+            "both columns must be integers, got '" + std::string(body) + "'");
+      continue;
+    }
+    points.push_back(Step{Time(*t), Work(*v)});
+  }
+
+  r.merge(check::check_curve_points(points));
+  if (r.ok()) out.points = std::move(points);
+  return out;
 }
 
 }  // namespace strt

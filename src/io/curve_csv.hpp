@@ -1,10 +1,13 @@
-// CSV emission of curves (for plotting rbf/sbf/abstraction figures).
+// CSV emission of curves (for plotting rbf/sbf/abstraction figures) and
+// diagnostic-collecting ingestion of raw curve samples.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "check/diagnostics.hpp"
 #include "curves/staircase.hpp"
 
 namespace strt {
@@ -20,5 +23,20 @@ struct CurveSeries {
 /// be evaluable on [0, upto].
 void write_curves_csv(std::ostream& os, const std::vector<CurveSeries>& series,
                       Time upto);
+
+/// Outcome of reading raw curve samples: every problem is a diagnostic
+/// (never a partially-usable sample list -- `points` is empty unless
+/// diagnostics.ok()).
+struct CurveReadResult {
+  std::vector<Step> points;
+  check::CheckResult diagnostics;
+};
+
+/// Reads `time,value` CSV rows (an optional non-numeric header line is
+/// skipped; '#' lines and blank lines ignored) into curve samples.
+/// Syntax problems surface as parse.syntax / parse.invalid-value with
+/// "line N" locations; well-formed samples are then linted with
+/// strt::check::check_curve_points (curve.negative, curve.non-monotone).
+[[nodiscard]] CurveReadResult read_curve_points_csv(std::string_view text);
 
 }  // namespace strt

@@ -4,9 +4,11 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "base/assert.hpp"
+#include "check/check.hpp"
 
 namespace strt {
 
@@ -35,13 +37,19 @@ std::vector<std::string_view> tokenize(std::string_view line) {
   throw std::invalid_argument(os.str());
 }
 
-std::int64_t parse_int(std::string_view tok, std::size_t line_no) {
+std::optional<std::int64_t> try_parse_int(std::string_view tok) {
   std::int64_t v = 0;
   const auto [p, ec] = std::from_chars(tok.begin(), tok.end(), v);
-  if (ec != std::errc{} || p != tok.end()) {
+  if (ec != std::errc{} || p != tok.end()) return std::nullopt;
+  return v;
+}
+
+std::int64_t parse_int(std::string_view tok, std::size_t line_no) {
+  const auto v = try_parse_int(tok);
+  if (!v) {
     fail(line_no, "expected an integer, got '" + std::string(tok) + "'");
   }
-  return v;
+  return *v;
 }
 
 Rational parse_rational(std::string_view tok, std::size_t line_no) {
@@ -75,11 +83,46 @@ std::string_view require_key(
   return it->second;
 }
 
+/// Diagnostic-collecting field lookup + integer parse: emits
+/// parse.missing-field / parse.invalid-value and returns `fallback` so the
+/// caller can keep scanning the rest of the input.
+std::int64_t read_int_field(
+    const std::map<std::string_view, std::string_view>& kv,
+    std::string_view key, const std::string& loc, std::int64_t fallback,
+    check::CheckResult& r) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) {
+    std::string msg = "missing '";
+    msg.append(key);
+    msg += '\'';
+    r.add(check::Severity::kError, "parse.missing-field", loc,
+          std::move(msg));
+    return fallback;
+  }
+  const auto v = try_parse_int(it->second);
+  if (!v) {
+    std::string msg = "'";
+    msg.append(key);
+    msg += "' expects an integer, got '";
+    msg.append(it->second);
+    msg += '\'';
+    r.add(check::Severity::kError, "parse.invalid-value", loc,
+          std::move(msg));
+    return fallback;
+  }
+  return *v;
+}
+
 }  // namespace
 
-DrtTask parse_task(std::string_view text) {
-  std::optional<DrtBuilder> builder;
-  std::map<std::string, VertexId, std::less<>> ids;
+ParseResult parse_task_checked(std::string_view text) {
+  constexpr auto kError = check::Severity::kError;
+  ParseResult out;
+  check::CheckResult& r = out.diagnostics;
+  check::TaskSpec spec;
+  bool have_task = false;
+  std::map<std::string, std::int32_t, std::less<>> ids;
+
   std::size_t line_no = 0;
   std::size_t pos = 0;
   while (pos <= text.size()) {
@@ -90,42 +133,97 @@ DrtTask parse_task(std::string_view text) {
     ++line_no;
     const auto toks = tokenize(line);
     if (toks.empty()) continue;
+    const std::string loc = "line " + std::to_string(line_no);
+
     if (toks[0] == "task") {
-      if (builder) fail(line_no, "duplicate 'task' directive");
-      if (toks.size() != 2) fail(line_no, "usage: task <name>");
-      builder.emplace(std::string(toks[1]));
-    } else if (toks[0] == "vertex") {
-      if (!builder) fail(line_no, "'vertex' before 'task'");
-      if (toks.size() != 6) {
-        fail(line_no, "usage: vertex <name> wcet <n> deadline <n>");
+      if (have_task) {
+        r.add(kError, "parse.syntax", loc, "duplicate 'task' directive");
+      } else if (toks.size() != 2) {
+        r.add(kError, "parse.syntax", loc, "usage: task <name>");
+      } else {
+        have_task = true;
+        spec.name = std::string(toks[1]);
       }
-      const auto kv = parse_kv(toks, 2, line_no);
+    } else if (toks[0] == "vertex") {
+      if (!have_task) {
+        r.add(kError, "parse.syntax", loc, "'vertex' before 'task'");
+        continue;
+      }
+      if (toks.size() != 6) {
+        r.add(kError, "parse.syntax", loc,
+              "usage: vertex <name> wcet <n> deadline <n>");
+        continue;
+      }
+      std::map<std::string_view, std::string_view> kv;
+      for (std::size_t i = 2; i + 1 < toks.size(); i += 2) {
+        kv[toks[i]] = toks[i + 1];
+      }
       const std::string name(toks[1]);
-      if (ids.contains(name)) fail(line_no, "duplicate vertex " + name);
-      ids[name] = builder->add_vertex(
-          name, Work(parse_int(require_key(kv, "wcet", line_no), line_no)),
-          Time(parse_int(require_key(kv, "deadline", line_no), line_no)));
+      if (ids.contains(name)) {
+        r.add(kError, "parse.duplicate-vertex", loc,
+              "duplicate vertex " + name);
+        continue;
+      }
+      check::TaskSpec::Vertex v;
+      v.name = name;
+      v.wcet = read_int_field(kv, "wcet", loc, 1, r);
+      v.deadline = read_int_field(kv, "deadline", loc, 1, r);
+      ids.emplace(name, static_cast<std::int32_t>(spec.vertices.size()));
+      spec.vertices.push_back(std::move(v));
     } else if (toks[0] == "edge") {
-      if (!builder) fail(line_no, "'edge' before 'task'");
-      if (toks.size() != 5) fail(line_no, "usage: edge <from> <to> sep <n>");
-      const auto kv = parse_kv(toks, 3, line_no);
+      if (!have_task) {
+        r.add(kError, "parse.syntax", loc, "'edge' before 'task'");
+        continue;
+      }
+      if (toks.size() != 5) {
+        r.add(kError, "parse.syntax", loc, "usage: edge <from> <to> sep <n>");
+        continue;
+      }
+      std::map<std::string_view, std::string_view> kv;
+      for (std::size_t i = 3; i + 1 < toks.size(); i += 2) {
+        kv[toks[i]] = toks[i + 1];
+      }
       const auto from = ids.find(toks[1]);
       const auto to = ids.find(toks[2]);
+      bool resolved = true;
       if (from == ids.end()) {
-        fail(line_no, "unknown vertex '" + std::string(toks[1]) + "'");
+        r.add(kError, "parse.unknown-vertex", loc,
+              "unknown vertex '" + std::string(toks[1]) + "'");
+        resolved = false;
       }
       if (to == ids.end()) {
-        fail(line_no, "unknown vertex '" + std::string(toks[2]) + "'");
+        r.add(kError, "parse.unknown-vertex", loc,
+              "unknown vertex '" + std::string(toks[2]) + "'");
+        resolved = false;
       }
-      builder->add_edge(
-          from->second, to->second,
-          Time(parse_int(require_key(kv, "sep", line_no), line_no)));
+      const std::int64_t sep = read_int_field(kv, "sep", loc, 1, r);
+      if (resolved) {
+        spec.edges.push_back(
+            check::TaskSpec::Edge{from->second, to->second, sep});
+      }
     } else {
-      fail(line_no, "unknown directive '" + std::string(toks[0]) + "'");
+      r.add(kError, "parse.syntax", loc,
+            "unknown directive '" + std::string(toks[0]) + "'");
     }
   }
-  if (!builder) throw std::invalid_argument("no 'task' directive found");
-  return std::move(*builder).build();
+
+  if (!have_task) {
+    r.add(kError, "parse.no-task", "input", "no 'task' directive found");
+  }
+  if (r.ok()) out.task = check::build_task(spec, r);
+  return out;
+}
+
+DrtTask parse_task(std::string_view text) {
+  ParseResult res = parse_task_checked(text);
+  if (res.task.has_value()) return std::move(*res.task);
+  for (const check::Diagnostic& d : res.diagnostics.diagnostics()) {
+    if (d.severity == check::Severity::kError) {
+      throw std::invalid_argument("parse error at " + d.location + ": " +
+                                  d.message);
+    }
+  }
+  throw std::invalid_argument("parse error: task construction failed");
 }
 
 std::string serialize_task(const DrtTask& task) {
@@ -201,6 +299,17 @@ std::string serialize_supply(const Supply& supply) {
       },
       supply.model());
   return os.str();
+}
+
+SupplyParseResult parse_supply_checked(std::string_view text) {
+  SupplyParseResult out;
+  try {
+    out.supply = parse_supply(text);
+  } catch (const std::invalid_argument& e) {
+    out.diagnostics.add(check::Severity::kError, "parse.syntax", "supply",
+                        e.what());
+  }
+  return out;
 }
 
 }  // namespace strt

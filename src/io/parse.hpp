@@ -16,16 +16,44 @@
 //     tdma slot 5 cycle 20
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "check/diagnostics.hpp"
 #include "graph/drt.hpp"
 #include "resource/supply.hpp"
 
 namespace strt {
 
+/// Outcome of a diagnostic-collecting parse: the model (absent when
+/// errors prevented construction) plus every problem found.  The parser
+/// never hands back a partially-built model: `task` is only set once the
+/// whole input round-tripped through the strt::check spec pass.
+struct ParseResult {
+  std::optional<DrtTask> task;
+  check::CheckResult diagnostics;
+};
+
+/// Parses a task description, collecting *all* problems as parse.* / drt.*
+/// diagnostics ("line N" locations) instead of stopping at the first.
+/// `task` is set when parse- and spec-level errors are absent; semantic
+/// findings from strt::check::check_task on the built model are then
+/// appended without clearing `task` -- gate on diagnostics.ok() to treat
+/// those as fatal too.
+[[nodiscard]] ParseResult parse_task_checked(std::string_view text);
+
+/// Parses a one-line supply description into diagnostics instead of an
+/// exception; `supply` is set iff diagnostics.ok().
+struct SupplyParseResult {
+  std::optional<Supply> supply;
+  check::CheckResult diagnostics;
+};
+[[nodiscard]] SupplyParseResult parse_supply_checked(std::string_view text);
+
 /// Parses a task description; throws std::invalid_argument with a
-/// line-numbered message on malformed input.
+/// line-numbered message on malformed input (the first error of
+/// parse_task_checked).
 [[nodiscard]] DrtTask parse_task(std::string_view text);
 
 /// Inverse of parse_task (round-trips exactly).

@@ -60,7 +60,9 @@ DrtTask assemble(const Skeleton& sk, const std::vector<Work>& wcets,
     STRT_ASSERT(!min_out[v].is_unbounded(), "generator vertex has no edge");
     const auto d = static_cast<std::int64_t>(
         std::ceil(deadline_factor * static_cast<double>(min_out[v].count())));
-    b.add_vertex("v" + std::to_string(v), wcets[v],
+    std::string vname = "v";
+    vname += std::to_string(v);
+    b.add_vertex(std::move(vname), wcets[v],
                  Time(std::max<std::int64_t>(1, d)));
   }
   for (const DrtEdge& e : sk.edges) {

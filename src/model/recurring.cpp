@@ -55,6 +55,29 @@ RecurringTaskBuilder& RecurringTaskBuilder::with_global_period(Time period) {
   return *this;
 }
 
+std::vector<RecurringTaskBuilder::BranchInfo>
+RecurringTaskBuilder::branches() const {
+  std::vector<BranchInfo> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.has_children) continue;
+    BranchInfo info;
+    info.leaf = static_cast<VertexId>(i);
+    info.name = n.name;
+    info.span = n.span_from_root;
+    if (n.has_restart) {
+      for (const DrtEdge& e : edges_) {
+        if (e.from == info.leaf && e.to == 0) {
+          info.restart = e.separation;
+          break;
+        }
+      }
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
 DrtTask RecurringTaskBuilder::build() && {
   STRT_REQUIRE(!nodes_.empty(), "recurring task needs a root");
   DrtBuilder b(name_);

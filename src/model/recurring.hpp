@@ -8,6 +8,7 @@
 // with_global_period()).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,20 @@ class RecurringTaskBuilder {
   RecurringTaskBuilder& with_global_period(Time period);
 
   [[nodiscard]] DrtTask build() &&;
+
+  /// One branch terminus of the tree built so far (a vertex without
+  /// children).  `restart` is the declared restart separation, or nullopt
+  /// if add_restart was never called for it -- the implied root-to-root
+  /// period of a restarting branch is `span + *restart`.  Read-only
+  /// introspection for strt::check (the builder is consumed by build(),
+  /// so consistency rules must run on the builder itself).
+  struct BranchInfo {
+    VertexId leaf{0};
+    std::string name;
+    Time span{0};                  // release span root -> leaf
+    std::optional<Time> restart;   // restart separation, if declared
+  };
+  [[nodiscard]] std::vector<BranchInfo> branches() const;
 
  private:
   struct Node {

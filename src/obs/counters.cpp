@@ -4,7 +4,9 @@
 #include <cstring>
 #include <deque>
 #include <map>
-#include <mutex>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace strt::obs {
 
@@ -29,13 +31,13 @@ void set_enabled(bool on) {
 }
 
 struct Registry::Impl {
-  mutable std::mutex mu;
+  mutable Mutex mu;
   // Deques never relocate elements, so the references handed out stay
   // valid as the registry grows.  Registration order == deque order.
-  std::deque<std::pair<std::string, Counter>> counters;
-  std::deque<std::pair<std::string, Gauge>> gauges;
-  std::map<std::string, Counter*> counter_index;
-  std::map<std::string, Gauge*> gauge_index;
+  std::deque<std::pair<std::string, Counter>> counters STRT_GUARDED_BY(mu);
+  std::deque<std::pair<std::string, Gauge>> gauges STRT_GUARDED_BY(mu);
+  std::map<std::string, Counter*> counter_index STRT_GUARDED_BY(mu);
+  std::map<std::string, Gauge*> gauge_index STRT_GUARDED_BY(mu);
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -49,7 +51,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   if (auto it = impl_->counter_index.find(name);
       it != impl_->counter_index.end()) {
     return *it->second;
@@ -63,7 +65,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   if (auto it = impl_->gauge_index.find(name);
       it != impl_->gauge_index.end()) {
     return *it->second;
@@ -77,7 +79,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 std::vector<CounterSample> Registry::counters() const {
-  std::lock_guard lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   std::vector<CounterSample> out;
   out.reserve(impl_->counters.size());
   for (const auto& [name, cell] : impl_->counters) {
@@ -87,7 +89,7 @@ std::vector<CounterSample> Registry::counters() const {
 }
 
 std::vector<GaugeSample> Registry::gauges() const {
-  std::lock_guard lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   std::vector<GaugeSample> out;
   out.reserve(impl_->gauges.size());
   for (const auto& [name, cell] : impl_->gauges) {
@@ -97,7 +99,7 @@ std::vector<GaugeSample> Registry::gauges() const {
 }
 
 void Registry::reset() {
-  std::lock_guard lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   for (auto& [name, cell] : impl_->counters) cell.reset();
   for (auto& [name, cell] : impl_->gauges) cell.reset();
 }

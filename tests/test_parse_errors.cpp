@@ -1,0 +1,157 @@
+// Negative paths of the io layer: malformed task texts, supply specs and
+// curve CSVs must come back as diagnostics with line-accurate locations
+// and *no partial model* -- never as a half-built task.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "io/curve_csv.hpp"
+#include "io/parse.hpp"
+
+namespace strt {
+namespace {
+
+bool any_location_contains(const check::CheckResult& r,
+                           std::string_view needle) {
+  for (const check::Diagnostic& d : r.diagnostics()) {
+    if (d.location.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ParseErrors, UnknownDirectiveIsSyntaxErrorWithLine) {
+  const ParseResult res = parse_task_checked("task t\nfrobnicate A\n");
+  EXPECT_FALSE(res.task.has_value());
+  EXPECT_EQ(res.diagnostics.count("parse.syntax"), 1u);
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 2"));
+}
+
+TEST(ParseErrors, MissingFieldNamesTheField) {
+  const ParseResult res =
+      parse_task_checked("task t\nvertex A wcet 1 deadlin 1\n");
+  EXPECT_FALSE(res.task.has_value());
+  ASSERT_EQ(res.diagnostics.count("parse.missing-field"), 1u);
+  for (const check::Diagnostic& d : res.diagnostics.diagnostics()) {
+    if (d.code == "parse.missing-field") {
+      EXPECT_NE(d.message.find("deadline"), std::string::npos);
+      EXPECT_EQ(d.location, "line 2");
+    }
+  }
+}
+
+TEST(ParseErrors, NonIntegerValue) {
+  const ParseResult res =
+      parse_task_checked("task t\nvertex A wcet fast deadline 10\n");
+  EXPECT_FALSE(res.task.has_value());
+  EXPECT_EQ(res.diagnostics.count("parse.invalid-value"), 1u);
+}
+
+TEST(ParseErrors, CollectsEveryProblemInOnePass) {
+  // Three independent defects on three lines -- a throwing parser would
+  // stop at the first; the checked parser must report all of them.
+  const ParseResult res = parse_task_checked(
+      "task t\n"
+      "vertex A wcet x deadline 5\n"
+      "vertex A wcet 1 deadline 5\n"
+      "edge A Z sep 3\n");
+  EXPECT_FALSE(res.task.has_value());
+  EXPECT_TRUE(res.diagnostics.has("parse.invalid-value"));
+  EXPECT_TRUE(res.diagnostics.has("parse.duplicate-vertex"));
+  EXPECT_TRUE(res.diagnostics.has("parse.unknown-vertex"));
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 2"));
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 3"));
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 4"));
+}
+
+TEST(ParseErrors, EdgeAndVertexBeforeTask) {
+  const ParseResult res =
+      parse_task_checked("vertex A wcet 1 deadline 1\nedge A A sep 1\n");
+  EXPECT_FALSE(res.task.has_value());
+  // Both misplaced directives plus the missing 'task' itself.
+  EXPECT_EQ(res.diagnostics.count("parse.syntax"), 2u);
+  EXPECT_TRUE(res.diagnostics.has("parse.no-task"));
+}
+
+TEST(ParseErrors, SpecLevelDefectsSurfaceAsDiagnostics) {
+  // Values parse fine; the model is structurally invalid.  DrtBuilder
+  // would throw -- the checked parser reports and returns no task.
+  const ParseResult res = parse_task_checked(
+      "task t\n"
+      "vertex A wcet 0 deadline -2\n"
+      "vertex B wcet 1 deadline 1\n"
+      "edge A B sep 0\n");
+  EXPECT_FALSE(res.task.has_value());
+  EXPECT_TRUE(res.diagnostics.has("drt.nonpositive-wcet"));
+  EXPECT_TRUE(res.diagnostics.has("drt.nonpositive-deadline"));
+  EXPECT_TRUE(res.diagnostics.has("drt.nonpositive-separation"));
+}
+
+TEST(ParseErrors, SemanticWarningsStillYieldATask) {
+  // Dead-end vertex: analyzable, so the task must be returned alongside
+  // the warnings (callers gate on ok(), not clean()).
+  const ParseResult res = parse_task_checked(
+      "task t\n"
+      "vertex A wcet 1 deadline 2\n"
+      "vertex B wcet 1 deadline 2\n"
+      "edge A A sep 4\n"
+      "edge A B sep 2\n");
+  ASSERT_TRUE(res.task.has_value());
+  EXPECT_TRUE(res.diagnostics.ok());
+  EXPECT_TRUE(res.diagnostics.has("drt.dead-end"));
+}
+
+TEST(ParseErrors, ThrowingWrapperStillReportsFirstErrorLine) {
+  try {
+    (void)parse_task("task t\nvertex A wcet ? deadline 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParseErrors, SupplyCheckedCollectsInsteadOfThrowing) {
+  const SupplyParseResult bad = parse_supply_checked("magic rate 3");
+  EXPECT_FALSE(bad.supply.has_value());
+  EXPECT_EQ(bad.diagnostics.count("parse.syntax"), 1u);
+
+  const SupplyParseResult good = parse_supply_checked("dedicated rate 2");
+  ASSERT_TRUE(good.supply.has_value());
+  EXPECT_TRUE(good.diagnostics.clean());
+}
+
+TEST(CurveCsvErrors, WrongColumnCount) {
+  const CurveReadResult res = read_curve_points_csv("1,2\n3,4,5\n");
+  EXPECT_TRUE(res.points.empty());
+  EXPECT_EQ(res.diagnostics.count("parse.syntax"), 1u);
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 2"));
+}
+
+TEST(CurveCsvErrors, NonNumericCellAfterData) {
+  // A non-numeric first line is a header and is skipped; a later one is
+  // an error.
+  const CurveReadResult res =
+      read_curve_points_csv("time,value\n1,2\nx,9\n");
+  EXPECT_TRUE(res.points.empty());
+  EXPECT_EQ(res.diagnostics.count("parse.invalid-value"), 1u);
+  EXPECT_TRUE(any_location_contains(res.diagnostics, "line 3"));
+}
+
+TEST(CurveCsvErrors, LintsWellFormedSamples) {
+  const CurveReadResult res = read_curve_points_csv("1,5\n2,3\n");
+  EXPECT_TRUE(res.points.empty());  // not ok() => no partial samples
+  EXPECT_TRUE(res.diagnostics.has("curve.non-monotone"));
+}
+
+TEST(CurveCsvErrors, CleanInputParsesWithCommentsAndHeader) {
+  const CurveReadResult res = read_curve_points_csv(
+      "time,value\n# measured on rig 3\n\n1,2\n4, 7\n");
+  EXPECT_TRUE(res.diagnostics.clean());
+  ASSERT_EQ(res.points.size(), 2u);
+  EXPECT_EQ(res.points[0], (Step{Time(1), Work(2)}));
+  EXPECT_EQ(res.points[1], (Step{Time(4), Work(7)}));
+}
+
+}  // namespace
+}  // namespace strt

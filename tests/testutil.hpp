@@ -95,6 +95,18 @@ inline Staircase random_staircase(Rng& rng, Time horizon,
   return Staircase::from_points(std::move(pts), horizon);
 }
 
+/// Two-vertex loop that passes the strt::check lint with zero
+/// diagnostics: frame-separated (every deadline <= every outgoing
+/// separation), strongly connected, utilization 1/5.
+inline DrtTask clean_task() {
+  DrtBuilder b("clean");
+  const VertexId a = b.add_vertex("A", Work(2), Time(10));
+  const VertexId c = b.add_vertex("B", Work(3), Time(12));
+  b.add_edge(a, c, Time(10));
+  b.add_edge(c, a, Time(15));
+  return std::move(b).build();
+}
+
 /// A small fixed DRT task used across suites: heavy vertex A followed by
 /// light vertices, a branch, and a cycle back.
 ///
