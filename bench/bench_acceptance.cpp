@@ -17,6 +17,7 @@
 
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
@@ -90,8 +91,9 @@ int main() {
             StructuralOptions opts;
             opts.want_witness = false;
             for (int k = 0; k < 4; ++k) {
-              const AbstractionResult r =
-                  delay_with_abstraction(gen.task, supply, kinds[k], opts);
+              engine::Workspace ws;
+              const AbstractionResult r = delay_with_abstraction(
+                  ws, gen.task, supply, kinds[k], opts);
               acc[static_cast<std::size_t>(k)] =
                   !r.delay.is_unbounded() && r.delay <= deadline;
             }

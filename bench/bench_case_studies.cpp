@@ -11,6 +11,7 @@
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
 #include "core/busy_window.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/gmf.hpp"
@@ -86,7 +87,8 @@ std::vector<CaseStudy> case_studies() {
 }
 
 Time simulate_lower_bound(const CaseStudy& cs, Rng& rng) {
-  const auto bw = busy_window(cs.task, cs.supply);
+  engine::Workspace ws;
+  const auto bw = busy_window(ws, cs.task, cs.supply);
   if (!bw) return Time(0);
   // Dense and random legal runs against the minimal conforming pattern.
   const Time span(2000);
@@ -138,7 +140,9 @@ int main() {
     {
       Phase phase("analyze:" + cs.name);
       for (const WorkloadAbstraction a : kAllAbstractions) {
-        delays[i++] = delay_with_abstraction(cs.task, cs.supply, a).delay;
+        engine::Workspace ws;
+        delays[i++] =
+            delay_with_abstraction(ws, cs.task, cs.supply, a).delay;
       }
     }
     report.metric("structural." + cs.name, delays[0]);

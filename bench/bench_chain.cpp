@@ -11,6 +11,7 @@
 
 #include "bench_util.hpp"
 #include "core/chain.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 
@@ -43,7 +44,8 @@ int main() {
   for (int n = 1; n <= 5; ++n) {
     Phase phase("hops:" + std::to_string(n));
     hops.push_back(Supply::bounded_delay(Rational(3, 4), Time(4)));
-    const ChainResult res = chain_delay(task, hops);
+    engine::Workspace ws;
+    const ChainResult res = chain_delay(ws, task, hops);
     last = res;
     table.add_row({std::to_string(n), show(res.structural), show(res.pboo),
                    show(res.per_hop_sum),

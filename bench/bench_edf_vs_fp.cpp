@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "core/edf.hpp"
 #include "core/fixed_priority.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
@@ -86,9 +87,12 @@ int main() {
                         return min_d(a) < min_d(b);
                       });
 
-            const EdfResult edf = edf_schedulable(tasks, supply);
+            engine::Workspace edf_ws;
+            const EdfResult edf = edf_schedulable(edf_ws, tasks, supply);
 
-            const FpResult fp = fixed_priority_analysis(tasks, supply, opts);
+            engine::Workspace fp_ws;
+            const FpResult fp =
+                fixed_priority_analysis(fp_ws, tasks, supply, opts);
             bool ok = !fp.overloaded;
             for (std::size_t i = 0; ok && i < tasks.size(); ++i) {
               Time min_d = Time::unbounded();

@@ -16,6 +16,7 @@
 
 #include "bench_util.hpp"
 #include "core/fixed_priority.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
@@ -71,12 +72,18 @@ int main() {
             }
             if (!(total < supply.long_run_rate())) continue;
 
+            engine::Workspace ws_exact;
             const FpResult exact = fixed_priority_analysis(
-                tasks, supply, opts, WorkloadAbstraction::kExactCurve);
+                ws_exact, tasks, supply, opts,
+                WorkloadAbstraction::kExactCurve);
+            engine::Workspace ws_hull;
             const FpResult hull = fixed_priority_analysis(
-                tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
+                ws_hull, tasks, supply, opts,
+                WorkloadAbstraction::kConcaveHull);
+            engine::Workspace ws_bucket;
             const FpResult bucket = fixed_priority_analysis(
-                tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
+                ws_bucket, tasks, supply, opts,
+                WorkloadAbstraction::kTokenBucket);
             if (exact.overloaded || hull.overloaded || bucket.overloaded) {
               continue;
             }

@@ -18,6 +18,7 @@
 
 #include "bench_util.hpp"
 #include "core/joint_fp.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
@@ -59,7 +60,8 @@ int main() {
     Phase phase("joint_fp.sweep");
     for (std::int64_t slot = 3; slot <= 8; ++slot) {
       const Supply supply = Supply::tdma(Time(slot), Time(8));
-      const JointFpResult r = joint_two_task_fp(hp, lp, supply);
+      engine::Workspace ws;
+      const JointFpResult r = joint_two_task_fp(ws, hp, lp, supply);
       explored_states += r.explore_stats.generated;
       if (r.overloaded) {
         sweep.add_row({std::to_string(slot), "inf", "inf", "-", "-"});
@@ -103,7 +105,8 @@ int main() {
             const Supply supply = Supply::tdma(Time(4), Time(7));
             JointFpResult r;
             try {
-              r = joint_two_task_fp(h, l, supply, jopts);
+              engine::Workspace trial_ws;
+              r = joint_two_task_fp(trial_ws, h, l, supply, jopts);
             } catch (const std::runtime_error&) {
               continue;
             }
@@ -146,8 +149,9 @@ int main() {
   for (const std::int64_t lw : {4, 8, 12, 16}) {
     const DrtTask victim =
         SporadicTask{"lp", Work(lw), Time(90), Time(90)}.to_drt();
-    const JointFpResult r =
-        joint_multi_task_fp(hps, victim, Supply::tdma(Time(5), Time(8)));
+    engine::Workspace ws;
+    const JointFpResult r = joint_multi_task_fp(
+        ws, hps, victim, Supply::tdma(Time(5), Time(8)));
     if (r.overloaded) {
       stack.add_row({std::to_string(lw), "inf", "inf", "-", "-"});
       continue;

@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 
@@ -46,8 +47,9 @@ int main() {
                   2)};
     std::vector<std::string> csv_cells = cells;
     for (const WorkloadAbstraction a : kAllAbstractions) {
-      const AbstractionResult r =
-          delay_with_abstraction(task, Supply::tdma(Time(slot), cycle), a);
+      engine::Workspace ws;
+      const AbstractionResult r = delay_with_abstraction(
+          ws, task, Supply::tdma(Time(slot), cycle), a);
       if (a == WorkloadAbstraction::kStructural && !r.delay.is_unbounded()) {
         min_finite_slot = min(min_finite_slot, Time(slot));
       }

@@ -64,7 +64,8 @@ void BM_StructuralVsVertices(benchmark::State& state) {
   opts.want_witness = false;
   StructuralResult last;
   for (auto _ : state) {
-    last = structural_delay(gen.task, supply, opts);
+    engine::Workspace ws;
+    last = structural_delay(ws, gen.task, supply, opts);
     benchmark::DoNotOptimize(last.delay);
   }
   state.counters["vertices"] = static_cast<double>(n);
@@ -95,7 +96,8 @@ void BM_StructuralVsSupplyTightness(benchmark::State& state) {
   opts.want_witness = false;
   StructuralResult last;
   for (auto _ : state) {
-    last = structural_delay(gen.task, supply, opts);
+    engine::Workspace ws;
+    last = structural_delay(ws, gen.task, supply, opts);
     benchmark::DoNotOptimize(last.delay);
   }
   state.counters["slot"] = static_cast<double>(slot);
@@ -115,8 +117,9 @@ void BM_AbstractionAnalyses(benchmark::State& state) {
   StructuralOptions opts;
   opts.want_witness = false;
   for (auto _ : state) {
+    engine::Workspace ws;
     const AbstractionResult r =
-        delay_with_abstraction(gen.task, supply, a, opts);
+        delay_with_abstraction(ws, gen.task, supply, a, opts);
     benchmark::DoNotOptimize(r.delay);
   }
   state.SetLabel(std::string(abstraction_name(a)));
@@ -164,7 +167,9 @@ int run_speedup_section() {
       params.chord_probability = 0.10;
       params.target_utilization = 0.35;
       const GeneratedTask gen = random_drt(rng, params);
-      const StructuralResult r = structural_delay(gen.task, supply, opts);
+      engine::Workspace trial_ws;
+      const StructuralResult r =
+          structural_delay(trial_ws, gen.task, supply, opts);
       return r.delay.count();
     });
   };

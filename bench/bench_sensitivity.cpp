@@ -16,6 +16,7 @@
 #include "bench_util.hpp"
 #include "core/sensitivity.hpp"
 #include "core/structural.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 
@@ -46,8 +47,12 @@ int main() {
   for (std::int64_t slot = 1; slot <= cycle.count(); ++slot) {
     Phase phase("slot:" + std::to_string(slot));
     const Supply supply = Supply::tdma(Time(slot), cycle);
-    const StructuralResult base = structural_delay(task, supply, sopts);
-    const SensitivityReport rep = sensitivity_analysis(task, supply);
+    engine::Workspace base_ws;
+    const StructuralResult base =
+        structural_delay(base_ws, task, supply, sopts);
+    engine::Workspace sens_ws;
+    const SensitivityReport rep =
+        sensitivity_analysis(sens_ws, task, supply);
 
     std::string min_wcet = "-";
     std::string min_sep = "-";

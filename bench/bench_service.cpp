@@ -1,0 +1,282 @@
+// Experiment E12: batch service amortization.
+//
+// A request mix over a corpus of random task systems -- an interactive
+// mix (structural probes, FP/EDF schedulability checks, sensitivity,
+// Audsley assignment) repeated per system, plus one joint-FP deep dive
+// per system -- is answered two ways: the cold
+// per-request baseline (svc::run_request on a fresh private workspace,
+// serially, the way a one-shot CLI would) and the warm batch service
+// (one long-lived shared workspace, fingerprint batching, parallel batch
+// tails).  The bench checks the two outcome streams are bit-identical
+// before reporting any timing, then reports the throughput of each path
+// and their ratio.
+//
+// Expected shape: the service amortizes every rbf/dbf/sbf/derived-curve
+// memo across the requests that share a task system, so its throughput
+// is a multiple of the baseline's (>= 2x is the regression bar; the
+// ratio grows with requests-per-system).  The `serial no-batch` ablation
+// row isolates how much of the win is cache warmth alone.
+
+#include <future>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "io/table.hpp"
+#include "model/generator.hpp"
+#include "svc/api.hpp"
+#include "svc/service.hpp"
+
+using namespace strt;
+using namespace strt::bench;
+
+namespace {
+
+constexpr int kSystems = 8;
+constexpr int kRoundsPerSystem = 16;
+
+std::vector<DrtTask> random_system(std::uint64_t seed) {
+  Rng rng = Rng::split(seed, 0);
+  DrtGenParams params;
+  params.min_vertices = 3;
+  params.max_vertices = 6;
+  params.min_separation = Time(6);
+  params.max_separation = Time(24);
+  auto gen = random_drt_set(rng, 3, 0.62, params);
+  std::vector<DrtTask> tasks;
+  for (auto& g : gen) tasks.push_back(std::move(g.task));
+  return tasks;
+}
+
+/// The interactive request mix for one task system and one round; the
+/// first round of a system additionally gets the joint-FP deep dive
+/// (path-level analyses dominate its cost and are not memo-bound, so a
+/// service sees them rarely relative to schedulability polling).
+void push_round(std::vector<svc::AnalysisRequest>& out,
+                const std::vector<DrtTask>& tasks, const Supply& supply,
+                bool deep_dive, std::uint64_t& next_id) {
+  const auto add = [&](svc::AnalysisKind kind, std::vector<DrtTask> ts) {
+    svc::AnalysisRequest req;
+    req.id = ++next_id;
+    req.kind = kind;
+    req.supply = supply;
+    req.tasks = std::move(ts);
+    out.push_back(std::move(req));
+  };
+  add(svc::AnalysisKind::kStructural, {tasks[0]});
+  add(svc::AnalysisKind::kFp, tasks);
+  add(svc::AnalysisKind::kEdf, tasks);
+  add(svc::AnalysisKind::kEdf, tasks);  // polling: the most repeated query
+  add(svc::AnalysisKind::kSensitivity, {tasks[0]});
+  add(svc::AnalysisKind::kAudsley, tasks);
+  if (deep_dive) {
+    add(svc::AnalysisKind::kJointFp, {tasks[0], tasks.back()});
+  }
+}
+
+/// Bit-identity of the result payloads (statuses, diagnostics, and the
+/// kind's native struct); timing stats are excluded by construction.
+bool same_outcome(const svc::AnalysisOutcome& a,
+                  const svc::AnalysisOutcome& b) {
+  if (a.id != b.id || a.kind != b.kind || a.status != b.status ||
+      a.error != b.error ||
+      a.diagnostics.to_json() != b.diagnostics.to_json() ||
+      a.result.index() != b.result.index()) {
+    return false;
+  }
+  if (const StructuralResult* s = a.structural()) {
+    const StructuralResult* t = b.structural();
+    if (t == nullptr) return false;
+    return s->delay == t->delay && s->backlog == t->backlog &&
+           s->busy_window == t->busy_window &&
+           s->vertex_delays == t->vertex_delays &&
+           s->meets_vertex_deadlines == t->meets_vertex_deadlines &&
+           s->stats.generated == t->stats.generated &&
+           s->stats.expanded == t->stats.expanded;
+  }
+  if (const FpResult* f = a.fp()) {
+    const FpResult* g = b.fp();
+    if (g == nullptr) return false;
+    if (f->overloaded != g->overloaded ||
+        f->system_busy_window != g->system_busy_window ||
+        f->tasks.size() != g->tasks.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < f->tasks.size(); ++i) {
+      if (f->tasks[i].structural_delay != g->tasks[i].structural_delay ||
+          f->tasks[i].curve_delay != g->tasks[i].curve_delay ||
+          f->tasks[i].busy_window != g->tasks[i].busy_window) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (const EdfResult* e = a.edf()) {
+    const EdfResult* f2 = b.edf();
+    if (f2 == nullptr) return false;
+    return e->schedulable == f2->schedulable &&
+           e->overloaded == f2->overloaded && e->margin == f2->margin &&
+           e->horizon_checked == f2->horizon_checked;
+  }
+  if (const JointFpResult* j = a.joint_fp()) {
+    const JointFpResult* k = b.joint_fp();
+    if (k == nullptr) return false;
+    return j->overloaded == k->overloaded &&
+           j->joint_delay == k->joint_delay &&
+           j->rbf_delay == k->rbf_delay &&
+           j->paths_analyzed == k->paths_analyzed;
+  }
+  if (const SensitivityReport* r = a.sensitivity()) {
+    const SensitivityReport* s2 = b.sensitivity();
+    if (s2 == nullptr) return false;
+    return r->feasible == s2->feasible &&
+           r->wcet_slack == s2->wcet_slack &&
+           r->separation_slack == s2->separation_slack;
+  }
+  if (const AudsleyResult* u = a.audsley()) {
+    const AudsleyResult* v = b.audsley();
+    if (v == nullptr) return false;
+    return u->feasible == v->feasible && u->order == v->order &&
+           u->tests_run == v->tests_run;
+  }
+  return true;  // monostate == monostate
+}
+
+/// Serves `reqs` through a Service configured by `sopts`, enqueueing the
+/// whole stream before dispatch so batching windows cover it.
+std::vector<svc::AnalysisOutcome> serve(const svc::ServiceOptions& sopts,
+                                        std::vector<svc::AnalysisRequest> reqs,
+                                        svc::ServiceStats& stats_out) {
+  svc::Service service(sopts);
+  std::vector<std::future<svc::AnalysisOutcome>> futures;
+  futures.reserve(reqs.size());
+  for (svc::AnalysisRequest& req : reqs) {
+    futures.push_back(service.submit(std::move(req)));
+  }
+  service.resume();
+  std::vector<svc::AnalysisOutcome> outs;
+  outs.reserve(futures.size());
+  for (auto& f : futures) outs.push_back(f.get());
+  stats_out = service.stats();
+  return outs;
+}
+
+}  // namespace
+
+int main() {
+  const Supply supply = Supply::tdma(Time(35), Time(50));
+
+  std::vector<svc::AnalysisRequest> reqs;
+  std::uint64_t next_id = 0;
+  for (int s = 0; s < kSystems; ++s) {
+    const auto tasks =
+        random_system(9000 + static_cast<std::uint64_t>(s));
+    lint_generated(tasks);
+    for (int r = 0; r < kRoundsPerSystem; ++r) {
+      push_round(reqs, tasks, supply, /*deep_dive=*/r == 0, next_id);
+    }
+  }
+
+  std::cout << "E12: batch service vs cold per-request baseline\n"
+            << reqs.size() << " requests over " << kSystems
+            << " task systems (" << kRoundsPerSystem
+            << " rounds of every kind per system) on " << supply.describe()
+            << "\n\n";
+
+  BenchReport report("service");
+  report.metric("requests", reqs.size());
+  report.metric("task_systems", kSystems);
+  report.metric("rounds_per_system", kRoundsPerSystem);
+
+  // Cold per-request baseline: a fresh private workspace per request,
+  // strictly serial (the one-shot CLI usage pattern).
+  std::vector<svc::AnalysisOutcome> baseline;
+  baseline.reserve(reqs.size());
+  double cold_ms = 0;
+  {
+    Phase phase("cold_baseline");
+    for (const svc::AnalysisRequest& req : reqs) {
+      baseline.push_back(svc::run_request(req));
+    }
+    cold_ms = phase.millis();
+  }
+
+  // Warm batch service (the production configuration) and the serial
+  // no-batch ablation (shared warm workspace only).
+  svc::ServiceOptions warm_opts;
+  warm_opts.start_paused = true;
+  warm_opts.queue_capacity = reqs.size() + 1;
+  warm_opts.max_batch = 64;
+  svc::ServiceOptions ablation_opts = warm_opts;
+  ablation_opts.batch_by_fingerprint = false;
+  ablation_opts.parallel_batches = false;
+
+  svc::ServiceStats warm_stats;
+  std::vector<svc::AnalysisOutcome> served;
+  double warm_ms = 0;
+  {
+    Phase phase("warm_service");
+    served = serve(warm_opts, reqs, warm_stats);
+    warm_ms = phase.millis();
+  }
+
+  svc::ServiceStats ablation_stats;
+  std::vector<svc::AnalysisOutcome> ablated;
+  double ablation_ms = 0;
+  {
+    Phase phase("warm_serial_nobatch");
+    ablated = serve(ablation_opts, reqs, ablation_stats);
+    ablation_ms = phase.millis();
+  }
+
+  // Bit-identity gate: timings mean nothing if the answers moved.
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!same_outcome(baseline[i], served[i]) ||
+        !same_outcome(baseline[i], ablated[i])) {
+      std::cerr << "bench: outcome mismatch vs the cold baseline at "
+                   "request id "
+                << baseline[i].id << " -- service results must be "
+                << "bit-identical; not reporting timings\n";
+      return 1;
+    }
+  }
+  std::cout << "bit-identity: all " << reqs.size()
+            << " outcomes match the cold baseline\n\n";
+
+  const double n = static_cast<double>(reqs.size());
+  const auto throughput = [n](double ms) { return n / (ms / 1e3); };
+  const double speedup = cold_ms / warm_ms;
+
+  Table table({"configuration", "wall ms", "req/s", "vs cold",
+               "batches", "batched reqs"});
+  table.add_row({"cold per-request", fmt_ratio(cold_ms),
+                 fmt_ratio(throughput(cold_ms), 0), "1.00x", "-", "-"});
+  table.add_row({"warm serial no-batch", fmt_ratio(ablation_ms),
+                 fmt_ratio(throughput(ablation_ms), 0),
+                 fmt_ratio(cold_ms / ablation_ms) + "x",
+                 std::to_string(ablation_stats.batches),
+                 std::to_string(ablation_stats.batched_requests)});
+  table.add_row({"warm batch service", fmt_ratio(warm_ms),
+                 fmt_ratio(throughput(warm_ms), 0),
+                 fmt_ratio(speedup) + "x",
+                 std::to_string(warm_stats.batches),
+                 std::to_string(warm_stats.batched_requests)});
+  table.print(std::cout);
+
+  std::cout << "\nwarm batch service vs cold baseline: " << fmt_ratio(speedup)
+            << "x (regression bar: >= 2x)\n";
+
+  report.metric("cold_ms", cold_ms);
+  report.metric("warm_ms", warm_ms);
+  report.metric("warm_serial_nobatch_ms", ablation_ms);
+  report.metric("cold_req_per_s", throughput(cold_ms));
+  report.metric("warm_req_per_s", throughput(warm_ms));
+  report.metric("speedup", speedup);
+  report.metric("speedup_ok", speedup >= 2.0);
+  report.metric("identical", true);
+  report.metric("batches", warm_stats.batches);
+  report.metric("batched_requests", warm_stats.batched_requests);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
 #include "core/busy_window.hpp"
+#include "engine/workspace.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
@@ -95,16 +96,17 @@ int main() {
             const GeneratedTask gen = random_drt(rng, params);
             if (!(gen.exact_utilization < supply.long_run_rate())) continue;
 
-            const auto bw = busy_window(gen.task, supply);
+            engine::Workspace ws;
+            const auto bw = busy_window(ws, gen.task, supply);
             if (!bw) continue;
             const auto st = delay_with_abstraction(
-                gen.task, supply, WorkloadAbstraction::kStructural);
+                ws, gen.task, supply, WorkloadAbstraction::kStructural);
             const auto hull = delay_with_abstraction(
-                gen.task, supply, WorkloadAbstraction::kConcaveHull);
+                ws, gen.task, supply, WorkloadAbstraction::kConcaveHull);
             const auto bucket = delay_with_abstraction(
-                gen.task, supply, WorkloadAbstraction::kTokenBucket);
+                ws, gen.task, supply, WorkloadAbstraction::kTokenBucket);
             const auto mingap = delay_with_abstraction(
-                gen.task, supply, WorkloadAbstraction::kSporadicMinGap);
+                ws, gen.task, supply, WorkloadAbstraction::kSporadicMinGap);
             const Time sim = simulated_worst(gen.task, *bw, rng);
 
             const double d = static_cast<double>(st.delay.count());

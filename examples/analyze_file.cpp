@@ -47,6 +47,7 @@
 #include "io/parse.hpp"
 #include "io/table.hpp"
 #include "obs/report.hpp"
+#include "svc/api.hpp"
 
 using namespace strt;
 
@@ -148,22 +149,11 @@ int main(int argc, char** argv) {
     }
   }();
 
-  if (check) {
-    if (parsed) {
-      lint.merge(check::check_system({&*parsed, 1}, supply));
-      lint.merge(check::check_supply_curve(supply.sbf(supply.min_horizon())));
-    }
+  if (check && !parsed) {
     if (!lint.clean()) lint.print(std::cerr);
-    const bool gate =
-        !lint.ok() || (check_strict && lint.warning_count() > 0);
-    if (gate || !parsed) {
-      std::cerr << "check: " << lint.error_count() << " error(s), "
-                << lint.warning_count() << " warning(s)"
-                << (check_strict ? " (strict: warnings are fatal)" : "")
-                << '\n';
-      if (gate) return 1;
-      return 2;  // parse failed without diagnostics -- defensive
-    }
+    std::cerr << "check: " << lint.error_count() << " error(s), "
+              << lint.warning_count() << " warning(s)\n";
+    return 1;
   }
   if (!parsed) return 2;
   DrtTask task = std::move(*parsed);
@@ -171,17 +161,46 @@ int main(int argc, char** argv) {
   std::cout << "Task:   " << task << '\n';
   std::cout << "Supply: " << supply.describe() << "\n\n";
 
+  // One workspace shared across the whole run: the unified request below
+  // and the coarser abstractions reuse the exact rbf/sbf the earlier
+  // steps materialized.
+  engine::Workspace ws(!no_cache);
+
+  // The headline structural analysis goes through the unified request
+  // API: svc::run_request lints the system (the same strt::check passes
+  // `--check` used to invoke by hand), runs the analysis, and hands back
+  // a tagged outcome plus the diagnostics.
+  svc::AnalysisRequest request;
+  request.kind = svc::AnalysisKind::kStructural;
+  request.tasks = {task};
+  request.supply = supply;
+  const svc::AnalysisOutcome outcome = svc::run_request(ws, request);
+  lint.merge(outcome.diagnostics);
+  if (check) {
+    if (!lint.clean()) lint.print(std::cerr);
+    const bool gate =
+        !lint.ok() || (check_strict && lint.warning_count() > 0);
+    if (gate) {
+      std::cerr << "check: " << lint.error_count() << " error(s), "
+                << lint.warning_count() << " warning(s)"
+                << (check_strict ? " (strict: warnings are fatal)" : "")
+                << '\n';
+      return 1;
+    }
+  } else if (outcome.status == svc::OutcomeStatus::kInvalid) {
+    lint.print(std::cerr);
+    std::cerr << "model rejected by the validate front gate (re-run with "
+                 "--check for details)\n";
+    return 1;
+  }
+
   obs::RunReport report("analyze_file");
-  if (check) lint.append_to_report(report);
+  outcome.append_to_report(report);
   report.put("task", task.name());
   report.put("supply", supply.describe());
   report.put("vertices", static_cast<std::int64_t>(task.vertex_count()));
   report.put("edges", static_cast<std::int64_t>(task.edge_count()));
   if (deadline) report.put("deadline", deadline->count());
-
-  // One workspace shared across the whole spectrum: the coarser
-  // abstractions reuse the exact rbf/sbf the earlier rows materialized.
-  engine::Workspace ws(!no_cache);
 
   Table table({"analysis", "delay", "backlog", "busy window",
                deadline ? "meets deadline" : "-"});

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/fixed_priority.hpp"
+#include "engine/workspace.hpp"
 #include "io/table.hpp"
 #include "model/gmf.hpp"
 #include "model/sporadic.hpp"
@@ -50,7 +51,8 @@ int main() {
   const Supply bus = Supply::tdma(Time(9), Time(16));
   std::cout << "Bus partition: " << bus.describe() << "\n\n";
 
-  const FpResult res = fixed_priority_analysis(streams, bus);
+  engine::Workspace ws;
+  const FpResult res = fixed_priority_analysis(ws, streams, bus);
   if (res.overloaded) {
     std::cout << "Partition overloaded -- no finite bounds.\n";
     return 1;

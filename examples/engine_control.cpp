@@ -11,6 +11,7 @@
 #include "core/abstractions.hpp"
 #include "core/busy_window.hpp"
 #include "core/structural.hpp"
+#include "engine/workspace.hpp"
 #include "io/table.hpp"
 #include "model/recurring.hpp"
 #include "sim/oracle.hpp"
@@ -41,9 +42,10 @@ int main() {
   const Supply server = Supply::periodic(Time(9), Time(20));
   std::cout << "Supply: " << server.describe() << "\n\n";
 
+  engine::Workspace ws;
   Table table({"analysis", "delay", "busy window"});
   for (const WorkloadAbstraction a : kAllAbstractions) {
-    const AbstractionResult r = delay_with_abstraction(task, server, a);
+    const AbstractionResult r = delay_with_abstraction(ws, task, server, a);
     table.add_row({std::string(abstraction_name(a)), show(r.delay),
                    show(r.busy_window)});
   }
@@ -51,14 +53,14 @@ int main() {
 
   // Ground truth on this instance: exhaustive path enumeration under the
   // minimal conforming service pattern.
-  const auto bw = busy_window(task, server);
+  const auto bw = busy_window(ws, task, server);
   if (!bw) {
     std::cout << "overloaded\n";
     return 1;
   }
   const OracleResult oracle = oracle_worst_delay(
       task, bw->sbf, max(Time(0), bw->length - Time(1)));
-  const StructuralResult st = structural_delay(task, server);
+  const StructuralResult st = structural_delay(ws, task, server);
   std::cout << "\nExhaustive oracle over " << oracle.paths_explored
             << " release paths: worst delay " << oracle.delay.count()
             << " (structural bound " << st.delay.count() << ", "

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/chain.hpp"
+#include "engine/workspace.hpp"
 #include "graph/workload.hpp"
 #include "io/table.hpp"
 #include "io/trace_io.hpp"
@@ -39,7 +40,8 @@ int main() {
   for (const Supply& h : hops) std::cout << "  [" << h.describe() << "]";
   std::cout << "\n\n";
 
-  const ChainResult res = chain_delay(task, hops);
+  engine::Workspace ws;
+  const ChainResult res = chain_delay(ws, task, hops);
   if (res.overloaded) {
     std::cout << "Pipeline overloaded.\n";
     return 1;

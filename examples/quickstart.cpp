@@ -12,8 +12,10 @@
 
 #include "core/abstractions.hpp"
 #include "core/structural.hpp"
+#include "engine/workspace.hpp"
 #include "io/dot.hpp"
 #include "io/table.hpp"
+#include "svc/api.hpp"
 
 using namespace strt;
 
@@ -49,8 +51,21 @@ int main() {
             << "  (long-run rate " << supply.long_run_rate().to_string()
             << ")\n\n";
 
-  // The structural analysis: busy-window path exploration.
-  const StructuralResult st = structural_delay(task, supply);
+  // The structural analysis, through the unified request API: one
+  // AnalysisRequest in, one validated + analyzed AnalysisOutcome back.
+  svc::AnalysisRequest request;
+  request.kind = svc::AnalysisKind::kStructural;
+  request.tasks = {task};
+  request.supply = supply;
+  request.want_witness = true;
+  const svc::AnalysisOutcome outcome = svc::run_request(request);
+  if (!outcome.ok()) {
+    std::cerr << "analysis failed (" << svc::status_name(outcome.status)
+              << "): " << outcome.error << '\n';
+    outcome.diagnostics.print(std::cerr);
+    return 1;
+  }
+  const StructuralResult& st = *outcome.structural();
   std::cout << "Structural worst-case delay : " << show(st.delay) << '\n';
   std::cout << "Structural backlog bound    : " << st.backlog.count() << '\n';
   std::cout << "Busy window                 : " << show(st.busy_window)
@@ -69,10 +84,12 @@ int main() {
   }
   std::cout << '\n';
 
-  // The abstraction spectrum: what coarser analyses would report.
+  // The abstraction spectrum: what coarser analyses would report.  These
+  // share one memoized workspace, so the task's curves compute once.
+  engine::Workspace ws;
   Table table({"analysis", "delay", "backlog", "busy window"});
   for (const WorkloadAbstraction a : kAllAbstractions) {
-    const AbstractionResult r = delay_with_abstraction(task, supply, a);
+    const AbstractionResult r = delay_with_abstraction(ws, task, supply, a);
     table.add_row({std::string(abstraction_name(a)), show(r.delay),
                    r.backlog.is_unbounded() ? "unbounded"
                                             : std::to_string(r.backlog.count()),

@@ -10,6 +10,7 @@
 
 #include "core/sensitivity.hpp"
 #include "core/structural.hpp"
+#include "engine/workspace.hpp"
 #include "graph/workload.hpp"
 #include "io/curve_csv.hpp"
 #include "io/table.hpp"
@@ -30,7 +31,8 @@ int main() {
   std::cout << "Task:   " << task << '\n';
   std::cout << "Supply: " << supply.describe() << "\n\n";
 
-  const StructuralResult base = structural_delay(task, supply);
+  engine::Workspace ws;
+  const StructuralResult base = structural_delay(ws, task, supply);
   std::cout << "Worst-case delay " << base.delay.count()
             << ", per-vertex delays:";
   for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
@@ -42,7 +44,7 @@ int main() {
   std::cout << "\nDeadline verdict: "
             << (base.meets_vertex_deadlines ? "PASS" : "FAIL") << "\n\n";
 
-  const SensitivityReport rep = sensitivity_analysis(task, supply);
+  const SensitivityReport rep = sensitivity_analysis(ws, task, supply);
   if (!rep.feasible) {
     std::cout << "Configuration infeasible; nothing to report.\n";
     return 1;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/dimensioning.hpp"
+#include "engine/workspace.hpp"
 #include "io/table.hpp"
 
 using namespace strt;
@@ -44,9 +45,10 @@ int main() {
   Table server({"analysis",
                 "min server budget / " + std::to_string(period.count()),
                 "share"});
+  engine::Workspace ws;
   for (const WorkloadAbstraction a : kAllAbstractions) {
-    const auto slot = min_tdma_slot(task, cycle, deadline, a);
-    const auto budget = min_periodic_budget(task, period, deadline, a);
+    const auto slot = min_tdma_slot(ws, task, cycle, deadline, a);
+    const auto budget = min_periodic_budget(ws, task, period, deadline, a);
     auto share = [&](const std::optional<Time>& v, Time total) {
       return v ? fmt_ratio(100.0 * static_cast<double>(v->count()) /
                            static_cast<double>(total.count()),

@@ -132,6 +132,12 @@ std::span<const CodeInfo> all_codes() {
        "branches imply different root-to-root periods"},
       {"recurring.missing-restart", Severity::kError,
        "a leaf never restarts at the root"},
+      {"req.bad-field", Severity::kError,
+       "request field has the wrong type or an invalid value"},
+      {"req.missing-task", Severity::kError,
+       "request carries no task description"},
+      {"req.unknown-kind", Severity::kError,
+       "request names an unknown analysis kind"},
       {"set.duplicate-task", Severity::kWarning,
        "two tasks share one structural fingerprint"},
       {"set.overutilized", Severity::kError,

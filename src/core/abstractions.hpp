@@ -62,6 +62,7 @@ struct AbstractionResult {
 [[nodiscard]] AbstractionResult delay_with_abstraction(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
     WorkloadAbstraction a, const StructuralOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] AbstractionResult delay_with_abstraction(
     const DrtTask& task, const Supply& supply, WorkloadAbstraction a,
     const StructuralOptions& opts = {});
@@ -79,6 +80,7 @@ struct AbstractionResult {
                                            const DrtTask& task,
                                            WorkloadAbstraction a,
                                            Time horizon);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] Staircase abstracted_arrival(const DrtTask& task,
                                            WorkloadAbstraction a,
                                            Time horizon);

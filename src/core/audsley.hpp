@@ -36,6 +36,7 @@ struct AudsleyResult {
 [[nodiscard]] AudsleyResult audsley_assignment(
     engine::Workspace& ws, std::span<const DrtTask> tasks,
     const Supply& supply, const StructuralOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] AudsleyResult audsley_assignment(
     std::span<const DrtTask> tasks, const Supply& supply,
     const StructuralOptions& opts = {});

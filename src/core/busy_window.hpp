@@ -33,6 +33,7 @@ struct BusyWindow {
 [[nodiscard]] std::optional<BusyWindow> busy_window(engine::Workspace& ws,
                                                     const DrtTask& task,
                                                     const Supply& supply);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] std::optional<BusyWindow> busy_window(const DrtTask& task,
                                                     const Supply& supply);
 

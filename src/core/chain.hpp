@@ -62,6 +62,7 @@ struct ChainResult {
                                       const DrtTask& task,
                                       std::span<const Supply> hops,
                                       const StructuralOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] ChainResult chain_delay(const DrtTask& task,
                                       std::span<const Supply> hops,
                                       const StructuralOptions& opts = {});

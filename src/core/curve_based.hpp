@@ -33,6 +33,7 @@ class Workspace;
 [[nodiscard]] CurveResult curve_delay(engine::Workspace& ws,
                                       const DrtTask& task,
                                       const Supply& supply);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] CurveResult curve_delay(const DrtTask& task,
                                       const Supply& supply);
 

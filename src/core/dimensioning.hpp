@@ -26,6 +26,7 @@ namespace strt {
                                                 const DrtTask& task,
                                                 Time cycle, Time deadline,
                                                 WorkloadAbstraction a);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] std::optional<Time> min_tdma_slot(const DrtTask& task,
                                                 Time cycle, Time deadline,
                                                 WorkloadAbstraction a);
@@ -37,6 +38,7 @@ namespace strt {
                                                       Time period,
                                                       Time deadline,
                                                       WorkloadAbstraction a);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] std::optional<Time> min_periodic_budget(const DrtTask& task,
                                                       Time period,
                                                       Time deadline,
@@ -47,6 +49,7 @@ namespace strt {
 /// frame-separated tasks; nullopt if even the full cycle fails.
 [[nodiscard]] std::optional<Time> min_tdma_slot_edf(
     engine::Workspace& ws, std::span<const DrtTask> tasks, Time cycle);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] std::optional<Time> min_tdma_slot_edf(
     std::span<const DrtTask> tasks, Time cycle);
 

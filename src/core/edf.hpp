@@ -36,6 +36,7 @@ class Workspace;
 [[nodiscard]] EdfResult edf_schedulable(engine::Workspace& ws,
                                         std::span<const DrtTask> tasks,
                                         const Supply& supply);
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] EdfResult edf_schedulable(std::span<const DrtTask> tasks,
                                         const Supply& supply);
 

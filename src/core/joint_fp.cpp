@@ -141,7 +141,9 @@ JointFpResult joint_multi_task_fp(engine::Workspace& ws,
     horizon = horizon * 2;
   }
 
-  StructuralOptions sopts = opts.structural;
+  StructuralOptions sopts;
+  sopts.common() = opts.common();
+  sopts.prune = opts.prune;
   sopts.want_witness = false;
 
   // Baseline: rbf-based leftover.

@@ -38,11 +38,17 @@
 
 namespace strt {
 
-struct JointFpOptions {
+/// Options of the joint analysis.  The explorer state cap and the
+/// progress/cancel hook in the CommonOptions base are forwarded to every
+/// inner structural analysis (the rbf baseline and one per interference
+/// candidate).
+struct JointFpOptions : CommonOptions {
   /// Hard cap on enumerated maximal interference paths (before
   /// dominance pruning); exceeded => throws std::runtime_error.
   std::size_t max_paths = 200'000;
-  StructuralOptions structural;
+  /// Dominance pruning inside the inner structural analyses (ablation
+  /// switch; results are identical).
+  bool prune = true;
 };
 
 struct JointFpResult {
@@ -69,6 +75,7 @@ struct JointFpResult {
 [[nodiscard]] JointFpResult joint_two_task_fp(
     engine::Workspace& ws, const DrtTask& hp, const DrtTask& lp,
     const Supply& supply, const JointFpOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] JointFpResult joint_two_task_fp(
     const DrtTask& hp, const DrtTask& lp, const Supply& supply,
     const JointFpOptions& opts = {});
@@ -82,6 +89,7 @@ struct JointFpResult {
 [[nodiscard]] JointFpResult joint_multi_task_fp(
     engine::Workspace& ws, std::span<const DrtTask> hps, const DrtTask& lp,
     const Supply& supply, const JointFpOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] JointFpResult joint_multi_task_fp(
     std::span<const DrtTask> hps, const DrtTask& lp, const Supply& supply,
     const JointFpOptions& opts = {});

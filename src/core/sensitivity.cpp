@@ -63,6 +63,7 @@ SensitivityReport sensitivity_analysis(engine::Workspace& ws,
                                        const SensitivityOptions& opts) {
   const obs::Span span("sensitivity");
   StructuralOptions sopts;
+  sopts.common() = opts.common();
   sopts.want_witness = false;
 
   const auto holds = [&](const DrtTask& t) {

@@ -23,7 +23,10 @@
 
 namespace strt {
 
-struct SensitivityOptions {
+/// Options of the sensitivity analysis.  The explorer state cap and the
+/// progress/cancel hook in the CommonOptions base are forwarded to every
+/// structural probe of the slack searches.
+struct SensitivityOptions : CommonOptions {
   /// Criterion: delay <= cap.  Unset => per-vertex deadline verdict.
   std::optional<Time> delay_cap;
   /// Upper bound for the wcet-slack search (doubling stops here; a slack
@@ -48,6 +51,7 @@ struct SensitivityReport {
 [[nodiscard]] SensitivityReport sensitivity_analysis(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
     const SensitivityOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] SensitivityReport sensitivity_analysis(
     const DrtTask& task, const Supply& supply,
     const SensitivityOptions& opts = {});

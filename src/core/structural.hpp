@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/busy_window.hpp"
+#include "core/common_options.hpp"
 #include "curves/staircase.hpp"
 #include "graph/drt.hpp"
 #include "graph/explore.hpp"
@@ -38,20 +39,14 @@
 
 namespace strt {
 
-struct StructuralOptions {
+/// Options of the structural analysis.  The state cap and the
+/// progress/cancel hook live in the CommonOptions base (shared with the
+/// joint-FP and sensitivity analyses and with svc::AnalysisRequest).
+struct StructuralOptions : CommonOptions {
   /// Dominance pruning on (ablation switch; results are identical).
   bool prune = true;
   /// Reconstruct the witness path achieving the delay bound.
   bool want_witness = true;
-  /// State cap forwarded to the explorer.  A capped run returns with
-  /// stats.aborted set and bounds that cover the explored prefix only.
-  std::size_t max_states = 50'000'000;
-  /// Progress hook forwarded to the explorer (see ExploreOptions): invoked
-  /// every `progress_every` expanded states; return false to cancel.  A
-  /// cancelled run returns with stats.aborted set and a delay that is only
-  /// a lower bound (the explored prefix's worst case).
-  std::uint64_t progress_every = 0;
-  ExploreProgressFn on_progress{};
 };
 
 /// One job of the witness path.
@@ -90,11 +85,12 @@ class Workspace;
 
 /// Structural delay analysis of `task` on `supply`.  The Workspace
 /// overload reuses memoized busy-window curves and pseudo-inverse
-/// lookups; the plain overload spins up a private workspace, so existing
-/// callers are unaffected.
+/// lookups; the legacy plain overload spins up a private workspace per
+/// call and is deprecated.
 [[nodiscard]] StructuralResult structural_delay(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
     const StructuralOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] StructuralResult structural_delay(
     const DrtTask& task, const Supply& supply,
     const StructuralOptions& opts = {});
@@ -105,6 +101,7 @@ class Workspace;
 [[nodiscard]] StructuralResult structural_delay_vs(
     engine::Workspace& ws, const DrtTask& task, const Staircase& service,
     const StructuralOptions& opts = {});
+[[deprecated("use the engine::Workspace overload or svc::run_request")]]
 [[nodiscard]] StructuralResult structural_delay_vs(
     const DrtTask& task, const Staircase& service,
     const StructuralOptions& opts = {});

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "curves/staircase.hpp"
+#include "resource/supply.hpp"
 
 namespace strt::engine {
 
@@ -30,5 +32,13 @@ constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
 /// Content fingerprint of a staircase: breakpoints, horizon, and tail.
 /// O(breakpoint_count); equal curves hash equal by construction.
 [[nodiscard]] std::uint64_t fingerprint(const Staircase& c);
+
+/// Fingerprint of a byte string (mix64 lane chaining).
+[[nodiscard]] std::uint64_t fingerprint(std::string_view bytes);
+
+/// Content fingerprint of a supply model, keyed on the same canonical
+/// description string the Workspace sbf memo uses: two supplies with one
+/// fingerprint share every cached sbf materialization.
+[[nodiscard]] std::uint64_t fingerprint(const Supply& supply);
 
 }  // namespace strt::engine

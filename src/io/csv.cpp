@@ -27,6 +27,36 @@ CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> columns)
   os_ << '\n';
 }
 
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
 CsvWriter& CsvWriter::row(const std::vector<std::string>& cells) {
   STRT_REQUIRE(cells.size() == columns_, "row width must match the header");
   for (std::size_t i = 0; i < cells.size(); ++i) {

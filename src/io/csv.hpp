@@ -1,9 +1,11 @@
 // CSV emission for benchmark series (one block per figure, consumed by
-// any plotting tool).
+// any plotting tool), plus the line splitter the svc request-stream
+// reader uses.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace strt {
@@ -22,5 +24,10 @@ class CsvWriter {
 
 /// RFC-4180-style escaping (quotes fields containing separators/quotes).
 [[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Inverse of one csv_escape()d row: splits `line` on unquoted commas and
+/// unescapes quoted fields ("" -> ").  Surrounding whitespace of unquoted
+/// fields is kept verbatim; an empty line yields one empty field.
+[[nodiscard]] std::vector<std::string> split_csv_line(std::string_view line);
 
 }  // namespace strt

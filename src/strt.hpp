@@ -42,6 +42,10 @@
 #include "core/sensitivity.hpp"
 #include "core/structural.hpp"
 
+#include "svc/api.hpp"
+#include "svc/request_stream.hpp"
+#include "svc/service.hpp"
+
 #include "sim/edf_sim.hpp"
 #include "sim/fifo.hpp"
 #include "sim/oracle.hpp"

@@ -1,0 +1,302 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "base/assert.hpp"
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+#include "engine/workspace.hpp"
+#include "exec/exec.hpp"
+#include "obs/counters.hpp"
+#include "obs/span.hpp"
+
+namespace strt::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// One admitted request awaiting dispatch.
+struct Pending {
+  AnalysisRequest req;
+  std::promise<AnalysisOutcome> promise;
+  Clock::time_point admitted;
+  std::optional<Clock::time_point> deadline_at;
+  std::uint64_t fp = 0;
+};
+
+}  // namespace
+
+struct Service::Impl {
+  explicit Impl(ServiceOptions o) : opts(o), ws(o.caching) {
+    if (opts.queue_capacity == 0) opts.queue_capacity = 1;
+    if (opts.max_batch == 0) opts.max_batch = 1;
+    paused = opts.start_paused;
+  }
+
+  ServiceOptions opts;
+  engine::Workspace ws;
+
+  Mutex mu;
+  std::condition_variable_any cv_work;   // dispatcher: new work / stop
+  std::condition_variable_any cv_space;  // submitters: queue has room
+  std::condition_variable_any cv_idle;   // drain(): all served
+  std::deque<Pending> queue STRT_GUARDED_BY(mu);
+  bool paused STRT_GUARDED_BY(mu) = false;
+  bool stopping STRT_GUARDED_BY(mu) = false;
+  std::size_t in_flight STRT_GUARDED_BY(mu) = 0;
+  ServiceStats counters STRT_GUARDED_BY(mu);
+
+  std::thread dispatcher;  // started by Service's constructor, joined last
+
+  void loop();
+  void process(std::vector<Pending> round);
+
+  /// Admission under the capacity bound; nullopt when `block` is false
+  /// and the queue is full, or when the service is stopping.
+  std::optional<std::future<AnalysisOutcome>> admit(AnalysisRequest req,
+                                                    bool block);
+};
+
+std::optional<std::future<AnalysisOutcome>> Service::Impl::admit(
+    AnalysisRequest req, bool block) {
+  static obs::Counter& c_submitted = obs::counter("svc.submitted");
+  static obs::Counter& c_rejected = obs::counter("svc.rejected");
+
+  Pending p;
+  p.admitted = Clock::now();
+  if (req.deadline) p.deadline_at = p.admitted + *req.deadline;
+  p.fp = request_fingerprint(req);
+  p.req = std::move(req);
+  std::future<AnalysisOutcome> fut = p.promise.get_future();
+
+  {
+    MutexLock l(mu);
+    while (block && !stopping && queue.size() >= opts.queue_capacity) {
+      l.wait(cv_space);
+    }
+    if (stopping || queue.size() >= opts.queue_capacity) {
+      ++counters.rejected;
+      c_rejected.add(1);
+      if (!stopping) return std::nullopt;  // full, non-blocking: shed load
+      // Stopping: answer through the future so submit() stays total.
+      AnalysisOutcome out;
+      out.id = p.req.id;
+      out.kind = p.req.kind;
+      out.status = OutcomeStatus::kRejected;
+      out.error = "service is shutting down";
+      p.promise.set_value(std::move(out));
+      return fut;
+    }
+    queue.push_back(std::move(p));
+    ++counters.submitted;
+    c_submitted.add(1);
+  }
+  cv_work.notify_one();
+  return fut;
+}
+
+void Service::Impl::loop() {
+  for (;;) {
+    std::vector<Pending> round;
+    {
+      MutexLock l(mu);
+      while (!stopping && (paused || queue.empty())) l.wait(cv_work);
+      if (queue.empty()) {
+        if (stopping) return;
+        continue;
+      }
+      const std::size_t n = std::min(queue.size(), opts.max_batch);
+      round.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        round.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      in_flight += n;
+    }
+    cv_space.notify_all();
+    const std::size_t n = round.size();
+    process(std::move(round));
+    {
+      MutexLock l(mu);
+      in_flight -= n;
+      counters.served += n;
+      if (queue.empty() && in_flight == 0) cv_idle.notify_all();
+    }
+  }
+}
+
+void Service::Impl::process(std::vector<Pending> round) {
+  static obs::Counter& c_batches = obs::counter("svc.batches");
+  static obs::Counter& c_batched = obs::counter("svc.batched_requests");
+  const obs::Span span("svc.dispatch");
+
+  // Group the round by fingerprint, preserving arrival order of groups
+  // and of members within a group.
+  std::vector<std::vector<std::size_t>> groups;
+  if (opts.batch_by_fingerprint) {
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      bool placed = false;
+      for (std::vector<std::size_t>& g : groups) {
+        if (round[g.front()].fp == round[i].fp) {
+          g.push_back(i);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) groups.push_back({i});
+    }
+  } else {
+    for (std::size_t i = 0; i < round.size(); ++i) groups.push_back({i});
+  }
+
+  std::uint64_t expired = 0;
+  std::uint64_t batched = 0;
+  for (const std::vector<std::size_t>& group : groups) {
+    c_batches.add(1);
+    if (group.size() >= 2) {
+      batched += group.size();
+      c_batched.add(group.size());
+    }
+    const engine::WorkspaceStats before = ws.stats();
+    const Clock::time_point dispatched = Clock::now();
+
+    const auto serve = [&](std::size_t idx) {
+      Pending& p = round[idx];
+      AnalysisOutcome out = run_request_at(ws, p.req, p.deadline_at);
+      out.stats.queue_ms = ms_between(p.admitted, dispatched);
+      out.stats.batch_size = group.size();
+      return out;
+    };
+
+    // The group leader runs first and warms every memo the group shares;
+    // the tail then fans out across the exec pool and answers mostly
+    // from the cache.  Results are bit-identical either way (Workspace
+    // contract), so the split is purely a throughput device.
+    std::vector<AnalysisOutcome> outs;
+    outs.reserve(group.size());
+    outs.push_back(serve(group[0]));
+    if (group.size() > 1) {
+      if (opts.parallel_batches) {
+        std::vector<AnalysisOutcome> tail = exec::parallel_map(
+            group.size() - 1, [&](std::size_t i) { return serve(group[i + 1]); });
+        for (AnalysisOutcome& o : tail) outs.push_back(std::move(o));
+      } else {
+        for (std::size_t i = 1; i < group.size(); ++i) {
+          outs.push_back(serve(group[i]));
+        }
+      }
+    }
+
+    // Attribute the batch's cache delta to every member, then fulfill.
+    const engine::WorkspaceStats after = ws.stats();
+    const std::uint64_t hits = (after.hits + after.inverse_hits) -
+                               (before.hits + before.inverse_hits);
+    const std::uint64_t misses = (after.misses + after.inverse_misses) -
+                                 (before.misses + before.inverse_misses);
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      outs[i].stats.cache_hits = hits;
+      outs[i].stats.cache_misses = misses;
+      if (outs[i].status == OutcomeStatus::kDeadlineExpired) ++expired;
+      round[group[i]].promise.set_value(std::move(outs[i]));
+    }
+  }
+  {
+    MutexLock l(mu);
+    counters.deadline_expired += expired;
+    counters.batched_requests += batched;
+    counters.batches += groups.size();
+  }
+}
+
+Service::Service(ServiceOptions opts)
+    : impl_(std::make_unique<Impl>(opts)) {
+  impl_->dispatcher = std::thread([this] { impl_->loop(); });
+}
+
+Service::~Service() {
+  {
+    MutexLock l(impl_->mu);
+    impl_->stopping = true;
+    impl_->paused = false;  // a paused shutdown still drains
+  }
+  impl_->cv_work.notify_all();
+  impl_->cv_space.notify_all();
+  impl_->dispatcher.join();
+}
+
+std::future<AnalysisOutcome> Service::submit(AnalysisRequest req) {
+  std::optional<std::future<AnalysisOutcome>> fut =
+      impl_->admit(std::move(req), /*block=*/true);
+  STRT_ASSERT(fut.has_value(), "blocking admission always yields a future");
+  return std::move(*fut);
+}
+
+std::optional<std::future<AnalysisOutcome>> Service::try_submit(
+    AnalysisRequest req) {
+  return impl_->admit(std::move(req), /*block=*/false);
+}
+
+std::vector<AnalysisOutcome> Service::run_all(
+    std::vector<AnalysisRequest> reqs) {
+  // Admission would deadlock if the batch exceeds a paused queue's
+  // capacity; resume first in that case (otherwise keep the pause while
+  // enqueueing, so a paused service sees the whole batch in one round).
+  {
+    MutexLock l(impl_->mu);
+    if (impl_->paused && reqs.size() > impl_->opts.queue_capacity) {
+      impl_->paused = false;
+    }
+  }
+  impl_->cv_work.notify_all();
+  std::vector<std::future<AnalysisOutcome>> futs;
+  futs.reserve(reqs.size());
+  for (AnalysisRequest& r : reqs) futs.push_back(submit(std::move(r)));
+  resume();
+  std::vector<AnalysisOutcome> outs;
+  outs.reserve(futs.size());
+  for (std::future<AnalysisOutcome>& f : futs) outs.push_back(f.get());
+  return outs;
+}
+
+void Service::pause() {
+  MutexLock l(impl_->mu);
+  impl_->paused = true;
+}
+
+void Service::resume() {
+  {
+    MutexLock l(impl_->mu);
+    impl_->paused = false;
+  }
+  impl_->cv_work.notify_all();
+}
+
+void Service::drain() {
+  resume();
+  MutexLock l(impl_->mu);
+  while (!impl_->queue.empty() || impl_->in_flight != 0) {
+    l.wait(impl_->cv_idle);
+  }
+}
+
+engine::Workspace& Service::workspace() { return impl_->ws; }
+
+ServiceStats Service::stats() const {
+  MutexLock l(impl_->mu);
+  ServiceStats s = impl_->counters;
+  s.queue_depth = impl_->queue.size();
+  return s;
+}
+
+const ServiceOptions& Service::options() const { return impl_->opts; }
+
+}  // namespace strt::svc

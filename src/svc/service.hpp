@@ -1,0 +1,123 @@
+// strt::svc -- the batch analysis service.
+//
+// A Service owns one long-lived engine::Workspace and a dispatcher
+// thread behind a bounded admission queue, and serves AnalysisRequests
+// submitted from any thread:
+//
+//   * Admission: the queue holds at most queue_capacity requests.
+//     submit() blocks while the queue is full (backpressure);
+//     try_submit() sheds load instead, answering kRejected.
+//   * Batching: each dispatch round drains up to max_batch queued
+//     requests and groups them by request_fingerprint() -- task set plus
+//     supply -- in arrival order.  The first request of a group runs
+//     first and warms every rbf/dbf/sbf/derived-curve memo the group
+//     shares; the rest of the group then fans out across the strt::exec
+//     pool and answers mostly from the cache.
+//   * Deadlines/cancellation: a request whose wall-clock budget expired
+//     while queued is answered kDeadlineExpired without running; budgets
+//     and CancelTokens of running requests are checked at every explorer
+//     progress callback (see svc/api.hpp).
+//   * Results are bit-identical to run_request() on a private workspace:
+//     the Workspace cache-on/off and thread-count contracts guarantee
+//     warmth never changes an answer (enforced by tests/test_svc.cpp and
+//     bench/bench_service.cpp).
+//
+// Shutdown: the destructor stops admission, drains every queued request,
+// and joins the dispatcher.
+//
+// Observability: svc.submitted / svc.rejected / svc.batches /
+// svc.batched_requests global counters on top of the per-request
+// counters run_request() bumps; stats() returns this service's numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "svc/api.hpp"
+
+namespace strt::engine {
+class Workspace;
+}  // namespace strt::engine
+
+namespace strt::svc {
+
+struct ServiceOptions {
+  /// Bounded admission queue length; submit() blocks / try_submit()
+  /// rejects when full.  Must be >= 1.
+  std::size_t queue_capacity = 1024;
+  /// Requests drained per dispatch round (the batching window).
+  std::size_t max_batch = 64;
+  /// Group a round by request_fingerprint() before running.  Off =>
+  /// strict arrival order, one batch per request (ablation switch;
+  /// results are identical either way).
+  bool batch_by_fingerprint = true;
+  /// Fan a group's cache-warm tail across the exec pool.  Off => the
+  /// whole round runs serially on the dispatcher (ablation switch;
+  /// results are identical either way).
+  bool parallel_batches = true;
+  /// Workspace memoization (the warm-cache amortization this service
+  /// exists for; off is the cold ablation).
+  bool caching = true;
+  /// Construct paused: requests queue up (backpressure observable
+  /// deterministically) until resume().
+  bool start_paused = false;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t served = 0;
+  std::uint64_t deadline_expired = 0;  // expired while queued
+  std::uint64_t batches = 0;           // fingerprint groups dispatched
+  std::uint64_t batched_requests = 0;  // requests sharing a group of >= 2
+  std::size_t queue_depth = 0;         // currently queued
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submits one request; blocks while the admission queue is full
+  /// (backpressure).  The future resolves when the request is served.
+  [[nodiscard]] std::future<AnalysisOutcome> submit(AnalysisRequest req);
+
+  /// Non-blocking admission: nullopt when the queue is full (the caller
+  /// sheds load; svc.rejected is bumped).
+  [[nodiscard]] std::optional<std::future<AnalysisOutcome>> try_submit(
+      AnalysisRequest req);
+
+  /// Convenience: submits every request (blocking admission) and waits;
+  /// outcomes are returned in request order.
+  [[nodiscard]] std::vector<AnalysisOutcome> run_all(
+      std::vector<AnalysisRequest> reqs);
+
+  /// Pauses/resumes dispatch (admission stays open).  While paused the
+  /// queue fills up and submit() exerts backpressure.
+  void pause();
+  void resume();
+
+  /// Blocks until the queue is empty and no request is in flight.
+  /// Resumes a paused service first (a paused drain would deadlock).
+  void drain();
+
+  /// The shared workspace (its stats() are the service-wide cache
+  /// numbers; also handy for seeding warmth in benchmarks).
+  [[nodiscard]] engine::Workspace& workspace();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] const ServiceOptions& options() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace strt::svc

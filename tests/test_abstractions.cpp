@@ -64,13 +64,13 @@ TEST(Abstractions, ArrivalCurvesAreOrderedPointwise) {
     const DrtTask task = random_drt(rng, params).task;
     const Time h(120);
     const Staircase exact =
-        abstracted_arrival(task, WorkloadAbstraction::kExactCurve, h);
+        abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kExactCurve, h);
     const Staircase hull =
-        abstracted_arrival(task, WorkloadAbstraction::kConcaveHull, h);
+        abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kConcaveHull, h);
     const Staircase bucket =
-        abstracted_arrival(task, WorkloadAbstraction::kTokenBucket, h);
+        abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kTokenBucket, h);
     const Staircase sporadic =
-        abstracted_arrival(task, WorkloadAbstraction::kSporadicMinGap, h);
+        abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kSporadicMinGap, h);
     for (std::int64_t t = 0; t <= h.count(); ++t) {
       const Work e = exact.value(Time(t));
       EXPECT_LE(e, hull.value(Time(t))) << "t=" << t;
@@ -103,15 +103,15 @@ TEST(Abstractions, DelayBoundsFollowTheHierarchy) {
     const Supply supply = Supply::tdma(Time(slot), Time(20));
     if (!(gen.exact_utilization < supply.long_run_rate())) continue;
 
-    const auto st = delay_with_abstraction(
+    const auto st = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kStructural);
-    const auto ex = delay_with_abstraction(
+    const auto ex = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kExactCurve);
-    const auto hu = delay_with_abstraction(
+    const auto hu = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kConcaveHull);
-    const auto tb = delay_with_abstraction(
+    const auto tb = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kTokenBucket);
-    const auto sp = delay_with_abstraction(
+    const auto sp = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kSporadicMinGap);
 
     ASSERT_FALSE(st.delay.is_unbounded()) << "trial " << trial;
@@ -138,8 +138,8 @@ TEST(Abstractions, SporadicMinGapOftenOverloads) {
   const DrtTask task = std::move(b).build();
   const Supply supply = Supply::tdma(Time(1), Time(2));  // rate 1/2
   const auto st =
-      delay_with_abstraction(task, supply, WorkloadAbstraction::kStructural);
-  const auto sp = delay_with_abstraction(task, supply,
+      delay_with_abstraction(test::workspace(), task, supply, WorkloadAbstraction::kStructural);
+  const auto sp = delay_with_abstraction(test::workspace(), task, supply,
                                          WorkloadAbstraction::kSporadicMinGap);
   EXPECT_FALSE(st.delay.is_unbounded());
   EXPECT_TRUE(sp.delay.is_unbounded());  // claimed rate 4/4 = 1 > 1/2
@@ -150,9 +150,9 @@ TEST(Abstractions, TokenBucketCoversExactCurveOnFittedHorizon) {
   const DrtTask task = spor.to_drt();
   const Time h(140);
   const Staircase exact =
-      abstracted_arrival(task, WorkloadAbstraction::kExactCurve, h);
+      abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kExactCurve, h);
   const Staircase bucket =
-      abstracted_arrival(task, WorkloadAbstraction::kTokenBucket, h);
+      abstracted_arrival(test::workspace(), task, WorkloadAbstraction::kTokenBucket, h);
   for (std::int64_t t = 1; t <= h.count(); ++t) {
     EXPECT_GE(bucket.value(Time(t)), exact.value(Time(t))) << t;
   }
@@ -172,7 +172,7 @@ TEST(Abstractions, NamesAreStable) {
 }
 
 TEST(Abstractions, StructuralIsNotACurve) {
-  EXPECT_THROW((void)abstracted_arrival(test::small_task(),
+  EXPECT_THROW((void)abstracted_arrival(test::workspace(), test::small_task(),
                                         WorkloadAbstraction::kStructural,
                                         Time(50)),
                std::invalid_argument);

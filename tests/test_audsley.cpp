@@ -15,7 +15,7 @@ namespace {
 bool order_feasible(const std::vector<DrtTask>& tasks, const Supply& supply) {
   StructuralOptions opts;
   opts.want_witness = false;
-  const FpResult res = fixed_priority_analysis(tasks, supply, opts);
+  const FpResult res = fixed_priority_analysis(test::workspace(), tasks, supply, opts);
   if (res.overloaded) return false;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     Time worst(0);
@@ -37,7 +37,7 @@ TEST(Audsley, FindsOrderForClassicSet) {
   // Given in the "wrong" order (slow first); Audsley must still succeed
   // and must put the tight task higher.
   const AudsleyResult res =
-      audsley_assignment(tasks, Supply::dedicated(1));
+      audsley_assignment(test::workspace(), tasks, Supply::dedicated(1));
   ASSERT_TRUE(res.feasible);
   ASSERT_EQ(res.order.size(), 2u);
   EXPECT_EQ(res.order[0], 1u);  // "fast" gets the higher priority
@@ -49,7 +49,7 @@ TEST(Audsley, InfeasibleOnOverload) {
   tasks.push_back(SporadicTask{"a", Work(3), Time(4), Time(4)}.to_drt());
   tasks.push_back(SporadicTask{"b", Work(3), Time(4), Time(4)}.to_drt());
   const AudsleyResult res =
-      audsley_assignment(tasks, Supply::dedicated(1));
+      audsley_assignment(test::workspace(), tasks, Supply::dedicated(1));
   EXPECT_FALSE(res.feasible);
 }
 
@@ -60,7 +60,7 @@ TEST(Audsley, InfeasibleWhenNoTaskFitsAtTheBottom) {
   tasks.push_back(SporadicTask{"a", Work(3), Time(8), Time(4)}.to_drt());
   tasks.push_back(SporadicTask{"b", Work(3), Time(8), Time(4)}.to_drt());
   const AudsleyResult res =
-      audsley_assignment(tasks, Supply::dedicated(1));
+      audsley_assignment(test::workspace(), tasks, Supply::dedicated(1));
   // Lowest-priority candidate sees 3 + 3 = 6 > 4 in the worst case.
   EXPECT_FALSE(res.feasible);
 }
@@ -79,7 +79,7 @@ TEST(Audsley, ResultOrderActuallyPasses) {
     std::vector<DrtTask> tasks;
     for (auto& g : gen) tasks.push_back(std::move(g.task));
     const Supply supply = Supply::dedicated(1);
-    const AudsleyResult res = audsley_assignment(tasks, supply);
+    const AudsleyResult res = audsley_assignment(test::workspace(), tasks, supply);
     if (!res.feasible) continue;
     ++found;
     // Apply the order and verify with the independent FP analysis (using
@@ -88,7 +88,7 @@ TEST(Audsley, ResultOrderActuallyPasses) {
     for (const std::size_t i : res.order) ordered.push_back(tasks[i]);
     StructuralOptions opts;
     opts.want_witness = false;
-    const FpResult fp = fixed_priority_analysis(ordered, supply, opts);
+    const FpResult fp = fixed_priority_analysis(test::workspace(), ordered, supply, opts);
     ASSERT_FALSE(fp.overloaded);
     // The per-vertex criterion implies each task's own jobs meet their
     // deadlines under the leftover; re-check with structural_delay_vs via
@@ -116,7 +116,7 @@ TEST(Audsley, DominatesAnyFixedOrderOnRandomSets) {
     for (auto& g : gen) tasks.push_back(std::move(g.task));
     const Supply supply = Supply::dedicated(1);
 
-    const AudsleyResult aud = audsley_assignment(tasks, supply);
+    const AudsleyResult aud = audsley_assignment(test::workspace(), tasks, supply);
     // Try all 6 permutations with the conservative min-deadline check.
     std::vector<std::size_t> perm{0, 1, 2};
     bool any_order = false;

@@ -82,7 +82,7 @@ TEST(Chain, SingleHopMatchesStructural) {
   const SporadicTask sp{"s", Work(3), Time(9), Time(9)};
   const DrtTask task = sp.to_drt();
   const std::vector<Supply> hops{Supply::dedicated(1)};
-  const ChainResult res = chain_delay(task, hops);
+  const ChainResult res = chain_delay(test::workspace(), task, hops);
   EXPECT_EQ(res.structural, Time(3));
   EXPECT_EQ(res.pboo, Time(3));
   EXPECT_EQ(res.per_hop_sum, Time(3));
@@ -93,7 +93,7 @@ TEST(Chain, PayBurstOnlyOnceBeatsPerHopSum) {
   const SporadicTask sp{"s", Work(2), Time(5), Time(5)};
   const DrtTask task = sp.to_drt();
   const std::vector<Supply> hops{Supply::dedicated(1), Supply::dedicated(1)};
-  const ChainResult res = chain_delay(task, hops);
+  const ChainResult res = chain_delay(test::workspace(), task, hops);
   // Convolution of two unit-rate servers is still unit rate, so the
   // end-to-end bound stays 2; the compositional sum pays it twice.
   EXPECT_EQ(res.structural, Time(2));
@@ -115,7 +115,7 @@ TEST(Chain, StructuralEqualsPbooAndBeatsSum) {
         Supply::bounded_delay(Rational(3, 4), Time(4)),
         Supply::tdma(Time(4), Time(7)),
     };
-    const ChainResult res = chain_delay(task, hops);
+    const ChainResult res = chain_delay(test::workspace(), task, hops);
     ASSERT_FALSE(res.overloaded) << "trial " << trial;
     EXPECT_EQ(res.structural, res.pboo) << "trial " << trial;
     EXPECT_LE(res.pboo, res.per_hop_sum) << "trial " << trial;
@@ -145,7 +145,7 @@ TEST(Chain, SimulatedSemanticsRespectTheirBounds) {
     const DrtTask& task = gen.task;
     const std::vector<Supply> hops{Supply::tdma(Time(4), Time(7)),
                                    Supply::periodic(Time(5), Time(8))};
-    const ChainResult res = chain_delay(task, hops);
+    const ChainResult res = chain_delay(test::workspace(), task, hops);
     if (res.overloaded) continue;
     ++checked;
 
@@ -237,14 +237,14 @@ TEST(Chain, OverloadDetected) {
   const SporadicTask sp{"s", Work(4), Time(5), Time(5)};
   const std::vector<Supply> hops{Supply::dedicated(1),
                                  Supply::tdma(Time(3), Time(6))};
-  const ChainResult res = chain_delay(sp.to_drt(), hops);
+  const ChainResult res = chain_delay(test::workspace(), sp.to_drt(), hops);
   EXPECT_TRUE(res.overloaded);
   EXPECT_TRUE(res.structural.is_unbounded());
 }
 
 TEST(Chain, EmptyChainRejected) {
   const SporadicTask sp{"s", Work(1), Time(5), Time(5)};
-  EXPECT_THROW((void)chain_delay(sp.to_drt(), {}), std::invalid_argument);
+  EXPECT_THROW((void)chain_delay(test::workspace(), sp.to_drt(), {}), std::invalid_argument);
 }
 
 }  // namespace

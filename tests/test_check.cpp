@@ -18,6 +18,7 @@
 #include "model/recurring.hpp"
 #include "model/sporadic.hpp"
 #include "resource/supply.hpp"
+#include "svc/request_stream.hpp"
 #include "testutil.hpp"
 
 namespace strt {
@@ -179,6 +180,25 @@ std::vector<Trigger> triggers() {
                  return parse_task_checked("task t\n"
                                            "vertex A wcet 1 deadline 1\n"
                                            "edge A Z sep 1\n")
+                     .diagnostics;
+               }});
+
+  t.push_back({"req.bad-field", [] {
+                 return svc::parse_request_json(
+                            R"({"kind": "structural", "max_states": "lots",)"
+                            R"( "task": "task t\nvertex A wcet 1 deadline 5\n)"
+                            R"(edge A A sep 5"})")
+                     .diagnostics;
+               }});
+  t.push_back({"req.missing-task", [] {
+                 return svc::parse_request_json(R"({"kind": "structural"})")
+                     .diagnostics;
+               }});
+  t.push_back({"req.unknown-kind", [] {
+                 return svc::parse_request_json(
+                            R"({"kind": "holistic",)"
+                            R"( "task": "task t\nvertex A wcet 1 deadline 5\n)"
+                            R"(edge A A sep 5"})")
                      .diagnostics;
                }});
 

@@ -71,7 +71,7 @@ TEST(EdfSim, AcceptedSetsNeverMissInRandomRuns) {
     const Supply supply = Supply::tdma(Time(4), Time(6));
     EdfResult verdict;
     try {
-      verdict = edf_schedulable(tasks, supply);
+      verdict = edf_schedulable(test::workspace(), tasks, supply);
     } catch (const std::invalid_argument&) {
       continue;  // not frame separated (generator edge case)
     }

@@ -13,6 +13,7 @@
 #include "core/sensitivity.hpp"
 #include "exec/exec.hpp"
 #include "model/generator.hpp"
+#include "testutil.hpp"
 
 namespace strt {
 namespace {
@@ -100,7 +101,7 @@ TEST(ExecEquivalence, FixedPriorityBitIdentical) {
     const auto tasks =
         random_set(1000 + static_cast<std::uint64_t>(t), 3, 0.6);
     serial_vs_parallel(
-        [&] { return fixed_priority_analysis(tasks, supply, opts); });
+        [&] { return fixed_priority_analysis(test::workspace(), tasks, supply, opts); });
   }
 }
 
@@ -110,7 +111,7 @@ TEST(ExecEquivalence, JointFpBitIdentical) {
     const auto tasks =
         random_set(2000 + static_cast<std::uint64_t>(t), 3, 0.5);
     serial_vs_parallel([&] {
-      return joint_multi_task_fp({tasks.data(), 2}, tasks[2], supply, {});
+      return joint_multi_task_fp(test::workspace(), {tasks.data(), 2}, tasks[2], supply, {});
     });
   }
 }
@@ -121,7 +122,7 @@ TEST(ExecEquivalence, SensitivityBitIdentical) {
     const auto tasks =
         random_set(3000 + static_cast<std::uint64_t>(t), 1, 0.3);
     serial_vs_parallel(
-        [&] { return sensitivity_analysis(tasks[0], supply, {}); });
+        [&] { return sensitivity_analysis(test::workspace(), tasks[0], supply, {}); });
   }
 }
 
@@ -133,7 +134,7 @@ TEST(ExecEquivalence, AudsleyBitIdentical) {
     const auto tasks =
         random_set(4000 + static_cast<std::uint64_t>(t), 4, 0.7);
     serial_vs_parallel(
-        [&] { return audsley_assignment(tasks, supply, opts); });
+        [&] { return audsley_assignment(test::workspace(), tasks, supply, opts); });
   }
 }
 

@@ -17,7 +17,7 @@ TEST(JointFp, SporadicHpHasOnePathShape) {
   const DrtTask hp = SporadicTask{"hp", Work(1), Time(4), Time(4)}.to_drt();
   const DrtTask lp = SporadicTask{"lp", Work(2), Time(10), Time(10)}.to_drt();
   const JointFpResult res =
-      joint_two_task_fp(hp, lp, Supply::dedicated(1));
+      joint_two_task_fp(test::workspace(), hp, lp, Supply::dedicated(1));
   ASSERT_FALSE(res.overloaded);
   EXPECT_EQ(res.joint_delay, res.rbf_delay);
   EXPECT_EQ(res.joint_delay, Time(3));  // 1 (hp) + 2 (own)
@@ -38,7 +38,7 @@ TEST(JointFp, NeverExceedsRbfBaseline) {
     const Supply supply = Supply::dedicated(1);
     JointFpResult res;
     try {
-      res = joint_two_task_fp(hp, lp, supply);
+      res = joint_two_task_fp(test::workspace(), hp, lp, supply);
     } catch (const std::runtime_error&) {
       continue;  // path cap: pick another instance
     }
@@ -65,7 +65,7 @@ TEST(JointFp, StrictGainExistsForBranchyInterference) {
 
   const DrtTask lp = SporadicTask{"lp", Work(8), Time(60), Time(60)}.to_drt();
   const Supply supply = Supply::tdma(Time(4), Time(8));
-  const JointFpResult res = joint_two_task_fp(hp, lp, supply);
+  const JointFpResult res = joint_two_task_fp(test::workspace(), hp, lp, supply);
   ASSERT_FALSE(res.overloaded);
   EXPECT_LT(res.joint_delay, res.rbf_delay);  // the headline gain
   EXPECT_EQ(res.joint_delay, Time(32));
@@ -87,7 +87,7 @@ TEST(JointFp, SimulatedPreemptiveRunsRespectTheJointBound) {
     const Supply supply = Supply::tdma(Time(4), Time(6));
     JointFpResult res;
     try {
-      res = joint_two_task_fp(hp, lp, supply);
+      res = joint_two_task_fp(test::workspace(), hp, lp, supply);
     } catch (const std::runtime_error&) {
       continue;
     }
@@ -143,7 +143,7 @@ TEST(JointFp, SimulatedPreemptiveRunsRespectTheJointBound) {
 TEST(JointFpMulti, NoInterferenceEqualsSingleStream) {
   const DrtTask lp = SporadicTask{"lp", Work(3), Time(9), Time(9)}.to_drt();
   const JointFpResult res =
-      joint_multi_task_fp({}, lp, Supply::dedicated(1));
+      joint_multi_task_fp(test::workspace(), {}, lp, Supply::dedicated(1));
   ASSERT_FALSE(res.overloaded);
   EXPECT_EQ(res.joint_delay, Time(3));
   EXPECT_EQ(res.rbf_delay, Time(3));
@@ -170,7 +170,7 @@ TEST(JointFpMulti, ThreeTaskStackBeatsRbfLeftover) {
   const DrtTask lp =
       SporadicTask{"lp", Work(12), Time(90), Time(90)}.to_drt();
   const Supply supply = Supply::tdma(Time(5), Time(8));
-  const JointFpResult res = joint_multi_task_fp(hps, lp, supply);
+  const JointFpResult res = joint_multi_task_fp(test::workspace(), hps, lp, supply);
   ASSERT_FALSE(res.overloaded);
   EXPECT_EQ(res.joint_delay, Time(63));
   EXPECT_EQ(res.rbf_delay, Time(69));
@@ -193,8 +193,8 @@ TEST(JointFpMulti, AgreesWithTwoTaskVariant) {
     JointFpResult two;
     JointFpResult multi;
     try {
-      two = joint_two_task_fp(hp, lp, supply);
-      multi = joint_multi_task_fp({&hp, 1}, lp, supply);
+      two = joint_two_task_fp(test::workspace(), hp, lp, supply);
+      multi = joint_multi_task_fp(test::workspace(), {&hp, 1}, lp, supply);
     } catch (const std::runtime_error&) {
       continue;
     }
@@ -209,7 +209,7 @@ TEST(JointFp, OverloadDetected) {
   const DrtTask hp = SporadicTask{"hp", Work(3), Time(4), Time(4)}.to_drt();
   const DrtTask lp = SporadicTask{"lp", Work(2), Time(4), Time(4)}.to_drt();
   const JointFpResult res =
-      joint_two_task_fp(hp, lp, Supply::dedicated(1));
+      joint_two_task_fp(test::workspace(), hp, lp, Supply::dedicated(1));
   EXPECT_TRUE(res.overloaded);
   EXPECT_TRUE(res.joint_delay.is_unbounded());
 }

@@ -27,7 +27,7 @@ TEST(FixedPriority, ClassicResponseTimes) {
   // hi's delay is its wcet; lo's worst response: 1 (hp) + 2 = 3.
   const auto tasks = two_sporadics();
   const FpResult res =
-      fixed_priority_analysis(tasks, Supply::dedicated(1));
+      fixed_priority_analysis(test::workspace(), tasks, Supply::dedicated(1));
   ASSERT_FALSE(res.overloaded);
   ASSERT_EQ(res.tasks.size(), 2u);
   EXPECT_EQ(res.tasks[0].structural_delay, Time(1));
@@ -41,7 +41,7 @@ TEST(FixedPriority, OverloadDetected) {
   tasks.push_back(SporadicTask{"a", Work(3), Time(4), Time(4)}.to_drt());
   tasks.push_back(SporadicTask{"b", Work(3), Time(4), Time(4)}.to_drt());
   const FpResult res =
-      fixed_priority_analysis(tasks, Supply::dedicated(1));
+      fixed_priority_analysis(test::workspace(), tasks, Supply::dedicated(1));
   EXPECT_TRUE(res.overloaded);
   EXPECT_TRUE(res.tasks.empty());
 }
@@ -56,7 +56,7 @@ TEST(FixedPriority, SimulationNeverExceedsPerTaskBounds) {
   std::vector<GeneratedTask> gen = random_drt_set(rng, 3, 0.5, params);
   std::vector<DrtTask> tasks;
   for (auto& g : gen) tasks.push_back(std::move(g.task));
-  const FpResult res = fixed_priority_analysis(tasks, Supply::dedicated(1));
+  const FpResult res = fixed_priority_analysis(test::workspace(), tasks, Supply::dedicated(1));
   ASSERT_FALSE(res.overloaded);
 
   // Preemptive fixed-priority simulation of dense random runs.
@@ -117,11 +117,11 @@ TEST(FixedPriority, InterferenceAbstractionOnlyHurts) {
     }
     if (!(total < Rational(1))) continue;
     const Supply supply = Supply::dedicated(1);
-    const FpResult exact = fixed_priority_analysis(
+    const FpResult exact = fixed_priority_analysis(test::workspace(), 
         tasks, supply, opts, WorkloadAbstraction::kExactCurve);
-    const FpResult hull = fixed_priority_analysis(
+    const FpResult hull = fixed_priority_analysis(test::workspace(), 
         tasks, supply, opts, WorkloadAbstraction::kConcaveHull);
-    const FpResult bucket = fixed_priority_analysis(
+    const FpResult bucket = fixed_priority_analysis(test::workspace(), 
         tasks, supply, opts, WorkloadAbstraction::kTokenBucket);
     ASSERT_FALSE(exact.overloaded);
     ASSERT_FALSE(hull.overloaded);
@@ -156,17 +156,17 @@ TEST(FixedPriority, MinGapInterferenceCanOverload) {
   }
   tasks.push_back(SporadicTask{"bg", Work(2), Time(10), Time(10)}.to_drt());
   const Supply supply = Supply::dedicated(1);
-  const FpResult exact = fixed_priority_analysis(
+  const FpResult exact = fixed_priority_analysis(test::workspace(), 
       tasks, supply, {}, WorkloadAbstraction::kExactCurve);
   EXPECT_FALSE(exact.overloaded);
-  const FpResult mingap = fixed_priority_analysis(
+  const FpResult mingap = fixed_priority_analysis(test::workspace(), 
       tasks, supply, {}, WorkloadAbstraction::kSporadicMinGap);
   EXPECT_TRUE(mingap.overloaded);  // claims 4/5 + 1/5 = 1 >= rate
 }
 
 TEST(Edf, UnderloadedSporadicsSchedulable) {
   const auto tasks = two_sporadics();
-  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  const EdfResult res = edf_schedulable(test::workspace(), tasks, Supply::dedicated(1));
   EXPECT_FALSE(res.overloaded);
   EXPECT_TRUE(res.schedulable);
   ASSERT_TRUE(res.margin.has_value());
@@ -177,7 +177,7 @@ TEST(Edf, TightDeadlinesFail) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"a", Work(3), Time(10), Time(3)}.to_drt());
   tasks.push_back(SporadicTask{"b", Work(3), Time(10), Time(3)}.to_drt());
-  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  const EdfResult res = edf_schedulable(test::workspace(), tasks, Supply::dedicated(1));
   EXPECT_FALSE(res.overloaded);
   EXPECT_FALSE(res.schedulable);
   ASSERT_TRUE(res.first_violation.has_value());
@@ -189,14 +189,14 @@ TEST(Edf, TightDeadlinesFail) {
 TEST(Edf, OverloadDetected) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"a", Work(5), Time(4), Time(4)}.to_drt());
-  const EdfResult res = edf_schedulable(tasks, Supply::dedicated(1));
+  const EdfResult res = edf_schedulable(test::workspace(), tasks, Supply::dedicated(1));
   EXPECT_TRUE(res.overloaded);
 }
 
 TEST(Edf, RequiresFrameSeparation) {
   std::vector<DrtTask> tasks;
   tasks.push_back(test::small_task());  // deadlines exceed separations
-  EXPECT_THROW((void)edf_schedulable(tasks, Supply::dedicated(1)),
+  EXPECT_THROW((void)edf_schedulable(test::workspace(), tasks, Supply::dedicated(1)),
                std::invalid_argument);
 }
 
@@ -204,13 +204,13 @@ TEST(Edf, EdfOnPartialSupply) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"a", Work(1), Time(8), Time(8)}.to_drt());
   const EdfResult ok =
-      edf_schedulable(tasks, Supply::tdma(Time(4), Time(8)));
+      edf_schedulable(test::workspace(), tasks, Supply::tdma(Time(4), Time(8)));
   EXPECT_TRUE(ok.schedulable);
   // Same task but deadline 2 on a slot that can be 4 ticks away: fails.
   std::vector<DrtTask> tight;
   tight.push_back(SporadicTask{"a", Work(1), Time(8), Time(2)}.to_drt());
   const EdfResult bad =
-      edf_schedulable(tight, Supply::tdma(Time(4), Time(8)));
+      edf_schedulable(test::workspace(), tight, Supply::tdma(Time(4), Time(8)));
   EXPECT_FALSE(bad.schedulable);
 }
 
@@ -227,20 +227,21 @@ TEST(Dimensioning, StructuralNeedsNoMoreThanCurve) {
     const Time cycle(10);
     const Time deadline(120);
     const auto s =
-        min_tdma_slot(task, cycle, deadline, WorkloadAbstraction::kStructural);
-    const auto c = min_tdma_slot(task, cycle, deadline, WorkloadAbstraction::kConcaveHull);
+        min_tdma_slot(test::workspace(), task, cycle, deadline, WorkloadAbstraction::kStructural);
+    const auto c = min_tdma_slot(test::workspace(), task, cycle, deadline, WorkloadAbstraction::kConcaveHull);
     if (c.has_value()) {
       ASSERT_TRUE(s.has_value()) << "trial " << trial;
       EXPECT_LE(*s, *c) << "trial " << trial;
     }
     if (s.has_value()) {
       // Minimality: one slot less must violate the deadline (or be zero).
-      const StructuralOptions opts{.want_witness = false};
-      const StructuralResult at = structural_delay(
+      StructuralOptions opts;
+      opts.want_witness = false;
+      const StructuralResult at = structural_delay(test::workspace(), 
           task, Supply::tdma(*s, cycle), opts);
       EXPECT_LE(at.delay, deadline);
       if (*s > Time(1)) {
-        const StructuralResult below = structural_delay(
+        const StructuralResult below = structural_delay(test::workspace(), 
             task, Supply::tdma(*s - Time(1), cycle), opts);
         EXPECT_GT(below.delay, deadline) << "trial " << trial;
       }
@@ -250,14 +251,14 @@ TEST(Dimensioning, StructuralNeedsNoMoreThanCurve) {
 
 TEST(Dimensioning, InfeasibleReturnsNullopt) {
   const SporadicTask sp{"s", Work(50), Time(60), Time(60)};
-  EXPECT_FALSE(min_tdma_slot(sp.to_drt(), Time(10), Time(10),
+  EXPECT_FALSE(min_tdma_slot(test::workspace(), sp.to_drt(), Time(10), Time(10),
                              WorkloadAbstraction::kStructural)
                    .has_value());
 }
 
 TEST(Dimensioning, PeriodicBudgetSearch) {
   const SporadicTask sp{"s", Work(2), Time(20), Time(20)};
-  const auto q = min_periodic_budget(sp.to_drt(), Time(10), Time(25),
+  const auto q = min_periodic_budget(test::workspace(), sp.to_drt(), Time(10), Time(25),
                                      WorkloadAbstraction::kStructural);
   ASSERT_TRUE(q.has_value());
   EXPECT_GE(*q, Time(1));

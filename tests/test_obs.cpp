@@ -149,7 +149,7 @@ TEST_F(ObsTest, ReportRoundTripsThroughAnalysis) {
   // fire, then serialize the report and parse it back.
   const DrtTask task = test::small_task();
   const Supply supply = Supply::tdma(Time(4), Time(5));
-  const StructuralResult st = structural_delay(task, supply);
+  const StructuralResult st = structural_delay(test::workspace(), task, supply);
   ASSERT_FALSE(st.delay.is_unbounded());
 
   obs::RunReport report("roundtrip");
@@ -283,7 +283,7 @@ TEST_F(ObsTest, StructuralOptionsForwardProgress) {
     ++calls;
     return true;
   };
-  const StructuralResult st = structural_delay(task, supply, opts);
+  const StructuralResult st = structural_delay(test::workspace(), task, supply, opts);
   EXPECT_FALSE(st.stats.aborted);
   EXPECT_GE(calls.load(), 1u);
 }

@@ -67,19 +67,19 @@ TEST_P(SpectrumProperty, InvariantBattery) {
     EXPECT_TRUE(wl.is_subadditive());
 
     // --- Busy windows agree.
-    const auto bw = busy_window(task, supply);
+    const auto bw = busy_window(test::workspace(), task, supply);
     ASSERT_TRUE(bw.has_value());
-    const StructuralResult st = structural_delay(task, supply);
-    const CurveResult cv = curve_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
+    const CurveResult cv = curve_delay(test::workspace(), task, supply);
     EXPECT_EQ(st.busy_window, bw->length);
     EXPECT_EQ(cv.busy_window, bw->length);
 
     // --- The abstraction hierarchy.
-    const auto ex = delay_with_abstraction(task, supply,
+    const auto ex = delay_with_abstraction(test::workspace(), task, supply,
                                            WorkloadAbstraction::kExactCurve);
-    const auto hull = delay_with_abstraction(
+    const auto hull = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kConcaveHull);
-    const auto bucket = delay_with_abstraction(
+    const auto bucket = delay_with_abstraction(test::workspace(), 
         task, supply, WorkloadAbstraction::kTokenBucket);
     EXPECT_EQ(st.delay, ex.delay);
     EXPECT_EQ(st.backlog, ex.backlog);
@@ -120,7 +120,7 @@ TEST_P(SpectrumProperty, InvariantBattery) {
     no_prune.prune = false;
     no_prune.want_witness = false;
     if (bw->length <= Time(48)) {  // keep the unpruned run tractable
-      const StructuralResult full = structural_delay(task, supply, no_prune);
+      const StructuralResult full = structural_delay(test::workspace(), task, supply, no_prune);
       EXPECT_EQ(full.delay, st.delay);
       EXPECT_EQ(full.backlog, st.backlog);
       EXPECT_GE(full.stats.generated, st.stats.generated);

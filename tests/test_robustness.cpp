@@ -89,9 +89,9 @@ TEST(DegenerateShapes, AcyclicTaskHasFiniteWorkloadAndDelay) {
   EXPECT_EQ(f.value(Time(50)), Work(8));  // total work is bounded
 
   const Supply supply = Supply::tdma(Time(1), Time(4));
-  const StructuralResult st = structural_delay(task, supply);
+  const StructuralResult st = structural_delay(test::workspace(), task, supply);
   ASSERT_FALSE(st.delay.is_unbounded());
-  const CurveResult cv = curve_delay(task, supply);
+  const CurveResult cv = curve_delay(test::workspace(), task, supply);
   EXPECT_EQ(st.delay, cv.delay);
 }
 
@@ -101,7 +101,7 @@ TEST(DegenerateShapes, SingleVertexNoEdges) {
   const DrtTask task = std::move(b).build();
   EXPECT_FALSE(task.is_cyclic());
   const StructuralResult st =
-      structural_delay(task, Supply::dedicated(1));
+      structural_delay(test::workspace(), task, Supply::dedicated(1));
   EXPECT_EQ(st.delay, Time(7));
   EXPECT_EQ(st.backlog, Work(7));
 }
@@ -116,7 +116,7 @@ TEST(DegenerateShapes, SeparationLargerThanBusyWindow) {
     return std::move(b).build();
   }();
   const StructuralResult st =
-      structural_delay(task, Supply::dedicated(1));
+      structural_delay(test::workspace(), task, Supply::dedicated(1));
   EXPECT_EQ(st.busy_window, Time(2));
   EXPECT_EQ(st.delay, Time(2));
   ASSERT_EQ(st.witness.size(), 1u);
@@ -132,7 +132,7 @@ TEST(DegenerateShapes, HugeWcetDoesNotOverflowSilently) {
   const DrtTask task = std::move(b).build();
   try {
     const StructuralResult st =
-        structural_delay(task, Supply::dedicated(1));
+        structural_delay(test::workspace(), task, Supply::dedicated(1));
     EXPECT_EQ(st.delay, Time(std::int64_t{1} << 40));
   } catch (const OverflowError&) {
   } catch (const std::runtime_error&) {

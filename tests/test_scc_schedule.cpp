@@ -139,7 +139,7 @@ TEST(ScheduleSupply, StructuralAnalysisRunsOnSchedule) {
   const SporadicTask sp{"s", Work(2), Time(10), Time(10)};
   std::vector<bool> mask{true, false, false, true, false, false};
   const Supply supply = Supply::schedule(mask);
-  const StructuralResult res = structural_delay(sp.to_drt(), supply);
+  const StructuralResult res = structural_delay(test::workspace(), sp.to_drt(), supply);
   ASSERT_FALSE(res.delay.is_unbounded());
   // First unit can be 2 ticks away (mask worst alignment), second
   // another 3: sbf^{-1}(2) = 5 at worst... assert via the library's own

@@ -34,7 +34,7 @@ TEST(Sensitivity, SporadicWcetSlackIsExact) {
   SensitivityOptions opts;
   opts.delay_cap = Time(6);
   const SensitivityReport rep =
-      sensitivity_analysis(task, Supply::dedicated(1), opts);
+      sensitivity_analysis(test::workspace(), task, Supply::dedicated(1), opts);
   ASSERT_TRUE(rep.feasible);
   ASSERT_EQ(rep.wcet_slack.size(), 1u);
   EXPECT_EQ(rep.wcet_slack[0], Work(4));
@@ -49,13 +49,13 @@ TEST(Sensitivity, SporadicWcetSlackIsExact) {
   StructuralOptions sopts;
   sopts.want_witness = false;
   const DrtTask at = with_separation_decrease(task, 0, slack);
-  EXPECT_LE(structural_delay(at, Supply::dedicated(1), sopts).delay,
+  EXPECT_LE(structural_delay(test::workspace(), at, Supply::dedicated(1), sopts).delay,
             Time(6));
   if (slack + Time(1) < Time(10)) {
     const DrtTask beyond =
         with_separation_decrease(task, 0, slack + Time(1));
     const StructuralResult r =
-        structural_delay(beyond, Supply::dedicated(1), sopts);
+        structural_delay(test::workspace(), beyond, Supply::dedicated(1), sopts);
     EXPECT_TRUE(r.delay.is_unbounded() || r.delay > Time(6));
   }
 }
@@ -66,7 +66,7 @@ TEST(Sensitivity, InfeasibleTaskHasZeroSlack) {
   const VertexId v = b.add_vertex("V", Work(3), Time(1));
   b.add_edge(v, v, Time(10));
   const SensitivityReport rep =
-      sensitivity_analysis(std::move(b).build(), Supply::dedicated(1));
+      sensitivity_analysis(test::workspace(), std::move(b).build(), Supply::dedicated(1));
   EXPECT_FALSE(rep.feasible);
   EXPECT_EQ(rep.wcet_slack[0], Work(0));
   EXPECT_EQ(rep.separation_slack[0], Time(0));
@@ -89,10 +89,10 @@ TEST(Sensitivity, SlacksAreBoundaryTight) {
     const Supply supply = Supply::tdma(Time(3), Time(5));
 
     SensitivityOptions opts;
-    const StructuralResult base = structural_delay(task, supply, sopts);
+    const StructuralResult base = structural_delay(test::workspace(), task, supply, sopts);
     if (base.delay.is_unbounded() || !base.meets_vertex_deadlines) continue;
     ++checked;
-    const SensitivityReport rep = sensitivity_analysis(task, supply, opts);
+    const SensitivityReport rep = sensitivity_analysis(test::workspace(), task, supply, opts);
     ASSERT_TRUE(rep.feasible);
 
     for (VertexId v = 0; static_cast<std::size_t>(v) < task.vertex_count();
@@ -101,10 +101,10 @@ TEST(Sensitivity, SlacksAreBoundaryTight) {
       if (slack.is_unbounded()) continue;
       const DrtTask at = with_wcet_increase(task, v, slack);
       EXPECT_TRUE(
-          structural_delay(at, supply, sopts).meets_vertex_deadlines)
+          structural_delay(test::workspace(), at, supply, sopts).meets_vertex_deadlines)
           << "vertex " << v;
       const DrtTask beyond = with_wcet_increase(task, v, slack + Work(1));
-      const StructuralResult r = structural_delay(beyond, supply, sopts);
+      const StructuralResult r = structural_delay(test::workspace(), beyond, supply, sopts);
       EXPECT_TRUE(r.delay.is_unbounded() || !r.meets_vertex_deadlines)
           << "vertex " << v;
     }
@@ -118,7 +118,7 @@ TEST(PerVertexDelays, BoundGlobalDelayAndRespectDeadlineVerdict) {
     params.target_utilization = 0.35;
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply = Supply::dedicated(1);
-    const StructuralResult res = structural_delay(task, supply);
+    const StructuralResult res = structural_delay(test::workspace(), task, supply);
     ASSERT_FALSE(res.delay.is_unbounded());
     ASSERT_EQ(res.vertex_delays.size(), task.vertex_count());
     Time worst(0);

@@ -16,7 +16,7 @@ namespace {
 
 TEST(BusyWindow, SporadicOnDedicated) {
   const SporadicTask sp{"s", Work(2), Time(5), Time(5)};
-  const auto bw = busy_window(sp.to_drt(), Supply::dedicated(1));
+  const auto bw = busy_window(test::workspace(), sp.to_drt(), Supply::dedicated(1));
   ASSERT_TRUE(bw.has_value());
   // rbf(t) = 2*ceil(t/5) vs sbf(t) = t: rbf(1)=2>1, rbf(2)=2<=2.
   EXPECT_EQ(bw->length, Time(2));
@@ -24,16 +24,16 @@ TEST(BusyWindow, SporadicOnDedicated) {
 
 TEST(BusyWindow, OverloadReturnsNullopt) {
   const SporadicTask sp{"s", Work(6), Time(5), Time(5)};  // U = 6/5 > 1
-  EXPECT_FALSE(busy_window(sp.to_drt(), Supply::dedicated(1)).has_value());
+  EXPECT_FALSE(busy_window(test::workspace(), sp.to_drt(), Supply::dedicated(1)).has_value());
   // Exactly at the rate is also overload (no finite busy window).
   const SporadicTask full{"f", Work(5), Time(5), Time(5)};
-  EXPECT_FALSE(busy_window(full.to_drt(), Supply::dedicated(1)).has_value());
+  EXPECT_FALSE(busy_window(test::workspace(), full.to_drt(), Supply::dedicated(1)).has_value());
 }
 
 TEST(Structural, SporadicOnDedicatedIsWcet) {
   const SporadicTask sp{"s", Work(3), Time(7), Time(7)};
   const StructuralResult res =
-      structural_delay(sp.to_drt(), Supply::dedicated(1));
+      structural_delay(test::workspace(), sp.to_drt(), Supply::dedicated(1));
   EXPECT_EQ(res.delay, Time(3));
   EXPECT_EQ(res.backlog, Work(3));
   EXPECT_EQ(res.busy_window, Time(3));  // rbf(3)=3<=3
@@ -44,7 +44,7 @@ TEST(Structural, SporadicOnDedicatedIsWcet) {
 TEST(Structural, OverloadIsUnbounded) {
   const SporadicTask sp{"s", Work(9), Time(5), Time(5)};
   const StructuralResult res =
-      structural_delay(sp.to_drt(), Supply::dedicated(1));
+      structural_delay(test::workspace(), sp.to_drt(), Supply::dedicated(1));
   EXPECT_TRUE(res.delay.is_unbounded());
   EXPECT_TRUE(res.backlog.is_unbounded());
 }
@@ -56,7 +56,7 @@ TEST(Structural, HandComputedTdmaExample) {
   // Single job of work 2 at release 0: finish = sbf^{-1}(2) = 6.
   const SporadicTask sp{"s", Work(2), Time(10), Time(10)};
   const StructuralResult res =
-      structural_delay(sp.to_drt(), Supply::tdma(Time(2), Time(6)));
+      structural_delay(test::workspace(), sp.to_drt(), Supply::tdma(Time(2), Time(6)));
   EXPECT_EQ(res.delay, Time(6));
   EXPECT_EQ(res.busy_window, Time(6));
 }
@@ -72,8 +72,8 @@ TEST(Structural, NeverExceedsCurveBound) {
     params.target_utilization = 0.25 + 0.5 * rng.uniform_real();
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply = Supply::dedicated(1);
-    const StructuralResult st = structural_delay(task, supply);
-    const CurveResult cv = curve_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
+    const CurveResult cv = curve_delay(test::workspace(), task, supply);
     ASSERT_FALSE(st.delay.is_unbounded()) << "trial " << trial;
     EXPECT_LE(st.delay, cv.delay) << "trial " << trial;
     EXPECT_LE(st.backlog, cv.backlog) << "trial " << trial;
@@ -94,9 +94,9 @@ TEST(Structural, MatchesOracleOnSmallTasks) {
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply =
         trial % 2 == 0 ? Supply::dedicated(1) : Supply::tdma(Time(3), Time(4));
-    const auto bw = busy_window(task, supply);
+    const auto bw = busy_window(test::workspace(), task, supply);
     ASSERT_TRUE(bw.has_value()) << "trial " << trial;
-    const StructuralResult st = structural_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
     const OracleResult oracle = oracle_worst_delay(
         task, bw->sbf, max(Time(0), bw->length - Time(1)));
     // The oracle can never exceed the bound...
@@ -122,8 +122,8 @@ TEST(Structural, PruningDoesNotChangeTheBound) {
     StructuralOptions full;
     full.prune = false;
     const Supply supply = Supply::dedicated(1);
-    const StructuralResult a = structural_delay(task, supply, pruned);
-    const StructuralResult b = structural_delay(task, supply, full);
+    const StructuralResult a = structural_delay(test::workspace(), task, supply, pruned);
+    const StructuralResult b = structural_delay(test::workspace(), task, supply, full);
     EXPECT_EQ(a.delay, b.delay) << "trial " << trial;
     EXPECT_EQ(a.backlog, b.backlog) << "trial " << trial;
     EXPECT_LE(a.stats.expanded, b.stats.expanded) << "trial " << trial;
@@ -143,9 +143,9 @@ TEST(Structural, WitnessReplayReproducesTheBound) {
     params.target_utilization = 0.45;
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply = Supply::tdma(Time(2), Time(3));
-    const auto bw = busy_window(task, supply);
+    const auto bw = busy_window(test::workspace(), task, supply);
     ASSERT_TRUE(bw.has_value());
-    const StructuralResult st = structural_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
     ASSERT_FALSE(st.witness.empty());
 
     Trace trace;
@@ -173,7 +173,7 @@ TEST(Structural, SimulatedRandomRunsNeverExceedTheBound) {
     params.target_utilization = 0.4;
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply = Supply::periodic(Time(3), Time(5));
-    const StructuralResult st = structural_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
     ASSERT_FALSE(st.delay.is_unbounded());
 
     const Time sim_horizon(400);
@@ -210,8 +210,8 @@ TEST(Structural, EqualsExactCurveBoundForSingleStream) {
     const DrtTask task = random_drt(rng, params).task;
     const Supply supply =
         trial % 2 == 0 ? Supply::tdma(Time(2), Time(3)) : Supply::dedicated(1);
-    const StructuralResult st = structural_delay(task, supply);
-    const CurveResult cv = curve_delay(task, supply);
+    const StructuralResult st = structural_delay(test::workspace(), task, supply);
+    const CurveResult cv = curve_delay(test::workspace(), task, supply);
     ASSERT_FALSE(st.delay.is_unbounded()) << "trial " << trial;
     EXPECT_EQ(st.delay, cv.delay) << "trial " << trial;
     EXPECT_EQ(st.backlog, cv.backlog) << "trial " << trial;
@@ -222,21 +222,21 @@ TEST(Structural, VsArbitraryServiceCurve) {
   const SporadicTask sp{"s", Work(2), Time(6), Time(6)};
   const Staircase service = curve::rate_latency(Rational(1, 2), Time(3),
                                                 Time(200));
-  const StructuralResult st = structural_delay_vs(sp.to_drt(), service);
+  const StructuralResult st = structural_delay_vs(test::workspace(), sp.to_drt(), service);
   // First job: finish = inverse(2) = 3 + 4 = 7, delay 7.
   EXPECT_EQ(st.delay, Time(7));
 }
 
 TEST(CurveBased, SporadicOnDedicated) {
   const SporadicTask sp{"s", Work(3), Time(7), Time(7)};
-  const CurveResult res = curve_delay(sp.to_drt(), Supply::dedicated(1));
+  const CurveResult res = curve_delay(test::workspace(), sp.to_drt(), Supply::dedicated(1));
   EXPECT_EQ(res.delay, Time(3));
   EXPECT_EQ(res.backlog, Work(3));
 }
 
 TEST(CurveBased, OverloadIsUnbounded) {
   const SporadicTask sp{"s", Work(9), Time(5), Time(5)};
-  const CurveResult res = curve_delay(sp.to_drt(), Supply::dedicated(1));
+  const CurveResult res = curve_delay(test::workspace(), sp.to_drt(), Supply::dedicated(1));
   EXPECT_TRUE(res.delay.is_unbounded());
 }
 

@@ -1,0 +1,349 @@
+// strt::svc -- the batch analysis service and unified request API.
+//
+// Pins the service's core contracts: outcomes are bit-identical to
+// one-shot run_request() on a private workspace for every analysis kind,
+// the bounded admission queue exerts backpressure, wall-clock deadlines
+// and CancelTokens stop requests before and during a run, and
+// fingerprint batching attributes the workspace cache delta to every
+// member of a batch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "engine/workspace.hpp"
+#include "graph/drt.hpp"
+#include "model/generator.hpp"
+#include "svc/api.hpp"
+#include "svc/request_stream.hpp"
+#include "svc/service.hpp"
+
+namespace strt::svc {
+namespace {
+
+std::vector<DrtTask> random_set(std::uint64_t seed, std::size_t set_size,
+                                double total_util) {
+  Rng rng = Rng::split(seed, 0);
+  DrtGenParams params;
+  params.min_vertices = 2;
+  params.max_vertices = 4;
+  params.min_separation = Time(6);
+  params.max_separation = Time(24);
+  auto gen = random_drt_set(rng, set_size, total_util, params);
+  std::vector<DrtTask> tasks;
+  for (auto& g : gen) tasks.push_back(std::move(g.task));
+  return tasks;
+}
+
+AnalysisRequest request_of_kind(AnalysisKind kind, std::uint64_t id,
+                                std::uint64_t seed) {
+  AnalysisRequest req;
+  req.id = id;
+  req.kind = kind;
+  req.supply = Supply::tdma(Time(7), Time(10));
+  const bool single = kind == AnalysisKind::kStructural ||
+                      kind == AnalysisKind::kSensitivity;
+  req.tasks = random_set(seed, single ? 1 : 3, single ? 0.3 : 0.6);
+  return req;
+}
+
+/// Field-by-field equality of two outcomes (the result variant included).
+void expect_same_outcome(const AnalysisOutcome& a, const AnalysisOutcome& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.diagnostics.to_json(), b.diagnostics.to_json());
+  ASSERT_EQ(a.result.index(), b.result.index());
+  if (const StructuralResult* sa = a.structural()) {
+    const StructuralResult* sb = b.structural();
+    EXPECT_EQ(sa->delay, sb->delay);
+    EXPECT_EQ(sa->backlog, sb->backlog);
+    EXPECT_EQ(sa->busy_window, sb->busy_window);
+    EXPECT_EQ(sa->vertex_delays, sb->vertex_delays);
+    EXPECT_EQ(sa->meets_vertex_deadlines, sb->meets_vertex_deadlines);
+    EXPECT_EQ(sa->stats.generated, sb->stats.generated);
+    EXPECT_EQ(sa->stats.expanded, sb->stats.expanded);
+  }
+  if (const FpResult* fa = a.fp()) {
+    const FpResult* fb = b.fp();
+    EXPECT_EQ(fa->overloaded, fb->overloaded);
+    EXPECT_EQ(fa->system_busy_window, fb->system_busy_window);
+    ASSERT_EQ(fa->tasks.size(), fb->tasks.size());
+    for (std::size_t i = 0; i < fa->tasks.size(); ++i) {
+      EXPECT_EQ(fa->tasks[i].structural_delay,
+                fb->tasks[i].structural_delay);
+      EXPECT_EQ(fa->tasks[i].curve_delay, fb->tasks[i].curve_delay);
+      EXPECT_EQ(fa->tasks[i].busy_window, fb->tasks[i].busy_window);
+    }
+  }
+  if (const EdfResult* ea = a.edf()) {
+    const EdfResult* eb = b.edf();
+    EXPECT_EQ(ea->schedulable, eb->schedulable);
+    EXPECT_EQ(ea->overloaded, eb->overloaded);
+    EXPECT_EQ(ea->margin, eb->margin);
+    EXPECT_EQ(ea->horizon_checked, eb->horizon_checked);
+  }
+  if (const JointFpResult* ja = a.joint_fp()) {
+    const JointFpResult* jb = b.joint_fp();
+    EXPECT_EQ(ja->overloaded, jb->overloaded);
+    EXPECT_EQ(ja->joint_delay, jb->joint_delay);
+    EXPECT_EQ(ja->rbf_delay, jb->rbf_delay);
+    EXPECT_EQ(ja->paths_analyzed, jb->paths_analyzed);
+  }
+  if (const SensitivityReport* ra = a.sensitivity()) {
+    const SensitivityReport* rb = b.sensitivity();
+    EXPECT_EQ(ra->feasible, rb->feasible);
+    EXPECT_EQ(ra->wcet_slack, rb->wcet_slack);
+    EXPECT_EQ(ra->separation_slack, rb->separation_slack);
+  }
+  if (const AudsleyResult* ua = a.audsley()) {
+    const AudsleyResult* ub = b.audsley();
+    EXPECT_EQ(ua->feasible, ub->feasible);
+    EXPECT_EQ(ua->order, ub->order);
+    EXPECT_EQ(ua->tests_run, ub->tests_run);
+  }
+}
+
+TEST(SvcApi, KindNamesRoundTrip) {
+  for (const AnalysisKind k : kAllAnalysisKinds) {
+    const auto back = kind_from_name(kind_name(k));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(kind_from_name("holistic").has_value());
+}
+
+TEST(SvcApi, InvalidArityIsRejectedWithoutRunning) {
+  AnalysisRequest req = request_of_kind(AnalysisKind::kStructural, 1, 10);
+  req.tasks.push_back(req.tasks[0]);  // structural takes exactly one task
+  const AnalysisOutcome out = run_request(req);
+  EXPECT_EQ(out.status, OutcomeStatus::kInvalid);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(out.result));
+  EXPECT_FALSE(out.error.empty());
+}
+
+TEST(SvcApi, LintErrorsYieldInvalidWithDiagnostics) {
+  DrtBuilder b("bad");
+  const VertexId v = b.add_vertex("A", Work(9), Time(4));  // wcet > deadline
+  b.add_edge(v, v, Time(10));
+  AnalysisRequest req;
+  req.kind = AnalysisKind::kStructural;
+  req.tasks = {std::move(b).build()};
+  const AnalysisOutcome out = run_request(req);
+  EXPECT_EQ(out.status, OutcomeStatus::kInvalid);
+  EXPECT_TRUE(out.diagnostics.has("drt.wcet-exceeds-deadline"));
+}
+
+TEST(SvcService, OutcomesBitIdenticalToOneShotAcrossKinds) {
+  ServiceOptions sopts;
+  sopts.max_batch = 16;
+  Service service(sopts);
+  std::vector<AnalysisRequest> reqs;
+  std::uint64_t id = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const AnalysisKind k : kAllAnalysisKinds) {
+      ++id;
+      reqs.push_back(request_of_kind(k, id, 7000 + 13 * id));
+    }
+  }
+  const std::vector<AnalysisOutcome> served = service.run_all(reqs);
+  ASSERT_EQ(served.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    engine::Workspace cold;
+    const AnalysisOutcome direct = run_request(cold, reqs[i]);
+    EXPECT_EQ(served[i].id, reqs[i].id);
+    expect_same_outcome(served[i], direct);
+  }
+}
+
+TEST(SvcService, BackpressureShedsLoadWhenQueueIsFull) {
+  ServiceOptions sopts;
+  sopts.queue_capacity = 2;
+  sopts.start_paused = true;
+  Service service(sopts);
+  const AnalysisRequest req =
+      request_of_kind(AnalysisKind::kStructural, 9, 42);
+
+  auto f1 = service.try_submit(req);
+  auto f2 = service.try_submit(req);
+  ASSERT_TRUE(f1.has_value());
+  ASSERT_TRUE(f2.has_value());
+  // Queue full and dispatch paused: the third submission is shed.
+  auto f3 = service.try_submit(req);
+  EXPECT_FALSE(f3.has_value());
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().queue_depth, 2u);
+
+  service.resume();
+  EXPECT_EQ(f1->get().status, OutcomeStatus::kOk);
+  EXPECT_EQ(f2->get().status, OutcomeStatus::kOk);
+  service.drain();
+  EXPECT_EQ(service.stats().served, 2u);
+  EXPECT_EQ(service.stats().submitted, 2u);
+}
+
+TEST(SvcService, DeadlineExpiresInQueue) {
+  ServiceOptions sopts;
+  sopts.start_paused = true;
+  Service service(sopts);
+  AnalysisRequest req = request_of_kind(AnalysisKind::kStructural, 5, 77);
+  req.deadline = std::chrono::milliseconds(1);
+  auto fut = service.submit(std::move(req));
+  // Hold the request in the paused queue until its budget is gone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.resume();
+  const AnalysisOutcome out = fut.get();
+  EXPECT_EQ(out.status, OutcomeStatus::kDeadlineExpired);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(out.result));
+  service.drain();
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+}
+
+TEST(SvcApi, CancelTokenStopsARunMidExploration) {
+  AnalysisRequest req = request_of_kind(AnalysisKind::kStructural, 6, 91);
+  CancelToken token;
+  req.cancel = token;
+  req.common.progress_every = 1;  // check the token at every expansion
+  std::atomic<std::uint64_t> calls{0};
+  req.common.on_progress = [&](const ExploreProgress&) {
+    if (++calls >= 3) token.cancel();
+    return true;
+  };
+  const AnalysisOutcome out = run_request(req);
+  EXPECT_EQ(out.status, OutcomeStatus::kCancelled);
+  EXPECT_GE(calls.load(), 3u);
+}
+
+TEST(SvcApi, PreCancelledTokenSkipsTheRun) {
+  AnalysisRequest req = request_of_kind(AnalysisKind::kEdf, 7, 55);
+  CancelToken token;
+  token.cancel();
+  req.cancel = token;
+  const AnalysisOutcome out = run_request(req);
+  EXPECT_EQ(out.status, OutcomeStatus::kCancelled);
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(out.result));
+}
+
+TEST(SvcService, FingerprintBatchingSharesTheCacheDelta) {
+  ServiceOptions sopts;
+  sopts.start_paused = true;
+  sopts.max_batch = 8;
+  Service service(sopts);
+
+  // Four requests over one task system: same fingerprint, one batch.
+  const AnalysisRequest seed =
+      request_of_kind(AnalysisKind::kStructural, 0, 4242);
+  std::vector<std::future<AnalysisOutcome>> futs;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    AnalysisRequest req = seed;
+    req.id = id;
+    futs.push_back(service.submit(std::move(req)));
+  }
+  service.resume();
+  service.drain();
+
+  std::vector<AnalysisOutcome> outs;
+  for (auto& f : futs) outs.push_back(f.get());
+  const std::uint64_t key = outs[0].stats.batch_key;
+  for (const AnalysisOutcome& out : outs) {
+    EXPECT_EQ(out.status, OutcomeStatus::kOk);
+    EXPECT_EQ(out.stats.batch_key, key);
+    EXPECT_EQ(out.stats.batch_size, 4u);
+    // The batch's cache delta is attributed to every member: the leader
+    // warmed the memos, so the batch as a whole must have hit the cache.
+    EXPECT_GT(out.stats.cache_hits, 0u);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_requests, 4u);
+
+  // The shared workspace saw real hits too (service-wide numbers).
+  EXPECT_GT(service.workspace().stats().hits, 0u);
+}
+
+TEST(SvcService, DistinctFingerprintsDoNotBatch) {
+  ServiceOptions sopts;
+  sopts.start_paused = true;
+  Service service(sopts);
+  std::vector<std::future<AnalysisOutcome>> futs;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    futs.push_back(service.submit(
+        request_of_kind(AnalysisKind::kStructural, id, 100 + id)));
+  }
+  service.resume();
+  service.drain();
+  for (auto& f : futs) {
+    const AnalysisOutcome out = f.get();
+    EXPECT_EQ(out.status, OutcomeStatus::kOk);
+    EXPECT_EQ(out.stats.batch_size, 1u);
+  }
+  EXPECT_EQ(service.stats().batches, 3u);
+  EXPECT_EQ(service.stats().batched_requests, 0u);
+}
+
+TEST(SvcStream, JsonlRequestRoundTrips) {
+  const RequestParse p = parse_request_json(
+      R"({"id": 3, "kind": "structural", "supply": "tdma slot 3 cycle 8",)"
+      R"( "task": "task t\nvertex A wcet 2 deadline 10\nedge A A sep 10",)"
+      R"( "max_states": 1234, "deadline_ms": 250, "want_witness": true})",
+      1);
+  ASSERT_TRUE(p.diagnostics.ok()) << p.diagnostics.to_json();
+  ASSERT_TRUE(p.request.has_value());
+  EXPECT_EQ(p.request->id, 3u);
+  EXPECT_EQ(p.request->kind, AnalysisKind::kStructural);
+  EXPECT_EQ(p.request->supply.describe(),
+            Supply::tdma(Time(3), Time(8)).describe());
+  EXPECT_EQ(p.request->common.max_states, 1234u);
+  EXPECT_TRUE(p.request->want_witness);
+  ASSERT_TRUE(p.request->deadline.has_value());
+  EXPECT_EQ(p.request->deadline->count(), 250);
+
+  const AnalysisOutcome out = run_request(*p.request);
+  EXPECT_EQ(out.status, OutcomeStatus::kOk);
+  ASSERT_NE(out.structural(), nullptr);
+}
+
+TEST(SvcStream, MalformedLinesCollectDiagnostics) {
+  EXPECT_TRUE(
+      parse_request_json("{not json", 1).diagnostics.has("req.bad-field"));
+  EXPECT_TRUE(parse_request_json(R"({"kind": "nope", "task": "task t"})", 2)
+                  .diagnostics.has("req.unknown-kind"));
+  EXPECT_TRUE(parse_request_json(R"({"kind": "edf"})", 3)
+                  .diagnostics.has("req.missing-task"));
+  // Task text that fails its own parse surfaces the nested diagnostics.
+  const RequestParse p =
+      parse_request_json(R"({"kind": "structural", "task": "bogus"})", 4);
+  EXPECT_FALSE(p.request.has_value());
+  EXPECT_FALSE(p.diagnostics.ok());
+}
+
+TEST(SvcStream, StreamReaderSkipsCommentsAndCountsLines) {
+  std::istringstream in(
+      "# request stream\n"
+      "\n"
+      R"({"id": 1, "kind": "edf", "tasks": ["task a\nvertex A wcet 1 )"
+      R"(deadline 8\nedge A A sep 8"]})"
+      "\n"
+      "{broken\n");
+  const std::vector<RequestParse> reqs =
+      read_request_stream(in, StreamFormat::kJsonl);
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_TRUE(reqs[0].request.has_value());
+  EXPECT_FALSE(reqs[1].request.has_value());
+  // Diagnostics carry the physical line number (line 4 is the broken one).
+  ASSERT_FALSE(reqs[1].diagnostics.diagnostics().empty());
+  EXPECT_EQ(reqs[1].diagnostics.diagnostics()[0].location, "line 4");
+}
+
+}  // namespace
+}  // namespace strt::svc

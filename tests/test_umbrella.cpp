@@ -5,6 +5,8 @@
 
 #include "strt.hpp"
 
+#include "testutil.hpp"
+
 namespace strt {
 namespace {
 
@@ -13,7 +15,7 @@ TEST(Umbrella, EndToEndSmoke) {
   const SporadicTask sp{"s", Work(2), Time(8), Time(8)};
   const DrtTask task = sp.to_drt();
   const Supply supply = Supply::tdma(Time(3), Time(6));
-  const StructuralResult st = structural_delay(task, supply);
+  const StructuralResult st = structural_delay(test::workspace(), task, supply);
   EXPECT_FALSE(st.delay.is_unbounded());
   EXPECT_TRUE(st.meets_vertex_deadlines);
   const std::string dot = to_dot(task);
@@ -24,14 +26,14 @@ TEST(EdfDimensioning, FindsMinimalSlot) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"a", Work(1), Time(6), Time(6)}.to_drt());
   tasks.push_back(SporadicTask{"b", Work(2), Time(12), Time(12)}.to_drt());
-  const auto slot = min_tdma_slot_edf(tasks, Time(8));
+  const auto slot = min_tdma_slot_edf(test::workspace(), tasks, Time(8));
   ASSERT_TRUE(slot.has_value());
   // Verdict boundary: schedulable at *slot, not below.
   EXPECT_TRUE(
-      edf_schedulable(tasks, Supply::tdma(*slot, Time(8))).schedulable);
+      edf_schedulable(test::workspace(), tasks, Supply::tdma(*slot, Time(8))).schedulable);
   if (*slot > Time(1)) {
     EXPECT_FALSE(
-        edf_schedulable(tasks, Supply::tdma(*slot - Time(1), Time(8)))
+        edf_schedulable(test::workspace(), tasks, Supply::tdma(*slot - Time(1), Time(8)))
             .schedulable);
   }
 }
@@ -39,14 +41,14 @@ TEST(EdfDimensioning, FindsMinimalSlot) {
 TEST(EdfDimensioning, InfeasibleReturnsNullopt) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"a", Work(9), Time(10), Time(3)}.to_drt());
-  EXPECT_FALSE(min_tdma_slot_edf(tasks, Time(4)).has_value());
+  EXPECT_FALSE(min_tdma_slot_edf(test::workspace(), tasks, Time(4)).has_value());
 }
 
 TEST(FixedPriority, ExposesPerVertexVerdicts) {
   std::vector<DrtTask> tasks;
   tasks.push_back(SporadicTask{"hi", Work(1), Time(4), Time(4)}.to_drt());
   tasks.push_back(SporadicTask{"lo", Work(2), Time(10), Time(10)}.to_drt());
-  const FpResult res = fixed_priority_analysis(tasks, Supply::dedicated(1));
+  const FpResult res = fixed_priority_analysis(test::workspace(), tasks, Supply::dedicated(1));
   ASSERT_FALSE(res.overloaded);
   for (const FpTaskResult& t : res.tasks) {
     ASSERT_EQ(t.vertex_delays.size(), 1u);
@@ -63,14 +65,14 @@ TEST(FixedPriority, PerVertexVerdictMatchesAudsleyAtFixedOrder) {
   tasks.push_back(SporadicTask{"b", Work(2), Time(9), Time(9)}.to_drt());
   tasks.push_back(SporadicTask{"c", Work(2), Time(20), Time(20)}.to_drt());
   const Supply supply = Supply::dedicated(1);
-  const FpResult fp = fixed_priority_analysis(tasks, supply);
+  const FpResult fp = fixed_priority_analysis(test::workspace(), tasks, supply);
   ASSERT_FALSE(fp.overloaded);
   bool all_pass = true;
   for (const FpTaskResult& t : fp.tasks) {
     all_pass = all_pass && t.meets_vertex_deadlines;
   }
   ASSERT_TRUE(all_pass);
-  const AudsleyResult aud = audsley_assignment(tasks, supply);
+  const AudsleyResult aud = audsley_assignment(test::workspace(), tasks, supply);
   EXPECT_TRUE(aud.feasible);
 }
 

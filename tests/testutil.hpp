@@ -8,9 +8,20 @@
 #include "base/rng.hpp"
 #include "base/types.hpp"
 #include "curves/staircase.hpp"
+#include "engine/workspace.hpp"
 #include "graph/drt.hpp"
 
 namespace strt::test {
+
+/// One memoized workspace shared by a whole test binary.  The engine
+/// contract guarantees analysis results are independent of workspace
+/// warmth (enforced by test_engine_equivalence), so tests that only care
+/// about *results* route their calls through this instance; tests that
+/// probe cache behavior construct their own.
+inline engine::Workspace& workspace() {
+  static engine::Workspace w;
+  return w;
+}
 
 /// Dense evaluation f(0..horizon) as a plain vector.
 inline std::vector<std::int64_t> dense(const Staircase& f, Time horizon) {

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile as its own translation unit (no hidden include-order
+# dependencies).  Each header is compiled with -fsyntax-only into a TU
+# that includes nothing else.
+#
+#   $ tools/check_headers.sh            # uses $CXX, default g++
+#   $ CXX=clang++ tools/check_headers.sh
+#
+# Exits non-zero listing every header that failed.
+
+set -u
+
+cxx=${CXX:-g++}
+root=$(cd "$(dirname "$0")/.." && pwd)
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+checked=0
+failed=0
+while IFS= read -r header; do
+  rel=${header#src/}
+  tu="$tmpdir/tu.cpp"
+  printf '#include "%s"\n' "$rel" > "$tu"
+  if ! "$cxx" -std=c++20 -fsyntax-only -I "$root/src" \
+       -Wall -Wextra -Werror "$tu" 2> "$tmpdir/err"; then
+    echo "NOT SELF-CONTAINED: $header"
+    sed 's/^/  /' "$tmpdir/err"
+    failed=$((failed + 1))
+  fi
+  checked=$((checked + 1))
+done < <(cd "$root" && find src -name '*.hpp' | sort)
+
+echo "header self-containment: $checked checked, $failed failed ($cxx)"
+test "$failed" -eq 0
