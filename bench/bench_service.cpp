@@ -26,6 +26,8 @@
 #include "bench_util.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
+#include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "svc/api.hpp"
 #include "svc/service.hpp"
 
@@ -166,6 +168,11 @@ std::vector<svc::AnalysisOutcome> serve(const svc::ServiceOptions& sopts,
 }  // namespace
 
 int main() {
+  // Observability on for every configuration (uniform overhead, fair
+  // ratios): the svc.request_latency_us histogram feeds the per-request
+  // p50/p99 metrics below.
+  obs::set_enabled(true);
+
   const Supply supply = Supply::tdma(Time(35), Time(50));
 
   std::vector<svc::AnalysisRequest> reqs;
@@ -202,6 +209,10 @@ int main() {
     }
     cold_ms = phase.millis();
   }
+  obs::Histogram& h_latency = obs::histogram("svc.request_latency_us");
+  const obs::HistogramSnapshot cold_latency = h_latency.snapshot();
+  // Reset so the warm phase's histogram covers its requests alone.
+  obs::Registry::global().reset();
 
   // Warm batch service (the production configuration) and the serial
   // no-batch ablation (shared warm workspace only).
@@ -221,6 +232,7 @@ int main() {
     served = serve(warm_opts, reqs, warm_stats);
     warm_ms = phase.millis();
   }
+  const obs::HistogramSnapshot warm_latency = h_latency.snapshot();
 
   svc::ServiceStats ablation_stats;
   std::vector<svc::AnalysisOutcome> ablated;
@@ -278,5 +290,18 @@ int main() {
   report.metric("identical", true);
   report.metric("batches", warm_stats.batches);
   report.metric("batched_requests", warm_stats.batched_requests);
+
+  // Histogram-derived request-latency tails (microseconds; warm includes
+  // queue wait, which is why its p99 can exceed the cold tail even when
+  // throughput is far higher).
+  report.metric("cold_latency_p50_us", cold_latency.quantile(0.50));
+  report.metric("cold_latency_p99_us", cold_latency.quantile(0.99));
+  report.metric("warm_latency_p50_us", warm_latency.quantile(0.50));
+  report.metric("warm_latency_p99_us", warm_latency.quantile(0.99));
+  std::cout << "\nrequest latency (us): cold p50 "
+            << cold_latency.quantile(0.50) << " / p99 "
+            << cold_latency.quantile(0.99) << "; warm p50 "
+            << warm_latency.quantile(0.50) << " / p99 "
+            << warm_latency.quantile(0.99) << '\n';
   return 0;
 }

@@ -4,7 +4,7 @@
 // tree) with wall-clock readback for table printing.  Each harness opens
 // a BenchReport at the top of main and feeds it its headline metrics;
 // on destruction the report -- counters, spans, metrics -- is appended
-// to BENCH_<name>.json (strt.obs.report.v1 schema, one line per run)
+// to BENCH_<name>.json (strt.obs.report.v2 schema, one line per run)
 // whenever observability is enabled (STRT_OBS=1) or STRT_BENCH_JSON
 // names an output directory.
 #pragma once

@@ -7,7 +7,7 @@
 // With `--report out.json` (anywhere on the command line) a structured
 // run report -- analysis inputs/outputs, cache statistics, observability
 // counters, and the timing-span tree -- is appended to `out.json` as one
-// JSON line (schema strt.obs.report.v1, see README "Observability").
+// JSON line (schema strt.obs.report.v2, see README "Observability").
 // Set STRT_OBS=1 to populate the counters and spans; the report is
 // written either way.
 //

@@ -5,12 +5,15 @@
 //   $ ./examples/strt_serve <requests-file> [--format jsonl|csv]
 //   $ ./examples/strt_serve                 # runs a built-in demo stream
 //
-// Output is JSON lines (schema strt.obs.report.v1, see README
+// Output is JSON lines (schema strt.obs.report.v2, see README
 // "Observability"): one line per request -- id, kind, status, headline
 // result fields, diagnostics, queue/run wall times, batch key and size,
-// and the cache delta -- followed by one summary line with the service
-// totals.  With `--report out.json` the lines are appended to the file
-// instead and a human-readable table goes to stdout.
+// the cache delta, and the request's span trace -- followed by one
+// summary line with the service totals.  With `--report out.json` the
+// lines are appended to the file instead and a human-readable table goes
+// to stdout.  With `--telemetry-dir DIR` live telemetry (metrics.prom,
+// events.jsonl, Perfetto-loadable trace.json) is exported under DIR;
+// the flag also turns the observability registry on.
 //
 // Request stream formats (see src/svc/request_stream.hpp):
 //
@@ -43,6 +46,7 @@
 #include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "io/table.hpp"
+#include "obs/counters.hpp"
 #include "obs/report.hpp"
 #include "svc/request_stream.hpp"
 #include "svc/service.hpp"
@@ -110,12 +114,17 @@ int main(int argc, char** argv) {
       sopts.caching = false;
     } else if (arg == "--threads") {
       exec::set_thread_count(std::stoull(next_value("a count")));
+    } else if (arg == "--telemetry-dir") {
+      sopts.telemetry_dir = next_value("a directory");
+      // Live export is only useful with the registry on: histograms and
+      // counters would otherwise stay empty.
+      obs::set_enabled(true);
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << arg << "'\n"
                 << "usage: strt_serve [requests-file] [--format jsonl|csv] "
                    "[--task-dir DIR] [--report out.json] [--queue N] "
                    "[--batch N] [--no-batch] [--serial] [--no-cache] "
-                   "[--threads N]\n";
+                   "[--threads N] [--telemetry-dir DIR]\n";
       return 2;
     } else {
       args.push_back(arg);
@@ -176,13 +185,15 @@ int main(int argc, char** argv) {
   }
   std::ostream& lines = report_path.empty() ? std::cout : report_file;
 
-  Table table({"id", "kind", "status", "queue ms", "run ms", "batch",
+  Table table({"id", "kind", "status", "queue us", "run us", "batch",
                "cache hits"});
   std::uint64_t ok = 0;
   std::uint64_t invalid = 0;
   std::uint64_t expired = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t errors = 0;
+  std::int64_t total_queue_us = 0;
+  std::int64_t total_run_us = 0;
   for (std::size_t i = 0; i < parses.size(); ++i) {
     const svc::AnalysisOutcome outcome =
         futures[i] ? futures[i]->get() : parse_failure_outcome(parses[i]);
@@ -193,14 +204,17 @@ int main(int argc, char** argv) {
       case svc::OutcomeStatus::kCancelled: ++cancelled; break;
       default: ++errors; break;
     }
+    total_queue_us += outcome.stats.queue_us;
+    total_run_us += outcome.stats.run_us;
     obs::RunReport line("strt_serve.request");
     outcome.append_to_report(line);
+    line.set_trace(outcome.trace);
     line.write_json_line(lines);
     table.add_row({std::to_string(outcome.id),
                    std::string(svc::kind_name(outcome.kind)),
                    std::string(svc::status_name(outcome.status)),
-                   std::to_string(outcome.stats.queue_ms),
-                   std::to_string(outcome.stats.run_ms),
+                   std::to_string(outcome.stats.queue_us),
+                   std::to_string(outcome.stats.run_us),
                    std::to_string(outcome.stats.batch_size),
                    std::to_string(outcome.stats.cache_hits)});
   }
@@ -221,6 +235,8 @@ int main(int argc, char** argv) {
   summary.put("svc.served", stats.served);
   summary.put("svc.batches", stats.batches);
   summary.put("svc.batched_requests", stats.batched_requests);
+  summary.put("svc.total_queue_us", total_queue_us);
+  summary.put("svc.total_run_us", total_run_us);
   summary.put("cache.enabled", service.workspace().caching());
   summary.put("cache.hits", static_cast<std::int64_t>(cache.hits));
   summary.put("cache.misses", static_cast<std::int64_t>(cache.misses));

@@ -1,6 +1,7 @@
 #include "engine/workspace.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -16,8 +17,38 @@
 #include "engine/fingerprint.hpp"
 #include "graph/workload.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 
 namespace strt::engine {
+
+namespace {
+
+/// Times one memo-table probe into the cache.lookup_ns histogram.  When
+/// observability is disabled the constructor skips the clock read, so the
+/// lookup paths keep their one-relaxed-load cost.
+class LookupTimer {
+ public:
+  LookupTimer() : armed_(obs::enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+  ~LookupTimer() {
+    if (!armed_) return;
+    static obs::Histogram& h = obs::histogram("cache.lookup_ns");
+    h.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count()));
+  }
+
+  LookupTimer(const LookupTimer&) = delete;
+  LookupTimer& operator=(const LookupTimer&) = delete;
+
+ private:
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 bool cache_enabled_default() {
   static const bool enabled = [] {
@@ -150,6 +181,7 @@ std::shared_ptr<const check::CheckResult> Workspace::validate(
   }
   const std::uint64_t fp = task.fingerprint();
   {
+    const LookupTimer timer;
     const MutexLock lock(impl_->m_validate);
     if (const auto it = impl_->validations.find(fp);
         it != impl_->validations.end()) {
@@ -184,6 +216,7 @@ CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
 
   CurvePtr base;  // cached curve on a larger horizon, if any
   {
+    const LookupTimer timer;
     const MutexLock lock(impl_->m_tasks);
     Impl::TaskEntry& e = table[fp];
     if (const auto hit = e.by_horizon.find(horizon.count());

@@ -149,8 +149,10 @@ ExploreResult explore_paths(const DrtTask& task, const ExploreOptions& opts) {
   static obs::Counter& c_aborted = obs::counter("explore.aborted");
   static obs::Gauge& g_arena = obs::gauge("explore.arena_size");
   static obs::Gauge& g_frontier = obs::gauge("explore.frontier_width");
+  static obs::Histogram& h_states = obs::histogram("explore.states");
   c_runs.add(1);
   c_generated.add(res.stats.generated);
+  h_states.record(res.stats.generated);
   c_expanded.add(res.stats.expanded);
   c_pruned.add(res.stats.pruned);
   if (res.stats.aborted) c_aborted.add(1);

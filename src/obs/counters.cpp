@@ -33,11 +33,15 @@ void set_enabled(bool on) {
 struct Registry::Impl {
   mutable Mutex mu;
   // Deques never relocate elements, so the references handed out stay
-  // valid as the registry grows.  Registration order == deque order.
+  // valid as the registry grows.  Snapshots walk the sorted name
+  // indexes, so sample order is independent of registration order.
   std::deque<std::pair<std::string, Counter>> counters STRT_GUARDED_BY(mu);
   std::deque<std::pair<std::string, Gauge>> gauges STRT_GUARDED_BY(mu);
+  std::deque<std::pair<std::string, Histogram>> histograms
+      STRT_GUARDED_BY(mu);
   std::map<std::string, Counter*> counter_index STRT_GUARDED_BY(mu);
   std::map<std::string, Gauge*> gauge_index STRT_GUARDED_BY(mu);
+  std::map<std::string, Histogram*> histogram_index STRT_GUARDED_BY(mu);
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -78,12 +82,27 @@ Gauge& Registry::gauge(const std::string& name) {
   return *cell;
 }
 
+Histogram& Registry::histogram(const std::string& name) {
+  const MutexLock lock(impl_->mu);
+  if (auto it = impl_->histogram_index.find(name);
+      it != impl_->histogram_index.end()) {
+    return *it->second;
+  }
+  impl_->histograms.emplace_back(std::piecewise_construct,
+                                 std::forward_as_tuple(name),
+                                 std::forward_as_tuple());
+  Histogram* cell = &impl_->histograms.back().second;
+  impl_->histogram_index.emplace(name, cell);
+  return *cell;
+}
+
 std::vector<CounterSample> Registry::counters() const {
   const MutexLock lock(impl_->mu);
   std::vector<CounterSample> out;
-  out.reserve(impl_->counters.size());
-  for (const auto& [name, cell] : impl_->counters) {
-    out.push_back(CounterSample{name, cell.value()});
+  out.reserve(impl_->counter_index.size());
+  // The index map is name-ordered: deterministic snapshot order.
+  for (const auto& [name, cell] : impl_->counter_index) {
+    out.push_back(CounterSample{name, cell->value()});
   }
   return out;
 }
@@ -91,9 +110,29 @@ std::vector<CounterSample> Registry::counters() const {
 std::vector<GaugeSample> Registry::gauges() const {
   const MutexLock lock(impl_->mu);
   std::vector<GaugeSample> out;
-  out.reserve(impl_->gauges.size());
-  for (const auto& [name, cell] : impl_->gauges) {
-    out.push_back(GaugeSample{name, cell.value(), cell.max_value()});
+  out.reserve(impl_->gauge_index.size());
+  for (const auto& [name, cell] : impl_->gauge_index) {
+    out.push_back(GaugeSample{name, cell->value(), cell->max_value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> Registry::histograms() const {
+  // Collect the cells under the registry lock, then snapshot outside it:
+  // Histogram::snapshot() takes the histogram's own shard lock, and
+  // cells never move once registered.
+  std::vector<std::pair<std::string, Histogram*>> cells;
+  {
+    const MutexLock lock(impl_->mu);
+    cells.reserve(impl_->histogram_index.size());
+    for (const auto& [name, cell] : impl_->histogram_index) {
+      cells.emplace_back(name, cell);
+    }
+  }
+  std::vector<HistogramSample> out;
+  out.reserve(cells.size());
+  for (const auto& [name, cell] : cells) {
+    out.push_back(HistogramSample{name, cell->snapshot()});
   }
   return out;
 }
@@ -102,6 +141,7 @@ void Registry::reset() {
   const MutexLock lock(impl_->mu);
   for (auto& [name, cell] : impl_->counters) cell.reset();
   for (auto& [name, cell] : impl_->gauges) cell.reset();
+  for (auto& [name, cell] : impl_->histograms) cell.reset();
 }
 
 Counter& counter(const std::string& name) {

@@ -9,10 +9,9 @@
 // Cost model: every mutation first checks the global enabled flag, a
 // relaxed atomic load plus a branch; with STRT_OBS unset that is the
 // *entire* cost of an instrumented site.  Enabled mutations are relaxed
-// atomic read-modify-writes.  Snapshots iterate cells in registration
-// order, which is deterministic for single-threaded registration (all of
-// this library's instrumentation registers from function-local statics
-// on first use).
+// atomic read-modify-writes.  Snapshots return samples sorted by name,
+// so report JSON and report diffs are deterministic across runs,
+// platforms, and registration interleavings.
 //
 // Enabling: set the environment variable STRT_OBS (any value other than
 // "0" or empty) before the first instrumented call, or call
@@ -23,6 +22,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/histogram.hpp"
 
 namespace strt::obs {
 
@@ -112,15 +113,19 @@ class Registry {
   /// The global registry (all library instrumentation uses this one).
   static Registry& global();
 
-  /// Finds or creates the counter / gauge named `name`.  The reference is
-  /// valid for the registry's lifetime.
+  /// Finds or creates the counter / gauge / histogram named `name`.  The
+  /// reference is valid for the registry's lifetime.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
 
-  /// All counters / gauges in registration order.  Includes zero-valued
-  /// cells (a registered name is part of the schema of a run).
+  /// All counters / gauges / histograms, sorted by name (deterministic
+  /// snapshots whatever the registration interleaving).  Includes
+  /// zero-valued cells (a registered name is part of the schema of a
+  /// run).
   [[nodiscard]] std::vector<CounterSample> counters() const;
   [[nodiscard]] std::vector<GaugeSample> gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
 
   /// Zeroes every cell; registrations (and their order) are kept.
   void reset();
@@ -140,5 +145,6 @@ class Registry {
 ///   c.add(stats.generated);
 [[nodiscard]] Counter& counter(const std::string& name);
 [[nodiscard]] Gauge& gauge(const std::string& name);
+// obs::histogram(name) lives in obs/histogram.hpp.
 
 }  // namespace strt::obs

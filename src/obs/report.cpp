@@ -133,12 +133,17 @@ void RunReport::put(std::string_view key, bool value) {
 void RunReport::capture() {
   counters_ = Registry::global().counters();
   gauges_ = Registry::global().gauges();
+  histograms_ = Registry::global().histograms();
   spans_ = span_tree();
 }
 
+void RunReport::set_trace(RequestTrace trace) { trace_ = std::move(trace); }
+
 std::string RunReport::to_json() const {
   std::string out;
-  out += "{\"schema\":\"strt.obs.report.v1\",\"name\":\"";
+  out += "{\"schema\":\"";
+  out += kReportSchema;
+  out += "\",\"name\":\"";
   out += json_escape(name_);
   out += "\",\"fields\":{";
   bool first = true;
@@ -173,8 +178,64 @@ std::string RunReport::to_json() const {
     out += std::to_string(g.max_value);
     out += '}';
   }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& h : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(h.name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.snapshot.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.snapshot.sum);
+    out += ",\"max\":";
+    out += std::to_string(h.snapshot.max);
+    out += ",\"mean\":";
+    append_number(out, h.snapshot.mean());
+    out += ",\"p50\":";
+    out += std::to_string(h.snapshot.quantile(0.50));
+    out += ",\"p90\":";
+    out += std::to_string(h.snapshot.quantile(0.90));
+    out += ",\"p99\":";
+    out += std::to_string(h.snapshot.quantile(0.99));
+    out += '}';
+  }
   out += "},\"spans\":";
   append_spans(out, spans_);
+  if (!trace_.empty()) {
+    out += ",\"trace\":{\"trace_id\":";
+    out += std::to_string(trace_.trace_id);
+    out += ",\"spans\":[";
+    first = true;
+    for (const TraceSpanRecord& s : trace_.spans) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"id\":";
+      out += std::to_string(s.id);
+      out += ",\"parent\":";
+      out += std::to_string(s.parent);
+      out += ",\"name\":\"";
+      out += json_escape(s.name);
+      out += "\",\"ts\":";
+      out += std::to_string(s.start_us);
+      out += ",\"dur\":";
+      out += std::to_string(s.dur_us);
+      out += ",\"attrs\":{";
+      bool first_attr = true;
+      for (const auto& [k, v] : s.attrs) {
+        if (!first_attr) out += ',';
+        first_attr = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":\"";
+        out += json_escape(v);
+        out += '"';
+      }
+      out += "}}";
+    }
+    out += "]}";
+  }
   out += '}';
   return out;
 }

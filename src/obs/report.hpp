@@ -1,27 +1,36 @@
 // Observability: structured run reports.
 //
 // A RunReport gathers the inputs and outputs of one analysis run (typed
-// key/value fields) together with a snapshot of the counter registry and
-// the calling thread's span profile, and serializes everything to a
-// single line of JSON -- one run per line, append-friendly, no external
-// dependencies.
+// key/value fields) together with a snapshot of the counter registry,
+// latency histogram summaries, the calling thread's span profile, and --
+// for request-scoped reports -- the request's trace, and serializes
+// everything to a single line of JSON -- one run per line,
+// append-friendly, no external dependencies.
 //
-// Schema (version "strt.obs.report.v1"):
+// Schema (version "strt.obs.report.v2"; v1 lacked "histograms"/"trace"
+// and snapshotted counters in registration order):
 //
 //   {
-//     "schema":   "strt.obs.report.v1",
-//     "name":     "<run name>",
-//     "fields":   { "<key>": <string | integer | float | bool>, ... },
-//     "counters": { "<name>": <integer>, ... },
-//     "gauges":   { "<name>": {"value": <int>, "max": <int>}, ... },
-//     "spans":    [ {"name": "<phase>", "count": <int>, "ns": <int>,
-//                    "children": [ ... ]}, ... ]
+//     "schema":     "strt.obs.report.v2",
+//     "name":       "<run name>",
+//     "fields":     { "<key>": <string | integer | float | bool>, ... },
+//     "counters":   { "<name>": <integer>, ... },
+//     "gauges":     { "<name>": {"value": <int>, "max": <int>}, ... },
+//     "histograms": { "<name>": {"count": <int>, "sum": <int>,
+//                     "max": <int>, "mean": <float>, "p50": <int>,
+//                     "p90": <int>, "p99": <int>}, ... },
+//     "spans":      [ {"name": "<phase>", "count": <int>, "ns": <int>,
+//                      "children": [ ... ]}, ... ],
+//     "trace":      { "trace_id": <int>, "spans": [ {"id": <int>,
+//                     "parent": <int>, "name": "<phase>", "ts": <us>,
+//                     "dur": <us>, "attrs": { ... }}, ... ] }   [optional]
 //   }
 //
-// Field insertion order is preserved; counters/gauges appear in
-// registration order; spans in first-entered order.  A minimal JSON
-// reader (JsonValue::parse) is included so tools -- and the round-trip
-// tests -- can consume reports without a JSON library.
+// Field insertion order is preserved; counters/gauges/histograms are
+// sorted by name (deterministic report diffs); spans in first-entered
+// order; trace spans by start time.  A minimal JSON reader
+// (JsonValue::parse) is included so tools -- and the round-trip tests --
+// can consume reports without a JSON library.
 #pragma once
 
 #include <cstdint>
@@ -33,9 +42,14 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace strt::obs {
+
+/// The report schema emitted by RunReport::to_json().
+inline constexpr std::string_view kReportSchema = "strt.obs.report.v2";
 
 /// Escapes `s` as the contents of a JSON string literal (quotes not
 /// included): ", \, and control characters become escape sequences.
@@ -56,9 +70,14 @@ class RunReport {
   void put(std::string_view key, double value);
   void put(std::string_view key, bool value);
 
-  /// Snapshots the global counter registry and the calling thread's span
-  /// tree into the report (replacing any earlier capture).
+  /// Snapshots the global counter/gauge/histogram registry and the
+  /// calling thread's span tree into the report (replacing any earlier
+  /// capture).
   void capture();
+
+  /// Embeds a request trace (emitted as the "trace" member; absent when
+  /// never set or empty).
+  void set_trace(RequestTrace trace);
 
   /// One line of JSON (no trailing newline), per the schema above.
   [[nodiscard]] std::string to_json() const;
@@ -77,16 +96,22 @@ class RunReport {
   [[nodiscard]] const std::vector<GaugeSample>& gauges() const {
     return gauges_;
   }
+  [[nodiscard]] const std::vector<HistogramSample>& histograms() const {
+    return histograms_;
+  }
   [[nodiscard]] const std::vector<SpanSample>& spans() const {
     return spans_;
   }
+  [[nodiscard]] const RequestTrace& trace() const { return trace_; }
 
  private:
   std::string name_;
   std::vector<std::pair<std::string, FieldValue>> fields_;
   std::vector<CounterSample> counters_;
   std::vector<GaugeSample> gauges_;
+  std::vector<HistogramSample> histograms_;
   std::vector<SpanSample> spans_;
+  RequestTrace trace_;
 };
 
 /// Minimal JSON document model + recursive-descent parser, sufficient for

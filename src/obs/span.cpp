@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "obs/counters.hpp"
+#include "obs/trace.hpp"
 
 namespace strt::obs {
 
@@ -59,6 +60,8 @@ Span::Span(std::string_view name) {
   detail::ThreadTree& tree = detail::tls_tree();
   node_ = tree.current->child(name);
   tree.current = node_;
+  // Mirror into the request trace when one is active on this thread.
+  trace_id_ = detail::active_trace_begin(name, &trace_parent_);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -69,6 +72,7 @@ Span::~Span() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
   ++node_->count;
   detail::tls_tree().current = node_->parent;
+  detail::active_trace_end(trace_id_, trace_parent_);
 }
 
 std::vector<SpanSample> span_tree() {

@@ -12,6 +12,12 @@
 // a worker thread's profile does not interleave into the main thread's.
 // Snapshot / reset act on the calling thread's tree.
 //
+// Tracing: while an obs::TraceSpanScope is live on the thread (the
+// service layer opens one per request run), every Span additionally
+// appends a timestamped span to that request's trace, so per-request
+// traces reach the kernel phases through the instrumentation that
+// already exists.
+//
 // When observability is disabled (see counters.hpp) constructing a Span
 // costs one relaxed atomic load and a branch; no clock is read.
 #pragma once
@@ -43,6 +49,8 @@ class Span {
  private:
   detail::SpanNode* node_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t trace_id_ = 0;      // request-trace mirror (see trace.hpp)
+  std::uint64_t trace_parent_ = 0;
 };
 
 /// One node of a profile snapshot.

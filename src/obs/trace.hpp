@@ -1,0 +1,153 @@
+// Observability: per-request tracing.
+//
+// A TraceContext owns one request's span tree: a 64-bit trace id plus a
+// flat list of spans (hierarchical span ids, parent links, start time and
+// duration in microseconds on a process-wide steady-clock epoch, and
+// key:value attributes such as fingerprint / kind / cache.hits).  The
+// service layer opens the coarse phases (queue -> validate -> run); while
+// a TraceSpanScope is live on a thread, every obs::Span the analyses
+// already emit (explore, minplus.conv, hull, ...) is additionally
+// recorded as a child span with real timestamps, so a request's trace
+// reaches down to the kernel phases without new instrumentation.
+//
+// Concurrency: a TraceContext is a shared handle; span appends take the
+// context's mutex (requests are served by one thread at a time, so the
+// lock is uncontended -- it exists so a service thread can snapshot a
+// trace another worker built).
+//
+// Export: trace_to_chrome_json() serializes one or more traces as
+// schema "strt.obs.trace.v1" -- the Chrome Trace Event Format (JSON
+// object format, complete "X" events), loadable in chrome://tracing and
+// Perfetto.  parse_chrome_trace() reads it back for round-trip tests.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace strt::obs {
+
+/// Microseconds since the process trace epoch (the first call in the
+/// process pins the epoch; all traces share it, so Perfetto lays
+/// concurrent requests out on one timeline).
+[[nodiscard]] std::int64_t trace_now_us();
+
+/// The same epoch conversion for an already-taken steady_clock reading
+/// (e.g. a request's admission time captured before its trace existed).
+[[nodiscard]] std::int64_t trace_time_us(
+    std::chrono::steady_clock::time_point t);
+
+/// One finished span.  Ids are 1-based per trace; parent 0 = root.
+struct TraceSpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  std::int64_t start_us = 0;
+  std::int64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// A finished request trace: the value embedded in AnalysisOutcome and
+/// report lines.  Spans appear in completion order; sort_spans() orders
+/// them by start time (ties: by id) for stable output.
+struct RequestTrace {
+  std::uint64_t trace_id = 0;
+  std::vector<TraceSpanRecord> spans;
+
+  void sort_spans();
+  [[nodiscard]] bool empty() const { return spans.empty(); }
+  /// First span with this name, nullptr when absent.
+  [[nodiscard]] const TraceSpanRecord* find(std::string_view name) const;
+};
+
+/// Shared handle to an in-progress trace.  Default-constructed contexts
+/// are disengaged (tracing off, every call a no-op); make() starts a
+/// fresh trace.  Copies share the underlying buffer.
+class TraceContext {
+ public:
+  /// Opaque span buffer (defined in trace.cpp; public so the
+  /// implementation's thread-local hook can hold a Data*).
+  struct Data;
+
+  TraceContext() = default;
+
+  /// A fresh trace with a process-unique trace id.
+  [[nodiscard]] static TraceContext make();
+
+  [[nodiscard]] explicit operator bool() const { return data_ != nullptr; }
+  [[nodiscard]] std::uint64_t trace_id() const;
+
+  /// Appends a complete span covering [start_us, end_us]; returns its id
+  /// (0 when disengaged).
+  std::uint64_t add_complete_span(
+      std::string_view name, std::int64_t start_us, std::int64_t end_us,
+      std::uint64_t parent = 0,
+      std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  [[nodiscard]] bool has_span(std::string_view name) const;
+
+  /// Copies the finished spans out (sorted by start time).
+  [[nodiscard]] RequestTrace snapshot() const;
+
+ private:
+  friend class TraceSpanScope;
+  std::shared_ptr<Data> data_;
+};
+
+/// RAII phase span: opens a span on construction, appends the finished
+/// record on destruction.  While the innermost scope on a thread is
+/// live, it is installed as the thread's active trace position, so
+/// nested obs::Span instrumentation (and nested TraceSpanScopes) attach
+/// as children automatically.  A scope over a disengaged context costs a
+/// branch and nothing else.
+class TraceSpanScope {
+ public:
+  TraceSpanScope(const TraceContext& ctx, std::string_view name);
+  ~TraceSpanScope();
+
+  TraceSpanScope(const TraceSpanScope&) = delete;
+  TraceSpanScope& operator=(const TraceSpanScope&) = delete;
+
+  /// Attaches a key:value attribute to this span.
+  void attr(std::string_view key, std::string_view value);
+  void attr(std::string_view key, std::uint64_t value);
+
+  /// This span's id within the trace (0 over a disengaged context).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  TraceContext ctx_;
+  std::uint64_t id_ = 0;
+  void* saved_data_ = nullptr;     // previous thread-local trace position
+  std::uint64_t saved_parent_ = 0;
+};
+
+namespace detail {
+/// Opens a child span at the calling thread's active trace position (the
+/// innermost live TraceSpanScope).  Returns the new span's id, or 0 when
+/// no trace is active on this thread; `*saved_parent` receives the
+/// previous parent id to pass back to active_trace_end().  obs::Span uses
+/// this pair to mirror profile spans into the request trace.
+std::uint64_t active_trace_begin(std::string_view name,
+                                 std::uint64_t* saved_parent);
+void active_trace_end(std::uint64_t id, std::uint64_t saved_parent);
+}  // namespace detail
+
+/// Serializes traces as schema "strt.obs.trace.v1": a Chrome Trace Event
+/// Format JSON object ({"traceEvents": [...], "otherData": {...}}) with
+/// one complete ("ph":"X") event per span.  Each trace's spans share a
+/// tid equal to a sequence number so requests stack separately in
+/// Perfetto; span/parent ids and attributes ride in "args".
+[[nodiscard]] std::string trace_to_chrome_json(
+    const std::vector<RequestTrace>& traces);
+
+/// Parses trace_to_chrome_json() output back (schema check included);
+/// throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<RequestTrace> parse_chrome_trace(
+    std::string_view json);
+
+}  // namespace strt::obs

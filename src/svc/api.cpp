@@ -9,8 +9,10 @@
 #include "engine/fingerprint.hpp"
 #include "engine/workspace.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace strt::svc {
 
@@ -22,8 +24,9 @@ using Clock = std::chrono::steady_clock;
 /// explorer hook but the caller did not ask for progress reporting.
 constexpr std::uint64_t kCancelCheckEvery = 4096;
 
-double ms_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
+std::int64_t us_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+      .count();
 }
 
 /// Task-slot arity rule per kind; nullptr when `count` is acceptable.
@@ -119,9 +122,15 @@ std::uint64_t request_fingerprint(const AnalysisRequest& req) {
   return engine::hash_combine(fp, engine::fingerprint(req.supply));
 }
 
-AnalysisOutcome run_request_at(
-    engine::Workspace& ws, const AnalysisRequest& req,
-    std::optional<Clock::time_point> deadline_at) {
+namespace {
+
+/// validate -> dispatch -> outcome, recording phase spans into `ctx`
+/// (which the caller keeps live as the thread's active trace, so the
+/// analyses' own obs::Span instrumentation nests under "run").
+AnalysisOutcome run_request_core(engine::Workspace& ws,
+                                 const AnalysisRequest& req,
+                                 std::optional<Clock::time_point> deadline_at,
+                                 const obs::TraceContext& ctx) {
   const obs::Span span("svc.request");
   static obs::Counter& c_requests = obs::counter("svc.requests");
   static obs::Counter& c_ok = obs::counter("svc.ok");
@@ -146,7 +155,7 @@ AnalysisOutcome run_request_at(
                            (before.hits + before.inverse_hits);
     out.stats.cache_misses = (after.misses + after.inverse_misses) -
                              (before.misses + before.inverse_misses);
-    out.stats.run_ms = ms_between(started, Clock::now());
+    out.stats.run_us = us_between(started, Clock::now());
     switch (status) {
       case OutcomeStatus::kOk: c_ok.add(1); break;
       case OutcomeStatus::kInvalid: c_invalid.add(1); break;
@@ -169,20 +178,24 @@ AnalysisOutcome run_request_at(
 
   // Validate front gate: arity rule, then the memoized per-task lint,
   // then the cross-task and task-versus-supply passes.
-  if (const char* msg = arity_error(req.kind, req.tasks.size())) {
-    out.error = std::string(kind_name(req.kind)) + " " + msg;
-    return finish(OutcomeStatus::kInvalid);
-  }
-  for (const DrtTask& task : req.tasks) {
-    out.diagnostics.merge(check::CheckResult(*ws.validate(task)));
-  }
-  if (req.tasks.size() > 1) {
-    out.diagnostics.merge(check::check_task_set(req.tasks));
-  }
-  out.diagnostics.merge(check::check_system(req.tasks, req.supply));
-  if (!out.diagnostics.ok()) {
-    out.error = "validation failed";
-    return finish(OutcomeStatus::kInvalid);
+  {
+    obs::TraceSpanScope vspan(ctx, "validate");
+    vspan.attr("tasks", static_cast<std::uint64_t>(req.tasks.size()));
+    if (const char* msg = arity_error(req.kind, req.tasks.size())) {
+      out.error = std::string(kind_name(req.kind)) + " " + msg;
+      return finish(OutcomeStatus::kInvalid);
+    }
+    for (const DrtTask& task : req.tasks) {
+      out.diagnostics.merge(check::CheckResult(*ws.validate(task)));
+    }
+    if (req.tasks.size() > 1) {
+      out.diagnostics.merge(check::check_task_set(req.tasks));
+    }
+    out.diagnostics.merge(check::check_system(req.tasks, req.supply));
+    if (!out.diagnostics.ok()) {
+      out.error = "validation failed";
+      return finish(OutcomeStatus::kInvalid);
+    }
   }
 
   // Wire the deadline and the cancel token into the shared progress hook.
@@ -198,6 +211,8 @@ AnalysisOutcome run_request_at(
     };
   }
 
+  obs::TraceSpanScope rspan(ctx, "run");
+  rspan.attr("kind", kind_name(req.kind));
   try {
     switch (req.kind) {
       case AnalysisKind::kStructural: {
@@ -265,6 +280,55 @@ AnalysisOutcome run_request_at(
   return finish(OutcomeStatus::kOk);
 }
 
+}  // namespace
+
+AnalysisOutcome run_request_at(
+    engine::Workspace& ws, const AnalysisRequest& req,
+    std::optional<Clock::time_point> deadline_at,
+    std::optional<Clock::time_point> admitted) {
+  obs::TraceContext ctx = req.trace ? req.trace : obs::TraceContext::make();
+
+  // The queue phase: admission -> dispatch (empty for one-shot runs).
+  // Recorded as a root-level span so the timeline reads queue | request.
+  const std::int64_t dispatched_us = obs::trace_now_us();
+  const std::int64_t admitted_us =
+      admitted ? obs::trace_time_us(*admitted) : dispatched_us;
+  ctx.add_complete_span("queue", admitted_us, dispatched_us);
+
+  AnalysisOutcome out;
+  {
+    obs::TraceSpanScope root(ctx, "request");
+    root.attr("kind", kind_name(req.kind));
+    out = run_request_core(ws, req, deadline_at, ctx);
+    root.attr("status", status_name(out.status));
+    root.attr("fingerprint", out.stats.batch_key);
+    root.attr("cache.hits", out.stats.cache_hits);
+    root.attr("cache.misses", out.stats.cache_misses);
+    // Front-gate exits (pre-dispatch cancellation, arity failures) skip
+    // phases; backfill empty spans so every outcome's tree keeps the full
+    // queue / validate / run shape.
+    const std::int64_t now = obs::trace_now_us();
+    if (!ctx.has_span("validate")) {
+      ctx.add_complete_span("validate", now, now, root.id());
+    }
+    if (!ctx.has_span("run")) {
+      ctx.add_complete_span("run", now, now, root.id());
+    }
+  }
+  out.stats.queue_us = dispatched_us - admitted_us;
+  out.trace = ctx.snapshot();
+
+  static obs::Histogram& h_latency =
+      obs::histogram("svc.request_latency_us");
+  h_latency.record(
+      static_cast<std::uint64_t>(out.stats.queue_us + out.stats.run_us));
+  if (admitted) {
+    static obs::Histogram& h_queue = obs::histogram("svc.queue_wait_us");
+    h_queue.record(static_cast<std::uint64_t>(out.stats.queue_us));
+  }
+  return out;
+}
+
 AnalysisOutcome run_request(engine::Workspace& ws,
                             const AnalysisRequest& req) {
   std::optional<Clock::time_point> deadline_at;
@@ -324,8 +388,8 @@ void AnalysisOutcome::append_to_report(obs::RunReport& report) const {
                static_cast<std::int64_t>(a->tests_run));
   }
 
-  report.put("svc.queue_ms", stats.queue_ms);
-  report.put("svc.run_ms", stats.run_ms);
+  report.put("svc.queue_us", stats.queue_us);
+  report.put("svc.run_us", stats.run_us);
   report.put("svc.batch_key", static_cast<std::int64_t>(stats.batch_key));
   report.put("svc.batch_size", static_cast<std::int64_t>(stats.batch_size));
   report.put("svc.cache_hits", stats.cache_hits);

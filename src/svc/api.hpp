@@ -48,6 +48,7 @@
 
 #include "base/types.hpp"
 #include "check/diagnostics.hpp"
+#include "obs/trace.hpp"
 #include "core/audsley.hpp"
 #include "core/common_options.hpp"
 #include "core/edf.hpp"
@@ -138,6 +139,12 @@ struct AnalysisRequest {
   std::optional<std::chrono::milliseconds> deadline;
   /// Cooperative cancellation; see CancelToken.
   std::optional<CancelToken> cancel;
+
+  /// Request trace to record into.  Leave disengaged (the default) and the
+  /// run starts a fresh trace; pass TraceContext::make() to correlate the
+  /// request with caller-side spans.  The finished span tree comes back in
+  /// AnalysisOutcome::trace either way.
+  obs::TraceContext trace;
 };
 
 enum class OutcomeStatus : std::uint8_t {
@@ -162,10 +169,10 @@ enum class OutcomeStatus : std::uint8_t {
 
 /// Per-request execution statistics (the per-request face of strt::obs).
 struct OutcomeStats {
-  /// Submission-to-dispatch wait (0 for one-shot runs).
-  double queue_ms = 0.0;
-  /// Analysis wall time (validate + dispatch).
-  double run_ms = 0.0;
+  /// Submission-to-dispatch wait in microseconds (0 for one-shot runs).
+  std::int64_t queue_us = 0;
+  /// Analysis wall time in microseconds (validate + dispatch).
+  std::int64_t run_us = 0;
   /// The request's batch grouping key (task-set + supply fingerprint).
   std::uint64_t batch_key = 0;
   /// Requests grouped into the same dispatch batch (1 for one-shot).
@@ -193,6 +200,10 @@ struct AnalysisOutcome {
   check::CheckResult diagnostics;
   AnalysisResult result;
   OutcomeStats stats;
+  /// The request's span tree: queue -> request { validate, run { explore,
+  /// minplus.conv, ... } }, sorted by start time.  Always present; see
+  /// obs/trace.hpp for the export formats.
+  obs::RequestTrace trace;
 
   [[nodiscard]] bool ok() const { return status == OutcomeStatus::kOk; }
 
@@ -239,9 +250,12 @@ struct AnalysisOutcome {
 [[nodiscard]] AnalysisOutcome run_request(const AnalysisRequest& req);
 
 /// Service-internal variant: the deadline is an absolute time point
-/// (measured from submission) instead of request-relative.
+/// (measured from submission) instead of request-relative, and `admitted`
+/// is the queue admission time -- when set, the outcome's queue span and
+/// stats.queue_us cover admitted -> dispatch (otherwise both are zero).
 [[nodiscard]] AnalysisOutcome run_request_at(
     engine::Workspace& ws, const AnalysisRequest& req,
-    std::optional<std::chrono::steady_clock::time_point> deadline_at);
+    std::optional<std::chrono::steady_clock::time_point> deadline_at,
+    std::optional<std::chrono::steady_clock::time_point> admitted = {});
 
 }  // namespace strt::svc

@@ -12,17 +12,16 @@
 #include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "obs/counters.hpp"
+#include "obs/histogram.hpp"
+#include "obs/sink.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 namespace strt::svc {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double ms_between(Clock::time_point a, Clock::time_point b) {
-  return std::chrono::duration<double, std::milli>(b - a).count();
-}
 
 /// One admitted request awaiting dispatch.
 struct Pending {
@@ -40,10 +39,16 @@ struct Service::Impl {
     if (opts.queue_capacity == 0) opts.queue_capacity = 1;
     if (opts.max_batch == 0) opts.max_batch = 1;
     paused = opts.start_paused;
+    if (!opts.telemetry_dir.empty()) {
+      sink = std::make_unique<obs::TelemetrySink>(opts.telemetry_dir);
+    }
   }
 
   ServiceOptions opts;
   engine::Workspace ws;
+  /// Live telemetry export; null when telemetry_dir is empty.  Only the
+  /// dispatcher flushes; workers only add traces (sink is thread-safe).
+  std::unique_ptr<obs::TelemetrySink> sink;
 
   Mutex mu;
   std::condition_variable_any cv_work;   // dispatcher: new work / stop
@@ -158,22 +163,41 @@ void Service::Impl::process(std::vector<Pending> round) {
     for (std::size_t i = 0; i < round.size(); ++i) groups.push_back({i});
   }
 
+  static obs::Histogram& h_batch = obs::histogram("svc.batch_size");
+
   std::uint64_t expired = 0;
   std::uint64_t batched = 0;
   for (const std::vector<std::size_t>& group : groups) {
     c_batches.add(1);
+    h_batch.record(group.size());
     if (group.size() >= 2) {
       batched += group.size();
       c_batched.add(group.size());
     }
     const engine::WorkspaceStats before = ws.stats();
-    const Clock::time_point dispatched = Clock::now();
 
-    const auto serve = [&](std::size_t idx) {
+    const auto serve = [&](std::size_t idx, bool leader) {
       Pending& p = round[idx];
-      AnalysisOutcome out = run_request_at(ws, p.req, p.deadline_at);
-      out.stats.queue_ms = ms_between(p.admitted, dispatched);
+      AnalysisOutcome out =
+          run_request_at(ws, p.req, p.deadline_at, p.admitted);
       out.stats.batch_size = group.size();
+      // The leader's run doubles as the group's memo-warm phase: it
+      // populates every shared rbf/dbf/sbf memo before the tail fans
+      // out.  Mark it in the trace so batching is visible per request.
+      if (leader && group.size() > 1) {
+        if (const obs::TraceSpanRecord* run = out.trace.find("run")) {
+          obs::TraceSpanRecord warm;
+          warm.id = out.trace.spans.size() + 1;  // ids are 1..n per trace
+          warm.parent = run->id;
+          warm.name = "memo.warm";
+          warm.start_us = run->start_us;
+          warm.dur_us = run->dur_us;
+          warm.attrs = {{"role", "leader"},
+                        {"batch.size", std::to_string(group.size())}};
+          out.trace.spans.push_back(std::move(warm));
+          out.trace.sort_spans();
+        }
+      }
       return out;
     };
 
@@ -183,15 +207,17 @@ void Service::Impl::process(std::vector<Pending> round) {
     // contract), so the split is purely a throughput device.
     std::vector<AnalysisOutcome> outs;
     outs.reserve(group.size());
-    outs.push_back(serve(group[0]));
+    outs.push_back(serve(group[0], /*leader=*/true));
     if (group.size() > 1) {
       if (opts.parallel_batches) {
-        std::vector<AnalysisOutcome> tail = exec::parallel_map(
-            group.size() - 1, [&](std::size_t i) { return serve(group[i + 1]); });
+        std::vector<AnalysisOutcome> tail =
+            exec::parallel_map(group.size() - 1, [&](std::size_t i) {
+              return serve(group[i + 1], /*leader=*/false);
+            });
         for (AnalysisOutcome& o : tail) outs.push_back(std::move(o));
       } else {
         for (std::size_t i = 1; i < group.size(); ++i) {
-          outs.push_back(serve(group[i]));
+          outs.push_back(serve(group[i], /*leader=*/false));
         }
       }
     }
@@ -206,9 +232,11 @@ void Service::Impl::process(std::vector<Pending> round) {
       outs[i].stats.cache_hits = hits;
       outs[i].stats.cache_misses = misses;
       if (outs[i].status == OutcomeStatus::kDeadlineExpired) ++expired;
+      if (sink) sink->add_trace(outs[i].trace);
       round[group[i]].promise.set_value(std::move(outs[i]));
     }
   }
+  if (sink) sink->flush();
   {
     MutexLock l(mu);
     counters.deadline_expired += expired;

@@ -28,6 +28,12 @@
 // Observability: svc.submitted / svc.rejected / svc.batches /
 // svc.batched_requests global counters on top of the per-request
 // counters run_request() bumps; stats() returns this service's numbers.
+// Every outcome carries its request trace (queue wait measured from
+// admission), and svc.request_latency_us / svc.queue_wait_us /
+// svc.batch_size latency histograms accumulate in the global registry.
+// Setting ServiceOptions::telemetry_dir attaches an obs::TelemetrySink
+// that the dispatcher flushes after every round (metrics.prom +
+// events.jsonl + trace.json, see obs/sink.hpp).
 #pragma once
 
 #include <cstddef>
@@ -35,6 +41,7 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "svc/api.hpp"
@@ -65,6 +72,12 @@ struct ServiceOptions {
   /// Construct paused: requests queue up (backpressure observable
   /// deterministically) until resume().
   bool start_paused = false;
+  /// When non-empty, live telemetry is exported under this directory
+  /// (created if missing; the constructor throws std::runtime_error when
+  /// that fails): metrics.prom, events.jsonl, and trace.json, flushed
+  /// after every dispatch round and once more at shutdown.  Telemetry
+  /// never affects analysis results (bit-identity contract).
+  std::string telemetry_dir;
 };
 
 struct ServiceStats {

@@ -13,6 +13,8 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <sstream>
 #include <string>
@@ -23,6 +25,8 @@
 #include "engine/workspace.hpp"
 #include "graph/drt.hpp"
 #include "model/generator.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "svc/api.hpp"
 #include "svc/request_stream.hpp"
 #include "svc/service.hpp"
@@ -54,6 +58,29 @@ AnalysisRequest request_of_kind(AnalysisKind kind, std::uint64_t id,
                       kind == AnalysisKind::kSensitivity;
   req.tasks = random_set(seed, single ? 1 : 3, single ? 0.3 : 0.6);
   return req;
+}
+
+/// True when `ancestor_id` is on `span`'s parent chain.  With STRT_OBS=1
+/// the obs::Span phase markers mirror into request traces (e.g. a
+/// "svc.request" span slots in between "request" and "validate"), so
+/// structural assertions walk ancestry instead of direct parenthood.
+bool has_ancestor(const obs::RequestTrace& trace,
+                  const obs::TraceSpanRecord& span,
+                  std::uint64_t ancestor_id) {
+  std::uint64_t parent = span.parent;
+  while (parent != 0) {
+    if (parent == ancestor_id) return true;
+    const obs::TraceSpanRecord* next = nullptr;
+    for (const obs::TraceSpanRecord& s : trace.spans) {
+      if (s.id == parent) {
+        next = &s;
+        break;
+      }
+    }
+    if (next == nullptr) return false;
+    parent = next->parent;
+  }
+  return false;
 }
 
 /// Field-by-field equality of two outcomes (the result variant included).
@@ -289,6 +316,137 @@ TEST(SvcService, DistinctFingerprintsDoNotBatch) {
   }
   EXPECT_EQ(service.stats().batches, 3u);
   EXPECT_EQ(service.stats().batched_requests, 0u);
+}
+
+TEST(SvcApi, OutcomeCarriesQueueValidateRunSpans) {
+  const AnalysisRequest req =
+      request_of_kind(AnalysisKind::kStructural, 9, 555);
+  const AnalysisOutcome out = run_request(req);
+  ASSERT_EQ(out.status, OutcomeStatus::kOk);
+
+  ASSERT_FALSE(out.trace.empty());
+  EXPECT_NE(out.trace.trace_id, 0u);
+  const obs::TraceSpanRecord* queue = out.trace.find("queue");
+  const obs::TraceSpanRecord* request = out.trace.find("request");
+  const obs::TraceSpanRecord* validate = out.trace.find("validate");
+  const obs::TraceSpanRecord* run = out.trace.find("run");
+  ASSERT_NE(queue, nullptr);
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(validate, nullptr);
+  ASSERT_NE(run, nullptr);
+
+  // queue and request are timeline roots; validate/run nest under the
+  // request span, in that order.
+  EXPECT_EQ(queue->parent, 0u);
+  EXPECT_EQ(request->parent, 0u);
+  EXPECT_TRUE(has_ancestor(out.trace, *validate, request->id));
+  EXPECT_TRUE(has_ancestor(out.trace, *run, request->id));
+  EXPECT_LE(validate->start_us, run->start_us);
+
+  // One-shot runs never queue: the span is empty and so is the stat.
+  EXPECT_EQ(queue->dur_us, 0);
+  EXPECT_EQ(out.stats.queue_us, 0);
+  EXPECT_GE(out.stats.run_us, 0);
+}
+
+TEST(SvcApi, FrontGateOutcomesStillCarryTheSpanTree) {
+  AnalysisRequest req = request_of_kind(AnalysisKind::kStructural, 1, 10);
+  req.tasks.push_back(req.tasks[0]);  // arity violation: kInvalid
+  const AnalysisOutcome out = run_request(req);
+  ASSERT_EQ(out.status, OutcomeStatus::kInvalid);
+  EXPECT_NE(out.trace.find("queue"), nullptr);
+  EXPECT_NE(out.trace.find("validate"), nullptr);
+  EXPECT_NE(out.trace.find("run"), nullptr);
+}
+
+TEST(SvcService, ServedOutcomesMeasureQueueWaitAndMarkTheLeader) {
+  ServiceOptions sopts;
+  sopts.start_paused = true;
+  sopts.max_batch = 8;
+  Service service(sopts);
+
+  const AnalysisRequest seed =
+      request_of_kind(AnalysisKind::kStructural, 0, 4242);
+  std::vector<std::future<AnalysisOutcome>> futs;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    AnalysisRequest req = seed;
+    req.id = id;
+    futs.push_back(service.submit(std::move(req)));
+  }
+  service.resume();
+  service.drain();
+
+  bool saw_leader = false;
+  for (auto& f : futs) {
+    const AnalysisOutcome out = f.get();
+    ASSERT_EQ(out.status, OutcomeStatus::kOk);
+    const obs::TraceSpanRecord* queue = out.trace.find("queue");
+    ASSERT_NE(queue, nullptr);
+    // Served requests waited from admission to dispatch; the span and
+    // the stat agree.
+    EXPECT_GE(out.stats.queue_us, 0);
+    EXPECT_EQ(queue->dur_us, out.stats.queue_us);
+    if (const obs::TraceSpanRecord* warm = out.trace.find("memo.warm")) {
+      saw_leader = true;
+      const obs::TraceSpanRecord* run = out.trace.find("run");
+      ASSERT_NE(run, nullptr);
+      EXPECT_EQ(warm->parent, run->id);
+    }
+  }
+  // Exactly one member of the batch is the leader; its trace carries the
+  // memo-warm phase.
+  EXPECT_TRUE(saw_leader);
+}
+
+TEST(SvcService, BitIdenticalWithTelemetryOnAndOff) {
+  std::vector<AnalysisRequest> reqs;
+  std::uint64_t id = 0;
+  for (const AnalysisKind k : kAllAnalysisKinds) {
+    ++id;
+    reqs.push_back(request_of_kind(k, id, 300 + 17 * id));
+  }
+
+  // Baseline: telemetry off, observability registry off.
+  std::vector<AnalysisOutcome> plain;
+  {
+    Service service{{}};
+    plain = service.run_all(reqs);
+  }
+
+  // Telemetry on: registry enabled and a sink attached, like
+  // strt_serve --telemetry-dir.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "strt_test_svc_telemetry";
+  std::filesystem::remove_all(dir);
+  obs::set_enabled(true);
+  std::vector<AnalysisOutcome> traced;
+  {
+    ServiceOptions sopts;
+    sopts.telemetry_dir = dir.string();
+    Service service(sopts);
+    traced = service.run_all(reqs);
+  }
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+
+  // Telemetry must never move an answer.
+  ASSERT_EQ(plain.size(), traced.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    expect_same_outcome(plain[i], traced[i]);
+  }
+
+  // The sink wrote all three artifacts; the trace file round-trips and
+  // covers every request.
+  EXPECT_TRUE(std::filesystem::exists(dir / "metrics.prom"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "events.jsonl"));
+  ASSERT_TRUE(std::filesystem::exists(dir / "trace.json"));
+  std::ifstream in(dir / "trace.json");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::vector<obs::RequestTrace> traces =
+      obs::parse_chrome_trace(buf.str());
+  EXPECT_GE(traces.size(), reqs.size());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SvcStream, JsonlRequestRoundTrips) {
