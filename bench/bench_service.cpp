@@ -16,10 +16,22 @@
 // is a multiple of the baseline's (>= 2x is the regression bar; the
 // ratio grows with requests-per-system).  The `serial no-batch` ablation
 // row isolates how much of the win is cache warmth alone.
+//
+// A throughput-vs-shards scaling sweep (1/2/4/8 worker shards over the
+// same corpus, each configuration bit-identity-gated) lands in
+// BENCH_service.json as a "scaling_curve" array together with each
+// configuration's cache.lock_wait_ns tail, which is the striped
+// workspace's contention evidence.  The scaling bar adapts to the
+// machine: shards beyond the core count cannot scale, so the 8-shard
+// ratio is required to reach 3x only when >= 8 hardware threads exist
+// (0.75x per available core below that).  Setting STRT_BENCH_SMOKE
+// shrinks the corpus for CI smoke runs.
 
+#include <cstdlib>
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -173,29 +185,39 @@ int main() {
   // p50/p99 metrics below.
   obs::set_enabled(true);
 
+  // STRT_BENCH_SMOKE: a reduced corpus for CI smoke legs -- same phases,
+  // same gates, a fraction of the wall time.
+  const bool smoke = [] {
+    const char* v = std::getenv("STRT_BENCH_SMOKE");
+    return v != nullptr && std::string_view(v) != "0";
+  }();
+  const int systems = smoke ? 4 : kSystems;
+  const int rounds_per_system = smoke ? 2 : kRoundsPerSystem;
+
   const Supply supply = Supply::tdma(Time(35), Time(50));
 
   std::vector<svc::AnalysisRequest> reqs;
   std::uint64_t next_id = 0;
-  for (int s = 0; s < kSystems; ++s) {
+  for (int s = 0; s < systems; ++s) {
     const auto tasks =
         random_system(9000 + static_cast<std::uint64_t>(s));
     lint_generated(tasks);
-    for (int r = 0; r < kRoundsPerSystem; ++r) {
+    for (int r = 0; r < rounds_per_system; ++r) {
       push_round(reqs, tasks, supply, /*deep_dive=*/r == 0, next_id);
     }
   }
 
   std::cout << "E12: batch service vs cold per-request baseline\n"
-            << reqs.size() << " requests over " << kSystems
-            << " task systems (" << kRoundsPerSystem
+            << reqs.size() << " requests over " << systems
+            << " task systems (" << rounds_per_system
             << " rounds of every kind per system) on " << supply.describe()
-            << "\n\n";
+            << (smoke ? " [smoke]" : "") << "\n\n";
 
   BenchReport report("service");
   report.metric("requests", reqs.size());
-  report.metric("task_systems", kSystems);
-  report.metric("rounds_per_system", kRoundsPerSystem);
+  report.metric("task_systems", systems);
+  report.metric("rounds_per_system", rounds_per_system);
+  report.metric("smoke", smoke);
 
   // Cold per-request baseline: a fresh private workspace per request,
   // strictly serial (the one-shot CLI usage pattern).
@@ -303,5 +325,82 @@ int main() {
             << cold_latency.quantile(0.99) << "; warm p50 "
             << warm_latency.quantile(0.50) << " / p99 "
             << warm_latency.quantile(0.99) << '\n';
+
+  // Throughput-vs-shards scaling sweep over the same corpus.  Every
+  // configuration re-runs the bit-identity gate before its timing
+  // counts.  The registry is reset per configuration so each row's
+  // cache.lock_wait_ns tail covers that configuration alone (striping
+  // contention evidence).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const double scaling_bar =
+      hw >= 8 ? 3.0 : 0.75 * static_cast<double>(hw);
+  obs::Histogram& h_lock_wait = obs::histogram("cache.lock_wait_ns");
+
+  std::cout << "\nthroughput-vs-shards scaling sweep (" << hw
+            << " hardware thread(s); bar at 8 shards: "
+            << fmt_ratio(scaling_bar) << "x)\n";
+  Table scaling_table({"shards", "wall ms", "req/s", "vs 1 shard",
+                       "lock wait p99 ns"});
+  std::string scaling_json = "[";
+  double one_shard_ms = 0;
+  double ratio_at_max = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    obs::Registry::global().reset();
+    svc::ServiceOptions opts;
+    opts.start_paused = true;
+    opts.shards = shards;
+    // Per-shard ring capacity is queue_capacity / shards; the paused
+    // enqueue-everything pattern needs any single shard to be able to
+    // hold the whole corpus.
+    opts.queue_capacity = shards * (reqs.size() + 1);
+    opts.max_batch = 64;
+
+    svc::ServiceStats stats;
+    std::vector<svc::AnalysisOutcome> outs;
+    double ms = 0;
+    {
+      Phase phase("scaling_shards_" + std::to_string(shards));
+      outs = serve(opts, reqs, stats);
+      ms = phase.millis();
+    }
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (!same_outcome(baseline[i], outs[i])) {
+        std::cerr << "bench: outcome mismatch vs the cold baseline at "
+                  << shards << " shard(s), request id " << baseline[i].id
+                  << " -- results must be bit-identical across shard "
+                  << "counts; not reporting timings\n";
+        return 1;
+      }
+    }
+    if (shards == 1) one_shard_ms = ms;
+    const double ratio = one_shard_ms / ms;
+    ratio_at_max = ratio;
+    const obs::HistogramSnapshot lock_wait = h_lock_wait.snapshot();
+
+    scaling_table.add_row({std::to_string(shards), fmt_ratio(ms),
+                           fmt_ratio(throughput(ms), 0),
+                           fmt_ratio(ratio) + "x",
+                           std::to_string(lock_wait.quantile(0.99))});
+    if (scaling_json.size() > 1) scaling_json += ',';
+    scaling_json += "{\"shards\":" + std::to_string(shards) +
+                    ",\"wall_ms\":" + std::to_string(ms) +
+                    ",\"req_per_s\":" + std::to_string(throughput(ms)) +
+                    ",\"speedup_vs_1shard\":" + std::to_string(ratio) +
+                    ",\"lock_wait_p99_ns\":" +
+                    std::to_string(lock_wait.quantile(0.99)) +
+                    ",\"lock_wait_count\":" +
+                    std::to_string(lock_wait.count) + "}";
+  }
+  scaling_json += ']';
+  scaling_table.print(std::cout);
+  std::cout << "scaling at 8 shards: " << fmt_ratio(ratio_at_max)
+            << "x vs 1 shard (bar " << fmt_ratio(scaling_bar) << "x on "
+            << hw << " hardware thread(s))\n";
+
+  report.metric_json("scaling_curve", scaling_json);
+  report.metric("hardware_threads", hw);
+  report.metric("scaling_bar", scaling_bar);
+  report.metric("scaling_at_8_shards", ratio_at_max);
+  report.metric("scaling_ok", ratio_at_max >= scaling_bar);
   return 0;
 }

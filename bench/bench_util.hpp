@@ -139,6 +139,12 @@ class BenchReport {
   void metric(std::string_view key, Work value) {
     report_.put(key, show(value));
   }
+  /// Records a pre-serialized JSON value (array / object) emitted
+  /// verbatim -- for structured results like a scaling curve.  `raw`
+  /// must be complete, well-formed JSON.
+  void metric_json(std::string_view key, std::string raw) {
+    report_.put_json(key, std::move(raw));
+  }
 
   ~BenchReport() {
     const char* dir = std::getenv("STRT_BENCH_JSON");

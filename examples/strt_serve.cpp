@@ -30,10 +30,13 @@
 // status "invalid" carrying the parse diagnostics.
 //
 // Service knobs: --queue N (admission queue bound), --batch N (dispatch
-// window), --no-batch (no fingerprint grouping), --serial (no parallel
-// batch tail), --no-cache (cold workspace ablation), --threads N.
-// Results are bit-identical across all of these; only the timings move.
+// window), --shards N (worker shard count; defaults to the STRT_SHARDS
+// environment variable, else 1), --no-batch (no fingerprint grouping),
+// --serial (no parallel batch tail), --no-cache (cold workspace
+// ablation), --threads N.  Results are bit-identical across all of
+// these; only the timings move.
 
+#include <algorithm>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -106,6 +109,8 @@ int main(int argc, char** argv) {
       sopts.queue_capacity = std::stoull(next_value("a count"));
     } else if (arg == "--batch") {
       sopts.max_batch = std::stoull(next_value("a count"));
+    } else if (arg == "--shards") {
+      sopts.shards = std::stoull(next_value("a count"));
     } else if (arg == "--no-batch") {
       sopts.batch_by_fingerprint = false;
     } else if (arg == "--serial") {
@@ -123,8 +128,8 @@ int main(int argc, char** argv) {
       std::cerr << "unknown flag '" << arg << "'\n"
                 << "usage: strt_serve [requests-file] [--format jsonl|csv] "
                    "[--task-dir DIR] [--report out.json] [--queue N] "
-                   "[--batch N] [--no-batch] [--serial] [--no-cache] "
-                   "[--threads N] [--telemetry-dir DIR]\n";
+                   "[--batch N] [--shards N] [--no-batch] [--serial] "
+                   "[--no-cache] [--threads N] [--telemetry-dir DIR]\n";
       return 2;
     } else {
       args.push_back(arg);
@@ -156,17 +161,20 @@ int main(int argc, char** argv) {
   // Serve everything through one long-lived service: submit in input
   // order (blocking admission = backpressure), collect in input order.
   // Dispatch starts paused so the whole stream lands in one dispatch
-  // window and fingerprint batching is visible; once the queue is about
-  // to fill, dispatch resumes (a blocking submit on a paused full queue
-  // would never unblock).
+  // window and fingerprint batching is visible; once any shard's ring
+  // could be about to fill -- every request might route to one shard --
+  // dispatch resumes (a blocking submit on a paused full ring would
+  // never unblock).
   sopts.start_paused = true;
   svc::Service service(sopts);
+  const std::size_t per_shard_capacity = std::max<std::size_t>(
+      1, service.options().queue_capacity / service.shard_count());
   std::vector<std::optional<std::future<svc::AnalysisOutcome>>> futures;
   futures.reserve(parses.size());
   std::size_t queued = 0;
   for (const svc::RequestParse& parse : parses) {
     if (parse.request) {
-      if (queued == sopts.queue_capacity) service.resume();
+      if (queued == per_shard_capacity) service.resume();
       futures.push_back(service.submit(*parse.request));
       ++queued;
     } else {
@@ -231,6 +239,7 @@ int main(int argc, char** argv) {
   summary.put("deadline_expired", expired);
   summary.put("cancelled", cancelled);
   summary.put("errors", errors);
+  summary.put("svc.shards", static_cast<std::int64_t>(service.shard_count()));
   summary.put("svc.submitted", stats.submitted);
   summary.put("svc.served", stats.served);
   summary.put("svc.batches", stats.batches);

@@ -1,5 +1,6 @@
 #include "engine/workspace.hpp"
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -48,6 +49,39 @@ class LookupTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Stripes per memo-table family (power of two; fp & (kStripes - 1)
+/// selects).  16 stripes keep the tables effectively contention-free for
+/// any plausible shard count while costing ~16 mutexes per family.
+inline constexpr std::size_t kStripes = 16;
+
+/// Scoped stripe lock: MutexLock plus acquisition timing into the
+/// cache.lock_wait_ns histogram, so striping's effect on contention is
+/// measurable (a contended stripe shows up as a fat tail).  When
+/// observability is disabled the clock reads are skipped.
+class STRT_SCOPED_CAPABILITY StripeLock {
+ public:
+  explicit StripeLock(Mutex& mu) STRT_ACQUIRE(mu) : mu_(mu) {
+    if (obs::enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      static obs::Histogram& h = obs::histogram("cache.lock_wait_ns");
+      h.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      mu_.lock();
+    }
+  }
+  ~StripeLock() STRT_RELEASE() { mu_.unlock(); }
+
+  StripeLock(const StripeLock&) = delete;
+  StripeLock& operator=(const StripeLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
 }  // namespace
 
 bool cache_enabled_default() {
@@ -91,29 +125,39 @@ struct Workspace::Impl {
     }
   };
 
-  Mutex m_intern;
-  std::unordered_map<std::uint64_t, std::vector<CurvePtr>> interned
-      STRT_GUARDED_BY(m_intern);
+  /// One stripe family: kStripes (mutex, table) pairs selected by a
+  /// 64-bit key hash, so lookups about different keys almost never share
+  /// a lock.  Every path keeps compute-outside-lock and first-insert-wins
+  /// semantics, so striping is invisible to results -- two keys landing
+  /// on the same stripe only cost contention, never correctness.
+  template <class Table>
+  struct Striped {
+    struct Stripe {
+      Mutex m;
+      Table table STRT_GUARDED_BY(m);
+    };
+    std::array<Stripe, kStripes> stripes;
+    [[nodiscard]] Stripe& of(std::uint64_t key_hash) {
+      return stripes[key_hash & (kStripes - 1)];
+    }
+  };
 
-  Mutex m_tasks;
-  std::unordered_map<std::uint64_t, TaskEntry> rbfs STRT_GUARDED_BY(m_tasks);
-  std::unordered_map<std::uint64_t, TaskEntry> dbfs STRT_GUARDED_BY(m_tasks);
+  Striped<std::unordered_map<std::uint64_t, std::vector<CurvePtr>>> interned;
 
-  Mutex m_sbf;
-  std::map<std::pair<std::string, std::int64_t>, CurvePtr> sbfs
-      STRT_GUARDED_BY(m_sbf);
+  Striped<std::unordered_map<std::uint64_t, TaskEntry>> rbfs;
+  Striped<std::unordered_map<std::uint64_t, TaskEntry>> dbfs;
 
-  Mutex m_derived;
-  std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash> derived
-      STRT_GUARDED_BY(m_derived);
+  Striped<std::map<std::pair<std::string, std::int64_t>, CurvePtr>> sbfs;
 
-  Mutex m_inverse;
-  std::unordered_map<std::uint64_t, std::shared_ptr<PseudoInverse::Entry>>
-      inverses STRT_GUARDED_BY(m_inverse);
+  Striped<std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash>> derived;
 
-  Mutex m_validate;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const check::CheckResult>>
-      validations STRT_GUARDED_BY(m_validate);
+  Striped<std::unordered_map<std::uint64_t,
+                             std::shared_ptr<PseudoInverse::Entry>>>
+      inverses;
+
+  Striped<std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const check::CheckResult>>>
+      validations;
 
   std::atomic<std::uint64_t> hits{0};
   std::atomic<std::uint64_t> misses{0};
@@ -155,8 +199,9 @@ Workspace::~Workspace() = default;
 CurvePtr Workspace::intern(Staircase c) {
   if (!caching_) return std::make_shared<const Staircase>(std::move(c));
   const std::uint64_t fp = fingerprint(c);
-  const MutexLock lock(impl_->m_intern);
-  std::vector<CurvePtr>& bucket = impl_->interned[fp];
+  auto& stripe = impl_->interned.of(fp);
+  const StripeLock lock(stripe.m);
+  std::vector<CurvePtr>& bucket = stripe.table[fp];
   for (const CurvePtr& p : bucket) {
     if (*p == c) return p;
   }
@@ -180,11 +225,11 @@ std::shared_ptr<const check::CheckResult> Workspace::validate(
     return std::make_shared<const check::CheckResult>(check::check_task(task));
   }
   const std::uint64_t fp = task.fingerprint();
+  auto& stripe = impl_->validations.of(fp);
   {
     const LookupTimer timer;
-    const MutexLock lock(impl_->m_validate);
-    if (const auto it = impl_->validations.find(fp);
-        it != impl_->validations.end()) {
+    const StripeLock lock(stripe.m);
+    if (const auto it = stripe.table.find(fp); it != stripe.table.end()) {
       impl_->note_hit();
       return it->second;
     }
@@ -195,8 +240,8 @@ std::shared_ptr<const check::CheckResult> Workspace::validate(
       std::make_shared<const check::CheckResult>(check::check_task(task));
   impl_->note_miss();
   {
-    const MutexLock lock(impl_->m_validate);
-    const auto [it, inserted] = impl_->validations.emplace(fp, result);
+    const StripeLock lock(stripe.m);
+    const auto [it, inserted] = stripe.table.emplace(fp, result);
     if (!inserted) result = it->second;
   }
   return result;
@@ -211,14 +256,15 @@ CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
     impl_->note_miss();
     return std::make_shared<const Staircase>(compute());
   }
-  auto& table = demand ? impl_->dbfs : impl_->rbfs;
+  auto& family = demand ? impl_->dbfs : impl_->rbfs;
   const std::uint64_t fp = task.fingerprint();
+  auto& stripe = family.of(fp);
 
   CurvePtr base;  // cached curve on a larger horizon, if any
   {
     const LookupTimer timer;
-    const MutexLock lock(impl_->m_tasks);
-    Impl::TaskEntry& e = table[fp];
+    const StripeLock lock(stripe.m);
+    Impl::TaskEntry& e = stripe.table[fp];
     if (const auto hit = e.by_horizon.find(horizon.count());
         hit != e.by_horizon.end()) {
       impl_->note_hit();
@@ -239,8 +285,8 @@ CurvePtr Workspace::workload_curve(const DrtTask& task, Time horizon,
     impl_->note_miss();
   }
   {
-    const MutexLock lock(impl_->m_tasks);
-    Impl::TaskEntry& e = table[fp];
+    const StripeLock lock(stripe.m);
+    Impl::TaskEntry& e = stripe.table[fp];
     const auto [it, inserted] =
         e.by_horizon.emplace(horizon.count(), result);
     if (!inserted) result = it->second;  // a racer filled it; same bits
@@ -267,9 +313,13 @@ CurvePtr Workspace::sbf(const Supply& supply, Time horizon) {
   // Exact-match keying only: sbf curves carry a periodic tail, which
   // truncation would drop, so horizon-extension reuse does not apply.
   auto key = std::make_pair(supply.describe(), horizon.count());
+  auto& stripe = impl_->sbfs.of(hash_combine(
+      std::hash<std::string>{}(key.first),
+      static_cast<std::uint64_t>(key.second)));
   {
-    const MutexLock lock(impl_->m_sbf);
-    if (const auto it = impl_->sbfs.find(key); it != impl_->sbfs.end()) {
+    const LookupTimer timer;
+    const StripeLock lock(stripe.m);
+    if (const auto it = stripe.table.find(key); it != stripe.table.end()) {
       impl_->note_hit();
       return it->second;
     }
@@ -277,8 +327,8 @@ CurvePtr Workspace::sbf(const Supply& supply, Time horizon) {
   CurvePtr result = intern(supply.sbf(horizon));
   impl_->note_miss();
   {
-    const MutexLock lock(impl_->m_sbf);
-    const auto [it, inserted] = impl_->sbfs.emplace(std::move(key), result);
+    const StripeLock lock(stripe.m);
+    const auto [it, inserted] = stripe.table.emplace(std::move(key), result);
     if (!inserted) result = it->second;
   }
   return result;
@@ -305,10 +355,11 @@ CurvePtr Workspace::derived(DerivedOp op, const Staircase& f,
   }
   const Impl::DerivedKey key{static_cast<std::uint8_t>(op), fingerprint(f),
                              g != nullptr ? fingerprint(*g) : 0};
+  auto& stripe = impl_->derived.of(Impl::DerivedKeyHash{}(key));
   {
-    const MutexLock lock(impl_->m_derived);
-    if (const auto it = impl_->derived.find(key);
-        it != impl_->derived.end()) {
+    const LookupTimer timer;
+    const StripeLock lock(stripe.m);
+    if (const auto it = stripe.table.find(key); it != stripe.table.end()) {
       impl_->note_hit();
       return it->second;
     }
@@ -316,8 +367,8 @@ CurvePtr Workspace::derived(DerivedOp op, const Staircase& f,
   CurvePtr result = intern(compute());
   impl_->note_miss();
   {
-    const MutexLock lock(impl_->m_derived);
-    const auto [it, inserted] = impl_->derived.emplace(key, result);
+    const StripeLock lock(stripe.m);
+    const auto [it, inserted] = stripe.table.emplace(key, result);
     if (!inserted) result = it->second;
   }
   return result;
@@ -345,8 +396,9 @@ Workspace::PseudoInverse Workspace::inverse_of(const Staircase& curve) {
   const std::uint64_t fp = fingerprint(curve);
   std::shared_ptr<PseudoInverse::Entry> entry;
   {
-    const MutexLock lock(impl_->m_inverse);
-    auto& slot = impl_->inverses[fp];
+    auto& stripe = impl_->inverses.of(fp);
+    const StripeLock lock(stripe.m);
+    auto& slot = stripe.table[fp];
     if (!slot) slot = std::make_shared<PseudoInverse::Entry>();
     entry = slot;
   }

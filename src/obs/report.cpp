@@ -30,6 +30,8 @@ void append_field(std::string& out, const RunReport::FieldValue& v) {
     out += std::to_string(*i);
   } else if (const auto* d = std::get_if<double>(&v)) {
     append_number(out, *d);
+  } else if (const auto* r = std::get_if<RunReport::RawJson>(&v)) {
+    out += r->text;  // pre-serialized by contract (put_json)
   } else {
     out += std::get<bool>(v) ? "true" : "false";
   }
@@ -128,6 +130,16 @@ void RunReport::put(std::string_view key, bool value) {
     }
   }
   fields_.emplace_back(std::string(key), value);
+}
+
+void RunReport::put_json(std::string_view key, std::string raw) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = RawJson{std::move(raw)};
+      return;
+    }
+  }
+  fields_.emplace_back(std::string(key), RawJson{std::move(raw)});
 }
 
 void RunReport::capture() {

@@ -13,7 +13,8 @@
 //   {
 //     "schema":     "strt.obs.report.v2",
 //     "name":       "<run name>",
-//     "fields":     { "<key>": <string | integer | float | bool>, ... },
+//     "fields":     { "<key>": <string | integer | float | bool |
+//                       raw JSON sub-document (put_json)>, ... },
 //     "counters":   { "<name>": <integer>, ... },
 //     "gauges":     { "<name>": {"value": <int>, "max": <int>}, ... },
 //     "histograms": { "<name>": {"count": <int>, "sum": <int>,
@@ -57,7 +58,14 @@ inline constexpr std::string_view kReportSchema = "strt.obs.report.v2";
 
 class RunReport {
  public:
-  using FieldValue = std::variant<std::string, std::int64_t, double, bool>;
+  /// A field holding pre-serialized JSON, emitted verbatim (no quoting).
+  /// The caller vouches for well-formedness; put_json() is the door.
+  struct RawJson {
+    std::string text;
+  };
+
+  using FieldValue =
+      std::variant<std::string, std::int64_t, double, bool, RawJson>;
 
   explicit RunReport(std::string name);
 
@@ -69,6 +77,11 @@ class RunReport {
   void put(std::string_view key, std::uint64_t value);
   void put(std::string_view key, double value);
   void put(std::string_view key, bool value);
+
+  /// Records a field whose value is `raw` emitted verbatim -- for
+  /// structured sub-documents (arrays, nested objects) such as a bench
+  /// scaling curve.  `raw` must be a complete, well-formed JSON value.
+  void put_json(std::string_view key, std::string raw);
 
   /// Snapshots the global counter/gauge/histogram registry and the
   /// calling thread's span tree into the report (replacing any earlier

@@ -1,0 +1,142 @@
+// strt::svc -- a bounded lock-free MPMC ring (Vyukov's algorithm).
+//
+// The service's admission path replaces the old mutex+condvar
+// std::deque with this ring: producers (submitting threads) and
+// consumers (shard workers) synchronize per *cell* through a sequence
+// number instead of per *queue* through one lock, so admission on one
+// shard never serializes against admission or dispatch on another, and
+// concurrent submitters only contend on a single compare-exchange.
+//
+// Algorithm (Dmitry Vyukov's bounded MPMC queue): every cell carries an
+// atomic sequence number.  A cell is ready for the producer of logical
+// position `pos` when seq == pos, and ready for the consumer of `pos`
+// when seq == pos + 1; completing an operation advances seq by one
+// (producer) or by capacity (consumer, re-arming the cell one lap
+// later).  Claiming a position is one CAS on the enqueue/dequeue
+// cursor; element construction/destruction happens outside any shared
+// lock, published by the release store of seq.
+//
+// Capacity is exact (not rounded to a power of two): the service's
+// queue_capacity bound is a user-visible backpressure contract, so a
+// ring asked for capacity 3 sheds the 4th concurrent element.  Indexing
+// pays one integer modulo, which is noise next to an analysis request.
+//
+// Blocking is intentionally NOT provided here.  try_push/try_pop are
+// total and wait-free apart from CAS retries; the service layers its
+// condvar-based backpressure/wakeup protocol on top (see service.cpp),
+// keeping this type testable in isolation.
+//
+// T must be default-constructible and movable.  A failed try_push
+// leaves the argument untouched (the move happens only after the cell
+// is claimed).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace strt::svc {
+
+template <class T>
+class MpmcRing {
+ public:
+  /// A ring holding at most `capacity` elements (>= 1 enforced).
+  explicit MpmcRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  ~MpmcRing() {
+    // Destroy whatever is still enqueued (single-threaded by contract:
+    // destruction races nothing).
+    T scratch;
+    while (try_pop(scratch)) {
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Enqueues by move; false (argument untouched) when the ring is full.
+  [[nodiscard]] bool try_push(T&& v) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % capacity_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          ::new (static_cast<void*>(cell.storage())) T(std::move(v));
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell is still occupied one lap behind: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues into `out`; false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos % capacity_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          T* item = std::launder(reinterpret_cast<T*>(cell.storage()));
+          out = std::move(*item);
+          item->~T();
+          cell.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell has not been produced yet: empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Instantaneous element count; exact only when quiescent (cursors are
+  /// read independently), clamped to [0, capacity].
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = dequeue_pos_.load(std::memory_order_acquire);
+    const std::size_t tail = enqueue_pos_.load(std::memory_order_acquire);
+    if (tail <= head) return 0;
+    const std::size_t n = tail - head;
+    return n > capacity_ ? capacity_ : n;
+  }
+
+  [[nodiscard]] bool empty() const { return size_approx() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    alignas(T) unsigned char buf[sizeof(T)];
+    [[nodiscard]] unsigned char* storage() { return buf; }
+  };
+
+  // The cursors live on separate cache lines: producers hammer one,
+  // consumers the other.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  std::size_t capacity_;
+  std::unique_ptr<Cell[]> cells_;
+};
+
+}  // namespace strt::svc

@@ -1,9 +1,12 @@
 #include "svc/service.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
-#include <deque>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "base/assert.hpp"
@@ -16,6 +19,7 @@
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "svc/mpmc_queue.hpp"
 
 namespace strt::svc {
 
@@ -34,39 +38,126 @@ struct Pending {
 
 }  // namespace
 
+std::size_t resolved_shards(const ServiceOptions& opts) {
+  if (opts.shards != 0) return opts.shards;
+  if (const char* env = std::getenv("STRT_SHARDS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
 struct Service::Impl {
-  explicit Impl(ServiceOptions o) : opts(o), ws(o.caching) {
+  /// One worker shard: a lock-free admission ring, the worker thread
+  /// that drains it, and the shard's counter rollup.  The mutex guards
+  /// no state -- it is the wait barrier for the two condvars (the ring
+  /// itself is the synchronized structure): a producer that pushed takes
+  /// the lock empty and notifies, so a worker between its emptiness
+  /// check and the wait cannot miss the wakeup, and vice versa for
+  /// submitters blocked on a full ring.
+  struct Shard {
+    explicit Shard(std::size_t cap) : ring(cap) {}
+
+    MpmcRing<Pending> ring;
+    Mutex mu;
+    std::condition_variable_any cv_work;   // worker: new work / stop
+    std::condition_variable_any cv_space;  // submitters: ring has room
+    std::atomic<std::size_t> in_flight{0};
+
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batched_requests{0};
+    std::atomic<std::uint64_t> deadline_expired{0};
+
+    // Labeled per-shard registry cells (svc.shard_*{shard="K"}); the
+    // Prometheus exporter turns the suffix into a real label.
+    obs::Counter* c_served = nullptr;
+    obs::Counter* c_batches = nullptr;
+    obs::Gauge* g_depth = nullptr;
+
+    std::thread worker;  // started by Service's constructor, joined last
+  };
+
+  explicit Impl(ServiceOptions o) : opts(std::move(o)), ws(opts.caching) {
     if (opts.queue_capacity == 0) opts.queue_capacity = 1;
     if (opts.max_batch == 0) opts.max_batch = 1;
-    paused = opts.start_paused;
+    nshards = resolved_shards(opts);
+    opts.shards = nshards;  // echo the resolution into options()
+    per_shard_capacity =
+        std::max<std::size_t>(1, opts.queue_capacity / nshards);
+    paused.store(opts.start_paused, std::memory_order_release);
     if (!opts.telemetry_dir.empty()) {
       sink = std::make_unique<obs::TelemetrySink>(opts.telemetry_dir);
+    }
+    shards.reserve(nshards);
+    for (std::size_t i = 0; i < nshards; ++i) {
+      auto s = std::make_unique<Shard>(per_shard_capacity);
+      const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
+      s->c_served = &obs::counter("svc.shard_served" + label);
+      s->c_batches = &obs::counter("svc.shard_batches" + label);
+      s->g_depth = &obs::gauge("svc.shard_queue_depth" + label);
+      shards.push_back(std::move(s));
     }
   }
 
   ServiceOptions opts;
   engine::Workspace ws;
-  /// Live telemetry export; null when telemetry_dir is empty.  Only the
-  /// dispatcher flushes; workers only add traces (sink is thread-safe).
+  /// Live telemetry export; null when telemetry_dir is empty.  Shard
+  /// workers flush after their rounds (the sink serializes flushes).
   std::unique_ptr<obs::TelemetrySink> sink;
 
-  Mutex mu;
-  std::condition_variable_any cv_work;   // dispatcher: new work / stop
-  std::condition_variable_any cv_space;  // submitters: queue has room
-  std::condition_variable_any cv_idle;   // drain(): all served
-  std::deque<Pending> queue STRT_GUARDED_BY(mu);
-  bool paused STRT_GUARDED_BY(mu) = false;
-  bool stopping STRT_GUARDED_BY(mu) = false;
-  std::size_t in_flight STRT_GUARDED_BY(mu) = 0;
-  ServiceStats counters STRT_GUARDED_BY(mu);
+  std::size_t nshards = 1;
+  std::size_t per_shard_capacity = 1;
+  std::vector<std::unique_ptr<Shard>> shards;
 
-  std::thread dispatcher;  // started by Service's constructor, joined last
+  std::atomic<bool> paused{false};
+  std::atomic<bool> stopping{false};
+  std::atomic<std::uint64_t> rejected{0};
+  /// Admissions currently in progress.  The shutdown protocol relies on
+  /// the seq_cst ordering of this counter against `stopping`: an admit
+  /// increments first and checks stopping second, the destructor stores
+  /// stopping first and waits for zero second, so every push that beat
+  /// the stop is visible to the shard workers before they may exit.
+  std::atomic<std::size_t> active_admits{0};
 
-  void loop();
-  void process(std::vector<Pending> round);
+  /// Fingerprint -> shard routing.  Distinct fingerprints are assigned
+  /// round-robin in order of first appearance: deterministic for a
+  /// serial submitter, balanced across shards however the fingerprints
+  /// hash (a fp % N split leaves shards idle on modulo collisions).
+  /// Entries are ~16 bytes per distinct system and are kept for the
+  /// service lifetime -- the memo warmth they route to is itself
+  /// retained, so the map is never the memory ceiling.
+  Mutex route_mu;
+  std::unordered_map<std::uint64_t, std::size_t> route
+      STRT_GUARDED_BY(route_mu);
+  std::size_t next_shard STRT_GUARDED_BY(route_mu) = 0;
 
-  /// Admission under the capacity bound; nullopt when `block` is false
-  /// and the queue is full, or when the service is stopping.
+  Mutex idle_mu;  // wait barrier for drain(); no guarded state
+  std::condition_variable_any cv_idle;
+
+  [[nodiscard]] Shard& shard_of(std::uint64_t fp) {
+    if (nshards == 1) return *shards[0];
+    const MutexLock lock(route_mu);
+    const auto [it, inserted] = route.emplace(fp, next_shard);
+    if (inserted) next_shard = (next_shard + 1) % nshards;
+    return *shards[it->second];
+  }
+
+  /// True when every ring is empty and no request is being processed.
+  [[nodiscard]] bool idle() const {
+    for (const auto& s : shards) {
+      if (!s->ring.empty() || s->in_flight.load() != 0) return false;
+    }
+    return true;
+  }
+
+  void worker_loop(Shard& s);
+  void process(Shard& s, std::vector<Pending> round);
+
+  /// Admission under the routed shard's capacity bound; nullopt when
+  /// `block` is false and the shard is full, or when stopping.
   std::optional<std::future<AnalysisOutcome>> admit(AnalysisRequest req,
                                                     bool block);
 };
@@ -75,6 +166,8 @@ std::optional<std::future<AnalysisOutcome>> Service::Impl::admit(
     AnalysisRequest req, bool block) {
   static obs::Counter& c_submitted = obs::counter("svc.submitted");
   static obs::Counter& c_rejected = obs::counter("svc.rejected");
+  static obs::Counter& c_shed = obs::counter("svc.shed");
+  static obs::Gauge& g_depth = obs::gauge("svc.queue_depth");
 
   Pending p;
   p.admitted = Clock::now();
@@ -83,63 +176,109 @@ std::optional<std::future<AnalysisOutcome>> Service::Impl::admit(
   p.req = std::move(req);
   std::future<AnalysisOutcome> fut = p.promise.get_future();
 
-  {
-    MutexLock l(mu);
-    while (block && !stopping && queue.size() >= opts.queue_capacity) {
-      l.wait(cv_space);
-    }
-    if (stopping || queue.size() >= opts.queue_capacity) {
-      ++counters.rejected;
+  active_admits.fetch_add(1);
+  struct AdmitScope {
+    std::atomic<std::size_t>& active;
+    ~AdmitScope() { active.fetch_sub(1); }
+  } scope{active_admits};
+
+  const auto reject_stopping = [&] {
+    rejected.fetch_add(1, std::memory_order_relaxed);
+    c_rejected.add(1);
+    // Answer through the future so submit() stays total.
+    AnalysisOutcome out;
+    out.id = p.req.id;
+    out.kind = p.req.kind;
+    out.status = OutcomeStatus::kRejected;
+    out.error = "service is shutting down";
+    p.promise.set_value(std::move(out));
+    return std::optional<std::future<AnalysisOutcome>>(std::move(fut));
+  };
+
+  if (stopping.load()) return reject_stopping();
+
+  Shard& s = shard_of(p.fp);
+  bool pushed = s.ring.try_push(std::move(p));
+  if (!pushed) {
+    if (!block) {
+      // Full, non-blocking: the caller sheds load.
+      rejected.fetch_add(1, std::memory_order_relaxed);
       c_rejected.add(1);
-      if (!stopping) return std::nullopt;  // full, non-blocking: shed load
-      // Stopping: answer through the future so submit() stays total.
-      AnalysisOutcome out;
-      out.id = p.req.id;
-      out.kind = p.req.kind;
-      out.status = OutcomeStatus::kRejected;
-      out.error = "service is shutting down";
-      p.promise.set_value(std::move(out));
-      return fut;
+      c_shed.add(1);
+      return std::nullopt;
     }
-    queue.push_back(std::move(p));
-    ++counters.submitted;
-    c_submitted.add(1);
+    MutexLock l(s.mu);
+    while (!stopping.load() && !(pushed = s.ring.try_push(std::move(p)))) {
+      l.wait(s.cv_space);
+    }
+    if (!pushed) return reject_stopping();
   }
-  cv_work.notify_one();
+
+  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  c_submitted.add(1);
+  // Backpressure visibility: sample the admission-time depth into the
+  // gauges (total and per shard) so metrics.prom carries a live queue
+  // level plus its high-water mark.
+  if (obs::enabled()) {
+    std::size_t total = 0;
+    for (const auto& sh : shards) total += sh->ring.size_approx();
+    g_depth.set(static_cast<std::int64_t>(total));
+    s.g_depth->set(static_cast<std::int64_t>(s.ring.size_approx()));
+  }
+  { const MutexLock l(s.mu); }  // pairs with the worker's check-then-wait
+  s.cv_work.notify_one();
   return fut;
 }
 
-void Service::Impl::loop() {
+void Service::Impl::worker_loop(Shard& s) {
   for (;;) {
-    std::vector<Pending> round;
     {
-      MutexLock l(mu);
-      while (!stopping && (paused || queue.empty())) l.wait(cv_work);
-      if (queue.empty()) {
-        if (stopping) return;
-        continue;
+      MutexLock l(s.mu);
+      while (!stopping.load() &&
+             (paused.load(std::memory_order_acquire) || s.ring.empty())) {
+        l.wait(s.cv_work);
       }
-      const std::size_t n = std::min(queue.size(), opts.max_batch);
-      round.reserve(n);
-      for (std::size_t i = 0; i < n; ++i) {
-        round.push_back(std::move(queue.front()));
-        queue.pop_front();
-      }
-      in_flight += n;
     }
-    cv_space.notify_all();
-    const std::size_t n = round.size();
-    process(std::move(round));
+    std::vector<Pending> round;
+    round.reserve(opts.max_batch);
     {
-      MutexLock l(mu);
-      in_flight -= n;
-      counters.served += n;
-      if (queue.empty() && in_flight == 0) cv_idle.notify_all();
+      Pending p;
+      while (round.size() < opts.max_batch && s.ring.try_pop(p)) {
+        round.push_back(std::move(p));
+      }
+    }
+    if (round.empty()) {
+      if (stopping.load()) {
+        // Exit only once no admission can still push: active_admits is
+        // ordered seq_cst against `stopping` (see its declaration).
+        if (s.ring.empty() && active_admits.load() == 0) return;
+        std::this_thread::yield();
+      }
+      continue;
+    }
+    const std::size_t n = round.size();
+    s.in_flight.fetch_add(n);
+    { const MutexLock l(s.mu); }  // pairs with blocked submitters' wait
+    s.cv_space.notify_all();
+
+    // Counters go up before the promises are fulfilled: a caller that
+    // observes its future resolved must also observe the round in
+    // stats() (the promise machinery carries the release edge, so the
+    // relaxed add is enough).
+    s.served.fetch_add(n, std::memory_order_relaxed);
+    s.c_served->add(n);
+
+    process(s, std::move(round));
+
+    s.in_flight.fetch_sub(n);
+    if (idle()) {
+      { const MutexLock l(idle_mu); }  // pairs with drain()'s wait
+      cv_idle.notify_all();
     }
   }
 }
 
-void Service::Impl::process(std::vector<Pending> round) {
+void Service::Impl::process(Shard& s, std::vector<Pending> round) {
   static obs::Counter& c_batches = obs::counter("svc.batches");
   static obs::Counter& c_batched = obs::counter("svc.batched_requests");
   const obs::Span span("svc.dispatch");
@@ -165,14 +304,20 @@ void Service::Impl::process(std::vector<Pending> round) {
 
   static obs::Histogram& h_batch = obs::histogram("svc.batch_size");
 
-  std::uint64_t expired = 0;
-  std::uint64_t batched = 0;
+  // With one shard the warm tail fans out across the exec pool; with
+  // several, the shards are the parallelism -- concurrent pool runs
+  // would serialize on the pool's run lock and only add contention.
+  const bool parallel_tail = opts.parallel_batches && nshards == 1;
+
   for (const std::vector<std::size_t>& group : groups) {
     c_batches.add(1);
+    s.c_batches->add(1);
+    s.batches.fetch_add(1, std::memory_order_relaxed);
     h_batch.record(group.size());
     if (group.size() >= 2) {
-      batched += group.size();
       c_batched.add(group.size());
+      s.batched_requests.fetch_add(group.size(),
+                                   std::memory_order_relaxed);
     }
     const engine::WorkspaceStats before = ws.stats();
 
@@ -202,14 +347,14 @@ void Service::Impl::process(std::vector<Pending> round) {
     };
 
     // The group leader runs first and warms every memo the group shares;
-    // the tail then fans out across the exec pool and answers mostly
-    // from the cache.  Results are bit-identical either way (Workspace
-    // contract), so the split is purely a throughput device.
+    // the tail then answers mostly from the cache.  Results are
+    // bit-identical either way (Workspace contract), so the split is
+    // purely a throughput device.
     std::vector<AnalysisOutcome> outs;
     outs.reserve(group.size());
     outs.push_back(serve(group[0], /*leader=*/true));
     if (group.size() > 1) {
-      if (opts.parallel_batches) {
+      if (parallel_tail) {
         std::vector<AnalysisOutcome> tail =
             exec::parallel_map(group.size() - 1, [&](std::size_t i) {
               return serve(group[i + 1], /*leader=*/false);
@@ -228,37 +373,43 @@ void Service::Impl::process(std::vector<Pending> round) {
                                (before.hits + before.inverse_hits);
     const std::uint64_t misses = (after.misses + after.inverse_misses) -
                                  (before.misses + before.inverse_misses);
+    std::uint64_t expired = 0;
     for (std::size_t i = 0; i < group.size(); ++i) {
       outs[i].stats.cache_hits = hits;
       outs[i].stats.cache_misses = misses;
       if (outs[i].status == OutcomeStatus::kDeadlineExpired) ++expired;
+    }
+    // Like `served`, counters settle before any promise in the group
+    // resolves so callers never read stale stats after a get().
+    s.deadline_expired.fetch_add(expired, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < group.size(); ++i) {
       if (sink) sink->add_trace(outs[i].trace);
       round[group[i]].promise.set_value(std::move(outs[i]));
     }
   }
   if (sink) sink->flush();
-  {
-    MutexLock l(mu);
-    counters.deadline_expired += expired;
-    counters.batched_requests += batched;
-    counters.batches += groups.size();
-  }
 }
 
 Service::Service(ServiceOptions opts)
-    : impl_(std::make_unique<Impl>(opts)) {
-  impl_->dispatcher = std::thread([this] { impl_->loop(); });
+    : impl_(std::make_unique<Impl>(std::move(opts))) {
+  for (auto& s : impl_->shards) {
+    Impl::Shard* shard = s.get();
+    shard->worker = std::thread([this, shard] { impl_->worker_loop(*shard); });
+  }
 }
 
 Service::~Service() {
-  {
-    MutexLock l(impl_->mu);
-    impl_->stopping = true;
-    impl_->paused = false;  // a paused shutdown still drains
+  impl_->stopping.store(true);
+  impl_->paused.store(false);  // a paused shutdown still drains
+  // Wake everyone: blocked submitters observe `stopping` and answer
+  // kRejected; workers drain their rings (waiting out in-progress
+  // admissions, see active_admits) and exit.
+  for (auto& s : impl_->shards) {
+    { const MutexLock l(s->mu); }
+    s->cv_space.notify_all();
+    s->cv_work.notify_all();
   }
-  impl_->cv_work.notify_all();
-  impl_->cv_space.notify_all();
-  impl_->dispatcher.join();
+  for (auto& s : impl_->shards) s->worker.join();
 }
 
 std::future<AnalysisOutcome> Service::submit(AnalysisRequest req) {
@@ -275,16 +426,13 @@ std::optional<std::future<AnalysisOutcome>> Service::try_submit(
 
 std::vector<AnalysisOutcome> Service::run_all(
     std::vector<AnalysisRequest> reqs) {
-  // Admission would deadlock if the batch exceeds a paused queue's
-  // capacity; resume first in that case (otherwise keep the pause while
-  // enqueueing, so a paused service sees the whole batch in one round).
-  {
-    MutexLock l(impl_->mu);
-    if (impl_->paused && reqs.size() > impl_->opts.queue_capacity) {
-      impl_->paused = false;
-    }
+  // Admission would deadlock if the batch exceeds a paused shard's
+  // capacity (every request could route to one shard); resume first in
+  // that case, otherwise keep the pause while enqueueing so a paused
+  // service sees the whole batch in one round.
+  if (impl_->paused.load() && reqs.size() > impl_->per_shard_capacity) {
+    resume();
   }
-  impl_->cv_work.notify_all();
   std::vector<std::future<AnalysisOutcome>> futs;
   futs.reserve(reqs.size());
   for (AnalysisRequest& r : reqs) futs.push_back(submit(std::move(r)));
@@ -295,34 +443,49 @@ std::vector<AnalysisOutcome> Service::run_all(
   return outs;
 }
 
-void Service::pause() {
-  MutexLock l(impl_->mu);
-  impl_->paused = true;
-}
+void Service::pause() { impl_->paused.store(true); }
 
 void Service::resume() {
-  {
-    MutexLock l(impl_->mu);
-    impl_->paused = false;
+  impl_->paused.store(false);
+  for (auto& s : impl_->shards) {
+    { const MutexLock l(s->mu); }
+    s->cv_work.notify_all();
   }
-  impl_->cv_work.notify_all();
 }
 
 void Service::drain() {
   resume();
-  MutexLock l(impl_->mu);
-  while (!impl_->queue.empty() || impl_->in_flight != 0) {
-    l.wait(impl_->cv_idle);
-  }
+  MutexLock l(impl_->idle_mu);
+  while (!impl_->idle()) l.wait(impl_->cv_idle);
 }
 
 engine::Workspace& Service::workspace() { return impl_->ws; }
 
+std::size_t Service::shard_count() const { return impl_->nshards; }
+
 ServiceStats Service::stats() const {
-  MutexLock l(impl_->mu);
-  ServiceStats s = impl_->counters;
-  s.queue_depth = impl_->queue.size();
-  return s;
+  ServiceStats out;
+  out.rejected = impl_->rejected.load(std::memory_order_relaxed);
+  out.per_shard.reserve(impl_->nshards);
+  for (const auto& s : impl_->shards) {
+    ShardStats sh;
+    sh.submitted = s->submitted.load(std::memory_order_relaxed);
+    sh.served = s->served.load(std::memory_order_relaxed);
+    sh.batches = s->batches.load(std::memory_order_relaxed);
+    sh.batched_requests =
+        s->batched_requests.load(std::memory_order_relaxed);
+    sh.deadline_expired =
+        s->deadline_expired.load(std::memory_order_relaxed);
+    sh.queue_depth = s->ring.size_approx();
+    out.submitted += sh.submitted;
+    out.served += sh.served;
+    out.batches += sh.batches;
+    out.batched_requests += sh.batched_requests;
+    out.deadline_expired += sh.deadline_expired;
+    out.queue_depth += sh.queue_depth;
+    out.per_shard.push_back(sh);
+  }
+  return out;
 }
 
 const ServiceOptions& Service::options() const { return impl_->opts; }

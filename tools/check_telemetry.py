@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
 """Validate a strt telemetry directory (obs::TelemetrySink output).
 
-Usage: check_telemetry.py TELEMETRY_DIR
+Usage: check_telemetry.py TELEMETRY_DIR [--require-shards N]
 
 Checks, with no dependencies beyond the standard library:
 
   metrics.prom   Prometheus text exposition format 0.0.4: every sample
                  line parses, metric names are legal, every sample is
-                 covered by a preceding # TYPE, histogram bucket counts
-                 are cumulative and consistent with _count/_sum.
+                 covered by a preceding # TYPE, labels are well-formed
+                 name="value" pairs with no duplicate label names and no
+                 duplicate (family, labelset) series, histogram bucket
+                 counts are cumulative and consistent with _count/_sum.
   trace.json     Chrome Trace Event Format carrying schema
                  strt.obs.trace.v1: complete "X" events only, span ids
                  unique per trace, parent links resolve within the
                  trace, durations non-negative.
   events.jsonl   one strt.obs.report.v2 JSON object per line.
+
+With --require-shards N the exposition must additionally carry the
+service's per-shard series -- strt_svc_shard_served, strt_svc_shard_batches
+and strt_svc_shard_queue_depth, each labeled shard="0" .. shard="N-1".
 
 Exit status 0 when everything holds; 1 with a message otherwise.
 """
@@ -34,13 +40,42 @@ TYPE_LINE = re.compile(
     r" (?P<type>counter|gauge|histogram|summary|untyped)$"
 )
 
+LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+
 TRACE_SCHEMA = "strt.obs.trace.v1"
 REPORT_SCHEMA = "strt.obs.report.v2"
+
+# Per-shard series the service exports; --require-shards checks each one
+# carries shard="0" .. shard="N-1".
+SHARD_FAMILIES = (
+    "strt_svc_shard_served",
+    "strt_svc_shard_batches",
+    "strt_svc_shard_queue_depth",
+)
 
 
 def fail(msg):
     print(f"check_telemetry: {msg}", file=sys.stderr)
     sys.exit(1)
+
+
+def parse_labels(labels, where):
+    """Label body ({...} contents) -> dict; fails on malformed pairs or
+    duplicate label names.  (Values containing a bare comma would split
+    wrong; the exporter never emits any.)"""
+    if not labels:
+        return {}
+    out = {}
+    for pair in labels.split(","):
+        m = LABEL_PAIR.match(pair)
+        if not m:
+            fail(f"{where}: malformed label pair {pair!r}")
+        if m.group("name") in out:
+            fail(f"{where}: duplicate label name {m.group('name')!r}")
+        out[m.group("name")] = m.group("value")
+    return out
 
 
 def base_metric(name):
@@ -51,10 +86,12 @@ def base_metric(name):
     return name
 
 
-def check_prometheus(path):
+def check_prometheus(path, require_shards=0):
     types = {}
     histograms = {}  # family -> list of (le, cumulative_count)
     scalars = {}  # family suffix samples: _sum/_count values
+    series = set()  # (name, frozen labelset) -- duplicates are illegal
+    shard_values = {}  # family -> set of shard label values
     samples = 0
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         if not line.strip():
@@ -74,16 +111,22 @@ def check_prometheus(path):
         declared = types.get(name) or types.get(family)
         if declared is None:
             fail(f"{path}:{lineno}: sample {name!r} has no # TYPE line")
+        labelset = parse_labels(m.group("labels") or "",
+                                f"{path}:{lineno}")
+        key = (name, frozenset(labelset.items()))
+        if key in series:
+            fail(f"{path}:{lineno}: duplicate series {line!r}")
+        series.add(key)
+        if "shard" in labelset:
+            shard_values.setdefault(name, set()).add(labelset["shard"])
         value = float(m.group("value")) if m.group("value") not in (
             "NaN", "+Inf", "-Inf") else m.group("value")
         samples += 1
         if declared == "histogram" and name.endswith("_bucket"):
-            labels = m.group("labels") or ""
-            le = re.search(r'le="([^"]*)"', labels)
-            if not le:
+            if "le" not in labelset:
                 fail(f"{path}:{lineno}: histogram bucket without le label")
             histograms.setdefault(family, []).append(
-                (le.group(1), float(value)))
+                (labelset["le"], float(value)))
         elif declared == "histogram":
             scalars[name] = float(value)
     for family, buckets in histograms.items():
@@ -102,8 +145,18 @@ def check_prometheus(path):
             )
         if f"{family}_sum" not in scalars:
             fail(f"{path}: {family} has buckets but no _sum sample")
+    if require_shards:
+        want = {str(k) for k in range(require_shards)}
+        for family in SHARD_FAMILIES:
+            got = shard_values.get(family, set())
+            if not want <= got:
+                fail(
+                    f"{path}: {family} is missing shard series "
+                    f"{sorted(want - got)} (have {sorted(got)})"
+                )
     print(f"  metrics.prom: {samples} samples, "
-          f"{len(histograms)} histogram(s) -- ok")
+          f"{len(histograms)} histogram(s), "
+          f"{len(shard_values)} shard-labeled family(ies) -- ok")
 
 
 def check_trace(path):
@@ -164,14 +217,23 @@ def check_events(path):
 
 
 def main():
-    if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} TELEMETRY_DIR")
-    directory = Path(sys.argv[1])
+    args = sys.argv[1:]
+    require_shards = 0
+    if "--require-shards" in args:
+        i = args.index("--require-shards")
+        if i + 1 >= len(args) or not args[i + 1].isdigit():
+            fail("--require-shards requires a count")
+        require_shards = int(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        fail(f"usage: {sys.argv[0]} TELEMETRY_DIR [--require-shards N]")
+    directory = Path(args[0])
     if not directory.is_dir():
         fail(f"{directory} is not a directory")
     print(f"checking telemetry under {directory}")
     for name, checker in (
-        ("metrics.prom", check_prometheus),
+        ("metrics.prom",
+         lambda p: check_prometheus(p, require_shards=require_shards)),
         ("trace.json", check_trace),
         ("events.jsonl", check_events),
     ):
