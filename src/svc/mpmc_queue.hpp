@@ -65,12 +65,12 @@ class MpmcRing {
 
   /// Enqueues by move; false (argument untouched) when the ring is full.
   [[nodiscard]] bool try_push(T&& v) {
-    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
-      Cell& cell = cells_[pos % capacity_];
-      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                                static_cast<std::intptr_t>(pos);
+      Cell& cell = cells_[static_cast<std::size_t>(pos % capacity_)];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos);
       if (dif == 0) {
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
@@ -88,12 +88,12 @@ class MpmcRing {
 
   /// Dequeues into `out`; false when the ring is empty.
   [[nodiscard]] bool try_pop(T& out) {
-    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
-      Cell& cell = cells_[pos % capacity_];
-      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
-      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
-                                static_cast<std::intptr_t>(pos + 1);
+      Cell& cell = cells_[static_cast<std::size_t>(pos % capacity_)];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif = static_cast<std::int64_t>(seq) -
+                               static_cast<std::int64_t>(pos + 1);
       if (dif == 0) {
         if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
@@ -114,11 +114,11 @@ class MpmcRing {
   /// Instantaneous element count; exact only when quiescent (cursors are
   /// read independently), clamped to [0, capacity].
   [[nodiscard]] std::size_t size_approx() const {
-    const std::size_t head = dequeue_pos_.load(std::memory_order_acquire);
-    const std::size_t tail = enqueue_pos_.load(std::memory_order_acquire);
+    const std::uint64_t head = dequeue_pos_.load(std::memory_order_acquire);
+    const std::uint64_t tail = enqueue_pos_.load(std::memory_order_acquire);
     if (tail <= head) return 0;
-    const std::size_t n = tail - head;
-    return n > capacity_ ? capacity_ : n;
+    const std::uint64_t n = tail - head;
+    return static_cast<std::size_t>(n > capacity_ ? capacity_ : n);
   }
 
   [[nodiscard]] bool empty() const { return size_approx() == 0; }
@@ -126,16 +126,19 @@ class MpmcRing {
 
  private:
   struct Cell {
-    std::atomic<std::size_t> seq{0};
+    std::atomic<std::uint64_t> seq{0};
     alignas(T) unsigned char buf[sizeof(T)];
     [[nodiscard]] unsigned char* storage() { return buf; }
   };
 
   // The cursors live on separate cache lines: producers hammer one,
-  // consumers the other.
-  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
-  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
-  std::size_t capacity_;
+  // consumers the other.  Cursors and sequences are explicitly 64-bit:
+  // capacity is exact (not a power of two), so cell indexing and seq
+  // arithmetic must never see a cursor wrap -- unreachable in 64 bits
+  // even at billions of ops/s, but a 32-bit std::size_t would wrap.
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+  std::uint64_t capacity_;
   std::unique_ptr<Cell[]> cells_;
 };
 

@@ -239,6 +239,11 @@ void Service::Impl::worker_loop(Shard& s) {
         l.wait(s.cv_work);
       }
     }
+    // Claim the shard busy *before* popping: drain()'s idle() check must
+    // never observe the window where requests sit in `round` but neither
+    // the ring nor in_flight accounts for them.  The claim is corrected
+    // to the real round size below (or released if the round is empty).
+    s.in_flight.fetch_add(1);
     std::vector<Pending> round;
     round.reserve(opts.max_batch);
     {
@@ -247,17 +252,26 @@ void Service::Impl::worker_loop(Shard& s) {
         round.push_back(std::move(p));
       }
     }
-    if (round.empty()) {
+    const std::size_t n = round.size();
+    if (n == 0) {
+      s.in_flight.fetch_sub(1);
+      // The speculative claim may have parked drain(); re-announce.
+      if (idle()) {
+        { const MutexLock l(idle_mu); }  // pairs with drain()'s wait
+        cv_idle.notify_all();
+      }
       if (stopping.load()) {
-        // Exit only once no admission can still push: active_admits is
-        // ordered seq_cst against `stopping` (see its declaration).
-        if (s.ring.empty() && active_admits.load() == 0) return;
+        // Exit only once no admission can still push.  active_admits is
+        // loaded *first*: it is ordered seq_cst against `stopping` (see
+        // its declaration), so a 0 here means every admit that beat the
+        // stop has finished its push, and that push is visible to the
+        // emptiness check that follows.
+        if (active_admits.load() == 0 && s.ring.empty()) return;
         std::this_thread::yield();
       }
       continue;
     }
-    const std::size_t n = round.size();
-    s.in_flight.fetch_add(n);
+    if (n > 1) s.in_flight.fetch_add(n - 1);
     { const MutexLock l(s.mu); }  // pairs with blocked submitters' wait
     s.cv_space.notify_all();
 
