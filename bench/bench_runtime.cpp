@@ -32,11 +32,16 @@
 
 #include "bench_util.hpp"
 #include "core/abstractions.hpp"
+#include "core/certified.hpp"
+#include "core/curve_based.hpp"
 #include "core/sensitivity.hpp"
 #include "core/structural.hpp"
+#include "curves/minplus.hpp"
+#include "curves/staircase.hpp"
 #include "engine/workspace.hpp"
 #include "graph/explore.hpp"
 #include "io/table.hpp"
+#include "legacy_curves.hpp"
 #include "legacy_explore.hpp"
 #include "model/generator.hpp"
 
@@ -140,6 +145,232 @@ std::map<std::int64_t, std::int64_t> frontier_skyline(
     slot = std::max(slot, st.work.count());
   }
   return m;
+}
+
+/// One random canonical staircase for the kernel microbench (the test
+/// suite's random_staircase shape, regenerated here so the harness stays
+/// self-contained).
+Staircase random_curve(Rng& rng, Time horizon, double step_prob,
+                       std::int64_t max_jump) {
+  std::vector<Step> pts;
+  std::int64_t v = 0;
+  for (std::int64_t t = 1; t <= horizon.count(); ++t) {
+    if (rng.chance(step_prob)) {
+      v += rng.uniform_int(1, max_jump);
+      pts.push_back(Step{Time(t), Work(v)});
+    }
+  }
+  return Staircase::from_points(std::move(pts), horizon);
+}
+
+/// SoA-vs-AoS curve kernel ablation plus the certified-coarsening
+/// ablation.  The microbench mix mirrors the analysis hot path:
+/// min-plus convolution on ~300-breakpoint curves (joint-FP / leftover
+/// territory) and hdev / pointwise / pseudo-inverse on busy-window-sized
+/// curves (every structural and curve-based run hammers those).  Both
+/// layouts are checked bit-identical before any timing; the aggregate
+/// mix must clear the 1.5x gate.  The coarsening ablation runs the
+/// certified coarse-first driver against the exact curve analysis on
+/// generated tasks and reports the worst certified bracket width.
+/// Headline numbers land in BENCH_runtime.json as kernel_speedup and
+/// max_certified_error.
+int run_kernel_section(bench::BenchReport& report) {
+  using namespace strt::bench;
+  Rng rng(7070);
+
+  // conv operands: ~300 breakpoints each.
+  const Staircase cf = random_curve(rng, Time(1'000), 0.3, 4);
+  const Staircase cg = random_curve(rng, Time(1'000), 0.3, 4);
+  // hdev / pointwise / inverse operands: busy-window-scale curves.
+  const Staircase big_a = random_curve(rng, Time(20'000), 0.3, 4);
+  Staircase big_b = random_curve(rng, Time(20'000), 0.3, 5);
+  big_b = big_b.with_tail(
+      Tail{big_b.horizon(), big_b.value_at_horizon() + Work(1)});
+
+  const legacy::LegacyCurve lcf = legacy::from_staircase(cf);
+  const legacy::LegacyCurve lcg = legacy::from_staircase(cg);
+  const legacy::LegacyCurve lba = legacy::from_staircase(big_a);
+  const legacy::LegacyCurve lbb = legacy::from_staircase(big_b);
+
+  // Bit-identity gate: every kernel must agree across layouts before the
+  // stopwatch starts.
+  if (minplus_conv(cf, cg) != legacy::to_staircase(legacy::conv(lcf, lcg)) ||
+      pointwise_add(big_a, big_b) !=
+          legacy::to_staircase(legacy::pointwise_add(lba, lbb)) ||
+      hdev(big_a, big_b) != legacy::hdev(lba, lbb)) {
+    std::cerr << "kernel ablation: SoA and AoS kernels disagree -- "
+                 "bit-identity contract broken\n";
+    return 1;
+  }
+  const Work inv_top = big_b.value_at_horizon() * 2;
+  const Work inv_stride = max(Work(1), Work(inv_top.count() / 4'000));
+  for (Work w(0); w <= inv_top; w += inv_stride) {
+    if (big_b.inverse(w) != lbb.inverse(w)) {
+      std::cerr << "kernel ablation: pseudo-inverse disagrees at w="
+                << w.count() << "\n";
+      return 1;
+    }
+  }
+
+  // Rep counts approximate the kernel mix of the analysis hot path: one
+  // convolution serves many hdev / pointwise / inverse probes (the
+  // busy-window iteration and every curve-based bound re-query the
+  // latter).  Each kernel is also timed on its own so the table shows
+  // where the layout wins.
+  constexpr int kConvReps = 2;
+  constexpr int kHdevReps = 100;
+  constexpr int kAddReps = 20;
+  constexpr int kInvSweeps = 6;
+
+  auto timed = [](int reps, auto&& fn) {
+    Stopwatch sw;
+    for (int r = 0; r < reps; ++r) fn();
+    return sw.millis();
+  };
+
+  struct KernelRow {
+    const char* name;
+    double legacy_ms;
+    double soa_ms;
+  };
+  std::vector<KernelRow> rows;
+  {
+    Phase phase("ablation.kernels.soa");
+    rows.push_back(
+        {"minplus_conv", 0,
+         timed(kConvReps,
+               [&] { benchmark::DoNotOptimize(minplus_conv(cf, cg)); })});
+    rows.push_back(
+        {"hdev", 0, timed(kHdevReps, [&] {
+           benchmark::DoNotOptimize(hdev(big_a, big_b));
+         })});
+    rows.push_back(
+        {"pointwise_add", 0, timed(kAddReps, [&] {
+           benchmark::DoNotOptimize(pointwise_add(big_a, big_b));
+         })});
+    rows.push_back({"pseudo_inverse", 0, timed(kInvSweeps, [&] {
+                      for (Work w(0); w <= inv_top; w += inv_stride) {
+                        benchmark::DoNotOptimize(big_b.inverse(w));
+                      }
+                    })});
+  }
+  {
+    Phase phase("ablation.kernels.legacy");
+    rows[0].legacy_ms = timed(kConvReps, [&] {
+      benchmark::DoNotOptimize(legacy::conv(lcf, lcg));
+    });
+    rows[1].legacy_ms = timed(kHdevReps, [&] {
+      benchmark::DoNotOptimize(legacy::hdev(lba, lbb));
+    });
+    rows[2].legacy_ms = timed(kAddReps, [&] {
+      benchmark::DoNotOptimize(legacy::pointwise_add(lba, lbb));
+    });
+    rows[3].legacy_ms = timed(kInvSweeps, [&] {
+      for (Work w(0); w <= inv_top; w += inv_stride) {
+        benchmark::DoNotOptimize(lbb.inverse(w));
+      }
+    });
+  }
+
+  double legacy_ms = 0;
+  double soa_ms = 0;
+  std::cout << "\nCurve kernel layout (AoS oracle vs SoA; conv "
+            << cf.breakpoint_count() << "x" << cg.breakpoint_count()
+            << " bp, hdev/pointwise/inverse " << big_a.breakpoint_count()
+            << "x" << big_b.breakpoint_count() << " bp):\n";
+  Table kt({"kernel", "legacy ms", "soa ms", "speedup"});
+  for (const KernelRow& row : rows) {
+    legacy_ms += row.legacy_ms;
+    soa_ms += row.soa_ms;
+    kt.add_row({row.name, fmt_ratio(row.legacy_ms, 1),
+                fmt_ratio(row.soa_ms, 1),
+                fmt_ratio(row.legacy_ms / std::max(row.soa_ms, 1e-6), 2) +
+                    "x"});
+  }
+  const double kernel_speedup = legacy_ms / std::max(soa_ms, 1e-6);
+  kt.add_row({"mix", fmt_ratio(legacy_ms, 1), fmt_ratio(soa_ms, 1),
+              fmt_ratio(kernel_speedup, 2) + "x"});
+  kt.print(std::cout);
+
+  // --- Certified coarsening ablation: exact curve analysis vs the
+  // coarse-first driver, bracket containment checked per task, the worst
+  // certified bracket width reported.
+  constexpr std::size_t kCertTasks = 6;
+  const Supply cert_supply = Supply::tdma(Time(5), Time(10));
+  std::vector<GeneratedTask> cert_tasks;
+  for (std::size_t i = 0; i < kCertTasks; ++i) {
+    cert_tasks.push_back(task_with_vertices(12, 0.35, 3300 + i));
+  }
+
+  std::vector<CurveResult> exact_results;
+  double exact_ms = 0;
+  {
+    Phase phase("ablation.coarsen.exact");
+    for (const GeneratedTask& g : cert_tasks) {
+      engine::Workspace ws;
+      exact_results.push_back(curve_delay(ws, g.task, cert_supply));
+    }
+    exact_ms = phase.millis();
+  }
+
+  CertifiedDelayOptions copts;
+  copts.granularity = Time(64);
+  std::vector<CertifiedDelayResult> coarse_results;
+  double coarse_ms = 0;
+  {
+    Phase phase("ablation.coarsen.first");
+    for (const GeneratedTask& g : cert_tasks) {
+      engine::Workspace ws;
+      coarse_results.push_back(
+          certified_curve_delay(ws, g.task, cert_supply, copts));
+    }
+    coarse_ms = phase.millis();
+  }
+
+  Time max_certified_error(0);
+  for (std::size_t i = 0; i < kCertTasks; ++i) {
+    const CurveResult& ex = exact_results[i];
+    const CertifiedDelayResult& c = coarse_results[i];
+    if (ex.delay.is_unbounded() != c.delay.is_unbounded() ||
+        (!ex.delay.is_unbounded() &&
+         (c.delay_lower > ex.delay || c.delay < ex.delay))) {
+      std::cerr << "coarsen ablation: certified bracket misses the exact "
+                   "delay on task "
+                << i << "\n";
+      return 1;
+    }
+    max_certified_error = max(max_certified_error, c.certified_error);
+  }
+
+  std::cout << "\nCertified coarsening (" << kCertTasks
+            << " tasks, starting granularity "
+            << copts.granularity.count() << "):\n";
+  Table ctbl({"exact ms", "coarse-first ms", "max certified error"});
+  ctbl.add_row({fmt_ratio(exact_ms, 1), fmt_ratio(coarse_ms, 1),
+                show(max_certified_error)});
+  ctbl.print(std::cout);
+
+  report.metric("kernel_legacy_ms", legacy_ms);
+  report.metric("kernel_soa_ms", soa_ms);
+  report.metric("kernel_speedup", kernel_speedup);
+  report.metric("kernel_conv_speedup",
+                rows[0].legacy_ms / std::max(rows[0].soa_ms, 1e-6));
+  report.metric("kernel_hdev_speedup",
+                rows[1].legacy_ms / std::max(rows[1].soa_ms, 1e-6));
+  report.metric("kernel_pointwise_speedup",
+                rows[2].legacy_ms / std::max(rows[2].soa_ms, 1e-6));
+  report.metric("kernel_inverse_speedup",
+                rows[3].legacy_ms / std::max(rows[3].soa_ms, 1e-6));
+  report.metric("certified_exact_ms", exact_ms);
+  report.metric("certified_coarse_ms", coarse_ms);
+  report.metric("max_certified_error", max_certified_error);
+
+  if (kernel_speedup < 1.5) {
+    std::cerr << "kernel ablation: SoA speedup " << kernel_speedup
+              << "x is below the 1.5x gate\n";
+    return 1;
+  }
+  return 0;
 }
 
 /// Serial vs parallel timing of the same 40-vertex structural sweep plus
@@ -337,7 +568,7 @@ int run_speedup_section() {
   report.metric("cache_hits", cache_stats.hits);
   report.metric("cache_misses", cache_stats.misses);
   report.metric("cache_bytes", cache_stats.bytes);
-  return 0;
+  return run_kernel_section(report);
 }
 
 }  // namespace

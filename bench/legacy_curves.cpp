@@ -1,0 +1,304 @@
+#include "legacy_curves.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+
+namespace strt::legacy {
+
+namespace {
+
+/// Merged, deduplicated breakpoint times of two curves, restricted to
+/// [0, upto].
+std::vector<Time> merged_times(const LegacyCurve& f, const LegacyCurve& g,
+                               Time upto) {
+  std::vector<Time> ts;
+  ts.reserve(f.steps.size() + g.steps.size());
+  for (const Step& s : f.steps)
+    if (s.time <= upto) ts.push_back(s.time);
+  for (const Step& s : g.steps)
+    if (s.time <= upto) ts.push_back(s.time);
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+template <class Combine>
+LegacyCurve pointwise_op(const LegacyCurve& f, const LegacyCurve& g,
+                         Combine&& op) {
+  const Time h = min(f.horizon, g.horizon);
+  std::vector<Step> samples;
+  for (Time t : merged_times(f, g, h)) {
+    samples.push_back(Step{t, op(f.value(t), g.value(t))});
+  }
+  return from_points(std::move(samples), h);
+}
+
+/// A constant-valued piece of a two-operand envelope, covering the
+/// inclusive time range [begin, end].
+struct Piece {
+  Time begin;
+  Time end;
+  Work value;
+};
+
+/// Lower (kMin) or upper (!kMin) envelope of constant pieces, evaluated
+/// as a curve on [0, horizon] -- the old heap-based sweep.
+template <bool kMin>
+LegacyCurve envelope(std::vector<Piece> pieces, Time horizon) {
+  std::erase_if(pieces, [&](const Piece& p) {
+    return p.end < Time(0) || p.begin > horizon;
+  });
+  for (Piece& p : pieces) p.begin = max(p.begin, Time(0));
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Piece& a, const Piece& b) { return a.begin < b.begin; });
+
+  std::vector<Time> events;
+  events.reserve(2 * pieces.size());
+  for (const Piece& p : pieces) {
+    events.push_back(p.begin);
+    if (p.end + Time(1) <= horizon) events.push_back(p.end + Time(1));
+  }
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+
+  struct HeapItem {
+    Work value;
+    Time end;
+  };
+  auto cmp = [](const HeapItem& a, const HeapItem& b) {
+    if constexpr (kMin) {
+      return a.value > b.value;  // min-heap by value
+    } else {
+      return a.value < b.value;  // max-heap by value
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
+      cmp);
+
+  std::vector<Step> samples;
+  std::size_t i = 0;
+  for (Time t : events) {
+    while (i < pieces.size() && pieces[i].begin <= t) {
+      if (pieces[i].end >= t) {
+        heap.push(HeapItem{pieces[i].value, pieces[i].end});
+      }
+      ++i;
+    }
+    while (!heap.empty() && heap.top().end < t) heap.pop();
+    STRT_ASSERT(!heap.empty(), "legacy envelope has a gap");
+    samples.push_back(Step{t, max(heap.top().value, Work(0))});
+  }
+  return from_points(std::move(samples), horizon);
+}
+
+}  // namespace
+
+Work LegacyCurve::value_in_range(Time t) const {
+  STRT_ASSERT(t >= Time(0) && t <= horizon, "value_in_range out of range");
+  auto it = std::upper_bound(
+      steps.begin(), steps.end(), t,
+      [](Time x, const Step& s) { return x < s.time; });
+  STRT_ASSERT(it != steps.begin(), "no step at or before t");
+  return std::prev(it)->value;
+}
+
+Work LegacyCurve::value(Time t) const {
+  STRT_REQUIRE(t >= Time(0), "curve domain starts at 0");
+  if (t <= horizon) return value_in_range(t);
+  STRT_REQUIRE(tail.has_value(),
+               "value beyond horizon requires a periodic tail");
+  const std::int64_t p = tail->period.count();
+  const std::int64_t over = (t - horizon).count();
+  const std::int64_t m = checked::ceil_div(over, p);
+  const Time base = t - Time(checked::mul(m, p));
+  return value_in_range(base) + Work(checked::mul(m, tail->increment.count()));
+}
+
+Time LegacyCurve::inverse(Work w) const {
+  if (w <= steps.front().value) return Time(0);
+  if (w <= value_at_horizon()) {
+    auto it = std::lower_bound(
+        steps.begin(), steps.end(), w,
+        [](const Step& s, Work x) { return s.value < x; });
+    STRT_ASSERT(it != steps.end(), "legacy inverse lookup failed");
+    return it->time;
+  }
+  if (!tail) {
+    throw std::invalid_argument(
+        "Staircase::inverse: target value beyond horizon and the curve has "
+        "no tail; extend the curve first");
+  }
+  if (tail->increment == Work(0)) return Time::unbounded();
+  const std::int64_t need = checked::sub(w.count(), value_at_horizon().count());
+  const std::int64_t periods =
+      checked::ceil_div(need, tail->increment.count());
+  Time lo = horizon;  // value(horizon) < w here
+  Time hi = horizon + Time(checked::mul(periods + 1, tail->period.count()));
+  STRT_ASSERT(value(hi) >= w, "legacy inverse upper bracket too small");
+  while (lo + Time(1) < hi) {
+    const Time mid = Time((lo.count() + hi.count()) / 2);
+    if (value(mid) >= w) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+LegacyCurve from_staircase(const Staircase& f) {
+  LegacyCurve c;
+  const auto ts = f.times();
+  const auto vs = f.values();
+  c.steps.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    c.steps.push_back(Step{ts[i], vs[i]});
+  }
+  c.horizon = f.horizon();
+  c.tail = f.tail();
+  return c;
+}
+
+Staircase to_staircase(const LegacyCurve& c) {
+  Staircase r = Staircase::from_points(c.steps, c.horizon);
+  if (c.tail) return r.with_tail(*c.tail);
+  return r;
+}
+
+LegacyCurve from_points(std::vector<Step> points, Time horizon) {
+  STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+  for (const Step& p : points) {
+    STRT_REQUIRE(p.time >= Time(0) && p.time <= horizon,
+                 "point outside [0, horizon]");
+    STRT_REQUIRE(p.value >= Work(0), "point value must be non-negative");
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Step& a, const Step& b) { return a.time < b.time; });
+  std::vector<Step> canon;
+  canon.push_back(Step{Time(0), Work(0)});
+  for (const Step& p : points) {
+    const Work v = max(p.value, canon.back().value);
+    if (p.time == canon.back().time) {
+      canon.back().value = v;
+    } else if (v > canon.back().value) {
+      canon.push_back(Step{p.time, v});
+    }
+  }
+  return LegacyCurve{std::move(canon), horizon, std::nullopt};
+}
+
+LegacyCurve conv(const LegacyCurve& f, const LegacyCurve& g) {
+  const Time horizon = f.horizon + g.horizon;
+  const auto& fs = f.steps;
+  const auto& gs = g.steps;
+  std::vector<Piece> pieces;
+  pieces.reserve(fs.size() * gs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Time ai = fs[i].time;
+    const Time ai1 =
+        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon + Time(1);
+    for (std::size_t j = 0; j < gs.size(); ++j) {
+      const Time bj = gs[j].time;
+      const Time bj1 =
+          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon + Time(1);
+      pieces.push_back(Piece{ai + bj, ai1 + bj1 - Time(2),
+                             fs[i].value + gs[j].value});
+    }
+  }
+  return envelope</*kMin=*/true>(std::move(pieces), horizon);
+}
+
+LegacyCurve deconv(const LegacyCurve& f, const LegacyCurve& g) {
+  STRT_REQUIRE(g.horizon <= f.horizon,
+               "deconvolution requires Hg <= Hf (extend f first)");
+  const Time horizon = f.horizon - g.horizon;
+  const auto& fs = f.steps;
+  const auto& gs = g.steps;
+  std::vector<Piece> pieces;
+  pieces.reserve(fs.size() * gs.size());
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Time ai = fs[i].time;
+    const Time ai1 =
+        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon + Time(1);
+    for (std::size_t j = 0; j < gs.size(); ++j) {
+      const Time bj = gs[j].time;
+      const Time bj1 =
+          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon + Time(1);
+      const Work raw = Work(checked::sub(fs[i].value.count(),
+                                         gs[j].value.count()));
+      pieces.push_back(Piece{ai - (bj1 - Time(1)), (ai1 - Time(1)) - bj,
+                             raw});
+    }
+  }
+  return envelope</*kMin=*/false>(std::move(pieces), horizon);
+}
+
+Time hdev(const LegacyCurve& a, const LegacyCurve& b) {
+  Time worst = Time(0);
+  for (const Step& s : a.steps) {
+    if (s.value == Work(0)) continue;
+    const Time crossing = b.inverse(s.value);
+    if (crossing.is_unbounded()) return Time::unbounded();
+    const Time release = max(Time(0), s.time - Time(1));
+    if (crossing > release) worst = max(worst, crossing - release);
+  }
+  return worst;
+}
+
+Work vdev(const LegacyCurve& a, const LegacyCurve& b, Time upto) {
+  STRT_REQUIRE(upto >= Time(0), "vdev horizon must be non-negative");
+  Work worst = Work(0);
+  for (const Step& s : a.steps) {
+    if (s.value == Work(0)) continue;
+    const Time t = max(Time(0), s.time - Time(1));
+    if (t > upto) break;
+    const Work bv = b.value(t);
+    if (s.value > bv) worst = max(worst, s.value - bv);
+  }
+  return worst;
+}
+
+LegacyCurve pointwise_add(const LegacyCurve& f, const LegacyCurve& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return a + b; });
+}
+
+LegacyCurve pointwise_min(const LegacyCurve& f, const LegacyCurve& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return min(a, b); });
+}
+
+LegacyCurve pointwise_max(const LegacyCurve& f, const LegacyCurve& g) {
+  return pointwise_op(f, g, [](Work a, Work b) { return max(a, b); });
+}
+
+std::optional<Time> first_catch_up(const LegacyCurve& a,
+                                   const LegacyCurve& b) {
+  const Time h = min(a.horizon, b.horizon);
+  std::vector<Time> ts = merged_times(a, b, h);
+  if (h >= Time(1)) ts.push_back(Time(1));
+  std::sort(ts.begin(), ts.end());
+  for (Time t : ts) {
+    if (t < Time(1)) continue;
+    if (a.value(t) <= b.value(t)) return t;
+  }
+  return std::nullopt;
+}
+
+LegacyCurve leftover_service(const LegacyCurve& b, const LegacyCurve& a) {
+  const Time h = min(a.horizon, b.horizon);
+  std::vector<Step> samples;
+  Work best = Work(0);
+  for (Time t : merged_times(a, b, h)) {
+    const Work bv = b.value(t);
+    const Work av = a.value(t);
+    if (bv > av) best = max(best, bv - av);
+    samples.push_back(Step{t, best});
+  }
+  return from_points(std::move(samples), h);
+}
+
+}  // namespace strt::legacy

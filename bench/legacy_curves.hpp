@@ -1,0 +1,70 @@
+// The pre-refactor AoS curve kernels, kept verbatim in structure -- one
+// std::vector<Step> per curve, per-step binary searches, sample-vector
+// canonicalization through the from_points fold -- as the oracle and the
+// ablation baseline for the SoA curve layer (curves/segment_store.hpp).
+//
+// Like legacy_explore, this lives in the bench-only strt_bench_legacy
+// library so the production curve target ships exactly one
+// implementation; the property suite (tests/test_curve_kernels) and
+// bench_runtime link it explicitly.  Every kernel here must produce
+// results bit-identical to its src/curves counterpart -- that is the
+// contract the property suite pins.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+
+namespace strt::legacy {
+
+/// The pre-refactor curve representation: canonical breakpoints as an
+/// array of (time, value) records plus the horizon and the optional
+/// periodic tail.  Member queries reproduce the old Staircase lookups
+/// exactly (per-call std::upper_bound / std::lower_bound over the Step
+/// array, including the out-of-domain throw of `inverse`).
+struct LegacyCurve {
+  std::vector<Step> steps;
+  Time horizon{0};
+  std::optional<Tail> tail;
+
+  [[nodiscard]] Work value(Time t) const;
+  [[nodiscard]] Time inverse(Work w) const;
+  [[nodiscard]] Work value_at_horizon() const { return steps.back().value; }
+
+ private:
+  [[nodiscard]] Work value_in_range(Time t) const;
+};
+
+/// Conversions between the two layouts (loss-free: canonical breakpoints
+/// are canonical breakpoints, whatever the storage).
+[[nodiscard]] LegacyCurve from_staircase(const Staircase& f);
+[[nodiscard]] Staircase to_staircase(const LegacyCurve& c);
+
+/// The old from_points fold: sort by time, running-max the values,
+/// drop redundant samples.
+[[nodiscard]] LegacyCurve from_points(std::vector<Step> points,
+                                      Time horizon);
+
+// The old kernels, algorithm for algorithm: piece enumeration plus
+// heap-based envelope for (de)convolution, merged-times resampling for
+// the pointwise family, per-step inverse/value probes for the
+// deviations.
+[[nodiscard]] LegacyCurve conv(const LegacyCurve& f, const LegacyCurve& g);
+[[nodiscard]] LegacyCurve deconv(const LegacyCurve& f, const LegacyCurve& g);
+[[nodiscard]] Time hdev(const LegacyCurve& a, const LegacyCurve& b);
+[[nodiscard]] Work vdev(const LegacyCurve& a, const LegacyCurve& b,
+                        Time upto);
+[[nodiscard]] LegacyCurve pointwise_add(const LegacyCurve& f,
+                                        const LegacyCurve& g);
+[[nodiscard]] LegacyCurve pointwise_min(const LegacyCurve& f,
+                                        const LegacyCurve& g);
+[[nodiscard]] LegacyCurve pointwise_max(const LegacyCurve& f,
+                                        const LegacyCurve& g);
+[[nodiscard]] std::optional<Time> first_catch_up(const LegacyCurve& a,
+                                                 const LegacyCurve& b);
+[[nodiscard]] LegacyCurve leftover_service(const LegacyCurve& b,
+                                           const LegacyCurve& a);
+
+}  // namespace strt::legacy

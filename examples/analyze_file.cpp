@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   bool check = false;
   bool check_strict = false;
+  std::optional<Time> coarsen;
 
   // Peel off the `--flag` arguments wherever they appear; the remaining
   // positional arguments keep their original meaning.
@@ -102,6 +103,15 @@ int main(int argc, char** argv) {
       }
       exec::set_thread_count(static_cast<std::size_t>(
           std::stoull(argv[++i])));
+    } else if (arg == "--coarsen") {
+      coarsen = Time(64);
+    } else if (arg.rfind("--coarsen=", 0) == 0) {
+      const long long g = std::stoll(arg.substr(10));
+      if (g < 1) {
+        std::cerr << "--coarsen granularity must be >= 1\n";
+        return 2;
+      }
+      coarsen = Time(g);
     } else {
       args.emplace_back(arg);
     }
@@ -121,7 +131,7 @@ int main(int argc, char** argv) {
   } else if (!args.empty()) {
     std::cerr << "usage: analyze_file <task-file> \"<supply spec>\" "
                  "[deadline] [--report out.json] [--no-cache] "
-                 "[--check[=strict]] [--threads N]\n"
+                 "[--check[=strict]] [--threads N] [--coarsen[=G]]\n"
                  "(no positional arguments runs a built-in demo)\n";
     return 2;
   }
@@ -174,6 +184,7 @@ int main(int argc, char** argv) {
   request.kind = svc::AnalysisKind::kStructural;
   request.tasks = {task};
   request.supply = supply;
+  if (coarsen) request.common.coarsen_g = *coarsen;
   const svc::AnalysisOutcome outcome = svc::run_request(ws, request);
   lint.merge(outcome.diagnostics);
   if (check) {
@@ -192,6 +203,14 @@ int main(int argc, char** argv) {
     std::cerr << "model rejected by the validate front gate (re-run with "
                  "--check for details)\n";
     return 1;
+  }
+
+  if (outcome.certified_error) {
+    if (const StructuralResult* s = outcome.structural()) {
+      std::cout << "Certified coarse analysis: delay <= " << show(s->delay)
+                << ", certified error " << show(*outcome.certified_error)
+                << " (the exact curve bound lies within that bracket)\n\n";
+    }
   }
 
   obs::RunReport report("analyze_file");
@@ -230,6 +249,8 @@ int main(int argc, char** argv) {
   report.put("cache.hits", static_cast<std::int64_t>(cache.hits));
   report.put("cache.misses", static_cast<std::int64_t>(cache.misses));
   report.put("cache.bytes", static_cast<std::int64_t>(cache.bytes));
+  report.put("cache.coarse_hits",
+             static_cast<std::int64_t>(cache.coarse_hits));
 
   report.capture();
   if (obs::enabled()) {

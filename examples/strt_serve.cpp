@@ -34,7 +34,10 @@
 // environment variable, else 1), --no-batch (no fingerprint grouping),
 // --serial (no parallel batch tail), --no-cache (cold workspace
 // ablation), --threads N.  Results are bit-identical across all of
-// these; only the timings move.
+// these; only the timings move.  --coarsen G switches every structural
+// request to the coarse-first certified path at starting granularity G
+// (reports carry structural.certified_error); that one is an
+// approximation knob, not an ablation.
 
 #include <algorithm>
 #include <fstream>
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
   std::string format_name = "jsonl";
   std::string task_dir;
   svc::ServiceOptions sopts;
+  std::int64_t coarsen_g = 0;
   std::vector<std::string> args;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +121,12 @@ int main(int argc, char** argv) {
       sopts.parallel_batches = false;
     } else if (arg == "--no-cache") {
       sopts.caching = false;
+    } else if (arg == "--coarsen") {
+      coarsen_g = std::stoll(next_value("a granularity"));
+      if (coarsen_g < 1) {
+        std::cerr << "--coarsen granularity must be >= 1\n";
+        return 2;
+      }
     } else if (arg == "--threads") {
       exec::set_thread_count(std::stoull(next_value("a count")));
     } else if (arg == "--telemetry-dir") {
@@ -129,7 +139,8 @@ int main(int argc, char** argv) {
                 << "usage: strt_serve [requests-file] [--format jsonl|csv] "
                    "[--task-dir DIR] [--report out.json] [--queue N] "
                    "[--batch N] [--shards N] [--no-batch] [--serial] "
-                   "[--no-cache] [--threads N] [--telemetry-dir DIR]\n";
+                   "[--no-cache] [--threads N] [--telemetry-dir DIR] "
+                   "[--coarsen G]\n";
       return 2;
     } else {
       args.push_back(arg);
@@ -156,6 +167,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     parses = svc::read_request_stream(in, *format, task_dir);
+  }
+
+  if (coarsen_g > 0) {
+    for (svc::RequestParse& parse : parses) {
+      if (parse.request) parse.request->common.coarsen_g = Time(coarsen_g);
+    }
   }
 
   // Serve everything through one long-lived service: submit in input

@@ -69,7 +69,7 @@ CheckResult check_arrival_curve(const Staircase& f) {
 
   if (!f.starts_at_zero()) {
     std::ostringstream msg;
-    msg << "f(0) = " << f.value(Time(0))
+    msg << "f(0) = " << f.values().front()
         << " -- an arrival curve bounds the work of an empty window, "
            "which is zero";
     r.add(kWarning, "curve.nonzero-origin", "t = 0", msg.str());
@@ -83,7 +83,7 @@ CheckResult check_supply_curve(const Staircase& sbf) {
 
   if (!sbf.starts_at_zero()) {
     std::ostringstream msg;
-    msg << "sbf(0) = " << sbf.value(Time(0))
+    msg << "sbf(0) = " << sbf.values().front()
         << " -- a supply curve delivers no service in an empty window";
     r.add(kWarning, "curve.nonzero-origin", "t = 0", msg.str());
   }

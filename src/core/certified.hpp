@@ -1,0 +1,87 @@
+// Coarse-first delay analysis with certified error bounds.
+//
+// The exact curve-based analysis (core/curve_based.hpp) pays for every
+// breakpoint of the busy-window materializations.  This driver instead
+// runs the analysis on granularity-g coarsenings (curves/coarsen.hpp)
+// and *brackets* the exact answer:
+//
+//   D_hi = hdev(coarsen_upper(rbf), coarsen_lower(sbf))  >=  exact delay,
+//   D_lo = hdev(coarsen_lower(rbf), coarsen_upper(sbf))  <=  exact delay,
+//
+// both evaluated on the exact busy window L (the coarse curves are
+// pointwise one-sided approximations, and hdev is monotone in each
+// operand, so the bracket is sound by construction -- no asymptotic
+// argument, no tolerance fudge).  certified_error = D_hi - D_lo is the
+// reported guarantee; the exact delay bound provably lies inside.
+//
+// Refinement: while the result is still undecided -- the deadline
+// verdict is open when `decide` is set, or the bracket is wider than
+// `tolerance` (or still unbounded) otherwise -- the granularity is
+// halved and the round repeats.  g == 1 degenerates to the exact
+// analysis (bit-identical to curve_delay), so the loop always
+// terminates with a sound answer.  Coarse curves are memoized per
+// (curve, g) in the workspace, so refinement rounds and request sweeps
+// pay each coarsening once.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "base/types.hpp"
+#include "graph/drt.hpp"
+#include "resource/supply.hpp"
+
+namespace strt {
+
+namespace engine {
+class Workspace;
+}  // namespace engine
+
+struct CertifiedDelayOptions {
+  /// Starting grid granularity (ticks); halved on each refinement round.
+  /// g == 1 is the exact analysis.
+  Time granularity{64};
+  /// Without `decide`: refine until certified_error <= tolerance.  The
+  /// default accepts the first round with a finite bracket.
+  Time tolerance = Time::unbounded();
+  /// With a deadline to decide against, refinement continues until the
+  /// verdict is certain (D_hi <= decide, or D_lo > decide); `tolerance`
+  /// is then ignored.
+  std::optional<Time> decide{};
+  /// Safety valve: after this many rounds the driver jumps straight to
+  /// g == 1 (exact).  Halving alone reaches 1 in log2(g) rounds, so the
+  /// default never triggers.
+  std::size_t max_rounds = 64;
+};
+
+struct CertifiedDelayResult {
+  /// Certified upper bound on the curve-based delay (the safe answer).
+  Time delay{0};
+  /// Certified lower bound on the curve-based delay.
+  Time delay_lower{0};
+  /// delay - delay_lower: the certified width of the bracket (0 when the
+  /// final round was exact).
+  Time certified_error{0};
+  /// Certified upper bound on the backlog.
+  Work backlog{0};
+  /// Exact busy-window length L (always computed exactly).
+  Time busy_window{0};
+  /// Granularity of the final round.
+  Time granularity{1};
+  /// Refinement rounds run (>= 1).
+  std::size_t rounds{0};
+  /// True when the final round ran the exact analysis (g == 1).
+  bool exact{false};
+  /// Verdict against `decide`, when requested: true iff the exact delay
+  /// bound provably meets it.
+  std::optional<bool> meets_deadline{};
+};
+
+/// Coarse-first curve-based delay/backlog bounds for `task` on `supply`.
+/// Overload (utilization at or above supply rate) yields unbounded
+/// delay/backlog with certified_error 0 -- the bracket is exact.
+[[nodiscard]] CertifiedDelayResult certified_curve_delay(
+    engine::Workspace& ws, const DrtTask& task, const Supply& supply,
+    const CertifiedDelayOptions& opts = {});
+
+}  // namespace strt

@@ -11,10 +11,25 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 
+#include "base/types.hpp"
 #include "graph/explore.hpp"
 
 namespace strt {
+
+/// Default coarsening granularity: the STRT_COARSEN_G environment
+/// variable (resolved once, on first use), else 0 (coarsening off).
+[[nodiscard]] inline Time default_coarsen_g() {
+  static const std::int64_t g = [] {
+    const char* v = std::getenv("STRT_COARSEN_G");
+    if (v == nullptr || std::string_view(v).empty()) return std::int64_t{0};
+    const std::int64_t parsed = std::atoll(v);
+    return parsed > 0 ? parsed : std::int64_t{0};
+  }();
+  return Time(g);
+}
 
 struct CommonOptions {
   /// State cap forwarded to the explorer.  A capped run returns with
@@ -26,6 +41,13 @@ struct CommonOptions {
   /// lower bounds (the explored prefix's worst case).
   std::uint64_t progress_every = 0;
   ExploreProgressFn on_progress{};
+
+  /// Opt-in coarse-first mode for the analyses that support it (the
+  /// structural request path runs core/certified.hpp instead of the
+  /// exploration when this is > 0): starting grid granularity of the
+  /// certified coarsening, 0 = exact analysis.  Defaults to the
+  /// STRT_COARSEN_G environment variable (off when unset).
+  Time coarsen_g = default_coarsen_g();
 
   /// The shared block by itself (slicing helper: copy one analysis'
   /// common knobs into another's options, e.g. request -> inner

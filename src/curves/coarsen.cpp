@@ -1,0 +1,117 @@
+#include "curves/coarsen.hpp"
+
+#include <cstdint>
+#include <span>
+
+#include "base/assert.hpp"
+#include "base/checked.hpp"
+#include "obs/counters.hpp"
+
+namespace strt {
+
+namespace {
+
+/// Forward evaluator for monotone (non-decreasing) query times over a
+/// staircase's SoA arrays: each at() advances a single index, so a whole
+/// coarsening pass costs one linear scan of the breakpoints.
+class ForwardEval {
+ public:
+  explicit ForwardEval(const Staircase& f)
+      : ts_(f.times()), vs_(f.values()) {}
+
+  Work at(Time t) {
+    while (i_ + 1 < ts_.size() && ts_[i_ + 1] <= t) ++i_;
+    return vs_[i_];
+  }
+
+ private:
+  std::span<const Time> ts_;
+  std::span<const Work> vs_;
+  std::size_t i_ = 0;
+};
+
+/// Grid windows are indexed k >= 1, window k covering ((k-1)g, kg].  The
+/// coarse value changes across window k -- and window k contributes
+/// approximation error -- only when f has a breakpoint inside it, so it
+/// suffices to visit the windows k = ceil(t_i / g) of f's breakpoints
+/// t_i > 0, in increasing order with duplicates skipped.
+template <class Fn>
+void for_each_hit_window(const Staircase& f, Time g, Fn&& fn) {
+  const auto ts = f.times();
+  std::int64_t prev_k = 0;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    const std::int64_t k = checked::ceil_div(ts[i].count(), g.count());
+    if (k == prev_k) continue;
+    prev_k = k;
+    fn(k);
+  }
+}
+
+}  // namespace
+
+CoarseCurve coarsen_upper(const Staircase& f, Time g) {
+  STRT_REQUIRE(g >= Time(1), "coarsening granularity must be >= 1");
+  static obs::Counter& c_calls = obs::counter("curves.coarsen.calls");
+  c_calls.add(1);
+  if (g == Time(1)) return CoarseCurve{f.without_tail(), Work(0)};
+  const Time H = f.horizon();
+  ForwardEval eval(f);
+  SegmentStore out;
+  out.append(Time(0), f.values().front());
+  Work err{0};
+  for_each_hit_window(f, g, [&](std::int64_t k) {
+    // up takes value f(min(kg, H)) from t = (k-1)g + 1 on; its error on
+    // window k peaks at that first tick.
+    const Time lo_t = Time(checked::add(checked::mul(k - 1, g.count()), 1));
+    const Time hi_t = min(Time(checked::mul(k, g.count())), H);
+    const Work at_lo = eval.at(lo_t);
+    const Work at_hi = eval.at(hi_t);
+    err = max(err, at_hi - at_lo);
+    if (at_hi > out.back_value()) out.append(lo_t, at_hi);
+  });
+  CoarseCurve r{Staircase::from_segments(std::move(out), H), err};
+  STRT_DCHECK(([&] {
+    for (const Step& s : f.steps()) {
+      const Work up = r.curve.value(s.time);
+      if (up < s.value || up - s.value > r.max_error) return false;
+    }
+    return true;
+  }()),
+              "coarsen_upper must dominate f within the certified error");
+  return r;
+}
+
+CoarseCurve coarsen_lower(const Staircase& f, Time g) {
+  STRT_REQUIRE(g >= Time(1), "coarsening granularity must be >= 1");
+  static obs::Counter& c_calls = obs::counter("curves.coarsen.calls");
+  c_calls.add(1);
+  if (g == Time(1)) return CoarseCurve{f.without_tail(), Work(0)};
+  const Time H = f.horizon();
+  ForwardEval eval(f);
+  SegmentStore out;
+  out.append(Time(0), f.values().front());
+  Work err{0};
+  for_each_hit_window(f, g, [&](std::int64_t k) {
+    // lo holds f((k-1)g) throughout grid cell k-1 and jumps to f(kg) at
+    // t = kg; a breakpoint inside window k makes the error in cell k-1
+    // peak at the cell's last tick, min(kg - 1, H).
+    const Time jump_t = Time(checked::mul(k, g.count()));
+    const Work base = eval.at(Time(checked::mul(k - 1, g.count())));
+    err = max(err, eval.at(min(jump_t - Time(1), H)) - base);
+    if (jump_t > H) return;  // partial last cell: lo never jumps again
+    const Work at_jump = eval.at(jump_t);
+    if (at_jump > out.back_value()) out.append(jump_t, at_jump);
+  });
+  CoarseCurve r{Staircase::from_segments(std::move(out), H), err};
+  STRT_DCHECK(([&] {
+    for (const Step& s : f.steps()) {
+      const Work lo = r.curve.value(s.time);
+      if (lo > s.value || s.value - lo > r.max_error) return false;
+    }
+    return true;
+  }()),
+              "coarsen_lower must stay below f within the certified error");
+  return r;
+}
+
+}  // namespace strt

@@ -1,0 +1,45 @@
+// Certified granularity coarsening of staircase curves.
+//
+// Exact busy-window analyses materialize curves with one breakpoint per
+// work-arrival instant; on long busy windows the (de)convolution and
+// deviation kernels then scan millions of breakpoints.  Coarsening snaps
+// a curve to a granularity-g grid, shrinking it to O(H / g) breakpoints,
+// and -- crucially -- reports a *certified* one-sided error bound, so a
+// driver (core/certified.hpp) can bracket the exact answer between an
+// upper-coarsened and a lower-coarsened analysis:
+//
+//   coarsen_upper:  up(t) = f(min(ceil(t / g) * g, H))  >= f(t),
+//   coarsen_lower:  lo(t) = f(floor(t / g) * g)         <= f(t),
+//
+// for all t in [0, H].  The reported max_error is the tight bound
+// max_t |coarse(t) - f(t)|, computed in the same single scan that builds
+// the coarse curve (each grid window's error is the value spread between
+// its probe points; only windows containing breakpoints contribute).
+//
+// Results are tail-less: coarsening is applied to curves already
+// materialized on their analysis horizon (the tail of the input, if any,
+// is ignored -- the bounds above hold on [0, H] only).
+#pragma once
+
+#include "base/types.hpp"
+#include "curves/staircase.hpp"
+
+namespace strt {
+
+/// A coarsened curve plus its certified one-sided deviation from the
+/// input: for coarsen_upper, max_t (up(t) - f(t)); for coarsen_lower,
+/// max_t (f(t) - lo(t)); both over t in [0, H].
+struct CoarseCurve {
+  Staircase curve;
+  Work max_error{0};
+};
+
+/// Over-approximation on the granularity-g grid (up >= f pointwise on
+/// [0, H]).  Requires g >= 1; g == 1 returns f itself (error 0).
+[[nodiscard]] CoarseCurve coarsen_upper(const Staircase& f, Time g);
+
+/// Under-approximation on the granularity-g grid (lo <= f pointwise on
+/// [0, H]).  Requires g >= 1; g == 1 returns f itself (error 0).
+[[nodiscard]] CoarseCurve coarsen_lower(const Staircase& f, Time g);
+
+}  // namespace strt

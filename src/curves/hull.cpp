@@ -25,21 +25,28 @@ std::int64_t cross(const HullVertex& a, const HullVertex& b,
 }  // namespace
 
 std::vector<HullVertex> concave_hull(const Staircase& f) {
-  std::vector<HullVertex> pts;
-  for (const Step& s : f.steps()) pts.push_back(HullVertex{s.time, s.value});
-  if (pts.empty()) pts.push_back(HullVertex{Time(0), Work(0)});
-  if (pts.back().time < f.horizon()) {
-    pts.push_back(HullVertex{f.horizon(), pts.back().value});
-  }
-  // Monotone chain, upper hull: drop the middle point whenever it lies on
-  // or below the chord of its neighbours.
+  // Monotone chain, upper hull, built in one pass directly over the SoA
+  // arrays: drop the middle point whenever it lies on or below the chord
+  // of its neighbours.  The chain always retains the most recent point,
+  // so after the breakpoint scan hull.back() is the last step and the
+  // horizon endpoint extends it at constant value.
+  const auto ts = f.times();
+  const auto vs = f.values();
   std::vector<HullVertex> hull;
-  for (const HullVertex& p : pts) {
+  hull.reserve(ts.size() + 1);
+  const auto push = [&](HullVertex p) {
     while (hull.size() >= 2 &&
            cross(hull[hull.size() - 2], hull.back(), p) >= 0) {
       hull.pop_back();
     }
     hull.push_back(p);
+  };
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    push(HullVertex{ts[i], vs[i]});
+  }
+  if (hull.empty()) push(HullVertex{Time(0), Work(0)});
+  if (hull.back().time < f.horizon()) {
+    push(HullVertex{f.horizon(), hull.back().value});
   }
   return hull;
 }

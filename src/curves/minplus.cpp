@@ -24,26 +24,56 @@ void check_piece_budget(std::size_t nf, std::size_t ng) {
              "coarsen the curves or shrink the horizon");
 }
 
-/// Merged, deduplicated breakpoint times of two curves, restricted to
-/// [0, upto].
-std::vector<Time> merged_times(const Staircase& f, const Staircase& g,
-                               Time upto) {
-  std::vector<Time> ts;
-  ts.reserve(f.steps().size() + g.steps().size());
-  for (const Step& s : f.steps())
-    if (s.time <= upto) ts.push_back(s.time);
-  for (const Step& s : g.steps())
-    if (s.time <= upto) ts.push_back(s.time);
-  std::sort(ts.begin(), ts.end());
-  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
-  return ts;
-}
+/// Canonical-staircase accumulator for samples arriving in non-decreasing
+/// time order: replicates from_points' running-max fold (same bits) while
+/// skipping its sort and building the SoA store directly.
+class CanonBuilder {
+ public:
+  CanonBuilder() { store_.append(Time(0), Work(0)); }
 
-/// Build a canonical staircase from (time, value) samples that are sorted
-/// by time and non-decreasing in value.
-Staircase from_monotone_samples(const std::vector<Step>& samples,
-                                Time horizon) {
-  return Staircase::from_points(samples, horizon);
+  void reserve(std::size_t n) { store_.reserve(n + 1); }
+
+  void sample(Time t, Work v) {
+    const Work folded = max(v, store_.back_value());
+    if (t == store_.back_time()) {
+      store_.set_back_value(folded);
+    } else if (folded > store_.back_value()) {
+      store_.append(t, folded);
+    }
+  }
+
+  [[nodiscard]] Staircase finish(Time horizon) {
+    return Staircase::from_segments(std::move(store_), horizon);
+  }
+
+ private:
+  SegmentStore store_;
+};
+
+/// Linear merge of two curves' breakpoint times restricted to [0, upto]:
+/// calls fn(t, f(t), g(t)) at every merged time in increasing order.  Both
+/// running value indices ride along with the merge, so each sample costs
+/// O(1) instead of two binary searches.
+template <class Fn>
+void merge_scan(const Staircase& f, const Staircase& g, Time upto, Fn&& fn) {
+  const auto fts = f.times();
+  const auto fvs = f.values();
+  const auto gts = g.times();
+  const auto gvs = g.values();
+  std::size_t pa = 0, pb = 0;  // next breakpoint candidates
+  std::size_t ca = 0, cb = 0;  // last breakpoint with time <= t
+  while (pa < fts.size() || pb < gts.size()) {
+    Time t{0};
+    if (pa < fts.size() && (pb >= gts.size() || fts[pa] <= gts[pb])) {
+      t = fts[pa];
+    } else {
+      t = gts[pb];
+    }
+    if (t > upto) break;
+    if (pa < fts.size() && fts[pa] == t) ca = pa++;
+    if (pb < gts.size() && gts[pb] == t) cb = pb++;
+    fn(t, fvs[ca], gvs[cb]);
+  }
 }
 
 template <class Combine>
@@ -51,11 +81,11 @@ Staircase pointwise_op(const Staircase& f, const Staircase& g, Combine&& op) {
   static obs::Counter& c_calls = obs::counter("minplus.pointwise.calls");
   c_calls.add(1);
   const Time h = min(f.horizon(), g.horizon());
-  std::vector<Step> samples;
-  for (Time t : merged_times(f, g, h)) {
-    samples.push_back(Step{t, op(f.value(t), g.value(t))});
-  }
-  return from_monotone_samples(samples, h);
+  CanonBuilder out;
+  out.reserve(f.breakpoint_count() + g.breakpoint_count());
+  merge_scan(f, g, h,
+             [&](Time t, Work fv, Work gv) { out.sample(t, op(fv, gv)); });
+  return out.finish(h);
 }
 
 /// A constant-valued piece of a two-operand envelope, covering the
@@ -70,7 +100,8 @@ struct Piece {
 /// as a staircase on [0, horizon].  Piece ranges are inclusive and may
 /// start before 0 (clamped).  The envelope value can change both when a
 /// piece starts and just after one expires, so both event kinds are
-/// sampled.
+/// sampled; the sorted event sweep feeds the canonical builder directly
+/// (no second sort-and-fold pass).
 template <bool kMin>
 Staircase envelope(std::vector<Piece> pieces, Time horizon) {
   // Clamp starts, drop pieces entirely outside [0, horizon].
@@ -104,7 +135,8 @@ Staircase envelope(std::vector<Piece> pieces, Time horizon) {
   std::priority_queue<HeapItem, std::vector<HeapItem>, decltype(cmp)> heap(
       cmp);
 
-  std::vector<Step> samples;
+  CanonBuilder out;
+  out.reserve(events.size());
   std::size_t i = 0;
   for (Time t : events) {
     while (i < pieces.size() && pieces[i].begin <= t) {
@@ -115,9 +147,9 @@ Staircase envelope(std::vector<Piece> pieces, Time horizon) {
     }
     while (!heap.empty() && heap.top().end < t) heap.pop();
     STRT_ASSERT(!heap.empty(), "envelope has a gap");
-    samples.push_back(Step{t, max(heap.top().value, Work(0))});
+    out.sample(t, max(heap.top().value, Work(0)));
   }
-  return from_monotone_samples(samples, horizon);
+  return out.finish(horizon);
 }
 
 }  // namespace
@@ -153,24 +185,25 @@ Staircase minplus_conv(const Staircase& f, const Staircase& g) {
   const obs::Span span("minplus.conv");
   static obs::Counter& c_calls = obs::counter("minplus.conv.calls");
   static obs::Counter& c_pieces = obs::counter("minplus.conv.pieces");
-  c_calls.add(1);
-  c_pieces.add(f.steps().size() * g.steps().size());
   const Time horizon = f.horizon() + g.horizon();
-  const auto fs = f.steps();
-  const auto gs = g.steps();
-  check_piece_budget(fs.size(), gs.size());
+  const auto fts = f.times();
+  const auto fvs = f.values();
+  const auto gts = g.times();
+  const auto gvs = g.values();
+  c_calls.add(1);
+  c_pieces.add(fts.size() * gts.size());
+  check_piece_budget(fts.size(), gts.size());
   std::vector<Piece> pieces;
-  pieces.reserve(fs.size() * gs.size());
-  for (std::size_t i = 0; i < fs.size(); ++i) {
-    const Time ai = fs[i].time;
+  pieces.reserve(fts.size() * gts.size());
+  for (std::size_t i = 0; i < fts.size(); ++i) {
+    const Time ai = fts[i];
     const Time ai1 =
-        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon() + Time(1);
-    for (std::size_t j = 0; j < gs.size(); ++j) {
-      const Time bj = gs[j].time;
+        (i + 1 < fts.size()) ? fts[i + 1] : f.horizon() + Time(1);
+    for (std::size_t j = 0; j < gts.size(); ++j) {
+      const Time bj = gts[j];
       const Time bj1 =
-          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon() + Time(1);
-      pieces.push_back(Piece{ai + bj, ai1 + bj1 - Time(2),
-                             fs[i].value + gs[j].value});
+          (j + 1 < gts.size()) ? gts[j + 1] : g.horizon() + Time(1);
+      pieces.push_back(Piece{ai + bj, ai1 + bj1 - Time(2), fvs[i] + gvs[j]});
     }
   }
   Staircase r = envelope</*kMin=*/true>(std::move(pieces), horizon);
@@ -200,27 +233,28 @@ Staircase minplus_deconv(const Staircase& f, const Staircase& g) {
   const obs::Span span("minplus.deconv");
   static obs::Counter& c_calls = obs::counter("minplus.deconv.calls");
   static obs::Counter& c_pieces = obs::counter("minplus.deconv.pieces");
-  c_calls.add(1);
-  c_pieces.add(f.steps().size() * g.steps().size());
   const Time horizon = f.horizon() - g.horizon();
   // For f-step i and g-step j the witness u exists iff
   //   u in [b_j, b_{j+1}-1]  and  t + u in [a_i, a_{i+1}-1]
   // which is non-empty iff  a_i - (b_{j+1}-1) <= t <= (a_{i+1}-1) - b_j.
-  const auto fs = f.steps();
-  const auto gs = g.steps();
-  check_piece_budget(fs.size(), gs.size());
+  const auto fts = f.times();
+  const auto fvs = f.values();
+  const auto gts = g.times();
+  const auto gvs = g.values();
+  c_calls.add(1);
+  c_pieces.add(fts.size() * gts.size());
+  check_piece_budget(fts.size(), gts.size());
   std::vector<Piece> pieces;
-  pieces.reserve(fs.size() * gs.size());
-  for (std::size_t i = 0; i < fs.size(); ++i) {
-    const Time ai = fs[i].time;
+  pieces.reserve(fts.size() * gts.size());
+  for (std::size_t i = 0; i < fts.size(); ++i) {
+    const Time ai = fts[i];
     const Time ai1 =
-        (i + 1 < fs.size()) ? fs[i + 1].time : f.horizon() + Time(1);
-    for (std::size_t j = 0; j < gs.size(); ++j) {
-      const Time bj = gs[j].time;
+        (i + 1 < fts.size()) ? fts[i + 1] : f.horizon() + Time(1);
+    for (std::size_t j = 0; j < gts.size(); ++j) {
+      const Time bj = gts[j];
       const Time bj1 =
-          (j + 1 < gs.size()) ? gs[j + 1].time : g.horizon() + Time(1);
-      const Work raw = Work(checked::sub(fs[i].value.count(),
-                                         gs[j].value.count()));
+          (j + 1 < gts.size()) ? gts[j + 1] : g.horizon() + Time(1);
+      const Work raw = Work(checked::sub(fvs[i].count(), gvs[j].count()));
       pieces.push_back(Piece{ai - (bj1 - Time(1)), (ai1 - Time(1)) - bj,
                              raw});
     }
@@ -229,19 +263,51 @@ Staircase minplus_deconv(const Staircase& f, const Staircase& g) {
 }
 
 Time hdev(const Staircase& a, const Staircase& b) {
+  HdevCursor cur;
+  return hdev_resume(a, b, cur);
+}
+
+Time hdev_resume(const Staircase& a, const Staircase& b, HdevCursor& cur) {
   // Discrete-time semantics: a step of `a` at window length t covers a
   // release at offset t-1, so the delay candidate of the step (t, v) is
   // b^{-1}(v) - (t - 1).  Within a step larger t only shrinks the
   // candidate, so the step starts are the only candidates.
-  Time worst = Time(0);
-  for (const Step& s : a.steps()) {
-    if (s.value == Work(0)) continue;
-    const Time crossing = b.inverse(s.value);
-    if (crossing.is_unbounded()) return Time::unbounded();
-    const Time release = max(Time(0), s.time - Time(1));
-    if (crossing > release) worst = max(worst, crossing - release);
+  //
+  // a's step values are strictly increasing, so the in-range crossings
+  // b^{-1}(v) are non-decreasing: one forward pointer over b's values
+  // serves every step -- a two-pointer linear merge (O(na + nb)) instead
+  // of a binary search per step.  Values beyond b's horizon fall back to
+  // the tail-folding inverse (same math, same results).
+  if (cur.worst.is_unbounded()) return cur.worst;
+  const auto ats = a.times();
+  const auto avs = a.values();
+  const auto bts = b.times();
+  const auto bvs = b.values();
+  const Work b_top = bvs[bvs.size() - 1];
+  for (std::size_t i = cur.next_step; i < avs.size(); ++i) {
+    const Work v = avs[i];
+    if (v == Work(0)) continue;
+    Time crossing{0};
+    if (v <= bvs.front()) {
+      crossing = Time(0);
+    } else if (v <= b_top) {
+      std::size_t j = cur.b_pos;
+      while (bvs[j] < v) ++j;  // bounded: b_top >= v
+      cur.b_pos = j;
+      crossing = bts[j];
+    } else {
+      crossing = b.inverse(v);
+      if (crossing.is_unbounded()) {
+        cur.next_step = avs.size();
+        cur.worst = Time::unbounded();
+        return cur.worst;
+      }
+    }
+    const Time release = max(Time(0), ats[i] - Time(1));
+    if (crossing > release) cur.worst = max(cur.worst, crossing - release);
   }
-  return worst;
+  cur.next_step = avs.size();
+  return cur.worst;
 }
 
 Work vdev(const Staircase& a, const Staircase& b, Time upto) {
@@ -249,14 +315,26 @@ Work vdev(const Staircase& a, const Staircase& b, Time upto) {
   // Backlog just after the releases at time t: arrivals a(t+1) (window
   // [0, t+1) includes them) minus service b(t) delivered so far.  With a
   // constant between its steps and b non-decreasing, candidates are the
-  // steps of a evaluated at t = step.time - 1.
+  // steps of a evaluated at t = step.time - 1.  The probe times grow
+  // monotonically, so one forward pointer over b serves all of them.
+  const auto ats = a.times();
+  const auto avs = a.values();
+  const auto bts = b.times();
+  const auto bvs = b.values();
   Work worst = Work(0);
-  for (const Step& s : a.steps()) {
-    if (s.value == Work(0)) continue;
-    const Time t = max(Time(0), s.time - Time(1));
+  std::size_t j = 0;  // last b-step with time <= t
+  for (std::size_t i = 0; i < ats.size(); ++i) {
+    if (avs[i] == Work(0)) continue;
+    const Time t = max(Time(0), ats[i] - Time(1));
     if (t > upto) break;
-    const Work bv = b.value(t);
-    if (s.value > bv) worst = max(worst, s.value - bv);
+    Work bv{0};
+    if (t <= b.horizon()) {
+      while (j + 1 < bts.size() && bts[j + 1] <= t) ++j;
+      bv = bvs[j];
+    } else {
+      bv = b.value(t);  // tail fold (keeps the no-tail REQUIRE semantics)
+    }
+    if (avs[i] > bv) worst = max(worst, avs[i] - bv);
   }
   return worst;
 }
@@ -264,28 +342,30 @@ Work vdev(const Staircase& a, const Staircase& b, Time upto) {
 std::optional<Time> first_catch_up(const Staircase& a, const Staircase& b) {
   const Time h = min(a.horizon(), b.horizon());
   // a(t) - b(t) changes only at breakpoints; between breakpoints both are
-  // constant, so it suffices to test the merged breakpoints plus t = 1.
-  std::vector<Time> ts = merged_times(a, b, h);
-  if (h >= Time(1)) ts.push_back(Time(1));
-  std::sort(ts.begin(), ts.end());
-  for (Time t : ts) {
-    if (t < Time(1)) continue;
-    if (a.value(t) <= b.value(t)) return t;
-  }
-  return std::nullopt;
+  // constant, so it suffices to test t = 1 and then every merged
+  // breakpoint in (1, h], in increasing order.
+  if (h < Time(1)) return std::nullopt;
+  const std::size_t ia = soa_upper_bound(a.times(), Time(1));
+  const std::size_t ib = soa_upper_bound(b.times(), Time(1));
+  if (a.values()[ia - 1] <= b.values()[ib - 1]) return Time(1);
+  std::optional<Time> found;
+  merge_scan(a, b, h, [&](Time t, Work av, Work bv) {
+    if (found || t <= Time(1)) return;
+    if (av <= bv) found = t;
+  });
+  return found;
 }
 
 Staircase leftover_service(const Staircase& b, const Staircase& a) {
   const Time h = min(a.horizon(), b.horizon());
-  std::vector<Step> samples;
+  CanonBuilder out;
+  out.reserve(a.breakpoint_count() + b.breakpoint_count());
   Work best = Work(0);
-  for (Time t : merged_times(a, b, h)) {
-    const Work bv = b.value(t);
-    const Work av = a.value(t);
+  merge_scan(a, b, h, [&](Time t, Work av, Work bv) {
     if (bv > av) best = max(best, bv - av);
-    samples.push_back(Step{t, best});
-  }
-  return Staircase::from_points(samples, h);
+    out.sample(t, best);
+  });
+  return out.finish(h);
 }
 
 Staircase subadditive_closure(const Staircase& f) {

@@ -7,6 +7,9 @@
 // spelled out per function.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+
 #include "base/types.hpp"
 #include "curves/staircase.hpp"
 
@@ -46,6 +49,29 @@ namespace strt {
 /// through its tail; the result is Time::unbounded() if `b` provably
 /// never reaches a required value.
 [[nodiscard]] Time hdev(const Staircase& a, const Staircase& b);
+
+/// Resumable state of an incremental hdev scan (see hdev_resume).  Default
+/// construction is a fresh scan from a's first step.
+struct HdevCursor {
+  /// Index of the first step of `a` not folded in yet.
+  std::size_t next_step = 0;
+  /// Two-pointer resume position inside `b` (index of the last in-range
+  /// crossing; a's values only grow, so this pointer only moves forward).
+  std::size_t b_pos = 0;
+  /// Worst candidate over the processed prefix of `a`.
+  Time worst{0};
+};
+
+/// Incremental hdev: folds a's steps [cur.next_step, a.breakpoint_count())
+/// into `cur` and returns the updated worst-case deviation.  From a fresh
+/// cursor this equals hdev(a, b) exactly.  Between calls `a` may be
+/// *extended* to a larger horizon -- extended() keeps the processed steps
+/// a prefix -- so a doubling-horizon caller resumes from the previous
+/// horizon instead of rescanning the whole curve.  `b` must be unchanged
+/// across resumes.  Once the result is Time::unbounded() the cursor stays
+/// pinned there.
+[[nodiscard]] Time hdev_resume(const Staircase& a, const Staircase& b,
+                               HdevCursor& cur);
 
 /// Vertical deviation in discrete-time semantics: the curve-based backlog
 /// bound  max over t <= upto of ( a(t+1) - b(t) )+  (arrivals up to and

@@ -2,34 +2,35 @@
 
 #include <algorithm>
 #include <ostream>
+#include <stdexcept>
 
-#include "base/assert.hpp"
 #include "base/checked.hpp"
 #include "obs/counters.hpp"
 
 namespace strt {
 
-Staircase::Staircase(Time horizon)
-    : steps_{Step{Time(0), Work(0)}}, horizon_(horizon) {
+Staircase::Staircase(Time horizon) : horizon_(horizon) {
   STRT_REQUIRE(horizon >= Time(0), "horizon must be non-negative");
+  store_.append(Time(0), Work(0));
 }
 
-Staircase::Staircase(std::vector<Step> steps, Time horizon,
+Staircase::Staircase(SegmentStore store, Time horizon,
                      std::optional<Tail> tail)
-    : steps_(std::move(steps)), horizon_(horizon), tail_(std::move(tail)) {
+    : store_(std::move(store)), horizon_(horizon), tail_(std::move(tail)) {
   check_invariants();
 }
 
 void Staircase::check_invariants() const {
-  STRT_ASSERT(!steps_.empty(), "staircase has no steps");
-  STRT_ASSERT(steps_.front().time == Time(0), "first step must be at t=0");
-  for (std::size_t i = 1; i < steps_.size(); ++i) {
-    STRT_ASSERT(steps_[i - 1].time < steps_[i].time,
-                "step times must be strictly increasing");
-    STRT_ASSERT(steps_[i - 1].value < steps_[i].value,
+  STRT_ASSERT(!store_.empty(), "staircase has no steps");
+  const auto ts = store_.times();
+  const auto vs = store_.values();
+  STRT_ASSERT(ts.front() == Time(0), "first step must be at t=0");
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    STRT_ASSERT(ts[i - 1] < ts[i], "step times must be strictly increasing");
+    STRT_ASSERT(vs[i - 1] < vs[i],
                 "step values must be strictly increasing (canonical form)");
   }
-  STRT_ASSERT(steps_.back().time <= horizon_, "step beyond horizon");
+  STRT_ASSERT(ts.back() <= horizon_, "step beyond horizon");
   if (tail_) {
     STRT_ASSERT(tail_->period >= Time(1), "tail period must be >= 1");
     STRT_ASSERT(tail_->period <= horizon_,
@@ -58,35 +59,39 @@ Staircase Staircase::from_points(std::vector<Step> points, Time horizon) {
   }
   std::sort(points.begin(), points.end(),
             [](const Step& a, const Step& b) { return a.time < b.time; });
-  std::vector<Step> canon;
-  canon.push_back(Step{Time(0), Work(0)});
+  SegmentStore canon;
+  canon.reserve(points.size() + 1);
+  canon.append(Time(0), Work(0));
   for (const Step& p : points) {
-    const Work v = max(p.value, canon.back().value);
-    if (p.time == canon.back().time) {
-      canon.back().value = v;
-    } else if (v > canon.back().value) {
-      canon.push_back(Step{p.time, v});
+    const Work v = max(p.value, canon.back_value());
+    if (p.time == canon.back_time()) {
+      canon.set_back_value(v);
+    } else if (v > canon.back_value()) {
+      canon.append(p.time, v);
     }
   }
   return Staircase(std::move(canon), horizon, std::nullopt);
 }
 
+Staircase Staircase::from_segments(SegmentStore segments, Time horizon,
+                                   std::optional<Tail> tail) {
+  return Staircase(std::move(segments), horizon, std::move(tail));
+}
+
 Staircase Staircase::with_tail(Tail tail) const {
-  return Staircase(steps_, horizon_, tail);
+  return Staircase(store_, horizon_, tail);
 }
 
 Staircase Staircase::without_tail() const {
-  return Staircase(steps_, horizon_, std::nullopt);
+  return Staircase(store_, horizon_, std::nullopt);
 }
 
 Work Staircase::value_in_range(Time t) const {
   STRT_ASSERT(t >= Time(0) && t <= horizon_, "value_in_range out of range");
   // Last step with step.time <= t.
-  auto it = std::upper_bound(
-      steps_.begin(), steps_.end(), t,
-      [](Time x, const Step& s) { return x < s.time; });
-  STRT_ASSERT(it != steps_.begin(), "no step at or before t");
-  return std::prev(it)->value;
+  const std::size_t idx = soa_upper_bound(store_.times(), t);
+  STRT_ASSERT(idx > 0, "no step at or before t");
+  return store_.value(idx - 1);
 }
 
 Work Staircase::value(Time t) const {
@@ -105,14 +110,13 @@ Work Staircase::value(Time t) const {
 Time Staircase::inverse(Work w) const {
   static obs::Counter& c_calls = obs::counter("staircase.inverse.calls");
   c_calls.add(1);
-  if (w <= steps_.front().value) return Time(0);
-  if (w <= value_at_horizon()) {
+  const auto vs = store_.values();
+  if (w <= vs.front()) return Time(0);
+  if (w <= vs.back()) {
     // First step with value >= w; the step's start time is the answer.
-    auto it = std::lower_bound(
-        steps_.begin(), steps_.end(), w,
-        [](const Step& s, Work x) { return s.value < x; });
-    STRT_ASSERT(it != steps_.end(), "inverse lookup failed");
-    return it->time;
+    const std::size_t idx = soa_lower_bound(vs, w);
+    STRT_ASSERT(idx < vs.size(), "inverse lookup failed");
+    return store_.time(idx);
   }
   if (!tail_) {
     throw std::invalid_argument(
@@ -120,22 +124,21 @@ Time Staircase::inverse(Work w) const {
         "no tail; extend the curve first");
   }
   if (tail_->increment == Work(0)) return Time::unbounded();
-  // Binary search on the folded evaluation; monotone by construction.
-  const std::int64_t need = checked::sub(w.count(), value_at_horizon().count());
-  const std::int64_t periods =
-      checked::ceil_div(need, tail_->increment.count());
-  Time lo = horizon_;  // value(horizon) < w here
-  Time hi = horizon_ + Time(checked::mul(periods + 1, tail_->period.count()));
-  STRT_ASSERT(value(hi) >= w, "inverse upper bracket too small");
-  while (lo + Time(1) < hi) {
-    const Time mid = Time((lo.count() + hi.count()) / 2);
-    if (value(mid) >= w) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  return hi;
+  // Beyond the horizon the value in window m >= 1 (covering times
+  // (H + (m-1)p, H + mp]) is f(t - mp) + m*w with t - mp in (H - p, H].
+  // The extension is monotone, so the smallest crossing lies in the first
+  // window whose top value f(H) + m*inc reaches the target; inside that
+  // window the crossing is the in-range inverse of the de-lifted value,
+  // clamped to the window start.
+  const std::int64_t p = tail_->period.count();
+  const std::int64_t inc = tail_->increment.count();
+  const std::int64_t need = checked::sub(w.count(), vs.back().count());
+  const std::int64_t m = checked::ceil_div(need, inc);
+  const Work de_lifted = Work(checked::sub(w.count(), checked::mul(m, inc)));
+  const std::size_t idx = soa_lower_bound(vs, de_lifted);
+  STRT_ASSERT(idx < vs.size(), "inverse window selection failed");
+  const Time base = max(store_.time(idx), horizon_ - Time(p) + Time(1));
+  return base + Time(checked::mul(m, p));
 }
 
 std::optional<Rational> Staircase::long_run_rate() const {
@@ -146,46 +149,74 @@ std::optional<Rational> Staircase::long_run_rate() const {
 Staircase Staircase::extended(Time h) const {
   if (h <= horizon_) return *this;
   STRT_REQUIRE(tail_.has_value(), "extending beyond horizon requires a tail");
-  std::vector<Step> steps = steps_;
-  Work last = steps.back().value;
-  for (Time t = horizon_ + Time(1); t <= h; ++t) {
-    const Work v = value(t);
+  // Beyond the horizon, window m >= 1 covers (H + (m-1)p, H + mp] and
+  // repeats the base window (H - p, H] shifted right by m*p and lifted by
+  // m*inc.  Within a window the value changes only at the window start
+  // and at the shifted breakpoints, so those are the only candidate
+  // steps -- no per-tick scan.
+  const std::int64_t p = tail_->period.count();
+  const std::int64_t inc = tail_->increment.count();
+  const Time wbase = horizon_ - tail_->period + Time(1);
+  const Work vbase = value_in_range(wbase);
+  const auto ts = store_.times();
+  const std::size_t i0 = soa_upper_bound(ts, wbase);
+  SegmentStore out = store_;
+  Work last = store_.back_value();
+  const auto emit = [&](Time t, Work v) {
     if (v > last) {
-      steps.push_back(Step{t, v});
+      out.append(t, v);
       last = v;
     }
+  };
+  for (std::int64_t m = 1;; ++m) {
+    const std::int64_t shift = checked::mul(m, p);
+    const Work lift = Work(checked::mul(m, inc));
+    const Time tstart = wbase + Time(shift);
+    if (tstart > h) break;
+    emit(tstart, vbase + lift);
+    for (std::size_t i = i0; i < ts.size(); ++i) {
+      const Time t = ts[i] + Time(shift);
+      if (t > h) break;
+      emit(t, store_.value(i) + lift);
+    }
+    if (checked::add(horizon_.count(), shift) >= h.count()) break;
   }
-  return Staircase(std::move(steps), h, tail_);
+  return Staircase(std::move(out), h, tail_);
 }
 
 Staircase Staircase::truncated(Time h) const {
   STRT_REQUIRE(h >= Time(0) && h <= horizon_,
                "truncation horizon outside current domain");
-  std::vector<Step> steps;
-  for (const Step& s : steps_) {
-    if (s.time > h) break;
-    steps.push_back(s);
+  const std::size_t n = soa_upper_bound(store_.times(), h);
+  SegmentStore out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.append(store_.time(i), store_.value(i));
   }
-  return Staircase(std::move(steps), h, std::nullopt);
+  return Staircase(std::move(out), h, std::nullopt);
 }
 
 Staircase Staircase::shifted_right(Time d) const {
   STRT_REQUIRE(d >= Time(0), "shift must be non-negative");
   if (d == Time(0)) return *this;
-  std::vector<Step> steps;
-  steps.push_back(Step{Time(0), Work(0)});
-  for (const Step& s : steps_) {
-    if (s.value == Work(0)) continue;  // already covered by the leading zero
-    steps.push_back(Step{s.time + d, s.value});
+  SegmentStore out;
+  out.reserve(store_.size() + 1);
+  out.append(Time(0), Work(0));
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    if (store_.value(i) == Work(0)) continue;  // covered by the leading zero
+    out.append(store_.time(i) + d, store_.value(i));
   }
-  return Staircase(std::move(steps), horizon_ + d, tail_);
+  return Staircase(std::move(out), horizon_ + d, tail_);
 }
 
 Staircase Staircase::plus_constant(Work c) const {
   STRT_REQUIRE(c >= Work(0), "constant must be non-negative");
-  std::vector<Step> steps = steps_;
-  for (Step& s : steps) s.value += c;
-  return Staircase(std::move(steps), horizon_, tail_);
+  SegmentStore out;
+  out.reserve(store_.size());
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    out.append(store_.time(i), store_.value(i) + c);
+  }
+  return Staircase(std::move(out), horizon_, tail_);
 }
 
 Staircase Staircase::scaled(std::int64_t k) const {
@@ -195,11 +226,14 @@ Staircase Staircase::scaled(std::int64_t k) const {
     if (tail_) return z.with_tail(Tail{tail_->period, Work(0)});
     return z;
   }
-  std::vector<Step> steps = steps_;
-  for (Step& s : steps) s.value = Work(checked::mul(s.value.count(), k));
+  SegmentStore out;
+  out.reserve(store_.size());
+  for (std::size_t i = 0; i < store_.size(); ++i) {
+    out.append(store_.time(i), Work(checked::mul(store_.value(i).count(), k)));
+  }
   std::optional<Tail> tail = tail_;
   if (tail) tail->increment = Work(checked::mul(tail->increment.count(), k));
-  return Staircase(std::move(steps), horizon_, tail);
+  return Staircase(std::move(out), horizon_, tail);
 }
 
 bool Staircase::is_subadditive() const {
@@ -209,10 +243,12 @@ bool Staircase::is_subadditive() const {
   // and for each such c the inner minimum is attained with s at a
   // breakpoint (within a step, shrinking s keeps f(s) and cannot decrease
   // f(c - s)).
-  for (const Step& c : steps_) {
-    for (const Step& a : steps_) {
-      if (a.time > c.time) break;
-      if (c.value > a.value + value_in_range(c.time - a.time)) return false;
+  const auto ts = store_.times();
+  const auto vs = store_.values();
+  for (std::size_t c = 0; c < ts.size(); ++c) {
+    for (std::size_t a = 0; a < ts.size(); ++a) {
+      if (ts[a] > ts[c]) break;
+      if (vs[c] > vs[a] + value_in_range(ts[c] - ts[a])) return false;
     }
   }
   return true;

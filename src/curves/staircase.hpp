@@ -17,29 +17,24 @@
 //   * lower supply-bound functions  sbf(t)  (service guaranteed in any
 //     window of length t),
 //   * demand-bound functions dbf(t).
+//
+// Breakpoints live in a SoA SegmentStore (curves/segment_store.hpp);
+// steps() exposes them through the AoS-compatible StepView.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
-#include <span>
 #include <utility>
 #include <vector>
 
+#include "base/assert.hpp"
 #include "base/rational.hpp"
 #include "base/types.hpp"
+#include "curves/segment_store.hpp"
 
 namespace strt {
-
-/// One breakpoint of a staircase: the function takes value `value` on
-/// [time, next-breakpoint.time).  Breakpoint times are strictly
-/// increasing and values strictly increasing (canonical form).
-struct Step {
-  Time time{0};
-  Work value{0};
-
-  friend bool operator==(const Step&, const Step&) = default;
-};
 
 /// Periodic long-run extension of a staircase beyond its horizon.
 struct Tail {
@@ -60,6 +55,14 @@ class Staircase {
   /// t = 0 is optional; f(0) defaults to 0.
   static Staircase from_points(std::vector<Step> points, Time horizon);
 
+  /// Exact curve from an already-canonical segment store (strictly
+  /// increasing times starting at t = 0, strictly increasing values) --
+  /// the kernels' direct-construction path that skips from_points'
+  /// sort-and-fold.  Canonical form is still validated by the invariant
+  /// check.
+  static Staircase from_segments(SegmentStore segments, Time horizon,
+                                 std::optional<Tail> tail = std::nullopt);
+
   /// Attach / replace the periodic tail.  Requires `period >= 1`,
   /// `period <= horizon`, `increment >= 0`, and that the extension stays
   /// non-decreasing across the horizon boundary.
@@ -68,14 +71,24 @@ class Staircase {
 
   [[nodiscard]] Time horizon() const { return horizon_; }
   [[nodiscard]] const std::optional<Tail>& tail() const { return tail_; }
-  [[nodiscard]] std::span<const Step> steps() const { return steps_; }
+  [[nodiscard]] StepView steps() const { return StepView(store_); }
+
+  /// Direct SoA access for linear-scan kernels: parallel breakpoint
+  /// time/value arrays (same index space as steps()).
+  [[nodiscard]] std::span<const Time> times() const { return store_.times(); }
+  [[nodiscard]] std::span<const Work> values() const {
+    return store_.values();
+  }
 
   /// f(t).  Valid for t in [0, horizon], or any t >= 0 if a tail is
   /// attached.  Throws std::invalid_argument outside the known domain.
   [[nodiscard]] Work value(Time t) const;
 
   /// Largest value on the representable domain prefix [0, horizon].
-  [[nodiscard]] Work value_at_horizon() const { return steps_.back().value; }
+  [[nodiscard]] Work value_at_horizon() const {
+    STRT_DCHECK(!store_.empty(), "staircase has no steps (malformed curve)");
+    return store_.back_value();
+  }
 
   /// Pseudo-inverse: the smallest t >= 0 with f(t) >= w.
   /// Returns Time::unbounded() if no such t exists *provably* (tail with
@@ -106,11 +119,16 @@ class Staircase {
   [[nodiscard]] Staircase scaled(std::int64_t k) const;
 
   /// Number of stored breakpoints (diagnostics / complexity reporting).
-  [[nodiscard]] std::size_t breakpoint_count() const { return steps_.size(); }
+  [[nodiscard]] std::size_t breakpoint_count() const { return store_.size(); }
+
+  /// Approximate heap bytes of the SoA segment store (cache accounting).
+  [[nodiscard]] std::uint64_t store_bytes() const {
+    return store_.heap_bytes();
+  }
 
   /// True if f(0) == 0 (required of arrival and supply curves).
   [[nodiscard]] bool starts_at_zero() const {
-    return steps_.front().value == Work::zero();
+    return store_.value(0) == Work::zero();
   }
 
   /// Exhaustive subadditivity check on the horizon:
@@ -121,14 +139,14 @@ class Staircase {
   friend bool operator==(const Staircase&, const Staircase&) = default;
 
  private:
-  Staircase(std::vector<Step> steps, Time horizon, std::optional<Tail> tail);
+  Staircase(SegmentStore store, Time horizon, std::optional<Tail> tail);
 
   /// Value lookup restricted to [0, horizon].
   [[nodiscard]] Work value_in_range(Time t) const;
 
   void check_invariants() const;
 
-  std::vector<Step> steps_;  // canonical; steps_[0].time == 0
+  SegmentStore store_;  // canonical; store_.time(0) == 0
   Time horizon_{0};
   std::optional<Tail> tail_;
 };

@@ -12,10 +12,12 @@ std::uint64_t fingerprint(const Staircase& c) {
   } else {
     fp = hash_combine(fp, 0xffffffffffffffffULL);
   }
-  fp = hash_combine(fp, c.steps().size());
-  for (const Step& s : c.steps()) {
-    fp = hash_combine(fp, static_cast<std::uint64_t>(s.time.count()));
-    fp = hash_combine(fp, static_cast<std::uint64_t>(s.value.count()));
+  fp = hash_combine(fp, c.breakpoint_count());
+  const auto ts = c.times();
+  const auto vs = c.values();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    fp = hash_combine(fp, static_cast<std::uint64_t>(ts[i].count()));
+    fp = hash_combine(fp, static_cast<std::uint64_t>(vs[i].count()));
   }
   return fp;
 }

@@ -13,6 +13,7 @@
 #include "base/assert.hpp"
 #include "base/mutex.hpp"
 #include "check/check.hpp"
+#include "curves/coarsen.hpp"
 #include "curves/hull.hpp"
 #include "curves/minplus.hpp"
 #include "engine/fingerprint.hpp"
@@ -151,6 +152,24 @@ struct Workspace::Impl {
 
   Striped<std::unordered_map<DerivedKey, CurvePtr, DerivedKeyHash>> derived;
 
+  struct CoarseKey {
+    std::uint64_t fp;
+    std::int64_t g;
+    std::uint8_t side;  // 0 = lower, 1 = upper
+    friend bool operator==(const CoarseKey&, const CoarseKey&) = default;
+  };
+  struct CoarseKeyHash {
+    std::size_t operator()(const CoarseKey& k) const {
+      return static_cast<std::size_t>(hash_combine(
+          hash_combine(k.fp, static_cast<std::uint64_t>(k.g)), k.side));
+    }
+  };
+  struct CoarseEntry {
+    CurvePtr curve;
+    Work max_error{0};
+  };
+  Striped<std::unordered_map<CoarseKey, CoarseEntry, CoarseKeyHash>> coarse;
+
   Striped<std::unordered_map<std::uint64_t,
                              std::shared_ptr<PseudoInverse::Entry>>>
       inverses;
@@ -164,6 +183,7 @@ struct Workspace::Impl {
   std::atomic<std::uint64_t> bytes{0};
   std::atomic<std::uint64_t> inverse_hits{0};
   std::atomic<std::uint64_t> inverse_misses{0};
+  std::atomic<std::uint64_t> coarse_hits{0};
 
   void note_hit() {
     hits.fetch_add(1, std::memory_order_relaxed);
@@ -179,6 +199,11 @@ struct Workspace::Impl {
     bytes.fetch_add(n, std::memory_order_relaxed);
     static obs::Counter& c = obs::counter("cache.bytes");
     c.add(n);
+  }
+  void note_coarse_hit() {
+    coarse_hits.fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& c = obs::counter("cache.coarse_hits");
+    c.add(1);
   }
   void note_inverse(bool hit) {
     (hit ? inverse_hits : inverse_misses)
@@ -212,9 +237,7 @@ CurvePtr Workspace::intern(Staircase c) {
   STRT_DCHECK(bucket.empty(),
               "curve fingerprint collision: unequal curves share a hash");
   auto p = std::make_shared<const Staircase>(std::move(c));
-  impl_->note_bytes(sizeof(Staircase) +
-                    static_cast<std::uint64_t>(p->steps().size()) *
-                        sizeof(Step));
+  impl_->note_bytes(sizeof(Staircase) + p->store_bytes());
   bucket.push_back(p);
   return p;
 }
@@ -391,6 +414,55 @@ CurvePtr Workspace::concave_hull_staircase(const Staircase& f) {
   return derived(DerivedOp::kHull, f, nullptr);
 }
 
+Workspace::CoarseCurvePtr Workspace::coarse(const Staircase& f, Time g,
+                                            bool upper) {
+  const auto compute = [&] {
+    return upper ? strt::coarsen_upper(f, g) : strt::coarsen_lower(f, g);
+  };
+  if (!caching_) {
+    impl_->note_miss();
+    CoarseCurve c = compute();
+    return CoarseCurvePtr{
+        std::make_shared<const Staircase>(std::move(c.curve)), c.max_error};
+  }
+  const Impl::CoarseKey key{fingerprint(f), g.count(),
+                            static_cast<std::uint8_t>(upper ? 1 : 0)};
+  auto& stripe = impl_->coarse.of(Impl::CoarseKeyHash{}(key));
+  {
+    const LookupTimer timer;
+    const StripeLock lock(stripe.m);
+    if (const auto it = stripe.table.find(key); it != stripe.table.end()) {
+      impl_->note_hit();
+      impl_->note_coarse_hit();
+      return CoarseCurvePtr{it->second.curve, it->second.max_error};
+    }
+  }
+  // Coarsen outside the lock; racers produce the identical canonical
+  // curve and the emplace keeps the first entry.
+  CoarseCurve c = compute();
+  impl_->note_miss();
+  CoarseCurvePtr result{intern(std::move(c.curve)), c.max_error};
+  {
+    const StripeLock lock(stripe.m);
+    const auto [it, inserted] = stripe.table.emplace(
+        key, Impl::CoarseEntry{result.curve, result.max_error});
+    if (!inserted) {
+      result = CoarseCurvePtr{it->second.curve, it->second.max_error};
+    }
+  }
+  return result;
+}
+
+Workspace::CoarseCurvePtr Workspace::coarse_upper(const Staircase& f,
+                                                  Time g) {
+  return coarse(f, g, /*upper=*/true);
+}
+
+Workspace::CoarseCurvePtr Workspace::coarse_lower(const Staircase& f,
+                                                  Time g) {
+  return coarse(f, g, /*upper=*/false);
+}
+
 Workspace::PseudoInverse Workspace::inverse_of(const Staircase& curve) {
   if (!caching_) return PseudoInverse(&curve, nullptr, this);
   const std::uint64_t fp = fingerprint(curve);
@@ -429,6 +501,7 @@ WorkspaceStats Workspace::stats() const {
   s.bytes = impl_->bytes.load(std::memory_order_relaxed);
   s.inverse_hits = impl_->inverse_hits.load(std::memory_order_relaxed);
   s.inverse_misses = impl_->inverse_misses.load(std::memory_order_relaxed);
+  s.coarse_hits = impl_->coarse_hits.load(std::memory_order_relaxed);
   return s;
 }
 

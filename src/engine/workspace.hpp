@@ -77,6 +77,8 @@ struct WorkspaceStats {
   /// Pseudo-inverse point lookups answered from / added to the memo.
   std::uint64_t inverse_hits{0};
   std::uint64_t inverse_misses{0};
+  /// Coarse-curve queries answered from the (fingerprint, g, side) memo.
+  std::uint64_t coarse_hits{0};
 };
 
 /// True unless the environment variable STRT_CACHE is set to "0"
@@ -113,6 +115,18 @@ class Workspace {
 
   /// supply.sbf(horizon), memoized by (supply description, horizon).
   [[nodiscard]] CurvePtr sbf(const Supply& supply, Time horizon);
+
+  /// Memoized granularity coarsening (curves/coarsen.hpp), keyed by
+  /// (curve fingerprint, g, side).  The certified-bound driver re-probes
+  /// the same (curve, g) pair on every refinement round and across
+  /// request sweeps, so these hits are tracked separately as
+  /// cache.coarse_hits / WorkspaceStats::coarse_hits.
+  struct CoarseCurvePtr {
+    CurvePtr curve;
+    Work max_error{0};
+  };
+  [[nodiscard]] CoarseCurvePtr coarse_upper(const Staircase& f, Time g);
+  [[nodiscard]] CoarseCurvePtr coarse_lower(const Staircase& f, Time g);
 
   /// Memoized curve algebra (operand-fingerprint keyed, exact match).
   [[nodiscard]] CurvePtr pointwise_add(const Staircase& f,
@@ -153,6 +167,7 @@ class Workspace {
   enum class DerivedOp : std::uint8_t;
   [[nodiscard]] CurvePtr derived(DerivedOp op, const Staircase& f,
                                  const Staircase* g);
+  [[nodiscard]] CoarseCurvePtr coarse(const Staircase& f, Time g, bool upper);
   [[nodiscard]] CurvePtr workload_curve(const DrtTask& task, Time horizon,
                                         bool demand);
 

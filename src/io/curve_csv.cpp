@@ -21,11 +21,11 @@ void write_curves_csv(std::ostream& os,
 
   std::vector<Time> ts{Time(0), upto};
   for (const CurveSeries& s : series) {
-    for (const Step& st : s.curve->steps()) {
-      if (st.time <= upto) ts.push_back(st.time);
+    for (const Time bt : s.curve->times()) {
+      if (bt <= upto) ts.push_back(bt);
       // Sample just before each jump too, so staircase plots are sharp.
-      if (st.time > Time(0) && st.time - Time(1) <= upto) {
-        ts.push_back(st.time - Time(1));
+      if (bt > Time(0) && bt - Time(1) <= upto) {
+        ts.push_back(bt - Time(1));
       }
     }
   }
@@ -35,10 +35,24 @@ void write_curves_csv(std::ostream& os,
   std::vector<std::string> header{"time"};
   for (const CurveSeries& s : series) header.push_back(s.name);
   CsvWriter csv(os, header);
+  // The sample times are sorted, so one forward cursor per series walks
+  // the breakpoint arrays instead of binary-searching every cell; only
+  // samples past a curve's horizon fall back to the tail-folding value().
+  std::vector<std::size_t> cursor(series.size(), 0);
   for (const Time t : ts) {
     std::vector<std::string> row{std::to_string(t.count())};
-    for (const CurveSeries& s : series) {
-      row.push_back(std::to_string(s.curve->value(t).count()));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Staircase& c = *series[i].curve;
+      Work v{0};
+      if (t <= c.horizon()) {
+        const auto bts = c.times();
+        std::size_t& cur = cursor[i];
+        while (cur + 1 < bts.size() && bts[cur + 1] <= t) ++cur;
+        v = c.values()[cur];
+      } else {
+        v = c.value(t);
+      }
+      row.push_back(std::to_string(v.count()));
     }
     csv.row(row);
   }

@@ -81,9 +81,21 @@ ServicePattern pattern_from_sbf(const Staircase& sbf, Time horizon) {
   STRT_REQUIRE(horizon <= sbf.horizon() || sbf.tail().has_value(),
                "sbf too short for the requested pattern");
   ServicePattern p(static_cast<std::size_t>(horizon.count()), 0);
-  Work prev = sbf.value(Time(0));
+  // The ticks are visited in order, so a forward cursor over the
+  // breakpoint arrays replaces a binary search per tick; only ticks past
+  // the horizon fold through the tail via value().
+  const auto ts = sbf.times();
+  const auto vs = sbf.values();
+  std::size_t i = 0;
+  Work prev = vs.front();
   for (std::int64_t t = 1; t <= horizon.count(); ++t) {
-    const Work cur = sbf.value(Time(t));
+    Work cur{0};
+    if (Time(t) <= sbf.horizon()) {
+      while (i + 1 < ts.size() && ts[i + 1] <= Time(t)) ++i;
+      cur = vs[i];
+    } else {
+      cur = sbf.value(Time(t));
+    }
     p[static_cast<std::size_t>(t - 1)] = (cur - prev).count();
     prev = cur;
   }

@@ -1,0 +1,360 @@
+// Property suite for the SoA curve kernels and the certified coarsening.
+//
+// The pre-refactor AoS kernels (bench/legacy_curves, the same algorithms
+// the curve layer shipped before the SegmentStore overhaul) serve as the
+// oracle: on random curves every rewritten kernel must reproduce the old
+// results bit for bit -- same breakpoints, same horizons, same throws.
+// On top of that the suite pins the coarsening contract (coarse upper >=
+// exact >= coarse lower everywhere, certified errors exact) and the
+// certified-bound driver's bracket around the exact curve delay.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "core/certified.hpp"
+#include "core/curve_based.hpp"
+#include "curves/coarsen.hpp"
+#include "curves/minplus.hpp"
+#include "curves/staircase.hpp"
+#include "engine/workspace.hpp"
+#include "legacy_curves.hpp"
+#include "resource/supply.hpp"
+#include "testutil.hpp"
+
+namespace strt {
+namespace {
+
+using test::random_staircase;
+
+/// A tail that is always legal for `f`: one full-horizon period whose
+/// increment repeats the whole climb (so the boundary monotonicity check
+/// holds for any curve).
+Tail full_tail(const Staircase& f) {
+  return Tail{f.horizon(), f.value_at_horizon() + Work(1)};
+}
+
+/// Step-array equality between the two layouts.
+void expect_same_curve(const Staircase& got, const legacy::LegacyCurve& want,
+                       const char* what) {
+  ASSERT_EQ(got.horizon(), want.horizon) << what;
+  ASSERT_EQ(got.breakpoint_count(), want.steps.size()) << what;
+  const auto ts = got.times();
+  const auto vs = got.values();
+  for (std::size_t i = 0; i < want.steps.size(); ++i) {
+    EXPECT_EQ(ts[i], want.steps[i].time) << what << " step " << i;
+    EXPECT_EQ(vs[i], want.steps[i].value) << what << " step " << i;
+  }
+}
+
+TEST(CurveKernels, ValueAndInverseBitIdentity) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Time h(rng.uniform_int(1, 80));
+    Staircase f = random_staircase(rng, h, 6, 0.4);
+    if (rng.chance(0.5)) f = f.with_tail(full_tail(f));
+    const legacy::LegacyCurve lf = legacy::from_staircase(f);
+
+    const Time probe_to = f.tail() ? h + h + Time(3) : h;
+    for (Time t(0); t <= probe_to; t = t + Time(1)) {
+      ASSERT_EQ(f.value(t), lf.value(t)) << "value(" << t.count() << ")";
+    }
+    const Work top = f.tail() ? f.value_at_horizon() + Work(25)
+                              : f.value_at_horizon();
+    for (Work w(0); w <= top; w = w + Work(1)) {
+      ASSERT_EQ(f.inverse(w), lf.inverse(w)) << "inverse(" << w.count()
+                                             << ")";
+    }
+  }
+}
+
+TEST(CurveKernels, InverseBeyondHorizonThrowsLikeLegacy) {
+  Rng rng(17);
+  const Staircase f = random_staircase(rng, Time(40));
+  const legacy::LegacyCurve lf = legacy::from_staircase(f);
+  const Work beyond = f.value_at_horizon() + Work(1);
+  EXPECT_THROW((void)f.inverse(beyond), std::invalid_argument);
+  EXPECT_THROW((void)lf.inverse(beyond), std::invalid_argument);
+}
+
+TEST(CurveKernels, ConvBitIdentity) {
+  Rng rng(202);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Staircase f = random_staircase(rng, Time(rng.uniform_int(1, 60)));
+    const Staircase g = random_staircase(rng, Time(rng.uniform_int(1, 60)));
+    const Staircase got = minplus_conv(f, g);
+    const legacy::LegacyCurve want =
+        legacy::conv(legacy::from_staircase(f), legacy::from_staircase(g));
+    expect_same_curve(got, want, "conv");
+  }
+}
+
+TEST(CurveKernels, DeconvBitIdentity) {
+  Rng rng(303);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Staircase f = random_staircase(rng, Time(rng.uniform_int(40, 120)),
+                                         8, 0.5);
+    const Staircase g = random_staircase(rng, Time(rng.uniform_int(1, 40)));
+    const Staircase got = minplus_deconv(f, g);
+    const legacy::LegacyCurve want =
+        legacy::deconv(legacy::from_staircase(f), legacy::from_staircase(g));
+    expect_same_curve(got, want, "deconv");
+  }
+}
+
+TEST(CurveKernels, HdevBitIdentity) {
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(rng.uniform_int(1, 70)));
+    Staircase b = random_staircase(rng, Time(rng.uniform_int(1, 70)), 6,
+                                   0.4);
+    b = b.with_tail(full_tail(b));  // keep every inverse in-domain
+    EXPECT_EQ(hdev(a, b),
+              legacy::hdev(legacy::from_staircase(a),
+                           legacy::from_staircase(b)));
+  }
+}
+
+TEST(CurveKernels, HdevUnboundedMatchesLegacy) {
+  Rng rng(18);
+  Staircase a = random_staircase(rng, Time(30), 5, 0.8);
+  ASSERT_GT(a.value_at_horizon(), Work(0));
+  // Flat supply with a zero-increment tail: the crossing never happens.
+  const Staircase b =
+      Staircase(Time(10)).with_tail(Tail{Time(1), Work(0)});
+  EXPECT_TRUE(hdev(a, b).is_unbounded());
+  EXPECT_TRUE(legacy::hdev(legacy::from_staircase(a),
+                           legacy::from_staircase(b))
+                  .is_unbounded());
+}
+
+TEST(CurveKernels, VdevBitIdentity) {
+  Rng rng(505);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(rng.uniform_int(1, 70)));
+    Staircase b = random_staircase(rng, Time(rng.uniform_int(1, 70)));
+    b = b.with_tail(full_tail(b));
+    const Time upto(rng.uniform_int(0, 80));
+    EXPECT_EQ(vdev(a, b, upto),
+              legacy::vdev(legacy::from_staircase(a),
+                           legacy::from_staircase(b), upto));
+  }
+}
+
+TEST(CurveKernels, PointwiseBitIdentity) {
+  Rng rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Staircase f = random_staircase(rng, Time(rng.uniform_int(1, 80)));
+    const Staircase g = random_staircase(rng, Time(rng.uniform_int(1, 80)));
+    const legacy::LegacyCurve lf = legacy::from_staircase(f);
+    const legacy::LegacyCurve lg = legacy::from_staircase(g);
+    expect_same_curve(pointwise_add(f, g), legacy::pointwise_add(lf, lg),
+                      "pointwise_add");
+    expect_same_curve(pointwise_min(f, g), legacy::pointwise_min(lf, lg),
+                      "pointwise_min");
+    expect_same_curve(pointwise_max(f, g), legacy::pointwise_max(lf, lg),
+                      "pointwise_max");
+  }
+}
+
+TEST(CurveKernels, FirstCatchUpAndLeftoverBitIdentity) {
+  Rng rng(707);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Staircase a = random_staircase(rng, Time(rng.uniform_int(1, 60)));
+    const Staircase b = random_staircase(rng, Time(rng.uniform_int(1, 60)));
+    const legacy::LegacyCurve la = legacy::from_staircase(a);
+    const legacy::LegacyCurve lb = legacy::from_staircase(b);
+    EXPECT_EQ(first_catch_up(a, b), legacy::first_catch_up(la, lb));
+    expect_same_curve(leftover_service(b, a),
+                      legacy::leftover_service(lb, la), "leftover");
+  }
+}
+
+TEST(CurveKernels, HdevResumeMatchesFullRecompute) {
+  Rng rng(808);
+  for (int trial = 0; trial < 15; ++trial) {
+    Staircase b = random_staircase(rng, Time(60), 6, 0.4);
+    b = b.with_tail(full_tail(b));
+    Staircase a = random_staircase(rng, Time(20), 4, 0.5);
+    a = a.with_tail(full_tail(a));
+
+    HdevCursor cur;
+    Time incremental = hdev_resume(a, b, cur);
+    EXPECT_EQ(incremental, hdev(a, b));
+    for (Time h(30); h <= Time(90); h = h + Time(15)) {
+      a = a.extended(h);
+      incremental = hdev_resume(a, b, cur);
+      EXPECT_EQ(incremental, hdev(a, b))
+          << "resumed hdev at horizon " << h.count();
+    }
+  }
+}
+
+TEST(CurveKernels, CoarsenSoundnessAndExactError) {
+  Rng rng(909);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Time h(rng.uniform_int(1, 90));
+    Staircase f = random_staircase(rng, h, 7, 0.5);
+    if (rng.chance(0.3)) f = f.with_tail(full_tail(f));
+    const std::vector<std::int64_t> grids = {1, 2,  3,
+                                             5, 8, 16, h.count() + 7};
+    for (const std::int64_t gv : grids) {
+      const Time g(gv);
+      const CoarseCurve up = coarsen_upper(f, g);
+      const CoarseCurve lo = coarsen_lower(f, g);
+      ASSERT_EQ(up.curve.horizon(), h);
+      ASSERT_EQ(lo.curve.horizon(), h);
+      Work worst_up(0);
+      Work worst_lo(0);
+      for (Time t(0); t <= h; t = t + Time(1)) {
+        const Work fv = f.value(t);
+        const Work uv = up.curve.value(t);
+        const Work lv = lo.curve.value(t);
+        ASSERT_GE(uv, fv) << "upper domination at t=" << t.count();
+        ASSERT_LE(lv, fv) << "lower domination at t=" << t.count();
+        worst_up = max(worst_up, uv - fv);
+        worst_lo = max(worst_lo, fv - lv);
+      }
+      // The certified errors are exact, not just sound: they equal the
+      // worst pointwise deviation.
+      EXPECT_EQ(up.max_error, worst_up) << "g=" << gv;
+      EXPECT_EQ(lo.max_error, worst_lo) << "g=" << gv;
+      if (g == Time(1)) {
+        EXPECT_EQ(up.curve, f.without_tail());
+        EXPECT_EQ(lo.curve, f.without_tail());
+        EXPECT_EQ(up.max_error, Work(0));
+        EXPECT_EQ(lo.max_error, Work(0));
+      }
+    }
+  }
+}
+
+TEST(CurveKernels, WorkspaceCoarseMemoHitsAndBitIdentity) {
+  Rng rng(42);
+  const Staircase f = random_staircase(rng, Time(64), 5, 0.4);
+
+  engine::Workspace cached(true);
+  const auto first = cached.coarse_upper(f, Time(8));
+  const auto second = cached.coarse_upper(f, Time(8));
+  EXPECT_EQ(first.curve.get(), second.curve.get());
+  EXPECT_EQ(first.max_error, second.max_error);
+  EXPECT_GE(cached.stats().coarse_hits, 1u);
+
+  engine::Workspace uncached(false);
+  const auto fresh = uncached.coarse_upper(f, Time(8));
+  EXPECT_EQ(*fresh.curve, *first.curve);
+  EXPECT_EQ(fresh.max_error, first.max_error);
+  EXPECT_EQ(uncached.stats().coarse_hits, 0u);
+
+  // Different granularity or side is a different memo family.
+  const auto lower = cached.coarse_lower(f, Time(8));
+  const auto coarser = cached.coarse_upper(f, Time(16));
+  EXPECT_NE(lower.curve.get(), first.curve.get());
+  EXPECT_NE(coarser.curve.get(), first.curve.get());
+}
+
+TEST(CurveKernels, CertifiedBracketContainsExactDelay) {
+  const std::vector<DrtTask> tasks = {test::small_task(),
+                                      test::clean_task()};
+  const std::vector<Supply> supplies = {
+      Supply::tdma(Time(3), Time(8)),
+      Supply::periodic(Time(4), Time(9)),
+      Supply::dedicated(1),
+  };
+  for (const DrtTask& task : tasks) {
+    for (const Supply& supply : supplies) {
+      engine::Workspace ws;
+      const CurveResult exact = curve_delay(ws, task, supply);
+      for (const std::int64_t gv : {2, 4, 8, 16, 64}) {
+        CertifiedDelayOptions opts;
+        opts.granularity = Time(gv);
+        const CertifiedDelayResult c =
+            certified_curve_delay(ws, task, supply, opts);
+        if (exact.delay.is_unbounded()) {
+          // Overload: the driver must agree, exactly, without coarse work.
+          EXPECT_TRUE(c.delay.is_unbounded());
+          EXPECT_TRUE(c.exact);
+          EXPECT_EQ(c.certified_error, Time(0));
+          continue;
+        }
+        ASSERT_FALSE(c.delay.is_unbounded());
+        EXPECT_LE(c.delay_lower, exact.delay) << "g=" << gv;
+        EXPECT_GE(c.delay, exact.delay) << "g=" << gv;
+        EXPECT_EQ(c.certified_error, c.delay - c.delay_lower);
+        EXPECT_GE(c.backlog, exact.backlog) << "g=" << gv;
+        if (c.exact) {
+          EXPECT_EQ(c.delay, exact.delay);
+          EXPECT_EQ(c.certified_error, Time(0));
+        }
+      }
+    }
+  }
+}
+
+TEST(CurveKernels, CertifiedGranularityOneIsExact) {
+  engine::Workspace ws;
+  const DrtTask task = test::small_task();
+  const Supply supply = Supply::dedicated(1);
+  const CurveResult exact = curve_delay(ws, task, supply);
+  CertifiedDelayOptions opts;
+  opts.granularity = Time(1);
+  const CertifiedDelayResult c = certified_curve_delay(ws, task, supply, opts);
+  EXPECT_TRUE(c.exact);
+  EXPECT_EQ(c.delay, exact.delay);
+  EXPECT_EQ(c.delay_lower, exact.delay);
+  EXPECT_EQ(c.certified_error, Time(0));
+  EXPECT_EQ(c.backlog, exact.backlog);
+}
+
+TEST(CurveKernels, CertifiedDecisionMatchesExactVerdict) {
+  const DrtTask task = test::small_task();
+  const Supply supply = Supply::dedicated(1);
+  engine::Workspace ws;
+  const CurveResult exact = curve_delay(ws, task, supply);
+  ASSERT_FALSE(exact.delay.is_unbounded());
+
+  // A threshold at the exact delay must be decided "meets"; one just
+  // below it must be decided "misses" -- whatever granularity the driver
+  // starts from.
+  for (const std::int64_t gv : {2, 8, 64}) {
+    CertifiedDelayOptions opts;
+    opts.granularity = Time(gv);
+    opts.decide = exact.delay;
+    const CertifiedDelayResult yes =
+        certified_curve_delay(ws, task, supply, opts);
+    ASSERT_TRUE(yes.meets_deadline.has_value());
+    EXPECT_TRUE(*yes.meets_deadline) << "g=" << gv;
+    EXPECT_LE(yes.delay, exact.delay) << "decide bound must certify";
+
+    if (exact.delay > Time(0)) {
+      opts.decide = exact.delay - Time(1);
+      const CertifiedDelayResult no =
+          certified_curve_delay(ws, task, supply, opts);
+      ASSERT_TRUE(no.meets_deadline.has_value());
+      EXPECT_FALSE(*no.meets_deadline) << "g=" << gv;
+      EXPECT_GT(no.delay_lower, *opts.decide);
+    }
+  }
+}
+
+TEST(CurveKernels, CertifiedToleranceStopsEarly) {
+  const DrtTask task = test::clean_task();
+  const Supply supply = Supply::periodic(Time(4), Time(9));
+  engine::Workspace ws;
+  const CurveResult exact = curve_delay(ws, task, supply);
+
+  CertifiedDelayOptions opts;
+  opts.granularity = Time(64);
+  opts.tolerance = Time(2);
+  const CertifiedDelayResult c = certified_curve_delay(ws, task, supply, opts);
+  if (!c.exact) {
+    EXPECT_LE(c.certified_error, Time(2));
+  }
+  EXPECT_LE(c.delay_lower, exact.delay);
+  EXPECT_GE(c.delay, exact.delay);
+}
+
+}  // namespace
+}  // namespace strt
