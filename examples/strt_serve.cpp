@@ -38,6 +38,11 @@
 // request to the coarse-first certified path at starting granularity G
 // (reports carry structural.certified_error); that one is an
 // approximation knob, not an ablation.
+//
+// --lockdep-report prints the lock-order analysis summary (src/race/
+// lockdep.hpp) after the run; in a -DSTRT_LOCKDEP=ON build any detected
+// inversion is also a nonzero exit.  The CI race leg serves the demo
+// stream this way and requires "0 cycle(s)".
 
 #include <algorithm>
 #include <fstream>
@@ -54,6 +59,7 @@
 #include "io/table.hpp"
 #include "obs/counters.hpp"
 #include "obs/report.hpp"
+#include "race/lockdep.hpp"
 #include "svc/request_stream.hpp"
 #include "svc/service.hpp"
 
@@ -76,6 +82,14 @@ constexpr const char* kDemoStream = R"(# strt_serve demo request stream
 
 /// Report line for a request that never reached the service (parse
 /// failure): status invalid + the stream diagnostics.
+/// Lockdep-to-telemetry bridge: each lock-order inversion bumps the
+/// race.lock_cycles counter and lands on stderr the moment it is
+/// detected, not only in the end-of-run --lockdep-report summary.
+void on_lock_cycle(const race::LockCycle& cycle) {
+  obs::counter("race.lock_cycles").add();
+  std::cerr << cycle.message << '\n';
+}
+
 svc::AnalysisOutcome parse_failure_outcome(const svc::RequestParse& parse) {
   svc::AnalysisOutcome out;
   out.status = svc::OutcomeStatus::kInvalid;
@@ -92,7 +106,10 @@ int main(int argc, char** argv) {
   std::string task_dir;
   svc::ServiceOptions sopts;
   std::int64_t coarsen_g = 0;
+  bool lockdep_report = false;
   std::vector<std::string> args;
+
+  race::lockdep_set_cycle_hook(&on_lock_cycle);
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
@@ -129,6 +146,11 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--threads") {
       exec::set_thread_count(std::stoull(next_value("a count")));
+    } else if (arg == "--lockdep-report") {
+      // Print the lock-order analysis summary after the run.  Only a
+      // -DSTRT_LOCKDEP=ON build records acquisitions; elsewhere the
+      // report shows zeros (and, correctly, zero cycles).
+      lockdep_report = true;
     } else if (arg == "--telemetry-dir") {
       sopts.telemetry_dir = next_value("a directory");
       // Live export is only useful with the registry on: histograms and
@@ -140,7 +162,7 @@ int main(int argc, char** argv) {
                    "[--task-dir DIR] [--report out.json] [--queue N] "
                    "[--batch N] [--shards N] [--no-batch] [--serial] "
                    "[--no-cache] [--threads N] [--telemetry-dir DIR] "
-                   "[--coarsen G]\n";
+                   "[--coarsen G] [--lockdep-report]\n";
       return 2;
     } else {
       args.push_back(arg);
@@ -276,5 +298,12 @@ int main(int argc, char** argv) {
               << " request(s) in " << stats.batches << " batch(es); "
               << "reports appended to " << report_path << '\n';
   }
-  return errors > 0 ? 1 : 0;
+  // The lock-order verdict covers everything above: service lifecycle,
+  // sharded dispatch, workspace stripes, telemetry export.  A detected
+  // inversion is a hard failure, same as an analysis error.
+  const race::LockdepStats lockdep = race::lockdep_stats();
+  if (lockdep_report) {
+    std::cout << race::lockdep_report();
+  }
+  return errors > 0 || lockdep.cycles > 0 ? 1 : 0;
 }

@@ -10,6 +10,10 @@
 #include <utility>
 #include <vector>
 
+#if STRT_LOCKDEP
+#include <source_location>
+#endif
+
 #include "base/assert.hpp"
 #include "base/mutex.hpp"
 #include "check/check.hpp"
@@ -61,6 +65,27 @@ inline constexpr std::size_t kStripes = 16;
 /// observability is disabled the clock reads are skipped.
 class STRT_SCOPED_CAPABILITY StripeLock {
  public:
+#if STRT_LOCKDEP
+  // Lockdep labels lock-order edges by acquisition site: forward the
+  // StripeLock *construction* site, so a witness chain names the
+  // memo-family call site instead of this ctor's line -- and the
+  // same-site nesting check sees each family as its own site.
+  explicit StripeLock(Mutex& mu, const std::source_location& loc =
+                                     std::source_location::current())
+      STRT_ACQUIRE(mu) : mu_(mu) {
+    if (obs::enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      mu_.lock(loc);
+      static obs::Histogram& h = obs::histogram("cache.lock_wait_ns");
+      h.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      mu_.lock(loc);
+    }
+  }
+#else
   explicit StripeLock(Mutex& mu) STRT_ACQUIRE(mu) : mu_(mu) {
     if (obs::enabled()) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -74,6 +99,7 @@ class STRT_SCOPED_CAPABILITY StripeLock {
       mu_.lock();
     }
   }
+#endif
   ~StripeLock() STRT_RELEASE() { mu_.unlock(); }
 
   StripeLock(const StripeLock&) = delete;

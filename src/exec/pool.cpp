@@ -66,7 +66,7 @@ struct Job {
   std::exception_ptr error STRT_GUARDED_BY(error_mu);
 
   Mutex done_mu;
-  std::condition_variable_any done_cv;
+  CondVar done_cv;
   std::size_t finished STRT_GUARDED_BY(done_mu) = 0;
 
   void record_error(std::exception_ptr e) {
@@ -281,7 +281,7 @@ class Pool {
   Mutex run_mu_;  // one parallel_for at a time
 
   Mutex job_mu_;
-  std::condition_variable_any job_cv_;
+  CondVar job_cv_;
   std::shared_ptr<Job> job_ STRT_GUARDED_BY(job_mu_);
   std::uint64_t job_seq_ STRT_GUARDED_BY(job_mu_) = 0;
   bool stop_ STRT_GUARDED_BY(job_mu_) = false;

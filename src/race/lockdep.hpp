@@ -1,0 +1,142 @@
+// strt::race -- lockdep: runtime lock-order analysis.
+//
+// Every *blocking* acquisition of an instrumented mutex records, for
+// each lock already held by the acquiring thread, a directed edge
+//
+//     (held lock instance)  ->  (acquired lock instance)
+//
+// in one global lock-order graph.  Nodes are lock *instances* (a LockId
+// registered at Mutex construction), so the graph is exact: a cycle
+// among instances means two threads interleaving those acquisitions can
+// deadlock, with no class-collapse false positives (a struct holding
+// several mutexes, nested, is fine as long as the instance order is
+// consistent).  Acquisition *sites* (file:line of the MutexLock /
+// StripeLock / Mutex::lock call, captured via std::source_location) are
+// recorded on each edge as labels, so a witness chain reads as source
+// lines even though the keying is by instance.  Consequences:
+//
+//   * Sequential (non-nested) acquisitions add no edges, so fan-out over
+//     the 16 workspace stripes from one call site is silent.
+//   * Nested acquisition of two *different* instances from the *same*
+//     site is reported as a same-site cycle immediately: the mirrored
+//     instance order is reachable from that one line, and the library's
+//     locking discipline forbids same-family nesting (no ranked
+//     same-class nesting exists in this tree).
+//   * Relocking the same instance (a self-edge) is reported at once:
+//     std::mutex relock is undefined behavior.
+//   * try_lock acquisitions are exempt from edge recording: a try_lock
+//     cannot block, so it cannot close a deadlock cycle.  It still
+//     enters the held set, so blocking locks taken *under* it record
+//     edges from its instance.
+//
+// Cycle detection is incremental: only a genuinely new edge triggers a
+// DFS, and the full witness chain (every edge's site name along the
+// cycle, in acquisition order) is captured into a LockCycle diagnostic
+// the moment the inversion *could* deadlock -- no unlucky schedule
+// required, which is exactly what one-interleaving-per-run tools (TSan)
+// cannot do.
+//
+// Gating: the hooks in base/mutex.hpp compile to nothing unless the
+// build defines STRT_LOCKDEP=1 (cmake -DSTRT_LOCKDEP=ON).  In such a
+// build the environment variable STRT_LOCKDEP=0 disables recording at
+// runtime (resolved once); lockdep_set_enabled() overrides either way.
+// The functions below are always compiled into strt_race, so unit tests
+// drive the analyzer directly in every build flavor.
+//
+// The analyzer synchronizes with a private raw std::mutex and never
+// touches strt::Mutex, strt::obs, or any instrumented code (no
+// recursion); per-thread held stacks are thread-local.  Report
+// consumers bridge cycles into obs counters via lockdep_set_cycle_hook.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <vector>
+
+namespace strt::race {
+
+using SiteId = std::uint32_t;
+
+/// Identity of one lock instance for the graph's lifetime.  Ids are
+/// never reused, so an address recycled by the allocator cannot inherit
+/// a dead lock's edges.
+using LockId = std::uint32_t;
+
+/// One detected lock-order inversion: the witness chain of acquisition
+/// sites along the cycle's edges, chain.front() == chain.back() when the
+/// closed instances are acquired from consistent sites.
+struct LockCycle {
+  std::vector<SiteId> chain;
+  /// Site names along the chain, in order ("file:line" or the explicit
+  /// label of a test acquisition).
+  std::vector<std::string> chain_names;
+  /// Human-readable one-paragraph report, Diagnostic-style:
+  /// "error[race.lock-cycle] <siteA>: acquired while holding <siteB>;
+  ///  ... closing the cycle".
+  std::string message;
+};
+
+struct LockdepStats {
+  std::uint64_t acquisitions = 0;  // recorded blocking + try acquisitions
+  std::uint64_t sites = 0;         // interned acquisition sites
+  std::uint64_t edges = 0;         // distinct held->acquired edges
+  std::uint64_t cycles = 0;        // detected inversions (deduplicated)
+};
+
+/// Interns an acquisition site.  `label` overrides the file:line name in
+/// reports (used by tests and named subsystem locks); pass nullptr for
+/// the default.  Cheap on repeat calls (thread-local cache).
+[[nodiscard]] SiteId lockdep_site(const std::source_location& loc,
+                                  const char* label = nullptr);
+
+/// Registers a lock instance; call once per Mutex at construction.
+[[nodiscard]] LockId lockdep_register();
+
+/// Retires a lock instance (Mutex destruction): its outgoing edges are
+/// dropped so a future allocation at the same address starts clean.
+void lockdep_forget(LockId id);
+
+/// Records a blocking acquisition of lock `id` at `site`: adds a
+/// held->acquired edge per currently held lock, runs incremental cycle
+/// detection, and pushes (id, site) onto the calling thread's held
+/// stack.  Call BEFORE the real lock so a genuine deadlock still gets
+/// its report.
+void lockdep_acquire(LockId id, SiteId site);
+
+/// Records a *successful* try_lock acquisition: enters the held set
+/// without recording any edge (the try_lock exemption).
+void lockdep_try_acquire(LockId id, SiteId site);
+
+/// Pops the most recent held entry for `id` from the calling thread's
+/// held stack (no-op if absent -- e.g. recording was switched on while
+/// the lock was already held).
+void lockdep_release(LockId id);
+
+/// True when the hooks should record: compiled in (STRT_LOCKDEP=1) and
+/// not disabled by STRT_LOCKDEP=0 in the environment (resolved once) or
+/// lockdep_set_enabled(false).
+[[nodiscard]] bool lockdep_enabled() noexcept;
+
+/// Runtime override of the environment gate (tests, embedding tools).
+void lockdep_set_enabled(bool on) noexcept;
+
+[[nodiscard]] LockdepStats lockdep_stats();
+
+/// Every inversion detected so far (deduplicated by closing edge).
+[[nodiscard]] std::vector<LockCycle> lockdep_cycles();
+
+/// Invoked synchronously on each new cycle (after it is recorded);
+/// pass nullptr to clear.  Used to bridge into obs counters without
+/// making strt_race depend on strt_obs.
+void lockdep_set_cycle_hook(void (*hook)(const LockCycle&));
+
+/// Human-readable summary: stats plus every cycle's message.
+[[nodiscard]] std::string lockdep_report();
+
+/// Clears the graph, cycles, and the calling thread's held stack
+/// (other threads' stacks are untouched -- reset between single-threaded
+/// test sections only).  Registered LockIds stay valid.
+void lockdep_reset();
+
+}  // namespace strt::race

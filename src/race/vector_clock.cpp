@@ -1,0 +1,219 @@
+#include "race/vector_clock.hpp"
+
+#include <algorithm>
+
+namespace strt::race {
+
+void HbChecker::ensure_thread(int thread) {
+  const std::size_t need = static_cast<std::size_t>(thread) + 1;
+  if (clocks_.size() < need) clocks_.resize(need);
+  if (finish_clocks_.size() < need) finish_clocks_.resize(need);
+  for (Clock& c : clocks_) {
+    if (c.size() < need) c.resize(need, 0);
+  }
+}
+
+void HbChecker::join_into(Clock& into, const Clock& from) {
+  if (into.size() < from.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+void HbChecker::tick(int thread) {
+  Clock& c = clocks_[static_cast<std::size_t>(thread)];
+  if (c.size() <= static_cast<std::size_t>(thread)) {
+    c.resize(static_cast<std::size_t>(thread) + 1, 0);
+  }
+  ++c[static_cast<std::size_t>(thread)];
+}
+
+bool HbChecker::ordered(int t, std::uint64_t epoch,
+                        const Clock& observer) const {
+  const std::size_t i = static_cast<std::size_t>(t);
+  return i < observer.size() && observer[i] >= epoch;
+}
+
+void HbChecker::thread_start(int thread, int parent) {
+  ensure_thread(thread);
+  if (parent >= 0) {
+    ensure_thread(parent);
+    join_into(clocks_[static_cast<std::size_t>(thread)],
+              clocks_[static_cast<std::size_t>(parent)]);
+    tick(parent);
+  }
+  tick(thread);
+}
+
+void HbChecker::thread_finish(int thread) {
+  ensure_thread(thread);
+  finish_clocks_[static_cast<std::size_t>(thread)] =
+      clocks_[static_cast<std::size_t>(thread)];
+}
+
+void HbChecker::thread_join(int thread, int finished) {
+  ensure_thread(thread);
+  ensure_thread(finished);
+  join_into(clocks_[static_cast<std::size_t>(thread)],
+            finish_clocks_[static_cast<std::size_t>(finished)]);
+}
+
+HbChecker::SyncState& HbChecker::sync_state(std::vector<SyncState>& table,
+                                            const void* obj) {
+  for (SyncState& s : table) {
+    if (s.obj == obj) return s;
+  }
+  table.push_back({obj, {}});
+  return table.back();
+}
+
+HbChecker::AddrState& HbChecker::addr_state(const void* addr) {
+  for (AddrState& a : addrs_) {
+    if (a.addr == addr) return a;
+  }
+  addrs_.emplace_back();
+  addrs_.back().addr = addr;
+  return addrs_.back();
+}
+
+void HbChecker::mutex_acquire(int thread, const void* mu) {
+  ensure_thread(thread);
+  join_into(clocks_[static_cast<std::size_t>(thread)],
+            sync_state(mutexes_, mu).clock);
+}
+
+void HbChecker::mutex_release(int thread, const void* mu) {
+  ensure_thread(thread);
+  SyncState& s = sync_state(mutexes_, mu);
+  join_into(s.clock, clocks_[static_cast<std::size_t>(thread)]);
+  tick(thread);
+}
+
+void HbChecker::cv_notify(int thread, const void* cv) {
+  ensure_thread(thread);
+  SyncState& s = sync_state(cvs_, cv);
+  join_into(s.clock, clocks_[static_cast<std::size_t>(thread)]);
+  tick(thread);
+}
+
+void HbChecker::cv_wake(int thread, const void* cv) {
+  ensure_thread(thread);
+  join_into(clocks_[static_cast<std::size_t>(thread)],
+            sync_state(cvs_, cv).clock);
+}
+
+void HbChecker::record_race(const std::string& first, int first_thread,
+                            const char* second, int second_thread, bool ww) {
+  std::string key = first;
+  key += '|';
+  key += second;
+  key += ww ? "|ww" : "|wr";
+  if (std::find(race_keys_.begin(), race_keys_.end(), key) !=
+      race_keys_.end()) {
+    return;
+  }
+  race_keys_.push_back(std::move(key));
+  HbRace r;
+  r.first_site = first;
+  r.second_site = second;
+  r.first_thread = first_thread;
+  r.second_thread = second_thread;
+  r.write_write = ww;
+  races_.push_back(std::move(r));
+}
+
+void HbChecker::check_write(AddrState& a, int thread, const char* site) {
+  const Clock& my = clocks_[static_cast<std::size_t>(thread)];
+  // Write/write against the last write.
+  if (a.write_thread >= 0 && a.write_thread != thread &&
+      !ordered(a.write_thread, a.write_epoch, my)) {
+    a.raced = true;
+    record_race(a.write_site, a.write_thread, site, thread, true);
+  }
+  // Write against every unordered read.
+  for (std::size_t t = 0; t < a.read_epochs.size(); ++t) {
+    if (static_cast<int>(t) == thread || a.read_epochs[t] == 0) continue;
+    if (!ordered(static_cast<int>(t), a.read_epochs[t], my)) {
+      a.raced = true;
+      record_race(a.read_sites[t], static_cast<int>(t), site, thread, false);
+    }
+  }
+  a.write_thread = thread;
+  a.write_epoch = my[static_cast<std::size_t>(thread)];
+  a.write_site = site;
+  // A new write supersedes the read set (FastTrack write step).
+  std::fill(a.read_epochs.begin(), a.read_epochs.end(), 0);
+}
+
+void HbChecker::check_read(AddrState& a, int thread, const char* site) {
+  const Clock& my = clocks_[static_cast<std::size_t>(thread)];
+  if (a.write_thread >= 0 && a.write_thread != thread &&
+      !ordered(a.write_thread, a.write_epoch, my)) {
+    a.raced = true;
+    record_race(a.write_site, a.write_thread, site, thread, false);
+  }
+  const std::size_t t = static_cast<std::size_t>(thread);
+  if (a.read_epochs.size() <= t) {
+    a.read_epochs.resize(t + 1, 0);
+    a.read_sites.resize(t + 1);
+  }
+  a.read_epochs[t] = my[t];
+  a.read_sites[t] = site;
+}
+
+void HbChecker::atomic_access(int thread, const void* addr, Access access,
+                              Order order, const char* site) {
+  ensure_thread(thread);
+  AddrState& a = addr_state(addr);
+  const bool acquires = order == Order::kAcquire || order == Order::kAcqRel;
+  const bool releases = order == Order::kRelease || order == Order::kAcqRel;
+  // Synchronization first: an acquire load that reads a release store is
+  // ordered *by* that store, so the edge must land before the check.
+  if (acquires && (access == Access::kLoad || access == Access::kRmw)) {
+    join_into(clocks_[static_cast<std::size_t>(thread)], a.release_clock);
+  }
+  if (access == Access::kLoad) {
+    check_read(a, thread, site);
+  } else {
+    check_write(a, thread, site);
+  }
+  if (releases && (access == Access::kStore || access == Access::kRmw)) {
+    Clock& my = clocks_[static_cast<std::size_t>(thread)];
+    if (access == Access::kStore) {
+      a.release_clock = my;  // store: replace the published clock
+    } else {
+      join_into(a.release_clock, my);  // RMW: extend the release sequence
+    }
+    tick(thread);
+  }
+}
+
+void HbChecker::plain_access(int thread, const void* addr, bool is_write,
+                             const char* site) {
+  ensure_thread(thread);
+  AddrState& a = addr_state(addr);
+  if (is_write) {
+    check_write(a, thread, site);
+  } else {
+    check_read(a, thread, site);
+  }
+}
+
+bool HbChecker::ordered_so_far(const void* addr) const {
+  for (const AddrState& a : addrs_) {
+    if (a.addr == addr) return !a.raced;
+  }
+  return true;
+}
+
+void HbChecker::clear() {
+  clocks_.clear();
+  finish_clocks_.clear();
+  addrs_.clear();
+  mutexes_.clear();
+  cvs_.clear();
+  races_.clear();
+  race_keys_.clear();
+}
+
+}  // namespace strt::race

@@ -1,0 +1,135 @@
+// strt::race -- a vector-clock happens-before checker over the hooked
+// accesses of one explored execution.
+//
+// The controlled scheduler (race/schedule.hpp) feeds every hooked event
+// into an HbChecker: thread starts, mutex acquire/release, condvar
+// wakeups, joins, and the atomic loads/stores/RMWs marked with
+// STRT_RACE_ATOMIC.  The checker maintains one vector clock per thread
+// and per-address access metadata (FastTrack-style: last-write epoch
+// plus a read clock), and flags every conflicting pair -- write/write or
+// write/read on the same address from different threads -- that is not
+// ordered by the happens-before relation induced by the execution's
+// synchronization:
+//
+//   * mutex release -> later acquire of the same mutex,
+//   * release-or-stronger atomic store -> acquire-or-stronger load of
+//     the same address (the load reads the last store: the scheduler
+//     serializes the execution, so reads-from is exact),
+//   * condvar notify -> waiter wakeup, thread create -> first step,
+//     thread finish -> join.
+//
+// Relaxed accesses synchronize nothing, so two relaxed writes from
+// different threads with no other ordering are flagged.  For lock-free
+// code (the MPMC ring cursors) such pairs are *expected*; the value of
+// the checker there is the inverse direction: asserting that the pairs
+// carrying the protocol's publication contract (cell sequence store ->
+// sequence load) ARE ordered in every explored schedule.  Unordered
+// pairs on plain (non-atomic) state are always bugs.
+//
+// The class is self-contained and deterministic, so unit tests drive it
+// directly with synthetic event streams in every build flavor.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "race/hook.hpp"
+
+namespace strt::race {
+
+/// One flagged unordered conflicting pair, named by the two sites.
+struct HbRace {
+  std::string first_site;   // the earlier access in schedule order
+  std::string second_site;  // the later, unordered access
+  int first_thread = 0;
+  int second_thread = 0;
+  bool write_write = false;  // else write/read or read/write
+};
+
+class HbChecker {
+ public:
+  /// Registers a thread; ids are dense from 0.  `parent` (a started
+  /// thread) seeds the child's clock: create happens-before first step.
+  /// Pass parent = -1 for roots.
+  void thread_start(int thread, int parent);
+
+  /// Marks a thread finished, capturing its clock for join edges.
+  void thread_finish(int thread);
+
+  /// join happens-after the joined thread's finish.
+  void thread_join(int thread, int finished);
+
+  void mutex_acquire(int thread, const void* mu);
+  void mutex_release(int thread, const void* mu);
+
+  /// Condvar wakeup edge: notifier's clock at notify -> waiter at wake.
+  void cv_notify(int thread, const void* cv);
+  void cv_wake(int thread, const void* cv);
+
+  /// One hooked atomic access.  `site` labels reports.
+  void atomic_access(int thread, const void* addr, Access access,
+                     Order order, const char* site);
+
+  /// Plain (non-atomic) shared access, for synthetic tests and any
+  /// future plain-state hooks: never synchronizes, always checked.
+  void plain_access(int thread, const void* addr, bool is_write,
+                    const char* site);
+
+  /// Unordered conflicting pairs found so far, deduplicated by
+  /// (first_site, second_site, write_write).
+  [[nodiscard]] const std::vector<HbRace>& races() const { return races_; }
+
+  /// True when every conflicting pair on `addr` seen so far was ordered.
+  [[nodiscard]] bool ordered_so_far(const void* addr) const;
+
+  void clear();
+
+ private:
+  using Clock = std::vector<std::uint64_t>;
+
+  struct AddrState {
+    const void* addr = nullptr;
+    // Last write: thread + that thread's clock component at the write
+    // (a FastTrack epoch), plus the site for reports.
+    int write_thread = -1;
+    std::uint64_t write_epoch = 0;
+    std::string write_site;
+    // Read clock: per thread, the reader's own component at its last
+    // read, with sites for reports.
+    std::vector<std::uint64_t> read_epochs;
+    std::vector<std::string> read_sites;
+    // Release clock published by the last release-or-stronger store.
+    Clock release_clock;
+    bool raced = false;
+  };
+
+  struct SyncState {
+    const void* obj = nullptr;
+    Clock clock;
+  };
+
+  AddrState& addr_state(const void* addr);
+  SyncState& sync_state(std::vector<SyncState>& table, const void* obj);
+  void ensure_thread(int thread);
+  void join_into(Clock& into, const Clock& from);
+  void tick(int thread);
+  /// True iff component `epoch` of thread `t` is visible to `observer`.
+  [[nodiscard]] bool ordered(int t, std::uint64_t epoch,
+                             const Clock& observer) const;
+  void record_race(const std::string& first, int first_thread,
+                   const char* second, int second_thread, bool ww);
+  void check_write(AddrState& a, int thread, const char* site);
+  void check_read(AddrState& a, int thread, const char* site);
+
+  std::vector<Clock> clocks_;        // per thread
+  std::vector<Clock> finish_clocks_; // per finished thread
+  std::vector<AddrState> addrs_;
+  std::vector<SyncState> mutexes_;
+  std::vector<SyncState> cvs_;
+  std::vector<HbRace> races_;
+  std::vector<std::string> race_keys_;
+};
+
+}  // namespace strt::race

@@ -38,6 +38,8 @@
 #include <new>
 #include <utility>
 
+#include "race/hook.hpp"
+
 namespace strt::svc {
 
 template <class T>
@@ -65,22 +67,30 @@ class MpmcRing {
 
   /// Enqueues by move; false (argument untouched) when the ring is full.
   [[nodiscard]] bool try_push(T&& v) {
+    STRT_RACE_ATOMIC("svc.ring.push_cursor", &enqueue_pos_, kLoad, kRelaxed);
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[static_cast<std::size_t>(pos % capacity_)];
+      STRT_RACE_ATOMIC("svc.ring.push_seq_check", &cell.seq, kLoad, kAcquire);
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       const std::int64_t dif = static_cast<std::int64_t>(seq) -
                                static_cast<std::int64_t>(pos);
       if (dif == 0) {
+        STRT_RACE_ATOMIC("svc.ring.push_claim", &enqueue_pos_, kRmw,
+                         kRelaxed);
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           ::new (static_cast<void*>(cell.storage())) T(std::move(v));
+          STRT_RACE_ATOMIC("svc.ring.push_publish", &cell.seq, kStore,
+                           kRelease);
           cell.seq.store(pos + 1, std::memory_order_release);
           return true;
         }
       } else if (dif < 0) {
         return false;  // the cell is still occupied one lap behind: full
       } else {
+        STRT_RACE_ATOMIC("svc.ring.push_cursor", &enqueue_pos_, kLoad,
+                         kRelaxed);
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
@@ -88,24 +98,32 @@ class MpmcRing {
 
   /// Dequeues into `out`; false when the ring is empty.
   [[nodiscard]] bool try_pop(T& out) {
+    STRT_RACE_ATOMIC("svc.ring.pop_cursor", &dequeue_pos_, kLoad, kRelaxed);
     std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[static_cast<std::size_t>(pos % capacity_)];
+      STRT_RACE_ATOMIC("svc.ring.pop_seq_check", &cell.seq, kLoad, kAcquire);
       const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
       const std::int64_t dif = static_cast<std::int64_t>(seq) -
                                static_cast<std::int64_t>(pos + 1);
       if (dif == 0) {
+        STRT_RACE_ATOMIC("svc.ring.pop_claim", &dequeue_pos_, kRmw,
+                         kRelaxed);
         if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
           T* item = std::launder(reinterpret_cast<T*>(cell.storage()));
           out = std::move(*item);
           item->~T();
+          STRT_RACE_ATOMIC("svc.ring.pop_publish", &cell.seq, kStore,
+                           kRelease);
           cell.seq.store(pos + capacity_, std::memory_order_release);
           return true;
         }
       } else if (dif < 0) {
         return false;  // the cell has not been produced yet: empty
       } else {
+        STRT_RACE_ATOMIC("svc.ring.pop_cursor", &dequeue_pos_, kLoad,
+                         kRelaxed);
         pos = dequeue_pos_.load(std::memory_order_relaxed);
       }
     }
@@ -114,7 +132,9 @@ class MpmcRing {
   /// Instantaneous element count; exact only when quiescent (cursors are
   /// read independently), clamped to [0, capacity].
   [[nodiscard]] std::size_t size_approx() const {
+    STRT_RACE_ATOMIC("svc.ring.size_head", &dequeue_pos_, kLoad, kAcquire);
     const std::uint64_t head = dequeue_pos_.load(std::memory_order_acquire);
+    STRT_RACE_ATOMIC("svc.ring.size_tail", &enqueue_pos_, kLoad, kAcquire);
     const std::uint64_t tail = enqueue_pos_.load(std::memory_order_acquire);
     if (tail <= head) return 0;
     const std::uint64_t n = tail - head;

@@ -19,6 +19,7 @@
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "race/hook.hpp"
 #include "svc/mpmc_queue.hpp"
 
 namespace strt::svc {
@@ -61,9 +62,10 @@ struct Service::Impl {
 
     MpmcRing<Pending> ring;
     Mutex mu;
-    std::condition_variable_any cv_work;   // worker: new work / stop
-    std::condition_variable_any cv_space;  // submitters: ring has room
+    CondVar cv_work;   // worker: new work / stop
+    CondVar cv_space;  // submitters: ring has room
     std::atomic<std::size_t> in_flight{0};
+    std::size_t index = 0;  // stable worker identity for the race explorer
 
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> served{0};
@@ -94,6 +96,7 @@ struct Service::Impl {
     shards.reserve(nshards);
     for (std::size_t i = 0; i < nshards; ++i) {
       auto s = std::make_unique<Shard>(per_shard_capacity);
+      s->index = i;
       const std::string label = "{shard=\"" + std::to_string(i) + "\"}";
       s->c_served = &obs::counter("svc.shard_served" + label);
       s->c_batches = &obs::counter("svc.shard_batches" + label);
@@ -135,7 +138,7 @@ struct Service::Impl {
   std::size_t next_shard STRT_GUARDED_BY(route_mu) = 0;
 
   Mutex idle_mu;  // wait barrier for drain(); no guarded state
-  std::condition_variable_any cv_idle;
+  CondVar cv_idle;
 
   [[nodiscard]] Shard& shard_of(std::uint64_t fp) {
     if (nshards == 1) return *shards[0];
@@ -176,10 +179,14 @@ std::optional<std::future<AnalysisOutcome>> Service::Impl::admit(
   p.req = std::move(req);
   std::future<AnalysisOutcome> fut = p.promise.get_future();
 
+  STRT_RACE_ATOMIC("svc.admit.enter", &active_admits, kRmw, kAcqRel);
   active_admits.fetch_add(1);
   struct AdmitScope {
     std::atomic<std::size_t>& active;
-    ~AdmitScope() { active.fetch_sub(1); }
+    ~AdmitScope() {
+      STRT_RACE_ATOMIC("svc.admit.leave", &active, kRmw, kAcqRel);
+      active.fetch_sub(1);
+    }
   } scope{active_admits};
 
   const auto reject_stopping = [&] {
@@ -195,6 +202,7 @@ std::optional<std::future<AnalysisOutcome>> Service::Impl::admit(
     return std::optional<std::future<AnalysisOutcome>>(std::move(fut));
   };
 
+  STRT_RACE_ATOMIC("svc.admit.stopping", &stopping, kLoad, kAcquire);
   if (stopping.load()) return reject_stopping();
 
   Shard& s = shard_of(p.fp);
@@ -243,7 +251,11 @@ void Service::Impl::worker_loop(Shard& s) {
     // never observe the window where requests sit in `round` but neither
     // the ring nor in_flight accounts for them.  The claim is corrected
     // to the real round size below (or released if the round is empty).
-    s.in_flight.fetch_add(1);
+    const bool claim_after_pop = STRT_RACE_FAULT("svc.pop_before_claim");
+    if (!claim_after_pop) {
+      STRT_RACE_ATOMIC("svc.worker.claim", &s.in_flight, kRmw, kAcqRel);
+      s.in_flight.fetch_add(1);
+    }
     std::vector<Pending> round;
     round.reserve(opts.max_batch);
     {
@@ -252,21 +264,50 @@ void Service::Impl::worker_loop(Shard& s) {
         round.push_back(std::move(p));
       }
     }
+    if (claim_after_pop) {
+      // Reverted pre-fix logic (regression harness only): the claim
+      // lands after the pops, so between them the requests sit in
+      // `round` with an empty ring and in_flight == 0 -- a concurrent
+      // drain() probing idle() in that window returns early.
+      STRT_RACE_HOOK("svc.worker.claim_gap");
+      s.in_flight.fetch_add(1);
+    }
     const std::size_t n = round.size();
     if (n == 0) {
       s.in_flight.fetch_sub(1);
       // The speculative claim may have parked drain(); re-announce.
+      STRT_RACE_HOOK("svc.worker.idle_probe");
       if (idle()) {
         { const MutexLock l(idle_mu); }  // pairs with drain()'s wait
         cv_idle.notify_all();
       }
+      STRT_RACE_ATOMIC("svc.worker.stopping", &stopping, kLoad, kAcquire);
       if (stopping.load()) {
         // Exit only once no admission can still push.  active_admits is
         // loaded *first*: it is ordered seq_cst against `stopping` (see
         // its declaration), so a 0 here means every admit that beat the
         // stop has finished its push, and that push is visible to the
         // emptiness check that follows.
-        if (active_admits.load() == 0 && s.ring.empty()) return;
+        bool can_exit;
+        if (STRT_RACE_FAULT("svc.empty_before_admits")) {
+          // Reverted pre-fix order (regression harness only): sampling
+          // emptiness before the admissions count leaves a window where
+          // an in-progress admit pushes after the emptiness check and
+          // returns before the count check -- the worker exits and the
+          // pushed request is stranded (its promise dies unfulfilled).
+          STRT_RACE_HOOK("svc.worker.exit.empty_first");
+          const bool empty = s.ring.empty();
+          STRT_RACE_HOOK("svc.worker.exit.admits_second");
+          can_exit = empty && active_admits.load() == 0;
+        } else {
+          STRT_RACE_ATOMIC("svc.worker.exit.admits", &active_admits,
+                           kLoad, kAcquire);
+          const bool no_admits = active_admits.load() == 0;
+          STRT_RACE_HOOK("svc.worker.exit.empty");
+          can_exit = no_admits && s.ring.empty();
+        }
+        if (can_exit) return;
+        STRT_RACE_HINT_YIELD();
         std::this_thread::yield();
       }
       continue;
@@ -408,11 +449,20 @@ Service::Service(ServiceOptions opts)
     : impl_(std::make_unique<Impl>(std::move(opts))) {
   for (auto& s : impl_->shards) {
     Impl::Shard* shard = s.get();
-    shard->worker = std::thread([this, shard] { impl_->worker_loop(*shard); });
+    shard->worker = std::thread([this, shard] {
+      // First statement on the new thread: register with an active race
+      // explorer under a stable identity (no hooks may precede this).
+      STRT_RACE_THREAD("svc.worker", shard->index);
+      impl_->worker_loop(*shard);
+    });
+    // Pair every spawn with an await before any further hook so thread
+    // registration order is a pure function of the schedule.
+    STRT_RACE_AWAIT_THREAD("svc.worker", shard->index);
   }
 }
 
 Service::~Service() {
+  STRT_RACE_ATOMIC("svc.stop.store", &impl_->stopping, kStore, kRelease);
   impl_->stopping.store(true);
   impl_->paused.store(false);  // a paused shutdown still drains
   // Wake everyone: blocked submitters observe `stopping` and answer
@@ -423,7 +473,10 @@ Service::~Service() {
     s->cv_space.notify_all();
     s->cv_work.notify_all();
   }
-  for (auto& s : impl_->shards) s->worker.join();
+  for (auto& s : impl_->shards) {
+    STRT_RACE_JOIN(s->worker);
+    s->worker.join();
+  }
 }
 
 std::future<AnalysisOutcome> Service::submit(AnalysisRequest req) {
@@ -470,6 +523,9 @@ void Service::resume() {
 void Service::drain() {
   resume();
   MutexLock l(impl_->idle_mu);
+  // The explorer preempts here so a worker's pop-to-claim window (if
+  // faulted back in) can land exactly under this idle() probe.
+  STRT_RACE_HOOK("svc.drain.probe");
   while (!impl_->idle()) l.wait(impl_->cv_idle);
 }
 

@@ -1,0 +1,47 @@
+// Fuzz harness for io/curve_csv raw-sample ingestion.
+//
+// read_curve_points_csv() promises: every problem is a diagnostic, and
+// `points` is empty unless diagnostics.ok().  The harness feeds the raw
+// bytes straight in and aborts if that contract breaks, or if an
+// accepted sample set violates what the curve lints claim to enforce
+// (no negative coordinates; no later-in-time sample strictly below an
+// earlier one).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <string_view>
+#include <vector>
+
+#include "io/curve_csv.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > (1u << 20)) return 0;  // bound allocator abuse
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const strt::CurveReadResult result = strt::read_curve_points_csv(text);
+  const std::vector<strt::Step>& pts = result.points;
+  if (!result.diagnostics.ok() && !pts.empty()) std::abort();
+  for (const strt::Step& p : pts) {
+    if (p.time < strt::Time(0) || p.value < strt::Work(0)) std::abort();
+  }
+  // Accepted samples may sit in any file order; in *time* order the
+  // values must never drop.
+  std::vector<std::size_t> order(pts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (pts[a].time != pts[b].time) return pts[a].time < pts[b].time;
+    return pts[a].value < pts[b].value;
+  });
+  strt::Work running_max{0};
+  strt::Time max_at{0};
+  for (const std::size_t i : order) {
+    if (pts[i].time > max_at && pts[i].value < running_max) std::abort();
+    if (pts[i].value > running_max) {
+      running_max = pts[i].value;
+      max_at = pts[i].time;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fuzz harness for the svc request-stream parsers (JSONL and CSV).
+//
+// Input layout: the first byte selects the wire format (even = JSONL,
+// odd = CSV), the rest is the stream text, fed through
+// read_request_stream() exactly as strt_serve feeds stdin.  The CSV
+// task_dir points at a directory that does not exist, so task-file
+// references resolve to clean diagnostics instead of local file reads.
+//
+// The harness asserts the parser contract rather than just "no crash":
+// a RequestParse either carries a request and clean diagnostics, or no
+// request and at least one error -- never a mix.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "svc/request_stream.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0 || size > (1u << 20)) return 0;  // bound allocator abuse
+  const auto format = (data[0] % 2 == 0) ? strt::svc::StreamFormat::kJsonl
+                                         : strt::svc::StreamFormat::kCsv;
+  const std::string text(reinterpret_cast<const char*>(data + 1), size - 1);
+  std::istringstream is(text);
+  const std::vector<strt::svc::RequestParse> parses =
+      strt::svc::read_request_stream(is, format,
+                                     "fuzz-no-such-task-dir");
+  for (const strt::svc::RequestParse& p : parses) {
+    if (p.request.has_value() != p.diagnostics.ok()) std::abort();
+  }
+  return 0;
+}

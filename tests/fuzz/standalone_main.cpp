@@ -1,0 +1,57 @@
+// Fallback driver for the fuzz harnesses on toolchains without
+// libFuzzer (the local gcc build): replays every file of the given
+// corpus paths through LLVMFuzzerTestOneInput, exactly as
+// `./fuzz_target corpus/` would under libFuzzer's -runs=0.  Used by the
+// ctest smoke tests so the harness contracts stay exercised in every
+// build, not just STRT_FUZZ ones.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::string bytes(std::filesystem::file_size(path), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  bytes.resize(static_cast<std::size_t>(is.gcount()));
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 1;
+  }
+  int rc = 0;
+  for (const auto& f : files) rc |= run_file(f);
+  std::printf("replayed %zu corpus file(s)\n", files.size());
+  return rc;
+}
