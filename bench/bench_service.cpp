@@ -28,14 +28,19 @@
 // shrinks the corpus for CI smoke runs.
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <utility>
 #include <vector>
 
+#include "base/config.hpp"
 #include "bench_util.hpp"
+#include "engine/workspace.hpp"
 #include "io/table.hpp"
 #include "model/generator.hpp"
 #include "obs/counters.hpp"
@@ -187,10 +192,7 @@ int main() {
 
   // STRT_BENCH_SMOKE: a reduced corpus for CI smoke legs -- same phases,
   // same gates, a fraction of the wall time.
-  const bool smoke = [] {
-    const char* v = std::getenv("STRT_BENCH_SMOKE");
-    return v != nullptr && std::string_view(v) != "0";
-  }();
+  const bool smoke = cfg::get_bool("STRT_BENCH_SMOKE", /*def=*/false);
   const int systems = smoke ? 4 : kSystems;
   const int rounds_per_system = smoke ? 2 : kRoundsPerSystem;
 
@@ -402,5 +404,114 @@ int main() {
   report.metric("scaling_bar", scaling_bar);
   report.metric("scaling_at_8_shards", ratio_at_max);
   report.metric("scaling_ok", ratio_at_max >= scaling_bar);
+
+  // Restart-warm phase: the persistent-snapshot story.  A cold
+  // workspace answers the corpus once (restart baseline, memos built
+  // from nothing), persists its warmth, and a *fresh* workspace -- the
+  // process-restart stand-in -- loads the snapshot and answers the same
+  // corpus.  Warm-from-disk must beat the cold restart, and every
+  // configuration (snapshot off, snapshot on, corrupted-then-rejected)
+  // must stay bit-identical to the cold baseline before the timing is
+  // reported.
+  const std::string snap_path =
+      (std::filesystem::temp_directory_path() /
+       ("strt_bench_snapshot_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+  std::cout << "\nrestart-warm sweep (snapshot " << snap_path << ")\n";
+
+  double restart_cold_ms = 0;
+  std::vector<svc::AnalysisOutcome> restart_cold;
+  {
+    engine::Workspace cold_ws;
+    Phase phase("restart_cold");
+    restart_cold.reserve(reqs.size());
+    for (const svc::AnalysisRequest& req : reqs) {
+      restart_cold.push_back(svc::run_request(cold_ws, req));
+    }
+    restart_cold_ms = phase.millis();
+    if (!cold_ws.save_snapshot(snap_path)) {
+      std::cerr << "bench: saving the warm-start snapshot failed\n";
+      return 1;
+    }
+  }
+
+  double restart_warm_ms = 0;
+  std::vector<svc::AnalysisOutcome> restart_warm;
+  std::uint64_t warm_hits = 0;
+  {
+    engine::Workspace warm_ws;
+    if (!warm_ws.load_snapshot(snap_path)) {
+      std::cerr << "bench: loading the just-saved snapshot failed\n";
+      return 1;
+    }
+    Phase phase("restart_warm_from_disk");
+    restart_warm.reserve(reqs.size());
+    for (const svc::AnalysisRequest& req : reqs) {
+      restart_warm.push_back(svc::run_request(warm_ws, req));
+    }
+    restart_warm_ms = phase.millis();
+    warm_hits = warm_ws.stats().hits;
+  }
+
+  // Corrupted snapshot: flip one payload byte; the load must reject
+  // whole and the workspace must cold-start to identical answers.
+  {
+    std::fstream f(snap_path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(48);
+    char b = 0;
+    f.get(b);
+    f.seekp(48);
+    f.put(static_cast<char>(b ^ 0x5a));
+  }
+  std::vector<svc::AnalysisOutcome> rejected_run;
+  bool rejected_cleanly = false;
+  {
+    engine::Workspace rejected_ws;
+    rejected_cleanly = !rejected_ws.load_snapshot(snap_path) &&
+                       rejected_ws.stats().bytes == 0;
+    rejected_run.reserve(reqs.size());
+    for (const svc::AnalysisRequest& req : reqs) {
+      rejected_run.push_back(svc::run_request(rejected_ws, req));
+    }
+  }
+  std::filesystem::remove(snap_path);
+  if (!rejected_cleanly) {
+    std::cerr << "bench: corrupted snapshot was not rejected whole\n";
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (!same_outcome(baseline[i], restart_cold[i]) ||
+        !same_outcome(baseline[i], restart_warm[i]) ||
+        !same_outcome(baseline[i], rejected_run[i])) {
+      std::cerr << "bench: outcome mismatch vs the cold baseline in the "
+                   "restart-warm sweep at request id "
+                << baseline[i].id << " -- snapshot on/off/rejected must "
+                << "be bit-identical; not reporting timings\n";
+      return 1;
+    }
+  }
+  const double warm_speedup = restart_cold_ms / restart_warm_ms;
+  Table restart_table({"configuration", "wall ms", "req/s", "vs restart"});
+  restart_table.add_row({"cold restart", fmt_ratio(restart_cold_ms),
+                         fmt_ratio(throughput(restart_cold_ms), 0),
+                         "1.00x"});
+  restart_table.add_row({"warm from disk", fmt_ratio(restart_warm_ms),
+                         fmt_ratio(throughput(restart_warm_ms), 0),
+                         fmt_ratio(warm_speedup) + "x"});
+  restart_table.print(std::cout);
+  std::cout << "warm-from-disk vs cold restart: " << fmt_ratio(warm_speedup)
+            << "x (" << warm_hits
+            << " memo hits served from the snapshot; bar: >= 1x, "
+               "corrupted file rejected whole)\n";
+
+  report.metric("snapshot_cold_ms", restart_cold_ms);
+  report.metric("snapshot_warm_ms", restart_warm_ms);
+  report.metric("snapshot_warm_speedup", warm_speedup);
+  report.metric("snapshot_warm_ok", warm_speedup >= 1.0);
+  report.metric("snapshot_warm_hits", warm_hits);
+  report.metric("snapshot_rejected_cleanly", rejected_cleanly);
+  report.metric("snapshot_identical", true);
   return 0;
 }

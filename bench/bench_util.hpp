@@ -18,6 +18,7 @@
 #include <string>
 #include <type_traits>
 
+#include "base/config.hpp"
 #include "base/rng.hpp"
 #include "base/types.hpp"
 #include "check/check.hpp"
@@ -147,13 +148,11 @@ class BenchReport {
   }
 
   ~BenchReport() {
-    const char* dir = std::getenv("STRT_BENCH_JSON");
-    if (!obs::enabled() && dir == nullptr) return;
+    const std::string dir = cfg::get_string("STRT_BENCH_JSON", "");
+    if (!obs::enabled() && dir.empty()) return;
     report_.capture();
     std::string path = "BENCH_" + name_ + ".json";
-    if (dir != nullptr && *dir != '\0') {
-      path = std::string(dir) + "/" + path;
-    }
+    if (!dir.empty()) path = dir + "/" + path;
     std::ofstream out(path, std::ios::app);
     if (!out) {
       std::cerr << "bench: cannot open '" << path << "' for the report\n";

@@ -15,6 +15,15 @@
 // bit-identical; useful for ablations) and `--threads N` pins the exec
 // pool size (0 = hardware default).
 //
+// `--snapshot PATH` warm-starts the workspace from a persistent snapshot
+// (strt.engine.snapshot.v1; missing or rejected files cold-start clean)
+// and saves the warmed state back before exiting; `--cache-budget BYTES`
+// bounds the interned-curve storage ("64M"-style suffixes).  Both
+// default to the STRT_SNAPSHOT / STRT_CACHE_BUDGET environment
+// variables, and neither ever changes a result (bit-identity contract).
+// The `--report` JSON embeds the resolved effective configuration under
+// "config".
+//
 // `--check` runs the strt::check domain lint (task, task/supply system,
 // supply curve) before the analysis and prints its diagnostics; errors
 // abort with exit code 1.  `--check=strict` additionally treats warnings
@@ -39,6 +48,7 @@
 #include <sstream>
 #include <vector>
 
+#include "base/config.hpp"
 #include "check/check.hpp"
 #include "core/abstractions.hpp"
 #include "engine/workspace.hpp"
@@ -73,6 +83,8 @@ int main(int argc, char** argv) {
   std::string supply_text = "tdma slot 3 cycle 8";
   std::optional<Time> deadline;
   std::string report_path;
+  std::string snapshot_flag;
+  std::string budget_flag;
   bool no_cache = false;
   bool check = false;
   bool check_strict = false;
@@ -91,6 +103,23 @@ int main(int argc, char** argv) {
       report_path = argv[++i];
     } else if (arg == "--no-cache") {
       no_cache = true;
+    } else if (arg == "--snapshot") {
+      if (i + 1 >= argc) {
+        std::cerr << "--snapshot requires a file path\n";
+        return 2;
+      }
+      snapshot_flag = argv[++i];
+    } else if (arg == "--cache-budget") {
+      if (i + 1 >= argc) {
+        std::cerr << "--cache-budget requires a byte count (e.g. 64M)\n";
+        return 2;
+      }
+      budget_flag = argv[++i];
+      if (!cfg::parse_bytes(budget_flag)) {
+        std::cerr << "--cache-budget: cannot parse '" << budget_flag
+                  << "'\n";
+        return 2;
+      }
     } else if (arg == "--check") {
       check = true;
     } else if (arg == "--check=strict") {
@@ -131,6 +160,7 @@ int main(int argc, char** argv) {
   } else if (!args.empty()) {
     std::cerr << "usage: analyze_file <task-file> \"<supply spec>\" "
                  "[deadline] [--report out.json] [--no-cache] "
+                 "[--snapshot PATH] [--cache-budget BYTES] "
                  "[--check[=strict]] [--threads N] [--coarsen[=G]]\n"
                  "(no positional arguments runs a built-in demo)\n";
     return 2;
@@ -173,8 +203,20 @@ int main(int argc, char** argv) {
 
   // One workspace shared across the whole run: the unified request below
   // and the coarser abstractions reuse the exact rbf/sbf the earlier
-  // steps materialized.
-  engine::Workspace ws(!no_cache);
+  // steps materialized.  With a snapshot path resolved (flag >
+  // STRT_SNAPSHOT) the run warm-starts from disk and saves back at the
+  // end; a missing or rejected snapshot simply cold-starts.
+  const std::string snapshot_path = cfg::get_string(
+      "STRT_SNAPSHOT", "",
+      snapshot_flag.empty()
+          ? std::nullopt
+          : std::optional<std::string_view>(snapshot_flag));
+  const std::uint64_t cache_budget = cfg::get_bytes(
+      "STRT_CACHE_BUDGET", 0,
+      budget_flag.empty() ? std::nullopt
+                          : std::optional<std::string_view>(budget_flag));
+  engine::Workspace ws(!no_cache, cache_budget);
+  if (!snapshot_path.empty()) (void)ws.load_snapshot(snapshot_path);
 
   // The headline structural analysis goes through the unified request
   // API: svc::run_request lints the system (the same strt::check passes
@@ -251,6 +293,16 @@ int main(int argc, char** argv) {
   report.put("cache.bytes", static_cast<std::int64_t>(cache.bytes));
   report.put("cache.coarse_hits",
              static_cast<std::int64_t>(cache.coarse_hits));
+  if (!snapshot_path.empty()) {
+    std::string save_error;
+    if (!ws.save_snapshot(snapshot_path, &save_error)) {
+      std::cerr << "snapshot save failed: " << save_error << '\n';
+    }
+    report.put("snapshot.path", snapshot_path);
+  }
+  // The exact configuration this run resolved (flag > STRT_* env >
+  // default, per knob), so a report is reproducible on its own.
+  report.put_json("config", cfg::effective_config_json());
 
   report.capture();
   if (obs::enabled()) {

@@ -33,8 +33,13 @@
 // window), --shards N (worker shard count; defaults to the STRT_SHARDS
 // environment variable, else 1), --no-batch (no fingerprint grouping),
 // --serial (no parallel batch tail), --no-cache (cold workspace
-// ablation), --threads N.  Results are bit-identical across all of
-// these; only the timings move.  --coarsen G switches every structural
+// ablation), --threads N, --snapshot PATH (persistent warm-start cache:
+// loaded at startup, saved crash-safe at every drain and at shutdown;
+// defaults to STRT_SNAPSHOT), --cache-budget BYTES (interned-curve bytes
+// budget with K/M/G suffixes, e.g. 64M; defaults to STRT_CACHE_BUDGET).
+// Results are bit-identical across all of these; only the timings move.
+// The summary report line embeds the resolved effective configuration
+// under "config" (flag > STRT_* env > default, per knob).  --coarsen G switches every structural
 // request to the coarse-first certified path at starting granularity G
 // (reports carry structural.certified_error); that one is an
 // approximation knob, not an ablation.
@@ -54,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/config.hpp"
 #include "engine/workspace.hpp"
 #include "exec/exec.hpp"
 #include "io/table.hpp"
@@ -138,6 +144,16 @@ int main(int argc, char** argv) {
       sopts.parallel_batches = false;
     } else if (arg == "--no-cache") {
       sopts.caching = false;
+    } else if (arg == "--snapshot") {
+      sopts.snapshot_path = next_value("a file path");
+    } else if (arg == "--cache-budget") {
+      const std::string text = next_value("a byte count (e.g. 64M)");
+      const std::optional<std::uint64_t> bytes = cfg::parse_bytes(text);
+      if (!bytes || *bytes == 0) {
+        std::cerr << "--cache-budget: cannot parse '" << text << "'\n";
+        return 2;
+      }
+      sopts.cache_bytes_budget = *bytes;
     } else if (arg == "--coarsen") {
       coarsen_g = std::stoll(next_value("a granularity"));
       if (coarsen_g < 1) {
@@ -161,7 +177,8 @@ int main(int argc, char** argv) {
                 << "usage: strt_serve [requests-file] [--format jsonl|csv] "
                    "[--task-dir DIR] [--report out.json] [--queue N] "
                    "[--batch N] [--shards N] [--no-batch] [--serial] "
-                   "[--no-cache] [--threads N] [--telemetry-dir DIR] "
+                   "[--no-cache] [--snapshot PATH] [--cache-budget BYTES] "
+                   "[--threads N] [--telemetry-dir DIR] "
                    "[--coarsen G] [--lockdep-report]\n";
       return 2;
     } else {
@@ -289,6 +306,13 @@ int main(int argc, char** argv) {
   summary.put("cache.hits", static_cast<std::int64_t>(cache.hits));
   summary.put("cache.misses", static_cast<std::int64_t>(cache.misses));
   summary.put("cache.bytes", static_cast<std::int64_t>(cache.bytes));
+  summary.put("cache.evictions", static_cast<std::int64_t>(cache.evictions));
+  if (!service.options().snapshot_path.empty()) {
+    summary.put("snapshot.path", service.options().snapshot_path);
+  }
+  // The exact configuration this run resolved (flag > STRT_* env >
+  // default, per knob), so a report is reproducible on its own.
+  summary.put_json("config", cfg::effective_config_json());
   summary.capture();
   summary.write_json_line(lines);
 

@@ -124,12 +124,6 @@ Staircase abstracted_arrival(engine::Workspace& ws, const DrtTask& task,
   throw std::logic_error("unreachable");
 }
 
-Staircase abstracted_arrival(const DrtTask& task, WorkloadAbstraction a,
-                             Time horizon) {
-  engine::Workspace ws;
-  return abstracted_arrival(ws, task, a, horizon);
-}
-
 AbstractionResult delay_with_abstraction(engine::Workspace& ws,
                                          const DrtTask& task,
                                          const Supply& supply,
@@ -169,14 +163,6 @@ AbstractionResult delay_with_abstraction(engine::Workspace& ws,
     }
     horizon = horizon * 2;
   }
-}
-
-AbstractionResult delay_with_abstraction(const DrtTask& task,
-                                         const Supply& supply,
-                                         WorkloadAbstraction a,
-                                         const StructuralOptions& opts) {
-  engine::Workspace ws;
-  return delay_with_abstraction(ws, task, supply, a, opts);
 }
 
 }  // namespace strt

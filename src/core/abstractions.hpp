@@ -56,16 +56,11 @@ struct AbstractionResult {
 };
 
 /// Delay/backlog bound of `task` on `supply` through abstraction `a`.
-/// The Workspace overload shares memoized rbf/sbf/hull curves across
-/// abstractions and repeated calls; the plain overload spins up a
-/// private workspace.
+/// Shares memoized rbf/sbf/hull curves across abstractions and repeated
+/// calls in `ws`.
 [[nodiscard]] AbstractionResult delay_with_abstraction(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
     WorkloadAbstraction a, const StructuralOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] AbstractionResult delay_with_abstraction(
-    const DrtTask& task, const Supply& supply, WorkloadAbstraction a,
-    const StructuralOptions& opts = {});
 
 /// Exact long-run rate of an abstraction's arrival curve (equals the
 /// task utilization except for kSporadicMinGap, which claims
@@ -78,10 +73,6 @@ struct AbstractionResult {
 /// the exact rbf is computed on it first.
 [[nodiscard]] Staircase abstracted_arrival(engine::Workspace& ws,
                                            const DrtTask& task,
-                                           WorkloadAbstraction a,
-                                           Time horizon);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] Staircase abstracted_arrival(const DrtTask& task,
                                            WorkloadAbstraction a,
                                            Time horizon);
 

@@ -91,11 +91,4 @@ AudsleyResult audsley_assignment(engine::Workspace& ws,
   return res;
 }
 
-AudsleyResult audsley_assignment(std::span<const DrtTask> tasks,
-                                 const Supply& supply,
-                                 const StructuralOptions& opts) {
-  engine::Workspace ws;
-  return audsley_assignment(ws, tasks, supply, opts);
-}
-
 }  // namespace strt

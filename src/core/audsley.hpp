@@ -30,15 +30,10 @@ struct AudsleyResult {
   std::size_t tests_run{0};
 };
 
-/// The Workspace overload shares the memoized rbf/sbf materializations
-/// and leftover curves across the (task set)^2 candidate probes; the
-/// plain overload spins up a private workspace.
+/// Shares the memoized rbf/sbf materializations and leftover curves
+/// across the (task set)^2 candidate probes in `ws`.
 [[nodiscard]] AudsleyResult audsley_assignment(
     engine::Workspace& ws, std::span<const DrtTask> tasks,
     const Supply& supply, const StructuralOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] AudsleyResult audsley_assignment(
-    std::span<const DrtTask> tasks, const Supply& supply,
-    const StructuralOptions& opts = {});
 
 }  // namespace strt

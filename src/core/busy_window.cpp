@@ -41,12 +41,6 @@ std::optional<BusyWindow> busy_window(engine::Workspace& ws,
   }
 }
 
-std::optional<BusyWindow> busy_window(const DrtTask& task,
-                                      const Supply& supply) {
-  engine::Workspace ws;
-  return busy_window(ws, task, supply);
-}
-
 Time busy_window_of_curves(const Staircase& wl, const Staircase& sv) {
   const std::optional<Time> L = first_catch_up(wl, sv);
   STRT_REQUIRE(L.has_value(),

@@ -27,14 +27,11 @@ struct BusyWindow {
 
 /// Busy window of a single DRT task on a supply.  Returns nullopt when the
 /// task's utilization is not strictly below the supply rate (overload: no
-/// finite busy window, delays unbounded).  The Workspace overload serves
-/// the rbf/sbf materializations (and their doubling-search re-extensions)
-/// from the cache; the plain overload spins up a private workspace.
+/// finite busy window, delays unbounded).  Serves the rbf/sbf
+/// materializations (and their doubling-search re-extensions) from the
+/// `ws` cache.
 [[nodiscard]] std::optional<BusyWindow> busy_window(engine::Workspace& ws,
                                                     const DrtTask& task,
-                                                    const Supply& supply);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] std::optional<BusyWindow> busy_window(const DrtTask& task,
                                                     const Supply& supply);
 
 /// Busy window of a pre-materialized workload curve against a service

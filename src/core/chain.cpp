@@ -121,10 +121,4 @@ ChainResult chain_delay(engine::Workspace& ws, const DrtTask& task,
   }
 }
 
-ChainResult chain_delay(const DrtTask& task, std::span<const Supply> hops,
-                        const StructuralOptions& opts) {
-  engine::Workspace ws;
-  return chain_delay(ws, task, hops, opts);
-}
-
 }  // namespace strt

@@ -62,10 +62,6 @@ struct ChainResult {
                                       const DrtTask& task,
                                       std::span<const Supply> hops,
                                       const StructuralOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] ChainResult chain_delay(const DrtTask& task,
-                                      std::span<const Supply> hops,
-                                      const StructuralOptions& opts = {});
 
 /// Event-based output arrival curve of a greedy FIFO component:
 ///

@@ -11,23 +11,19 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdlib>
-#include <string_view>
 
+#include "base/config.hpp"
 #include "base/types.hpp"
 #include "graph/explore.hpp"
 
 namespace strt {
 
 /// Default coarsening granularity: the STRT_COARSEN_G environment
-/// variable (resolved once, on first use), else 0 (coarsening off).
+/// variable resolved through strt::cfg (once, on first use), else 0
+/// (coarsening off).  Values below 1 mean "off".
 [[nodiscard]] inline Time default_coarsen_g() {
-  static const std::int64_t g = [] {
-    const char* v = std::getenv("STRT_COARSEN_G");
-    if (v == nullptr || std::string_view(v).empty()) return std::int64_t{0};
-    const std::int64_t parsed = std::atoll(v);
-    return parsed > 0 ? parsed : std::int64_t{0};
-  }();
+  static const std::int64_t g =
+      cfg::get_int("STRT_COARSEN_G", /*def=*/0, /*min=*/1);
   return Time(g);
 }
 

@@ -17,11 +17,6 @@ CurveResult curve_delay(engine::Workspace& ws, const DrtTask& task,
   return res;
 }
 
-CurveResult curve_delay(const DrtTask& task, const Supply& supply) {
-  engine::Workspace ws;
-  return curve_delay(ws, task, supply);
-}
-
 CurveResult curve_delay_vs(const Staircase& workload,
                            const Staircase& service) {
   const Time L = busy_window_of_curves(workload, service);

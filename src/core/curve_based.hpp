@@ -27,14 +27,10 @@ namespace engine {
 class Workspace;
 }  // namespace engine
 
-/// Curve-based delay/backlog bounds for `task` on `supply`.  The
-/// Workspace overload shares busy-window curve materializations with the
-/// other analyses; the plain overload spins up a private workspace.
+/// Curve-based delay/backlog bounds for `task` on `supply`, sharing
+/// busy-window curve materializations with the other analyses in `ws`.
 [[nodiscard]] CurveResult curve_delay(engine::Workspace& ws,
                                       const DrtTask& task,
-                                      const Supply& supply);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] CurveResult curve_delay(const DrtTask& task,
                                       const Supply& supply);
 
 /// Curve-based bounds for an arbitrary workload curve against an

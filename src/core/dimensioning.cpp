@@ -49,12 +49,6 @@ std::optional<Time> min_tdma_slot(engine::Workspace& ws,
   });
 }
 
-std::optional<Time> min_tdma_slot(const DrtTask& task, Time cycle,
-                                  Time deadline, WorkloadAbstraction a) {
-  engine::Workspace ws;
-  return min_tdma_slot(ws, task, cycle, deadline, a);
-}
-
 std::optional<Time> min_periodic_budget(engine::Workspace& ws,
                                         const DrtTask& task, Time period,
                                         Time deadline,
@@ -64,13 +58,6 @@ std::optional<Time> min_periodic_budget(engine::Workspace& ws,
   return min_share(period, deadline, [&](Time budget) {
     return bound_for(ws, task, Supply::periodic(budget, period), a);
   });
-}
-
-std::optional<Time> min_periodic_budget(const DrtTask& task, Time period,
-                                        Time deadline,
-                                        WorkloadAbstraction a) {
-  engine::Workspace ws;
-  return min_periodic_budget(ws, task, period, deadline, a);
 }
 
 std::optional<Time> min_tdma_slot_edf(engine::Workspace& ws,
@@ -84,12 +71,6 @@ std::optional<Time> min_tdma_slot_edf(engine::Workspace& ws,
     // maps to 0 (accept), unschedulable to 1 (reject).
     return res.schedulable ? Time(0) : Time(1);
   });
-}
-
-std::optional<Time> min_tdma_slot_edf(std::span<const DrtTask> tasks,
-                                      Time cycle) {
-  engine::Workspace ws;
-  return min_tdma_slot_edf(ws, tasks, cycle);
 }
 
 }  // namespace strt

@@ -26,20 +26,11 @@ namespace strt {
                                                 const DrtTask& task,
                                                 Time cycle, Time deadline,
                                                 WorkloadAbstraction a);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] std::optional<Time> min_tdma_slot(const DrtTask& task,
-                                                Time cycle, Time deadline,
-                                                WorkloadAbstraction a);
 
 /// Smallest periodic-resource budget (out of `period`) for which `a`
 /// certifies a worst-case delay <= `deadline`; nullopt if infeasible.
 [[nodiscard]] std::optional<Time> min_periodic_budget(engine::Workspace& ws,
                                                       const DrtTask& task,
-                                                      Time period,
-                                                      Time deadline,
-                                                      WorkloadAbstraction a);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] std::optional<Time> min_periodic_budget(const DrtTask& task,
                                                       Time period,
                                                       Time deadline,
                                                       WorkloadAbstraction a);
@@ -49,8 +40,5 @@ namespace strt {
 /// frame-separated tasks; nullopt if even the full cycle fails.
 [[nodiscard]] std::optional<Time> min_tdma_slot_edf(
     engine::Workspace& ws, std::span<const DrtTask> tasks, Time cycle);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] std::optional<Time> min_tdma_slot_edf(
-    std::span<const DrtTask> tasks, Time cycle);
 
 }  // namespace strt

@@ -88,10 +88,4 @@ EdfResult edf_schedulable(engine::Workspace& ws,
   }
 }
 
-EdfResult edf_schedulable(std::span<const DrtTask> tasks,
-                          const Supply& supply) {
-  engine::Workspace ws;
-  return edf_schedulable(ws, tasks, supply);
-}
-
 }  // namespace strt

@@ -30,14 +30,10 @@ namespace engine {
 class Workspace;
 }  // namespace engine
 
-/// The Workspace overload memoizes the per-task rbf/dbf staircases across
-/// horizon doublings and repeated calls; the plain overload spins up a
-/// private workspace.
+/// Memoizes the per-task rbf/dbf staircases across horizon doublings and
+/// repeated calls in `ws`.
 [[nodiscard]] EdfResult edf_schedulable(engine::Workspace& ws,
                                         std::span<const DrtTask> tasks,
-                                        const Supply& supply);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] EdfResult edf_schedulable(std::span<const DrtTask> tasks,
                                         const Supply& supply);
 
 }  // namespace strt

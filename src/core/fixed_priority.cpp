@@ -105,12 +105,4 @@ FpResult fixed_priority_analysis(engine::Workspace& ws,
   return res;
 }
 
-FpResult fixed_priority_analysis(std::span<const DrtTask> tasks,
-                                 const Supply& supply,
-                                 const StructuralOptions& opts,
-                                 WorkloadAbstraction interference) {
-  engine::Workspace ws;
-  return fixed_priority_analysis(ws, tasks, supply, opts, interference);
-}
-
 }  // namespace strt

@@ -55,10 +55,5 @@ struct FpResult {
     engine::Workspace& ws, std::span<const DrtTask> tasks,
     const Supply& supply, const StructuralOptions& opts = {},
     WorkloadAbstraction interference = WorkloadAbstraction::kExactCurve);
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] FpResult fixed_priority_analysis(
-    std::span<const DrtTask> tasks, const Supply& supply,
-    const StructuralOptions& opts = {},
-    WorkloadAbstraction interference = WorkloadAbstraction::kExactCurve);
 
 }  // namespace strt

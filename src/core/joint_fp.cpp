@@ -204,23 +204,9 @@ JointFpResult joint_multi_task_fp(engine::Workspace& ws,
   return res;
 }
 
-JointFpResult joint_multi_task_fp(std::span<const DrtTask> hps,
-                                  const DrtTask& lp, const Supply& supply,
-                                  const JointFpOptions& opts) {
-  engine::Workspace ws;
-  return joint_multi_task_fp(ws, hps, lp, supply, opts);
-}
-
 JointFpResult joint_two_task_fp(engine::Workspace& ws, const DrtTask& hp,
                                 const DrtTask& lp, const Supply& supply,
                                 const JointFpOptions& opts) {
-  return joint_multi_task_fp(ws, {&hp, 1}, lp, supply, opts);
-}
-
-JointFpResult joint_two_task_fp(const DrtTask& hp, const DrtTask& lp,
-                                const Supply& supply,
-                                const JointFpOptions& opts) {
-  engine::Workspace ws;
   return joint_multi_task_fp(ws, {&hp, 1}, lp, supply, opts);
 }
 

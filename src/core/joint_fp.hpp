@@ -69,16 +69,11 @@ struct JointFpResult {
 };
 
 /// Analyzes `lp` under preemptive fixed priority below `hp` on `supply`.
-/// The Workspace overloads share memoized rbf/sbf curves and the
-/// low-priority pseudo-inverses across the per-candidate analyses; the
-/// plain overloads spin up a private workspace.
+/// Shares memoized rbf/sbf curves and the low-priority pseudo-inverses
+/// across the per-candidate analyses in `ws`.
 [[nodiscard]] JointFpResult joint_two_task_fp(
     engine::Workspace& ws, const DrtTask& hp, const DrtTask& lp,
     const Supply& supply, const JointFpOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] JointFpResult joint_two_task_fp(
-    const DrtTask& hp, const DrtTask& lp, const Supply& supply,
-    const JointFpOptions& opts = {});
 
 /// Generalization to any number of higher-priority tasks: the joint
 /// interference candidates are the pointwise sums of one consistent path
@@ -89,9 +84,5 @@ struct JointFpResult {
 [[nodiscard]] JointFpResult joint_multi_task_fp(
     engine::Workspace& ws, std::span<const DrtTask> hps, const DrtTask& lp,
     const Supply& supply, const JointFpOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] JointFpResult joint_multi_task_fp(
-    std::span<const DrtTask> hps, const DrtTask& lp, const Supply& supply,
-    const JointFpOptions& opts = {});
 
 }  // namespace strt

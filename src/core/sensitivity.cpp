@@ -131,11 +131,4 @@ SensitivityReport sensitivity_analysis(engine::Workspace& ws,
   return report;
 }
 
-SensitivityReport sensitivity_analysis(const DrtTask& task,
-                                       const Supply& supply,
-                                       const SensitivityOptions& opts) {
-  engine::Workspace ws;
-  return sensitivity_analysis(ws, task, supply, opts);
-}
-
 }  // namespace strt

@@ -45,15 +45,10 @@ struct SensitivityReport {
   std::vector<Time> separation_slack;
 };
 
-/// The Workspace overload shares memoized supply curves (and any curves
-/// perturbed probes have in common) across the hundreds of probe
-/// analyses; the plain overload spins up a private workspace.
+/// Shares memoized supply curves (and any curves perturbed probes have
+/// in common) across the hundreds of probe analyses in `ws`.
 [[nodiscard]] SensitivityReport sensitivity_analysis(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
-    const SensitivityOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] SensitivityReport sensitivity_analysis(
-    const DrtTask& task, const Supply& supply,
     const SensitivityOptions& opts = {});
 
 /// Rebuild `task` with one vertex's wcet increased by `extra`.

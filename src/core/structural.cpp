@@ -97,12 +97,6 @@ StructuralResult structural_delay(engine::Workspace& ws,
   return analyze(ws, task, bw->sbf, bw->length, opts);
 }
 
-StructuralResult structural_delay(const DrtTask& task, const Supply& supply,
-                                  const StructuralOptions& opts) {
-  engine::Workspace ws;
-  return structural_delay(ws, task, supply, opts);
-}
-
 StructuralResult structural_delay_vs(engine::Workspace& ws,
                                      const DrtTask& task,
                                      const Staircase& service,
@@ -110,13 +104,6 @@ StructuralResult structural_delay_vs(engine::Workspace& ws,
   const engine::CurvePtr wl = ws.rbf(task, service.horizon());
   const Time window = busy_window_of_curves(*wl, service);
   return analyze(ws, task, service, window, opts);
-}
-
-StructuralResult structural_delay_vs(const DrtTask& task,
-                                     const Staircase& service,
-                                     const StructuralOptions& opts) {
-  engine::Workspace ws;
-  return structural_delay_vs(ws, task, service, opts);
 }
 
 }  // namespace strt

@@ -83,16 +83,10 @@ namespace engine {
 class Workspace;
 }  // namespace engine
 
-/// Structural delay analysis of `task` on `supply`.  The Workspace
-/// overload reuses memoized busy-window curves and pseudo-inverse
-/// lookups; the legacy plain overload spins up a private workspace per
-/// call and is deprecated.
+/// Structural delay analysis of `task` on `supply`, reusing memoized
+/// busy-window curves and pseudo-inverse lookups in `ws`.
 [[nodiscard]] StructuralResult structural_delay(
     engine::Workspace& ws, const DrtTask& task, const Supply& supply,
-    const StructuralOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] StructuralResult structural_delay(
-    const DrtTask& task, const Supply& supply,
     const StructuralOptions& opts = {});
 
 /// Structural delay analysis against an arbitrary materialized service
@@ -100,10 +94,6 @@ class Workspace;
 /// for the busy window to close within its horizon; throws otherwise.
 [[nodiscard]] StructuralResult structural_delay_vs(
     engine::Workspace& ws, const DrtTask& task, const Staircase& service,
-    const StructuralOptions& opts = {});
-[[deprecated("use the engine::Workspace overload or svc::run_request")]]
-[[nodiscard]] StructuralResult structural_delay_vs(
-    const DrtTask& task, const Staircase& service,
     const StructuralOptions& opts = {});
 
 }  // namespace strt

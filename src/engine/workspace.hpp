@@ -45,14 +45,39 @@
 // every method into a pass-through that computes fresh (counted as
 // misses).  Results are bit-identical either way.
 //
-// Observability: cache.hits / cache.misses / cache.bytes (plus
-// cache.inverse_hits / cache.inverse_misses) are bumped on the global
-// obs registry, so run reports and BENCH_*.json pick them up; stats()
-// returns the same numbers per workspace.
+// Persistence: save_snapshot() serializes the curve-bearing memo
+// families (interned curves, rbf/dbf with full horizon metadata, sbf,
+// derived ops, coarse curves) into the versioned on-disk format
+// strt.engine.snapshot.v1 (src/snapshot/), written crash-safe via
+// tmp+rename; load_snapshot() validates and replays a snapshot into the
+// striped tables through the normal first-insert-wins inserts, so a
+// restarted server answers a known corpus at warm speed from request
+// one.  A malformed or corrupted snapshot is rejected whole (the
+// snapshot.rejected counter) and the workspace cold-starts clean --
+// loading never throws and never partially applies.  Because every
+// entry is revalidated (record-level canonical form plus a recomputed
+// content fingerprint per curve), warm-from-disk results stay
+// bit-identical to cold computation.
+//
+// Eviction: set_cache_bytes_budget() bounds the interned-curve bytes.
+// When the budget is exceeded (online after an insert, and again at
+// save time), whole per-fingerprint entry groups -- a task's rbf/dbf
+// horizons, a supply's sbf materializations, one operand's derived
+// entries -- are dropped oldest-touch first (LRU).  Groups touched
+// since the oldest live pin_batch() started are never evicted, so a
+// batch leader's freshly warmed memos survive until its group is done.
+//
+// Observability: cache.hits / cache.misses / cache.bytes /
+// cache.evictions / cache.evicted_bytes (plus cache.inverse_hits /
+// cache.inverse_misses) are bumped on the global obs registry, so run
+// reports and BENCH_*.json pick them up; stats() returns the same
+// numbers per workspace.  Snapshot I/O reports snapshot.load_ns /
+// snapshot.save_ns / snapshot.entries / snapshot.rejected.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "base/types.hpp"
 #include "check/diagnostics.hpp"
@@ -79,10 +104,14 @@ struct WorkspaceStats {
   std::uint64_t inverse_misses{0};
   /// Coarse-curve queries answered from the (fingerprint, g, side) memo.
   std::uint64_t coarse_hits{0};
+  /// Entry groups dropped by the bytes-budget eviction policy, and the
+  /// interned-curve bytes they released.
+  std::uint64_t evictions{0};
+  std::uint64_t evicted_bytes{0};
 };
 
-/// True unless the environment variable STRT_CACHE is set to "0"
-/// (resolved once, on first use).
+/// True unless STRT_CACHE resolves to "0" via strt::cfg (resolved once,
+/// on first use).
 [[nodiscard]] bool cache_enabled_default();
 
 class Workspace {
@@ -91,12 +120,64 @@ class Workspace {
   Workspace();
   /// Explicit caching switch (tests, ablations, --no-cache flags).
   explicit Workspace(bool caching);
+  /// Caching switch plus a bytes budget for the interned-curve storage
+  /// (0 = unlimited); see set_cache_bytes_budget().
+  Workspace(bool caching, std::uint64_t cache_bytes_budget);
   ~Workspace();
 
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
 
   [[nodiscard]] bool caching() const { return caching_; }
+
+  /// Bounds the interned-curve bytes (stats().bytes).  0 = unlimited
+  /// (the default; touch tracking is off and hit paths keep their
+  /// lock-free cost).  When an insert pushes past the budget, the
+  /// least-recently-touched per-fingerprint entry groups are evicted
+  /// until the storage fits; save_snapshot() applies the same policy
+  /// before writing.  Results are never affected -- an evicted entry is
+  /// simply recomputed on its next query (bit-identity contract).
+  void set_cache_bytes_budget(std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t cache_bytes_budget() const;
+
+  /// While alive, entry groups touched since this pin was taken are
+  /// exempt from eviction -- the batch leader's freshly warmed memos
+  /// cannot be evicted out from under the group's tail.  Movable,
+  /// released on destruction.
+  class BatchPin {
+   public:
+    BatchPin(BatchPin&& other) noexcept
+        : ws_(other.ws_), start_(other.start_) {
+      other.ws_ = nullptr;
+    }
+    BatchPin(const BatchPin&) = delete;
+    BatchPin& operator=(const BatchPin&) = delete;
+    BatchPin& operator=(BatchPin&&) = delete;
+    ~BatchPin();
+
+   private:
+    friend class Workspace;
+    BatchPin(Workspace* ws, std::uint64_t start) : ws_(ws), start_(start) {}
+
+    Workspace* ws_;  // null => no-op pin (budget off or caching off)
+    std::uint64_t start_;
+  };
+  [[nodiscard]] BatchPin pin_batch();
+
+  /// Serializes the curve-bearing memo families to `path` in the
+  /// versioned strt.engine.snapshot.v1 format, crash-safe (tmp+rename).
+  /// Applies the bytes-budget eviction first when a budget is set.
+  /// False (reason in *error) on I/O failure; false with no entries
+  /// written is still a valid snapshot of an empty workspace.
+  bool save_snapshot(const std::string& path, std::string* error = nullptr);
+
+  /// Validates and replays a snapshot into the memo tables (normal
+  /// first-insert-wins inserts; safe concurrently with serving).  A
+  /// missing file returns false quietly (cold start); a malformed file
+  /// is rejected whole -- snapshot.rejected is bumped, *error gets the
+  /// reason, no entry is applied, and the workspace stays clean.  Never
+  /// throws.
+  bool load_snapshot(const std::string& path, std::string* error = nullptr);
 
   /// Front gate: strt::check::check_task diagnostics for `task`, memoized
   /// by task fingerprint (the lint pass is pure, so one result serves

@@ -8,6 +8,7 @@
 #include <memory>
 #include <thread>
 
+#include "base/config.hpp"
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 #include "obs/counters.hpp"
@@ -20,13 +21,9 @@ namespace {
 thread_local bool t_inside_parallel = false;
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("STRT_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return static_cast<std::size_t>(
+      cfg::get_int("STRT_THREADS", /*def=*/hw == 0 ? 1 : hw, /*min=*/1));
 }
 
 /// One participant's slice of the iteration space.  The owner pops from

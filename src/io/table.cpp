@@ -59,6 +59,7 @@ std::string field_to_string(const obs::RunReport::FieldValue& v) {
   if (const auto* s = std::get_if<std::string>(&v)) return *s;
   if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
   if (const auto* d = std::get_if<double>(&v)) return fmt_ratio(*d, 3);
+  if (const auto* r = std::get_if<obs::RunReport::RawJson>(&v)) return r->text;
   return std::get<bool>(v) ? "true" : "false";
 }
 

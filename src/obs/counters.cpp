@@ -1,10 +1,10 @@
 #include "obs/counters.hpp"
 
 #include <cstdlib>
-#include <cstring>
 #include <deque>
 #include <map>
 
+#include "base/config.hpp"
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 
@@ -12,10 +12,7 @@ namespace strt::obs {
 
 namespace {
 
-bool env_default() {
-  const char* v = std::getenv("STRT_OBS");
-  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
-}
+bool env_default() { return cfg::get_bool("STRT_OBS", /*def=*/false); }
 
 std::atomic<bool>& enabled_flag() {
   static std::atomic<bool> flag{env_default()};

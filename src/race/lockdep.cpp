@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/config.hpp"
+
 namespace strt::race {
 
 namespace {
@@ -288,8 +290,10 @@ bool lockdep_enabled() noexcept {
   }
   int v = g_enabled_value.load(std::memory_order_relaxed);
   if (v < 0) {
-    const char* env = std::getenv("STRT_LOCKDEP");
-    v = (env != nullptr && std::strcmp(env, "0") == 0) ? 0 : 1;
+    // strt::cfg's core is header-inline (and its registry uses a plain
+    // std::mutex), so this resolves without linking strt_base and
+    // without re-entering the lockdep runtime.
+    v = cfg::get_bool("STRT_LOCKDEP", /*def=*/true) ? 1 : 0;
     g_enabled_value.store(v, std::memory_order_relaxed);
   }
   return v == 1;

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "base/assert.hpp"
+#include "base/config.hpp"
 #include "base/mutex.hpp"
 #include "base/thread_annotations.hpp"
 #include "engine/workspace.hpp"
@@ -40,13 +41,11 @@ struct Pending {
 }  // namespace
 
 std::size_t resolved_shards(const ServiceOptions& opts) {
-  if (opts.shards != 0) return opts.shards;
-  if (const char* env = std::getenv("STRT_SHARDS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1) return static_cast<std::size_t>(v);
-  }
-  return 1;
+  return static_cast<std::size_t>(cfg::get_int(
+      "STRT_SHARDS", /*def=*/1, /*min=*/1,
+      opts.shards != 0 ? std::optional<std::int64_t>(
+                             static_cast<std::int64_t>(opts.shards))
+                       : std::nullopt));
 }
 
 struct Service::Impl {
@@ -90,6 +89,29 @@ struct Service::Impl {
     per_shard_capacity =
         std::max<std::size_t>(1, opts.queue_capacity / nshards);
     paused.store(opts.start_paused, std::memory_order_release);
+    // Warm-start wiring: resolve the snapshot path and the cache budget
+    // (flag > STRT_SNAPSHOT / STRT_CACHE_BUDGET env > off), arm the
+    // budget first so a loaded snapshot already obeys it, then replay
+    // the snapshot into the shared workspace.  Rejection is clean: the
+    // service cold-starts and overwrites the bad file at the next save.
+    snapshot_path = cfg::get_string(
+        "STRT_SNAPSHOT", "",
+        opts.snapshot_path.empty()
+            ? std::nullopt
+            : std::optional<std::string_view>(opts.snapshot_path));
+    opts.snapshot_path = snapshot_path;  // echo into options()
+    std::string budget_flag;
+    if (opts.cache_bytes_budget != 0) {
+      budget_flag = std::to_string(opts.cache_bytes_budget);
+    }
+    opts.cache_bytes_budget = cfg::get_bytes(
+        "STRT_CACHE_BUDGET", 0,
+        budget_flag.empty() ? std::nullopt
+                            : std::optional<std::string_view>(budget_flag));
+    if (opts.cache_bytes_budget != 0) {
+      ws.set_cache_bytes_budget(opts.cache_bytes_budget);
+    }
+    if (!snapshot_path.empty()) (void)ws.load_snapshot(snapshot_path);
     if (!opts.telemetry_dir.empty()) {
       sink = std::make_unique<obs::TelemetrySink>(opts.telemetry_dir);
     }
@@ -107,9 +129,21 @@ struct Service::Impl {
 
   ServiceOptions opts;
   engine::Workspace ws;
+  /// Resolved warm-start cache path; empty = persistence off.  Saves
+  /// are serialized by save_mu (drain() and the destructor may race).
+  std::string snapshot_path;
+  Mutex save_mu;
   /// Live telemetry export; null when telemetry_dir is empty.  Shard
   /// workers flush after their rounds (the sink serializes flushes).
   std::unique_ptr<obs::TelemetrySink> sink;
+
+  /// Persists the workspace's memo warmth to snapshot_path (crash-safe
+  /// tmp+rename; failures are non-fatal -- the service keeps serving).
+  void save_snapshot_if_configured() {
+    if (snapshot_path.empty()) return;
+    const MutexLock lock(save_mu);
+    (void)ws.save_snapshot(snapshot_path);
+  }
 
   std::size_t nshards = 1;
   std::size_t per_shard_capacity = 1;
@@ -365,6 +399,10 @@ void Service::Impl::process(Shard& s, std::vector<Pending> round) {
   const bool parallel_tail = opts.parallel_batches && nshards == 1;
 
   for (const std::vector<std::size_t>& group : groups) {
+    // While this pin lives, memo groups the leader warms for the batch
+    // tail are exempt from bytes-budget eviction (no-op without a
+    // budget).
+    const engine::Workspace::BatchPin pin = ws.pin_batch();
     c_batches.add(1);
     s.c_batches->add(1);
     s.batches.fetch_add(1, std::memory_order_relaxed);
@@ -477,6 +515,9 @@ Service::~Service() {
     STRT_RACE_JOIN(s->worker);
     s->worker.join();
   }
+  // Workers are gone and every queued request is answered: write the
+  // final warm-start snapshot.
+  impl_->save_snapshot_if_configured();
 }
 
 std::future<AnalysisOutcome> Service::submit(AnalysisRequest req) {
@@ -522,11 +563,16 @@ void Service::resume() {
 
 void Service::drain() {
   resume();
-  MutexLock l(impl_->idle_mu);
-  // The explorer preempts here so a worker's pop-to-claim window (if
-  // faulted back in) can land exactly under this idle() probe.
-  STRT_RACE_HOOK("svc.drain.probe");
-  while (!impl_->idle()) l.wait(impl_->cv_idle);
+  {
+    MutexLock l(impl_->idle_mu);
+    // The explorer preempts here so a worker's pop-to-claim window (if
+    // faulted back in) can land exactly under this idle() probe.
+    STRT_RACE_HOOK("svc.drain.probe");
+    while (!impl_->idle()) l.wait(impl_->cv_idle);
+  }
+  // Quiesced: persist the accumulated memo warmth (periodic save point;
+  // the destructor saves once more at shutdown).
+  impl_->save_snapshot_if_configured();
 }
 
 engine::Workspace& Service::workspace() { return impl_->ws; }

@@ -105,10 +105,23 @@ struct ServiceOptions {
   /// after every dispatch round and once more at shutdown.  Telemetry
   /// never affects analysis results (bit-identity contract).
   std::string telemetry_dir;
+  /// Persistent warm-start cache (strt.engine.snapshot.v1).  Empty (the
+  /// default) resolves the STRT_SNAPSHOT environment variable; when the
+  /// resolved path is non-empty the constructor loads it into the
+  /// shared workspace (a missing or rejected file cold-starts clean)
+  /// and the service saves back to it crash-safe (tmp+rename) on every
+  /// drain() and at shutdown.  Results are bit-identical with the
+  /// snapshot on, off, or rejected (Workspace contract).
+  std::string snapshot_path;
+  /// Bytes budget for the workspace's interned-curve storage.  0 (the
+  /// default) resolves STRT_CACHE_BUDGET ("64M"-style suffixes allowed),
+  /// else unlimited.  See engine::Workspace::set_cache_bytes_budget().
+  std::uint64_t cache_bytes_budget = 0;
 };
 
 /// The shard count `opts` resolves to: opts.shards when non-zero, else
-/// the STRT_SHARDS environment variable (>= 1), else 1.
+/// the STRT_SHARDS environment variable (>= 1), else 1 (strt::cfg
+/// precedence).
 [[nodiscard]] std::size_t resolved_shards(const ServiceOptions& opts);
 
 /// One shard's slice of the service counters (stats().per_shard).

@@ -174,36 +174,5 @@ TEST(EngineEquivalence, AudsleyBitIdentical) {
   }
 }
 
-// The legacy one-shot free functions are [[deprecated]] forwarders onto
-// the Workspace overloads.  This is the one suite that still calls them
-// -- with the warning suppressed on purpose -- to pin shim == overload
-// bit-for-bit until the shims are removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(EngineEquivalence, DeprecatedShimsMatchWorkspaceOverloads) {
-  const Supply supply = Supply::tdma(Time(6), Time(10));
-  StructuralOptions opts;
-  opts.want_witness = false;
-  for (int t = 0; t < 10; ++t) {
-    const auto tasks =
-        random_set(6000 + static_cast<std::uint64_t>(t), 3, 0.5);
-    engine::Workspace ws;
-    expect_same(fixed_priority_analysis(tasks, supply, opts),
-                fixed_priority_analysis(ws, tasks, supply, opts));
-    expect_same(edf_schedulable(tasks, supply),
-                edf_schedulable(ws, tasks, supply));
-    expect_same(
-        joint_multi_task_fp({tasks.data(), 2}, tasks[2], supply, {}),
-        joint_multi_task_fp(ws, {tasks.data(), 2}, tasks[2], supply, {}));
-    expect_same(sensitivity_analysis(tasks[0], supply, {}),
-                sensitivity_analysis(ws, tasks[0], supply, {}));
-    expect_same(audsley_assignment(tasks, supply, opts),
-                audsley_assignment(ws, tasks, supply, opts));
-  }
-}
-
-#pragma GCC diagnostic pop
-
 }  // namespace
 }  // namespace strt
